@@ -1,0 +1,59 @@
+//! Discovery benchmarks and the greedy-vs-exhaustive ablation
+//! (DESIGN.md §6): the paper's greedy method against measuring every
+//! eligible pair.
+
+use adcomp_core::{
+    rank_individuals, survey_individuals, top_compositions, compose_and_measure,
+    Direction, DiscoveryConfig, SensitiveClass,
+};
+use adcomp_core::AuditTarget;
+use adcomp_platform::{SimScale, Simulation};
+use adcomp_population::Gender;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_survey(c: &mut Criterion) {
+    let sim = Simulation::build(82, SimScale::Test);
+    let target = AuditTarget::for_platform(&sim.linkedin, &sim);
+    c.bench_function("survey_individuals_linkedin_test_scale", |bencher| {
+        bencher.iter(|| std::hint::black_box(survey_individuals(&target).unwrap()))
+    });
+}
+
+fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
+    let sim = Simulation::build(83, SimScale::Test);
+    let target = AuditTarget::for_platform(&sim.linkedin, &sim);
+    let survey = survey_individuals(&target).unwrap();
+    let male = SensitiveClass::Gender(Gender::Male);
+    let ranked = rank_individuals(&survey, male, Direction::Toward, 10_000);
+    let cfg = DiscoveryConfig { top_k: 50, min_reach: 10_000, arity: 2, seed: 1 };
+
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+    group.bench_function("greedy_top50", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(top_compositions(&target, &survey, &ranked, &cfg).unwrap())
+        })
+    });
+    // Exhaustive ablation: measure every pair among the top 40 ranked
+    // (greedy needs ~11 individuals for 50 pairs; exhaustive scans many
+    // more pairs for the same answer quality).
+    let prefix: Vec<_> = ranked.iter().take(40).map(|&i| survey.entries[i].attrs[0]).collect();
+    group.bench_function("exhaustive_40x40", |bencher| {
+        bencher.iter(|| {
+            let mut best = Vec::new();
+            for i in 0..prefix.len() {
+                for j in i + 1..prefix.len() {
+                    let mt = compose_and_measure(&target, &[prefix[i], prefix[j]]).unwrap();
+                    if mt.measurement.total >= 10_000 {
+                        best.push(mt);
+                    }
+                }
+            }
+            std::hint::black_box(best)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_survey, bench_greedy_vs_exhaustive);
+criterion_main!(benches);

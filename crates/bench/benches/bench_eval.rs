@@ -1,0 +1,84 @@
+//! Targeting-evaluation benchmarks: the cost of one audience computation,
+//! by spec shape — what one size-estimate query costs the platform.
+
+use adcomp_platform::{SimScale, Simulation};
+use adcomp_population::{AgeBucket, Gender};
+use adcomp_targeting::{AttributeId, TargetingSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_eval(c: &mut Criterion) {
+    let sim = Simulation::build(80, SimScale::Test);
+    let fb = &sim.facebook;
+    let mut group = c.benchmark_group("evaluate");
+    let specs = [
+        ("individual", TargetingSpec::and_of([AttributeId(0)])),
+        ("pair", TargetingSpec::and_of([AttributeId(0), AttributeId(1)])),
+        ("triple", TargetingSpec::and_of([AttributeId(0), AttributeId(1), AttributeId(2)])),
+        (
+            "or_group",
+            TargetingSpec::builder()
+                .any_of((0..8).map(AttributeId))
+                .build(),
+        ),
+        (
+            "demographic_and",
+            TargetingSpec::builder()
+                .gender(Gender::Female)
+                .age(AgeBucket::A25_34)
+                .attribute(AttributeId(0))
+                .build(),
+        ),
+        (
+            "exclusion",
+            TargetingSpec::builder().attribute(AttributeId(0)).exclude([AttributeId(1)]).build(),
+        ),
+    ];
+    for (label, spec) in &specs {
+        group.bench_function(*label, |bencher| {
+            bencher.iter(|| std::hint::black_box(fb.exact_audience(spec).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate_endpoint(c: &mut Criterion) {
+    // Full advertiser-visible path: validate → evaluate → scale → round.
+    use adcomp_platform::EstimateRequest;
+    let sim = Simulation::build(81, SimScale::Test);
+    let fb = &sim.facebook;
+    let spec = TargetingSpec::and_of([AttributeId(0), AttributeId(1)]);
+    let req = EstimateRequest::new(spec, fb.config().default_objective);
+    c.bench_function("reach_estimate_endpoint", |bencher| {
+        bencher.iter(|| std::hint::black_box(fb.reach_estimate(&req).unwrap()))
+    });
+}
+
+fn bench_lookalike(c: &mut Criterion) {
+    use adcomp_platform::LookalikeConfig;
+    let sim = Simulation::build(86, SimScale::Test);
+    let fb = &sim.facebook;
+    // Seed: first sufficiently large attribute audience.
+    let seed = (0..fb.catalog().len())
+        .map(|idx| fb.attribute_audience_raw(idx).unwrap())
+        .find(|a| a.len() >= 500)
+        .expect("large audience exists")
+        .clone();
+    let mut group = c.benchmark_group("lookalike");
+    group.sample_size(20);
+    group.bench_function("regular", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(fb.lookalike(&seed, &LookalikeConfig::default()).unwrap())
+        })
+    });
+    group.bench_function("special_ad_audience", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(
+                fb.lookalike(&seed, &LookalikeConfig::special_ad_audience()).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_estimate_endpoint, bench_lookalike);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Inclusion–exclusion benchmarks: cost versus truncation order
+//! (DESIGN.md §6 — the paper adds higher-order terms until convergence).
+
+use adcomp_core::{union_recall, AuditTarget, Selector, SensitiveClass};
+use adcomp_platform::{SimScale, Simulation};
+use adcomp_population::Gender;
+use adcomp_targeting::{AttributeId, TargetingSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_union_orders(c: &mut Criterion) {
+    let sim = Simulation::build(84, SimScale::Test);
+    let target = AuditTarget::for_platform(&sim.facebook, &sim);
+    let female = Selector::Class(SensitiveClass::Gender(Gender::Female));
+    let specs: Vec<TargetingSpec> =
+        (0..8).map(|i| TargetingSpec::and_of([AttributeId(i)])).collect();
+
+    let mut group = c.benchmark_group("union_recall");
+    group.sample_size(10);
+    for order in [1usize, 2, 4, 8] {
+        group.bench_function(format!("order_{order}"), |bencher| {
+            bencher.iter(|| {
+                std::hint::black_box(union_recall(&target, &specs, female, order).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_orders);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Runs every experiment in paper order, writing TSV artifacts to
+//! `results/` — the one-command full reproduction.
+
+use std::fs;
+use std::path::Path;
+
+use adcomp_bench::{context, timed, Cli};
+use adcomp_core::experiments::distributions::{figure1, figure2, figure4, DistributionRow};
+use adcomp_core::experiments::examples::{table2, table3, ExampleRow};
+use adcomp_core::experiments::lookalike_exp::{lookalike_experiment, LookalikeRow};
+use adcomp_core::experiments::methodology::{methodology, ProbeConfig};
+use adcomp_core::experiments::recall_exp::{figure5, RecallRow};
+use adcomp_core::experiments::removal_exp::{figure3, figure6, sweeps_tsv};
+use adcomp_core::experiments::report::ReportBuilder;
+use adcomp_core::experiments::table1::{table1, table1_tsv};
+use adcomp_platform::SimScale;
+
+fn write(dir: &Path, name: &str, contents: String) {
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write result file");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let probe = match cli.scale {
+        SimScale::Paper => ProbeConfig::paper(),
+        SimScale::Test => ProbeConfig::test(),
+    };
+    let ctx = context(cli);
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+
+    let f1 = timed("figure 1", || figure1(&ctx)).expect("fig1");
+    write(dir, "fig1.tsv", tsv_rows(&f1));
+    let f2 = timed("figure 2", || figure2(&ctx)).expect("fig2");
+    write(dir, "fig2.tsv", tsv_rows(&f2));
+    let f3 = timed("figure 3", || figure3(&ctx)).expect("fig3");
+    write(dir, "fig3.tsv", sweeps_tsv(&f3));
+    let f4 = timed("figure 4", || figure4(&ctx)).expect("fig4");
+    write(dir, "fig4.tsv", tsv_rows(&f4));
+    let f5 = timed("figure 5", || figure5(&ctx)).expect("fig5");
+    let mut out = RecallRow::tsv_header();
+    out.push('\n');
+    for r in &f5 {
+        out.push_str(&r.tsv());
+        out.push('\n');
+    }
+    write(dir, "fig5.tsv", out);
+    let f6 = timed("figure 6", || figure6(&ctx)).expect("fig6");
+    write(dir, "fig6.tsv", sweeps_tsv(&f6));
+    let t1 = timed("table 1", || table1(&ctx)).expect("table1");
+    write(dir, "table1.tsv", table1_tsv(&t1));
+    let t2 = timed("table 2", || table2(&ctx, 5)).expect("table2");
+    let t3 = timed("table 3", || table3(&ctx, 5)).expect("table3");
+    let mut out = ExampleRow::tsv_header().to_string();
+    out.push('\n');
+    for r in t2.iter().chain(&t3) {
+        out.push_str(&r.tsv());
+        out.push('\n');
+    }
+    write(dir, "tables23.tsv", out);
+    let m = timed("methodology", || methodology(&ctx, &probe)).expect("methodology");
+    let mut out = String::new();
+    for r in &m {
+        out.push_str(&r.summary());
+        out.push('\n');
+    }
+    write(dir, "methodology.txt", out);
+
+    let lal = timed("lookalike", || lookalike_experiment(&ctx, 5)).expect("lookalike");
+    let mut out = LookalikeRow::tsv_header().to_string();
+    out.push('\n');
+    for r in &lal {
+        out.push_str(&r.tsv());
+        out.push('\n');
+    }
+    write(dir, "lookalike.tsv", out);
+
+    // One self-contained markdown report over everything above.
+    let mut report = ReportBuilder::new();
+    report
+        .distributions("Figure 1 — FB-restricted ratio distributions", &f1)
+        .distributions("Figure 2 — all interfaces (male, 18-24)", &f2)
+        .removal("Figure 3 — removal sweep (male)", &f3)
+        .distributions("Figure 4 — older age ranges", &f4)
+        .recalls("Figure 5 — recalls of skewed targetings", &f5)
+        .removal("Figure 6 — removal sweep (ages)", &f6)
+        .table1("Table 1 — overlap and union recall", &t1)
+        .lookalike("Extension — lookalike / Special Ad Audiences", &lal)
+        .examples("Tables 2–3 — illustrative compositions", &t2.iter().chain(&t3).cloned().collect::<Vec<_>>())
+        .methodology("§3 methodology probes", &m);
+    write(dir, "report.md", report.render("paper-scale simulation"));
+    println!("all experiments complete");
+}
+
+fn tsv_rows(rows: &[DistributionRow]) -> String {
+    let mut out = DistributionRow::tsv_header();
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.tsv());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,37 @@
+//! Figure 1: representation-ratio distributions on Facebook's restricted
+//! interface — Individual / Random 2-way / Top & Bottom 2-way / Top &
+//! Bottom 3-way for males, and the 2-way sets for ages 18–24.
+
+use adcomp_bench::plot::{render_log2, PlotRow};
+use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_core::experiments::distributions::{figure1, DistributionRow};
+
+fn main() {
+    let ctx = context(Cli::parse());
+    let rows = timed("figure 1", || figure1(&ctx)).expect("figure 1 drivers");
+
+    println!("Figure 1 — Facebook restricted interface");
+    println!("(paper: Individual p90/p10 male ≈ 1.84/0.50; Top 2-way p90 ≈ 8.98;");
+    println!(" Bottom 2-way p10 ≈ 0.10; Top 3-way p90 ≈ 19.77; Bottom 3-way p10 ≈ 0.11)\n");
+    for r in &rows {
+        println!(
+            "{:<14} {:<8} n={:<5} p10={:<8.3} median={:<8.3} p90={:<8.3} violating={:.0}%",
+            r.set.to_string(),
+            r.class.to_string(),
+            r.stats.n,
+            r.stats.p10,
+            r.stats.median,
+            r.stats.p90,
+            r.violating * 100.0
+        );
+    }
+    // ASCII rendition of the paper's box plots (log2 axis, M = median,
+    // ':' marks the four-fifths thresholds).
+    let plots: Vec<PlotRow> = rows
+        .iter()
+        .map(|r| PlotRow { label: format!("{} ({})", r.set, r.class), stats: r.stats })
+        .collect();
+    println!("\n{}", render_log2(&plots, 1.0 / 64.0, 64.0, 64));
+
+    print_block("fig1.tsv", &DistributionRow::tsv_header(), rows.iter().map(|r| r.tsv()));
+}

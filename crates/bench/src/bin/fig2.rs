@@ -1,0 +1,51 @@
+//! Figure 2: representation-ratio distributions on all four interfaces
+//! (males and ages 18–24; Individual / Random / Top / Bottom 2-way).
+
+use adcomp_bench::plot::{render_log2, PlotRow};
+use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_core::experiments::distributions::{figure2, DistributionRow};
+
+fn main() {
+    let ctx = context(Cli::parse());
+    let rows = timed("figure 2", || figure2(&ctx)).expect("figure 2 drivers");
+
+    println!("Figure 2 — individual and compositional skew across platforms");
+    println!("(paper: LinkedIn individual male p90 ≈ 2.09 vs Facebook ≈ 1.45;");
+    println!(" >90% of Top/Bottom 2-way outside the four-fifths band)\n");
+    let mut last = String::new();
+    for r in &rows {
+        if r.target != last {
+            println!("--- {} ---", r.target);
+            last = r.target.clone();
+        }
+        println!(
+            "{:<14} {:<8} n={:<5} p10={:<8.3} median={:<8.3} p90={:<8.3} violating={:.0}%",
+            r.set.to_string(),
+            r.class.to_string(),
+            r.stats.n,
+            r.stats.p10,
+            r.stats.median,
+            r.stats.p90,
+            r.violating * 100.0
+        );
+    }
+    // ASCII box plots per interface (log2 axis; M = median, ':' marks
+    // the four-fifths thresholds).
+    let mut last = String::new();
+    let mut plots: Vec<PlotRow> = Vec::new();
+    for r in &rows {
+        if r.target != last && !plots.is_empty() {
+            println!("\n--- {last} ---");
+            print!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
+            plots.clear();
+        }
+        last = r.target.clone();
+        plots.push(PlotRow { label: format!("{} ({})", r.set, r.class), stats: r.stats });
+    }
+    if !plots.is_empty() {
+        println!("\n--- {last} ---");
+        print!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
+    }
+
+    print_block("fig2.tsv", &DistributionRow::tsv_header(), rows.iter().map(|r| r.tsv()));
+}

@@ -1,0 +1,25 @@
+//! Figure 6 (appendix): the removal sweep for the age ranges.
+
+use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_core::experiments::removal_exp::{figure6, sweeps_tsv};
+
+fn main() {
+    let ctx = context(Cli::parse());
+    let sweeps = timed("figure 6", || figure6(&ctx)).expect("figure 6 drivers");
+
+    println!("Figure 6 — removal of skewed individual targetings (age ranges)\n");
+    for s in &sweeps {
+        println!("--- {} / {} / {} 2-way ---", s.target, s.class, s.direction.label());
+        for p in &s.points {
+            println!(
+                "  removed {:>4.0}% ({:>3} attrs): tail={:<8.3} extreme={:<8.3} n={}",
+                p.removed_percentile, p.removed_count, p.tail_ratio, p.extreme_ratio,
+                p.compositions
+            );
+        }
+    }
+    let tsv = sweeps_tsv(&sweeps);
+    let mut lines = tsv.lines();
+    let header = lines.next().unwrap_or_default().to_string();
+    print_block("fig6.tsv", &header, lines.map(|l| l.to_string()));
+}

@@ -1,0 +1,114 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary regenerates one paper artifact (figure or table). They
+//! all accept the same flags:
+//!
+//! ```text
+//! --scale test|paper   simulation size (default: paper)
+//! --seed N             simulation seed (default: 2020)
+//! --top-k N            discovery size (default: 1000 at paper scale)
+//! ```
+//!
+//! Output convention: a human-readable summary on stdout, then the
+//! machine-readable TSV blocks (separated by `== <name> ==` markers) that
+//! EXPERIMENTS.md's numbers are drawn from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use std::time::Instant;
+
+use adcomp_core::experiments::{ExperimentConfig, ExperimentContext};
+use adcomp_core::DiscoveryConfig;
+use adcomp_platform::SimScale;
+
+/// Parsed command-line flags.
+#[derive(Clone, Copy, Debug)]
+pub struct Cli {
+    /// Simulation size.
+    pub scale: SimScale,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Discovery top-k.
+    pub top_k: usize,
+}
+
+impl Cli {
+    /// Parses `std::env::args`; exits with a usage message on bad flags.
+    pub fn parse() -> Cli {
+        let mut scale = SimScale::Paper;
+        let mut seed = 2020u64;
+        let mut top_k: Option<usize> = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => match args.next().as_deref() {
+                    Some("test") => scale = SimScale::Test,
+                    Some("paper") => scale = SimScale::Paper,
+                    other => usage(&format!("bad --scale value: {other:?}")),
+                },
+                "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => seed = v,
+                    None => usage("--seed needs an integer"),
+                },
+                "--top-k" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => top_k = Some(v),
+                    None => usage("--top-k needs an integer"),
+                },
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        let top_k = top_k.unwrap_or(match scale {
+            SimScale::Paper => 1000,
+            SimScale::Test => 100,
+        });
+        Cli { scale, seed, top_k }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [--scale test|paper] [--seed N] [--top-k N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Builds the experiment context, reporting build time.
+pub fn context(cli: Cli) -> ExperimentContext {
+    let start = Instant::now();
+    let config = ExperimentConfig {
+        seed: cli.seed,
+        scale: cli.scale,
+        discovery: DiscoveryConfig { top_k: cli.top_k, ..DiscoveryConfig::default() },
+    };
+    let ctx = ExperimentContext::new(config);
+    eprintln!(
+        "# simulation built in {:.1}s (scale {:?}, seed {}, top-k {})",
+        start.elapsed().as_secs_f64(),
+        cli.scale,
+        cli.seed,
+        cli.top_k
+    );
+    ctx
+}
+
+/// Prints a named TSV block.
+pub fn print_block(name: &str, header: &str, rows: impl IntoIterator<Item = String>) {
+    println!("\n== {name} ==");
+    println!("{header}");
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+/// Runs a stage, printing its wall time to stderr.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("# {label}: {:.1}s", start.elapsed().as_secs_f64());
+    out
+}

@@ -1,0 +1,154 @@
+//! ASCII box plots for the figure binaries.
+//!
+//! The paper's figures are box plots of representation ratios on a log₂
+//! axis with the four-fifths thresholds (0.8, 1.25) marked. This module
+//! renders the same thing in a terminal:
+//!
+//! ```text
+//! Individual    |----------[####|#######]-------------|        n=393
+//!               0.25       0.8  1    1.25             8
+//! ```
+//!
+//! Whiskers span p10..p90, the box p25..p75, `|` inside the box is the
+//! median. Values are clamped into the plot range.
+
+use adcomp_core::BoxStats;
+
+/// A rendered plot row.
+#[derive(Clone, Debug)]
+pub struct PlotRow {
+    /// Row label (set + class).
+    pub label: String,
+    /// The statistics to draw.
+    pub stats: BoxStats,
+}
+
+/// Renders box plots on a shared log₂ axis.
+///
+/// `lo`/`hi` bound the axis (values outside are clamped); `width` is the
+/// number of character cells for the axis. Returns the multi-line string
+/// (one row per plot plus an axis legend).
+pub fn render_log2(rows: &[PlotRow], lo: f64, hi: f64, width: usize) -> String {
+    assert!(lo > 0.0 && hi > lo, "need a positive, non-empty range");
+    assert!(width >= 16, "axis too narrow to draw");
+    let label_width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(8);
+    let pos = |v: f64| -> usize {
+        let v = v.max(lo).min(hi);
+        let frac = (v.log2() - lo.log2()) / (hi.log2() - lo.log2());
+        ((frac * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+
+    let mut out = String::new();
+    for row in rows {
+        let mut cells: Vec<char> = vec![' '; width];
+        let (w_lo, b_lo, med, b_hi, w_hi) = (
+            pos(row.stats.p10),
+            pos(row.stats.p25),
+            pos(row.stats.median),
+            pos(row.stats.p75),
+            pos(row.stats.p90),
+        );
+        for cell in cells.iter_mut().take(w_hi + 1).skip(w_lo) {
+            *cell = '-';
+        }
+        for cell in cells.iter_mut().take(b_hi + 1).skip(b_lo) {
+            *cell = '#';
+        }
+        cells[w_lo] = '|';
+        cells[w_hi] = '|';
+        cells[med] = 'M';
+        // Four-fifths guides, where they fall inside the range and are
+        // not covered by the box.
+        for guide in [0.8, 1.25] {
+            if guide > lo && guide < hi {
+                let g = pos(guide);
+                if cells[g] == ' ' || cells[g] == '-' {
+                    cells[g] = ':';
+                }
+            }
+        }
+        let bar: String = cells.into_iter().collect();
+        out.push_str(&format!(
+            "{:<label_width$} {} n={}\n",
+            row.label, bar, row.stats.n
+        ));
+    }
+    // Axis legend: lo, 1.0 and hi positions.
+    let mut legend: Vec<char> = vec![' '; width];
+    legend[0] = '^';
+    if 1.0 > lo && 1.0 < hi {
+        legend[pos(1.0)] = '^';
+    }
+    legend[width - 1] = '^';
+    out.push_str(&format!("{:<label_width$} {}\n", "", legend.iter().collect::<String>()));
+    out.push_str(&format!(
+        "{:<label_width$} {:<w2$}1{:>w3$}\n",
+        "",
+        format!("{lo}"),
+        format!("{hi}"),
+        w2 = pos(1.0),
+        w3 = width - pos(1.0) - 1,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(p10: f64, p25: f64, median: f64, p75: f64, p90: f64) -> BoxStats {
+        BoxStats { n: 100, min: p10 / 2.0, p10, p25, median, p75, p90, max: p90 * 2.0 }
+    }
+
+    #[test]
+    fn renders_ordered_glyphs() {
+        let rows = vec![PlotRow { label: "Top 2-way".into(), stats: stats(2.0, 3.0, 4.0, 6.0, 9.0) }];
+        let s = render_log2(&rows, 0.25, 16.0, 48);
+        let line = s.lines().next().unwrap();
+        // Whisker, box and median markers all present, in order.
+        let bar = &line["Top 2-way".len() + 1..];
+        let first_pipe = bar.find('|').unwrap();
+        let m = bar.find('M').unwrap();
+        let last_pipe = bar.rfind('|').unwrap();
+        assert!(first_pipe < m && m < last_pipe, "{bar}");
+        assert!(bar.contains('#'));
+        assert!(line.ends_with("n=100"));
+    }
+
+    #[test]
+    fn guides_visible_for_centered_distribution() {
+        let rows =
+            vec![PlotRow { label: "Individual".into(), stats: stats(0.5, 0.9, 1.0, 1.1, 2.0) }];
+        let s = render_log2(&rows, 0.125, 8.0, 64);
+        // The 0.8/1.25 guides appear as ':' somewhere when outside the box.
+        // (With the box covering 0.9..1.1, both guides sit outside it.)
+        assert!(s.lines().next().unwrap().contains(':'), "{s}");
+    }
+
+    #[test]
+    fn clamps_out_of_range_values() {
+        let rows = vec![PlotRow {
+            label: "Extreme".into(),
+            stats: stats(0.0001, 0.001, 50.0, 500.0, 5_000.0),
+        }];
+        let s = render_log2(&rows, 0.25, 16.0, 40);
+        // Label column is padded to at least 8 characters.
+        let label_width = "Extreme".len().max(8);
+        assert_eq!(s.lines().next().unwrap().len(), label_width + 1 + 40 + " n=100".len());
+    }
+
+    #[test]
+    fn legend_includes_bounds_and_one() {
+        let rows = vec![PlotRow { label: "X".into(), stats: stats(0.5, 0.7, 1.0, 1.4, 2.0) }];
+        let s = render_log2(&rows, 0.25, 4.0, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "{s}");
+        assert!(lines[2].contains("0.25") && lines[2].contains('1') && lines[2].contains('4'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive, non-empty range")]
+    fn rejects_bad_range() {
+        let _ = render_log2(&[], 0.0, 1.0, 40);
+    }
+}

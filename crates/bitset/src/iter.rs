@@ -1,0 +1,78 @@
+//! Ordered iteration over a [`Bitset`](crate::Bitset).
+
+use crate::container::{Container, ContainerIter};
+use crate::join;
+
+/// Iterator over the values of a [`Bitset`](crate::Bitset) in increasing
+/// order. Created by [`Bitset::iter`](crate::Bitset::iter).
+pub struct Iter<'a> {
+    chunks: &'a [(u16, Container)],
+    chunk_idx: usize,
+    current: Option<(u16, ContainerIter<'a>)>,
+}
+
+impl<'a> Iter<'a> {
+    pub(crate) fn new(chunks: &'a [(u16, Container)]) -> Self {
+        Iter { chunks, chunk_idx: 0, current: None }
+    }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if let Some((key, iter)) = &mut self.current {
+                if let Some(low) = iter.next() {
+                    return Some(join(*key, low));
+                }
+                self.current = None;
+            }
+            let (key, container) = self.chunks.get(self.chunk_idx)?;
+            self.chunk_idx += 1;
+            self.current = Some((*key, container.iter_values()));
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Remaining full chunks give a cheap lower bound of 0 and an upper
+        // bound from their cardinalities; exact tracking is not worth the
+        // bookkeeping for our workloads.
+        let upper: usize = self.chunks[self.chunk_idx.saturating_sub(1).min(self.chunks.len())..]
+            .iter()
+            .map(|(_, c)| c.len() as usize)
+            .sum();
+        (0, Some(upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bitset;
+
+    #[test]
+    fn iterates_in_order_across_chunks() {
+        let values: Vec<u32> = vec![0, 1, 65_535, 65_536, 131_072, u32::MAX];
+        let s: Bitset = values.iter().copied().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), values);
+    }
+
+    #[test]
+    fn size_hint_upper_bound_holds() {
+        let s: Bitset = (0..10_000u32).collect();
+        let iter = s.iter();
+        let (lo, hi) = iter.size_hint();
+        assert_eq!(lo, 0);
+        assert!(hi.unwrap() >= 10_000);
+    }
+
+    #[test]
+    fn for_loop_via_into_iterator() {
+        let s: Bitset = (10..20u32).collect();
+        let mut total = 0u32;
+        for v in &s {
+            total += v;
+        }
+        assert_eq!(total, (10..20).sum());
+    }
+}

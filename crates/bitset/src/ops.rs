@@ -1,0 +1,405 @@
+//! Binary set operation kernels.
+//!
+//! Operations walk the two sorted chunk lists in a merge, dispatching to a
+//! per-layout kernel for chunks present in both sets. Run containers are
+//! densified on the fly (they are a read-only re-encoding; see the crate
+//! docs), so the kernels only handle Array×Array, Array×Bitmap and
+//! Bitmap×Bitmap.
+
+use crate::container::{Container, BITMAP_WORDS};
+use crate::Bitset;
+
+/// The four supported binary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    And,
+    Or,
+    AndNot,
+    Xor,
+}
+
+impl Op {
+    /// Whether a chunk present only in the left operand survives.
+    fn keeps_left_only(self) -> bool {
+        matches!(self, Op::Or | Op::AndNot | Op::Xor)
+    }
+
+    /// Whether a chunk present only in the right operand survives.
+    fn keeps_right_only(self) -> bool {
+        matches!(self, Op::Or | Op::Xor)
+    }
+}
+
+/// Evaluates `a op b` into a new canonical bitset.
+pub(crate) fn binary(a: &Bitset, b: &Bitset, op: Op) -> Bitset {
+    let mut out = Bitset::new();
+    let (ac, bc) = (a.chunks(), b.chunks());
+    let (mut i, mut j) = (0, 0);
+    while i < ac.len() && j < bc.len() {
+        let (ka, ca) = &ac[i];
+        let (kb, cb) = &bc[j];
+        match ka.cmp(kb) {
+            std::cmp::Ordering::Less => {
+                if op.keeps_left_only() {
+                    out.push_chunk(*ka, ca.clone());
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if op.keeps_right_only() {
+                    out.push_chunk(*kb, cb.clone());
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let result = container_op(ca, cb, op);
+                if let Some(c) = result {
+                    out.push_chunk(*ka, c);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if op.keeps_left_only() {
+        for (k, c) in &ac[i..] {
+            out.push_chunk(*k, c.clone());
+        }
+    }
+    if op.keeps_right_only() {
+        for (k, c) in &bc[j..] {
+            out.push_chunk(*k, c.clone());
+        }
+    }
+    out
+}
+
+/// `|a ∧ b|` without materialising.
+pub(crate) fn intersection_len(a: &Bitset, b: &Bitset) -> u64 {
+    let mut total = 0u64;
+    for_each_common_chunk(a, b, |ca, cb| {
+        total += container_intersection_len(ca, cb) as u64;
+    });
+    total
+}
+
+/// Disjointness test with early exit.
+pub(crate) fn is_disjoint(a: &Bitset, b: &Bitset) -> bool {
+    let (ac, bc) = (a.chunks(), b.chunks());
+    let (mut i, mut j) = (0, 0);
+    while i < ac.len() && j < bc.len() {
+        let (ka, ca) = &ac[i];
+        let (kb, cb) = &bc[j];
+        match ka.cmp(kb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if container_intersection_len(ca, cb) != 0 {
+                    return false;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    true
+}
+
+fn for_each_common_chunk(a: &Bitset, b: &Bitset, mut f: impl FnMut(&Container, &Container)) {
+    let (ac, bc) = (a.chunks(), b.chunks());
+    let (mut i, mut j) = (0, 0);
+    while i < ac.len() && j < bc.len() {
+        let (ka, ca) = &ac[i];
+        let (kb, cb) = &bc[j];
+        match ka.cmp(kb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(ca, cb);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Applies `op` to two same-key containers; `None` when the result is empty.
+fn container_op(a: &Container, b: &Container, op: Op) -> Option<Container> {
+    let a = a.to_dense();
+    let b = b.to_dense();
+    let result = match (a.as_ref(), b.as_ref(), op) {
+        (Container::Array(x), Container::Array(y), _) => array_array(x, y, op),
+        (Container::Bitmap { bits: x, .. }, Container::Bitmap { bits: y, .. }, _) => {
+            bitmap_bitmap(x, y, op)
+        }
+        (Container::Array(x), Container::Bitmap { bits: y, .. }, Op::And) => {
+            array_filter(x, |v| get(y, v))
+        }
+        (Container::Array(x), Container::Bitmap { bits: y, .. }, Op::AndNot) => {
+            array_filter(x, |v| !get(y, v))
+        }
+        (Container::Bitmap { bits: x, len }, Container::Array(y), Op::And) => {
+            let _ = len;
+            array_filter(y, |v| get(x, v))
+        }
+        (Container::Bitmap { bits: x, len }, Container::Array(y), Op::AndNot) => {
+            // bitmap minus array: clear the array's bits.
+            let mut bits = x.clone();
+            let mut n = *len;
+            for &v in y {
+                let word = &mut bits[(v >> 6) as usize];
+                let mask = 1u64 << (v & 63);
+                if *word & mask != 0 {
+                    *word &= !mask;
+                    n -= 1;
+                }
+            }
+            some_if_nonempty(Container::from_bitmap(bits, n))
+        }
+        (Container::Array(x), Container::Bitmap { bits: y, len }, Op::Or) => {
+            let mut bits = y.clone();
+            let mut n = *len;
+            for &v in x {
+                let word = &mut bits[(v >> 6) as usize];
+                let mask = 1u64 << (v & 63);
+                if *word & mask == 0 {
+                    *word |= mask;
+                    n += 1;
+                }
+            }
+            some_if_nonempty(Container::from_bitmap(bits, n))
+        }
+        (Container::Bitmap { bits: x, len }, Container::Array(y), Op::Or) => {
+            let mut bits = x.clone();
+            let mut n = *len;
+            for &v in y {
+                let word = &mut bits[(v >> 6) as usize];
+                let mask = 1u64 << (v & 63);
+                if *word & mask == 0 {
+                    *word |= mask;
+                    n += 1;
+                }
+            }
+            some_if_nonempty(Container::from_bitmap(bits, n))
+        }
+        (Container::Array(x), Container::Bitmap { bits: y, .. }, Op::Xor) => {
+            let mut bits = y.clone();
+            xor_array_into(&mut bits, x)
+        }
+        (Container::Bitmap { bits: x, .. }, Container::Array(y), Op::Xor) => {
+            let mut bits = x.clone();
+            xor_array_into(&mut bits, y)
+        }
+        (Container::Run(_), _, _) | (_, Container::Run(_), _) => {
+            unreachable!("operands were densified")
+        }
+    };
+    result
+}
+
+fn xor_array_into(bits: &mut Box<[u64; BITMAP_WORDS]>, values: &[u16]) -> Option<Container> {
+    for &v in values {
+        bits[(v >> 6) as usize] ^= 1u64 << (v & 63);
+    }
+    let len: u32 = bits.iter().map(|w| w.count_ones()).sum();
+    some_if_nonempty(Container::from_bitmap(bits.clone(), len))
+}
+
+#[inline]
+fn get(bits: &[u64; BITMAP_WORDS], v: u16) -> bool {
+    bits[(v >> 6) as usize] & (1u64 << (v & 63)) != 0
+}
+
+fn some_if_nonempty(c: Container) -> Option<Container> {
+    if c.is_empty() {
+        None
+    } else {
+        Some(c)
+    }
+}
+
+fn array_filter(values: &[u16], keep: impl Fn(u16) -> bool) -> Option<Container> {
+    let out: Vec<u16> = values.iter().copied().filter(|&v| keep(v)).collect();
+    if out.is_empty() {
+        None
+    } else {
+        Some(Container::Array(out))
+    }
+}
+
+fn array_array(a: &[u16], b: &[u16], op: Op) -> Option<Container> {
+    let mut out = Vec::with_capacity(match op {
+        Op::And => a.len().min(b.len()),
+        _ => a.len() + b.len(),
+    });
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                if op.keeps_left_only() {
+                    out.push(a[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if op.keeps_right_only() {
+                    out.push(b[j]);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if matches!(op, Op::And | Op::Or) {
+                    out.push(a[i]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if op.keeps_left_only() {
+        out.extend_from_slice(&a[i..]);
+    }
+    if op.keeps_right_only() {
+        out.extend_from_slice(&b[j..]);
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(Container::from_sorted_slice(&out))
+    }
+}
+
+fn bitmap_bitmap(
+    a: &[u64; BITMAP_WORDS],
+    b: &[u64; BITMAP_WORDS],
+    op: Op,
+) -> Option<Container> {
+    let mut bits = Box::new([0u64; BITMAP_WORDS]);
+    let mut len = 0u32;
+    for k in 0..BITMAP_WORDS {
+        let w = match op {
+            Op::And => a[k] & b[k],
+            Op::Or => a[k] | b[k],
+            Op::AndNot => a[k] & !b[k],
+            Op::Xor => a[k] ^ b[k],
+        };
+        bits[k] = w;
+        len += w.count_ones();
+    }
+    some_if_nonempty(Container::from_bitmap(bits, len))
+}
+
+/// `|a ∧ b|` for two same-key containers.
+fn container_intersection_len(a: &Container, b: &Container) -> u32 {
+    let a = a.to_dense();
+    let b = b.to_dense();
+    match (a.as_ref(), b.as_ref()) {
+        (Container::Array(x), Container::Array(y)) => {
+            // Galloping would help for very skewed sizes; the merge is fine
+            // for the ≤4096-entry arrays we produce.
+            let (mut i, mut j, mut n) = (0usize, 0usize, 0u32);
+            while i < x.len() && j < y.len() {
+                match x[i].cmp(&y[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        n += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            n
+        }
+        (Container::Array(x), Container::Bitmap { bits, .. })
+        | (Container::Bitmap { bits, .. }, Container::Array(x)) => {
+            x.iter().filter(|&&v| get(bits, v)).count() as u32
+        }
+        (Container::Bitmap { bits: x, .. }, Container::Bitmap { bits: y, .. }) => {
+            (0..BITMAP_WORDS).map(|k| (x[k] & y[k]).count_ones()).sum()
+        }
+        _ => unreachable!("operands were densified"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bitset;
+
+    /// Reference implementation on `std` sets.
+    fn check(a_vals: &[u32], b_vals: &[u32]) {
+        use std::collections::BTreeSet;
+        let a: Bitset = a_vals.iter().copied().collect();
+        let b: Bitset = b_vals.iter().copied().collect();
+        let sa: BTreeSet<u32> = a_vals.iter().copied().collect();
+        let sb: BTreeSet<u32> = b_vals.iter().copied().collect();
+
+        let and: Vec<u32> = sa.intersection(&sb).copied().collect();
+        let or: Vec<u32> = sa.union(&sb).copied().collect();
+        let and_not: Vec<u32> = sa.difference(&sb).copied().collect();
+        let xor: Vec<u32> = sa.symmetric_difference(&sb).copied().collect();
+
+        assert_eq!(a.and(&b).iter().collect::<Vec<_>>(), and);
+        assert_eq!(a.or(&b).iter().collect::<Vec<_>>(), or);
+        assert_eq!(a.and_not(&b).iter().collect::<Vec<_>>(), and_not);
+        assert_eq!(a.xor(&b).iter().collect::<Vec<_>>(), xor);
+        assert_eq!(a.intersection_len(&b), and.len() as u64);
+        assert_eq!(a.union_len(&b), or.len() as u64);
+        assert_eq!(a.is_disjoint(&b), and.is_empty());
+    }
+
+    #[test]
+    fn dense_sparse_mixes() {
+        let dense: Vec<u32> = (0..10_000).collect();
+        let sparse: Vec<u32> = (0..10_000).step_by(97).collect();
+        check(&dense, &sparse);
+        check(&sparse, &dense);
+    }
+
+    #[test]
+    fn cross_chunk() {
+        let a: Vec<u32> = vec![1, 65_536, 65_537, 200_000, 1 << 24];
+        let b: Vec<u32> = vec![65_537, 131_072, 200_000, (1 << 24) + 1];
+        check(&a, &b);
+    }
+
+    #[test]
+    fn empty_operands() {
+        check(&[], &[]);
+        check(&[1, 2, 3], &[]);
+        check(&[], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn bitmap_bitmap_all_ops() {
+        let a: Vec<u32> = (0..30_000).filter(|v| v % 2 == 0).collect();
+        let b: Vec<u32> = (0..30_000).filter(|v| v % 3 == 0).collect();
+        check(&a, &b);
+    }
+
+    #[test]
+    fn run_operands_densified() {
+        let mut a: Bitset = (0..20_000u32).collect();
+        let mut b: Bitset = (10_000..30_000u32).collect();
+        a.run_optimize();
+        b.run_optimize();
+        assert_eq!(a.and(&b).len(), 10_000);
+        assert_eq!(a.or(&b).len(), 30_000);
+        assert_eq!(a.and_not(&b).len(), 10_000);
+        assert_eq!(a.xor(&b).len(), 20_000);
+        assert_eq!(a.intersection_len(&b), 10_000);
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        let a: Vec<u32> = (0..5000).map(|v| v * 3).collect();
+        check(&a, &a);
+        let b: Vec<u32> = a.iter().map(|v| v + 1).collect();
+        check(&a, &b);
+        let far: Vec<u32> = a.iter().map(|v| v + (1 << 28)).collect();
+        check(&a, &far);
+        let ba: Bitset = a.iter().copied().collect();
+        let bf: Bitset = far.iter().copied().collect();
+        assert!(ba.is_disjoint(&bf));
+    }
+}

@@ -1,0 +1,310 @@
+//! Compact binary serialisation of bitsets.
+//!
+//! Materialising a platform's attribute audiences is the expensive step
+//! of building a simulation; persisting them lets repeated experiment
+//! runs skip it. The format is self-describing and validated on read:
+//!
+//! ```text
+//! u8  version (1)
+//! u32 chunk count
+//! per chunk:
+//!   u16 key
+//!   u8  layout (0 = array, 1 = bitmap, 2 = run)
+//!   array:  u16 len, len × u16 values (sorted, distinct)
+//!   bitmap: u32 cardinality, 1024 × u64 words
+//!   run:    u16 run count, count × (u16 start, u16 end)
+//! ```
+//!
+//! All integers are little-endian. Decoding never panics on malformed
+//! input and re-checks every invariant the in-memory containers rely on.
+
+use crate::container::{Container, Interval, ARRAY_MAX, BITMAP_WORDS};
+use crate::Bitset;
+
+/// Format version written by [`Bitset::to_bytes`].
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Deserialisation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the structure was complete.
+    UnexpectedEof,
+    /// Unknown format version byte.
+    UnsupportedVersion(u8),
+    /// Unknown container layout tag.
+    InvalidLayout(u8),
+    /// A structural invariant failed (unsorted array, wrong cardinality,
+    /// overlapping runs, unordered chunk keys, …).
+    CorruptContainer(&'static str),
+    /// Trailing bytes after a complete bitset.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::InvalidLayout(t) => write!(f, "invalid container layout tag {t}"),
+            DecodeError::CorruptContainer(what) => write!(f, "corrupt container: {what}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after bitset"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+impl Bitset {
+    /// Serialises into the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.memory_bytes());
+        out.push(FORMAT_VERSION);
+        out.extend_from_slice(&(self.chunks().len() as u32).to_le_bytes());
+        for (key, container) in self.chunks() {
+            out.extend_from_slice(&key.to_le_bytes());
+            match container {
+                Container::Array(values) => {
+                    out.push(0);
+                    out.extend_from_slice(&(values.len() as u16).to_le_bytes());
+                    for v in values {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Container::Bitmap { bits, len } => {
+                    out.push(1);
+                    out.extend_from_slice(&len.to_le_bytes());
+                    for w in bits.iter() {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Container::Run(runs) => {
+                    out.push(2);
+                    out.extend_from_slice(&(runs.len() as u16).to_le_bytes());
+                    for r in runs {
+                        out.extend_from_slice(&r.start.to_le_bytes());
+                        out.extend_from_slice(&r.end.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialises, validating every structural invariant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Bitset, DecodeError> {
+        let mut r = Reader { buf: bytes };
+        let version = r.u8()?;
+        if version != FORMAT_VERSION {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        let chunk_count = r.u32()? as usize;
+        if chunk_count > u16::MAX as usize + 1 {
+            return Err(DecodeError::CorruptContainer("more chunks than possible keys"));
+        }
+        let mut set = Bitset::new();
+        let mut last_key: Option<u16> = None;
+        for _ in 0..chunk_count {
+            let key = r.u16()?;
+            if let Some(prev) = last_key {
+                if key <= prev {
+                    return Err(DecodeError::CorruptContainer("chunk keys not increasing"));
+                }
+            }
+            last_key = Some(key);
+            let layout = r.u8()?;
+            let container = match layout {
+                0 => {
+                    let len = r.u16()? as usize;
+                    if len == 0 || len > ARRAY_MAX {
+                        return Err(DecodeError::CorruptContainer("array length out of range"));
+                    }
+                    let mut values = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        values.push(r.u16()?);
+                    }
+                    if !values.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(DecodeError::CorruptContainer("array not sorted/distinct"));
+                    }
+                    Container::Array(values)
+                }
+                1 => {
+                    let len = r.u32()?;
+                    let mut bits = Box::new([0u64; BITMAP_WORDS]);
+                    let mut actual = 0u32;
+                    for w in bits.iter_mut() {
+                        *w = r.u64()?;
+                        actual += w.count_ones();
+                    }
+                    if actual != len {
+                        return Err(DecodeError::CorruptContainer("bitmap cardinality mismatch"));
+                    }
+                    if (len as usize) <= ARRAY_MAX {
+                        return Err(DecodeError::CorruptContainer(
+                            "bitmap below array threshold (non-canonical)",
+                        ));
+                    }
+                    Container::Bitmap { bits, len }
+                }
+                2 => {
+                    let count = r.u16()? as usize;
+                    if count == 0 {
+                        return Err(DecodeError::CorruptContainer("empty run container"));
+                    }
+                    let mut runs = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let start = r.u16()?;
+                        let end = r.u16()?;
+                        if end < start {
+                            return Err(DecodeError::CorruptContainer("run end before start"));
+                        }
+                        runs.push(Interval { start, end });
+                    }
+                    // Sorted, non-overlapping, non-adjacent.
+                    if !runs
+                        .windows(2)
+                        .all(|w| (w[0].end as u32) + 1 < w[1].start as u32)
+                    {
+                        return Err(DecodeError::CorruptContainer("runs overlap or touch"));
+                    }
+                    Container::Run(runs)
+                }
+                t => return Err(DecodeError::InvalidLayout(t)),
+            };
+            set.push_chunk(key, container);
+        }
+        if !r.buf.is_empty() {
+            return Err(DecodeError::TrailingBytes(r.buf.len()));
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(set: &Bitset) {
+        let bytes = set.to_bytes();
+        let back = Bitset::from_bytes(&bytes).unwrap();
+        assert_eq!(&back, set);
+    }
+
+    #[test]
+    fn roundtrips_across_layouts() {
+        roundtrip(&Bitset::new());
+        roundtrip(&[1u32, 5, 100_000].into_iter().collect());
+        roundtrip(&(0..10_000u32).collect()); // bitmap chunk
+        let mut runs: Bitset = (0..60_000u32).collect();
+        runs.run_optimize();
+        roundtrip(&runs);
+        // Mixed: sparse chunk + dense chunk + run chunk.
+        let mut mixed: Bitset = (0..9_000u32).collect();
+        mixed.extend([1 << 20, (1 << 20) + 5]);
+        let mut run_part: Bitset = ((2 << 20)..(2 << 20) + 50_000).collect();
+        run_part.run_optimize();
+        let mixed = mixed.or(&run_part);
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = Bitset::new().to_bytes();
+        bytes[0] = 9;
+        assert_eq!(Bitset::from_bytes(&bytes), Err(DecodeError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let set: Bitset = (0..100u32).collect();
+        let bytes = set.to_bytes();
+        for cut in [1usize, 5, bytes.len() - 1] {
+            assert_eq!(
+                Bitset::from_bytes(&bytes[..cut]),
+                Err(DecodeError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = Bitset::from_sorted_iter([1, 2, 3]).to_bytes();
+        bytes.push(0);
+        assert_eq!(Bitset::from_bytes(&bytes), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn corrupt_structures_rejected() {
+        // Unsorted array.
+        let mut bytes = vec![FORMAT_VERSION];
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 chunk
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // key
+        bytes.push(0); // array
+        bytes.extend_from_slice(&2u16.to_le_bytes()); // len 2
+        bytes.extend_from_slice(&5u16.to_le_bytes());
+        bytes.extend_from_slice(&3u16.to_le_bytes()); // 5 > 3: unsorted
+        assert!(matches!(
+            Bitset::from_bytes(&bytes),
+            Err(DecodeError::CorruptContainer("array not sorted/distinct"))
+        ));
+
+        // Invalid layout tag.
+        let mut bytes = vec![FORMAT_VERSION];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.push(7);
+        assert_eq!(Bitset::from_bytes(&bytes), Err(DecodeError::InvalidLayout(7)));
+
+        // Bitmap with wrong cardinality.
+        let mut bytes = vec![FORMAT_VERSION];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&9999u32.to_le_bytes()); // claimed len
+        bytes.extend(std::iter::repeat_n(0u8, BITMAP_WORDS * 8)); // all-zero words
+        assert!(matches!(
+            Bitset::from_bytes(&bytes),
+            Err(DecodeError::CorruptContainer("bitmap cardinality mismatch"))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(DecodeError::TrailingBytes(3).to_string().contains('3'));
+    }
+}

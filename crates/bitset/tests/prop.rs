@@ -1,0 +1,142 @@
+//! Property-based tests: `Bitset` must agree with `BTreeSet<u32>` on every
+//! operation, for arbitrary value distributions (sparse, dense, clustered).
+
+use adcomp_bitset::Bitset;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Value sets drawn from a few regimes so all container layouts get hit:
+/// uniformly random u32s (sparse arrays), small ranges (dense bitmaps), and
+/// contiguous blocks (run candidates).
+fn value_vec() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u32>(), 0..400),
+        proptest::collection::vec(0u32..100_000, 0..2000),
+        (0u32..1_000_000, 0u32..20_000)
+            .prop_map(|(start, len)| (start..start.saturating_add(len)).collect()),
+    ]
+}
+
+fn to_pair(values: Vec<u32>) -> (Bitset, BTreeSet<u32>) {
+    let reference: BTreeSet<u32> = values.iter().copied().collect();
+    let set: Bitset = values.into_iter().collect();
+    (set, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_matches_reference(values in value_vec()) {
+        let (set, reference) = to_pair(values);
+        prop_assert_eq!(set.len(), reference.len() as u64);
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(set.min(), reference.first().copied());
+        prop_assert_eq!(set.max(), reference.last().copied());
+    }
+
+    #[test]
+    fn binary_ops_match_reference(a in value_vec(), b in value_vec()) {
+        let (sa, ra) = to_pair(a);
+        let (sb, rb) = to_pair(b);
+        prop_assert_eq!(
+            sa.and(&sb).iter().collect::<Vec<_>>(),
+            ra.intersection(&rb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(
+            sa.or(&sb).iter().collect::<Vec<_>>(),
+            ra.union(&rb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(
+            sa.and_not(&sb).iter().collect::<Vec<_>>(),
+            ra.difference(&rb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(
+            sa.xor(&sb).iter().collect::<Vec<_>>(),
+            ra.symmetric_difference(&rb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(sa.intersection_len(&sb),
+                        ra.intersection(&rb).count() as u64);
+        prop_assert_eq!(sa.is_disjoint(&sb), ra.is_disjoint(&rb));
+        prop_assert_eq!(sa.is_subset(&sb), ra.is_subset(&rb));
+    }
+
+    #[test]
+    fn counting_consistent_with_materialised(a in value_vec(), b in value_vec()) {
+        let (sa, _) = to_pair(a);
+        let (sb, _) = to_pair(b);
+        prop_assert_eq!(sa.intersection_len(&sb), sa.and(&sb).len());
+        prop_assert_eq!(sa.union_len(&sb), sa.or(&sb).len());
+        prop_assert_eq!(sa.difference_len(&sb), sa.and_not(&sb).len());
+    }
+
+    #[test]
+    fn algebraic_identities(a in value_vec(), b in value_vec()) {
+        let (sa, _) = to_pair(a);
+        let (sb, _) = to_pair(b);
+        // Commutativity.
+        prop_assert_eq!(sa.and(&sb), sb.and(&sa));
+        prop_assert_eq!(sa.or(&sb), sb.or(&sa));
+        prop_assert_eq!(sa.xor(&sb), sb.xor(&sa));
+        // A = (A∧B) ∨ (A∧¬B).
+        prop_assert_eq!(sa.and(&sb).or(&sa.and_not(&sb)), sa.clone());
+        // XOR = (A∨B) ∧ ¬(A∧B).
+        prop_assert_eq!(sa.xor(&sb), sa.or(&sb).and_not(&sa.and(&sb)));
+        // Idempotence / annihilation.
+        prop_assert_eq!(sa.and(&sa), sa.clone());
+        prop_assert_eq!(sa.or(&sa), sa.clone());
+        prop_assert!(sa.xor(&sa).is_empty());
+    }
+
+    #[test]
+    fn insert_remove_agree_with_reference(values in value_vec(),
+                                          edits in proptest::collection::vec((any::<u32>(), any::<bool>()), 0..100)) {
+        let (mut set, mut reference) = to_pair(values);
+        for (v, insert) in edits {
+            if insert {
+                prop_assert_eq!(set.insert(v), reference.insert(v));
+            } else {
+                prop_assert_eq!(set.remove(v), reference.remove(&v));
+            }
+        }
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rank_select_consistency(values in value_vec()) {
+        let (set, reference) = to_pair(values);
+        let sorted: Vec<u32> = reference.iter().copied().collect();
+        for (n, &v) in sorted.iter().enumerate().take(50) {
+            prop_assert_eq!(set.select(n as u64), Some(v));
+            prop_assert_eq!(set.rank(v), n as u64 + 1);
+        }
+        prop_assert_eq!(set.select(set.len()), None);
+    }
+
+    #[test]
+    fn serialization_roundtrips(values in value_vec(), optimize in any::<bool>()) {
+        let (mut set, _) = to_pair(values);
+        if optimize {
+            set.run_optimize();
+        }
+        let back = Bitset::from_bytes(&set.to_bytes()).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    #[test]
+    fn deserializer_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must never panic; any error is acceptable.
+        let _ = Bitset::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn run_optimize_is_semantically_invisible(values in value_vec(), probe in any::<u32>()) {
+        let (mut set, reference) = to_pair(values);
+        let other: Bitset = reference.iter().map(|v| v ^ 1).collect();
+        let before_and = set.and(&other);
+        set.run_optimize();
+        prop_assert_eq!(set.len(), reference.len() as u64);
+        prop_assert_eq!(set.contains(probe), reference.contains(&probe));
+        prop_assert_eq!(set.and(&other), before_and);
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,226 @@
+//! Client-side query budgeting — the paper's ethics-section discipline.
+//!
+//! > "We also minimized the load placed on the ad platforms by limiting
+//! > both the count and rate of API queries we make."
+//!
+//! [`BudgetedSource`] wraps any [`EstimateSource`] and enforces exactly
+//! that: a hard cap on total estimate queries and a minimum spacing
+//! between consecutive queries. Experiments wrap their sources in it so
+//! the query accounting reported alongside results is enforced, not just
+//! observed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adcomp_targeting::{AttributeId, FeatureId, TargetingSpec};
+use parking_lot_lite::Mutex;
+
+use crate::source::{EstimateSource, SourceError};
+
+/// Minimal mutex shim so this crate does not grow a dependency for one
+/// lock (std's poisoning is irrelevant here: we recover the inner value).
+mod parking_lot_lite {
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+    }
+}
+
+/// Budget parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryBudget {
+    /// Maximum estimate queries allowed (`u64::MAX` = unlimited).
+    pub max_queries: u64,
+    /// Minimum spacing between consecutive queries (throttling).
+    pub min_interval: Duration,
+}
+
+impl QueryBudget {
+    /// Unlimited budget (accounting only).
+    pub fn unlimited() -> Self {
+        QueryBudget { max_queries: u64::MAX, min_interval: Duration::ZERO }
+    }
+
+    /// A capped budget with no throttling.
+    pub fn capped(max_queries: u64) -> Self {
+        QueryBudget { max_queries, min_interval: Duration::ZERO }
+    }
+}
+
+/// An [`EstimateSource`] wrapper enforcing a [`QueryBudget`].
+///
+/// Exceeding the cap yields `SourceError::Transport("query budget
+/// exhausted…")` so pipelines fail loudly instead of silently hammering
+/// the platform. Throttling sleeps the calling thread.
+pub struct BudgetedSource {
+    inner: Arc<dyn EstimateSource>,
+    budget: QueryBudget,
+    used: AtomicU64,
+    last: Mutex<Option<Instant>>,
+}
+
+impl BudgetedSource {
+    /// Wraps `inner` with `budget`.
+    pub fn new(inner: Arc<dyn EstimateSource>, budget: QueryBudget) -> Self {
+        BudgetedSource { inner, budget, used: AtomicU64::new(0), last: Mutex::new(None) }
+    }
+
+    /// Estimate queries spent so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Queries remaining before the cap.
+    pub fn remaining(&self) -> u64 {
+        self.budget.max_queries.saturating_sub(self.used())
+    }
+
+    fn admit(&self) -> Result<(), SourceError> {
+        // Reserve a slot; undoing on failure is unnecessary because a
+        // rejected query was still *attempted* load-wise.
+        let spent = self.used.fetch_add(1, Ordering::Relaxed);
+        if spent >= self.budget.max_queries {
+            return Err(SourceError::Transport(format!(
+                "query budget exhausted ({} queries)",
+                self.budget.max_queries
+            )));
+        }
+        if !self.budget.min_interval.is_zero() {
+            let mut last = self.last.lock();
+            if let Some(prev) = *last {
+                let elapsed = prev.elapsed();
+                if elapsed < self.budget.min_interval {
+                    std::thread::sleep(self.budget.min_interval - elapsed);
+                }
+            }
+            *last = Some(Instant::now());
+        }
+        Ok(())
+    }
+}
+
+impl EstimateSource for BudgetedSource {
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+
+    fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+        self.admit()?;
+        self.inner.estimate(spec)
+    }
+
+    fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
+        // Validation is free: it does not hit the estimate endpoint.
+        self.inner.check(spec)
+    }
+
+    fn catalog_len(&self) -> u32 {
+        self.inner.catalog_len()
+    }
+
+    fn attribute_name(&self, id: AttributeId) -> Option<String> {
+        self.inner.attribute_name(id)
+    }
+
+    fn attribute_feature(&self, id: AttributeId) -> Option<FeatureId> {
+        self.inner.attribute_feature(id)
+    }
+
+    fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
+        self.inner.can_compose(a, b)
+    }
+
+    fn supports_demographics(&self) -> bool {
+        self.inner.supports_demographics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::AuditTarget;
+    use adcomp_platform::{SimScale, Simulation};
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static Simulation {
+        static SIM: OnceLock<Simulation> = OnceLock::new();
+        SIM.get_or_init(|| Simulation::build(47, SimScale::Test))
+    }
+
+    #[test]
+    fn passes_through_until_cap_then_fails_loudly() {
+        let src = BudgetedSource::new(sim().linkedin.clone(), QueryBudget::capped(3));
+        let spec = TargetingSpec::everyone();
+        for _ in 0..3 {
+            assert!(src.estimate(&spec).is_ok());
+        }
+        let err = src.estimate(&spec).unwrap_err();
+        assert!(err.to_string().contains("budget exhausted"), "{err}");
+        assert_eq!(src.used(), 4, "rejected attempts are counted");
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn metadata_and_validation_are_free() {
+        let src = BudgetedSource::new(sim().linkedin.clone(), QueryBudget::capped(0));
+        assert!(src.catalog_len() > 0);
+        assert!(src.attribute_name(AttributeId(0)).is_some());
+        assert!(src.check(&TargetingSpec::and_of([AttributeId(0)])).is_ok());
+        assert!(src.supports_demographics());
+        // But estimates are blocked.
+        assert!(src.estimate(&TargetingSpec::everyone()).is_err());
+    }
+
+    #[test]
+    fn throttling_spaces_queries() {
+        let budget = QueryBudget {
+            max_queries: u64::MAX,
+            min_interval: Duration::from_millis(20),
+        };
+        let src = BudgetedSource::new(sim().linkedin.clone(), budget);
+        let spec = TargetingSpec::everyone();
+        let start = Instant::now();
+        for _ in 0..4 {
+            src.estimate(&spec).unwrap();
+        }
+        // 4 queries with 20 ms spacing → at least 60 ms total.
+        assert!(
+            start.elapsed() >= Duration::from_millis(60),
+            "elapsed {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn budgeted_source_drives_full_pipeline() {
+        // A whole survey fits in a generous budget and the count matches
+        // the expected 7·(catalog+1) queries.
+        let catalog = sim().linkedin.catalog().len() as u64;
+        let expected = 7 * (catalog + 1);
+        let src = Arc::new(BudgetedSource::new(
+            sim().linkedin.clone(),
+            QueryBudget::capped(expected),
+        ));
+        let target = AuditTarget::direct(src.clone());
+        let survey = crate::discovery::survey_individuals(&target).unwrap();
+        assert_eq!(survey.entries.len() as u64, catalog);
+        assert_eq!(src.used(), expected, "the survey's query count is predictable");
+    }
+
+    #[test]
+    fn unlimited_budget_never_blocks() {
+        let src = BudgetedSource::new(sim().linkedin.clone(), QueryBudget::unlimited());
+        for _ in 0..50 {
+            src.estimate(&TargetingSpec::everyone()).unwrap();
+        }
+        assert!(src.remaining() > 1_000_000);
+    }
+}

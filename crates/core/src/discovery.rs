@@ -1,0 +1,397 @@
+//! Targeting-set construction: individuals, random compositions, and the
+//! paper's greedy discovery of the most skewed compositions.
+//!
+//! The greedy method (§3, "Discovering the most skewed compositions"):
+//! rank individual attributes by representation ratio for the class under
+//! study, take the smallest prefix whose pairwise (triple-wise, …)
+//! combinations number at least `top_k` (46 individuals → 1 035 pairs for
+//! `top_k` = 1 000), randomly sample `top_k` combinations, and measure
+//! them. Niche targetings (reach below 10 000) are excluded. On Google,
+//! where only cross-feature ANDs have size statistics, combinations are
+//! restricted to composable pairs and the prefix is grown until enough
+//! composable combinations exist (footnote 9).
+
+use adcomp_targeting::{AttributeId, TargetingSpec};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{measure_spec, rep_ratio_of, SpecMeasurement};
+use crate::source::{AuditTarget, SensitiveClass, SourceError};
+
+/// Deterministic RNG used throughout the audit.
+pub type AuditRng = rand::rngs::StdRng;
+
+/// Whether a discovery looks for compositions skewed *toward* a class
+/// (high ratio; the paper's "Top") or *against* it (low ratio; "Bottom").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Most skewed toward the class ("Top k-way").
+    Toward,
+    /// Most skewed against the class ("Bottom k-way").
+    Against,
+}
+
+impl Direction {
+    /// Both directions, Top first.
+    pub const BOTH: [Direction; 2] = [Direction::Toward, Direction::Against];
+
+    /// Figure label prefix.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Toward => "Top",
+            Direction::Against => "Bottom",
+        }
+    }
+}
+
+/// A targeting together with its seven-estimate measurement.
+#[derive(Clone, Debug)]
+pub struct MeasuredTargeting {
+    /// The spec (targeting-interface ids).
+    pub spec: TargetingSpec,
+    /// The composed individual attributes (empty for non-compositional
+    /// specs).
+    pub attrs: Vec<AttributeId>,
+    /// The rounded measurements.
+    pub measurement: SpecMeasurement,
+}
+
+impl MeasuredTargeting {
+    /// Representation ratio for a class given the base measurement.
+    pub fn ratio(&self, base: &SpecMeasurement, class: SensitiveClass) -> Option<f64> {
+        rep_ratio_of(&self.measurement, base, class)
+    }
+}
+
+/// All individual attributes of a target, measured, plus the base
+/// population measurement `RA`.
+#[derive(Clone, Debug)]
+pub struct IndividualSurvey {
+    /// One measured targeting per catalog attribute (index = id).
+    pub entries: Vec<MeasuredTargeting>,
+    /// Measurement of [`TargetingSpec::everyone`] — the denominators of
+    /// Equation 1.
+    pub base: SpecMeasurement,
+}
+
+/// Measures every individual attribute on the target (7 estimates each,
+/// plus 7 for the base population) — the audit's most query-hungry step,
+/// matching the paper's per-platform crawls.
+pub fn survey_individuals(target: &AuditTarget) -> Result<IndividualSurvey, SourceError> {
+    let base = measure_spec(target, &TargetingSpec::everyone())?;
+    let mut entries = Vec::with_capacity(target.targeting.catalog_len() as usize);
+    for raw in 0..target.targeting.catalog_len() {
+        let id = AttributeId(raw);
+        let spec = TargetingSpec::and_of([id]);
+        let measurement = measure_spec(target, &spec)?;
+        entries.push(MeasuredTargeting { spec, attrs: vec![id], measurement });
+    }
+    Ok(IndividualSurvey { entries, base })
+}
+
+/// Discovery parameters (paper defaults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiscoveryConfig {
+    /// Number of compositions to discover (paper: 1 000).
+    pub top_k: usize,
+    /// Minimum total reach for a targeting to be considered (paper:
+    /// 10 000).
+    pub min_reach: u64,
+    /// Composition arity (paper: 2, and 3 for the restricted-interface
+    /// scaling experiment).
+    pub arity: usize,
+    /// RNG seed for the sampling steps.
+    pub seed: u64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig { top_k: 1_000, min_reach: 10_000, arity: 2, seed: 0x5EED }
+    }
+}
+
+/// Ranks eligible individuals most-skewed-first for `class`/`direction`.
+/// Eligible = reach ≥ `min_reach` and a defined ratio. Returns indices
+/// into `survey.entries`.
+pub fn rank_individuals(
+    survey: &IndividualSurvey,
+    class: SensitiveClass,
+    direction: Direction,
+    min_reach: u64,
+) -> Vec<usize> {
+    let mut ranked: Vec<(usize, f64)> = survey
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.measurement.total >= min_reach)
+        .filter_map(|(i, e)| e.ratio(&survey.base, class).map(|r| (i, r)))
+        .collect();
+    ranked.sort_by(|a, b| match direction {
+        Direction::Toward => b.1.partial_cmp(&a.1).expect("ratios are finite"),
+        Direction::Against => a.1.partial_cmp(&b.1).expect("ratios are finite"),
+    });
+    ranked.into_iter().map(|(i, _)| i).collect()
+}
+
+/// Composes `attrs` into an AND spec and measures it.
+pub fn compose_and_measure(
+    target: &AuditTarget,
+    attrs: &[AttributeId],
+) -> Result<MeasuredTargeting, SourceError> {
+    let spec = TargetingSpec::and_of(attrs.iter().copied());
+    let measurement = measure_spec(target, &spec)?;
+    Ok(MeasuredTargeting { spec, attrs: attrs.to_vec(), measurement })
+}
+
+/// All `arity`-subsets of `ids` whose members are pairwise composable on
+/// the target's interface.
+fn composable_subsets(
+    target: &AuditTarget,
+    ids: &[AttributeId],
+    arity: usize,
+) -> Vec<Vec<AttributeId>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<AttributeId> = Vec::with_capacity(arity);
+    fn recurse(
+        target: &AuditTarget,
+        ids: &[AttributeId],
+        start: usize,
+        arity: usize,
+        stack: &mut Vec<AttributeId>,
+        out: &mut Vec<Vec<AttributeId>>,
+    ) {
+        if stack.len() == arity {
+            out.push(stack.clone());
+            return;
+        }
+        for i in start..ids.len() {
+            let candidate = ids[i];
+            if stack.iter().all(|&prev| target.targeting.can_compose(prev, candidate)) {
+                stack.push(candidate);
+                recurse(target, ids, i + 1, arity, stack, out);
+                stack.pop();
+            }
+        }
+    }
+    recurse(target, ids, 0, arity, &mut stack, &mut out);
+    out
+}
+
+/// The paper's greedy discovery: combinations of the most skewed
+/// individuals, sampled down to `top_k`, measured, and filtered to
+/// `min_reach`. `ranked` is the most-skewed-first index list from
+/// [`rank_individuals`] (possibly with a prefix removed, for the removal
+/// experiment).
+pub fn top_compositions(
+    target: &AuditTarget,
+    survey: &IndividualSurvey,
+    ranked: &[usize],
+    cfg: &DiscoveryConfig,
+) -> Result<Vec<MeasuredTargeting>, SourceError> {
+    assert!(cfg.arity >= 2, "compositions need arity ≥ 2");
+    // Grow the prefix until enough composable combinations exist.
+    let mut m = cfg.arity;
+    let mut combos: Vec<Vec<AttributeId>> = Vec::new();
+    while m <= ranked.len() {
+        let prefix: Vec<AttributeId> =
+            ranked[..m].iter().map(|&i| survey.entries[i].attrs[0]).collect();
+        combos = composable_subsets(target, &prefix, cfg.arity);
+        if combos.len() >= cfg.top_k {
+            break;
+        }
+        m += 1;
+    }
+    // Sample down to top_k (paper: 1 000 of the 1 035 pairs).
+    let mut rng = AuditRng::seed_from_u64(cfg.seed);
+    combos.shuffle(&mut rng);
+    combos.truncate(cfg.top_k);
+
+    let mut out = Vec::with_capacity(combos.len());
+    for attrs in &combos {
+        let mt = compose_and_measure(target, attrs)?;
+        if mt.measurement.total >= cfg.min_reach {
+            out.push(mt);
+        }
+    }
+    Ok(out)
+}
+
+/// Random `arity`-way compositions over the whole catalog (the paper's
+/// "Random 2-way" set): distinct, composable, measured; reach-filtered.
+pub fn random_compositions(
+    target: &AuditTarget,
+    cfg: &DiscoveryConfig,
+) -> Result<Vec<MeasuredTargeting>, SourceError> {
+    let n = target.targeting.catalog_len();
+    assert!(n as usize >= cfg.arity, "catalog smaller than arity");
+    let mut rng = AuditRng::seed_from_u64(cfg.seed ^ 0x52A4D);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(cfg.top_k);
+    // Bounded attempts so a tiny/incomposable catalog cannot loop forever.
+    let max_attempts = cfg.top_k * 50;
+    let mut attempts = 0;
+    while out.len() < cfg.top_k && attempts < max_attempts {
+        attempts += 1;
+        let mut attrs: Vec<AttributeId> = Vec::with_capacity(cfg.arity);
+        while attrs.len() < cfg.arity {
+            let candidate = AttributeId(rng.gen_range(0..n));
+            if attrs.iter().all(|&prev| target.targeting.can_compose(prev, candidate)) {
+                attrs.push(candidate);
+            } else {
+                break;
+            }
+        }
+        if attrs.len() != cfg.arity {
+            continue;
+        }
+        attrs.sort_unstable();
+        if !seen.insert(attrs.clone()) {
+            continue;
+        }
+        let mt = compose_and_measure(target, &attrs)?;
+        if mt.measurement.total >= cfg.min_reach {
+            out.push(mt);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcomp_platform::{SimScale, Simulation};
+    use adcomp_population::Gender;
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static Simulation {
+        static SIM: OnceLock<Simulation> = OnceLock::new();
+        SIM.get_or_init(|| Simulation::build(41, SimScale::Test))
+    }
+
+    fn cfg(top_k: usize) -> DiscoveryConfig {
+        DiscoveryConfig { top_k, min_reach: 10_000, arity: 2, seed: 7 }
+    }
+
+    const MALE: SensitiveClass = SensitiveClass::Gender(Gender::Male);
+
+    #[test]
+    fn survey_measures_every_attribute() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let survey = survey_individuals(&target).unwrap();
+        assert_eq!(survey.entries.len() as u32, target.targeting.catalog_len());
+        assert!(survey.base.total > 0);
+        for e in &survey.entries {
+            assert_eq!(e.attrs.len(), 1);
+            assert!(e.measurement.total <= survey.base.total);
+        }
+    }
+
+    #[test]
+    fn ranking_is_monotone_and_eligible() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        assert!(!ranked.is_empty());
+        let ratios: Vec<f64> = ranked
+            .iter()
+            .map(|&i| survey.entries[i].ratio(&survey.base, MALE).unwrap())
+            .collect();
+        assert!(ratios.windows(2).all(|w| w[0] >= w[1]), "descending for Toward");
+        for &i in &ranked {
+            assert!(survey.entries[i].measurement.total >= 10_000);
+        }
+        let ranked_against = rank_individuals(&survey, MALE, Direction::Against, 10_000);
+        let r2: Vec<f64> = ranked_against
+            .iter()
+            .map(|&i| survey.entries[i].ratio(&survey.base, MALE).unwrap())
+            .collect();
+        assert!(r2.windows(2).all(|w| w[0] <= w[1]), "ascending for Against");
+    }
+
+    #[test]
+    fn top_compositions_beat_individuals_on_average() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let top = top_compositions(&target, &survey, &ranked, &cfg(60)).unwrap();
+        assert!(!top.is_empty());
+        let top_median = {
+            let mut r: Vec<f64> =
+                top.iter().filter_map(|t| t.ratio(&survey.base, MALE)).collect();
+            r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            r[r.len() / 2]
+        };
+        let individual_median = {
+            let mut r: Vec<f64> = ranked
+                .iter()
+                .map(|&i| survey.entries[i].ratio(&survey.base, MALE).unwrap())
+                .collect();
+            r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            r[r.len() / 2]
+        };
+        assert!(
+            top_median > individual_median,
+            "top compositions ({top_median:.2}) must out-skew individuals ({individual_median:.2})"
+        );
+        // All compositions have the configured arity and reach.
+        for t in &top {
+            assert_eq!(t.attrs.len(), 2);
+            assert!(t.measurement.total >= 10_000);
+        }
+    }
+
+    #[test]
+    fn google_compositions_are_cross_feature() {
+        let target = AuditTarget::for_platform(&sim().google, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let top = top_compositions(&target, &survey, &ranked, &cfg(40)).unwrap();
+        assert!(!top.is_empty(), "google must find composable pairs");
+        for t in &top {
+            let fa = target.targeting.attribute_feature(t.attrs[0]).unwrap();
+            let fb = target.targeting.attribute_feature(t.attrs[1]).unwrap();
+            assert_ne!(fa, fb, "google pairs must span features");
+        }
+    }
+
+    #[test]
+    fn random_compositions_are_distinct_and_valid() {
+        let target = AuditTarget::for_platform(&sim().facebook, sim());
+        let random = random_compositions(&target, &cfg(50)).unwrap();
+        assert!(random.len() >= 40, "got {}", random.len());
+        let mut seen = std::collections::HashSet::new();
+        for t in &random {
+            assert_eq!(t.attrs.len(), 2);
+            assert!(seen.insert(t.attrs.clone()), "duplicate pair {:?}", t.attrs);
+            assert!(t.measurement.total >= 10_000);
+            assert!(target.targeting.check(&t.spec).is_ok());
+        }
+    }
+
+    #[test]
+    fn discovery_is_deterministic_in_seed() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let a = top_compositions(&target, &survey, &ranked, &cfg(30)).unwrap();
+        let b = top_compositions(&target, &survey, &ranked, &cfg(30)).unwrap();
+        let pa: Vec<_> = a.iter().map(|t| t.attrs.clone()).collect();
+        let pb: Vec<_> = b.iter().map(|t| t.attrs.clone()).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn three_way_composition_on_restricted() {
+        let target = AuditTarget::for_platform(&sim().facebook_restricted, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let mut c = cfg(20);
+        c.arity = 3;
+        let top = top_compositions(&target, &survey, &ranked, &c).unwrap();
+        assert!(!top.is_empty());
+        for t in &top {
+            assert_eq!(t.attrs.len(), 3);
+            assert_eq!(t.spec.arity(), 3);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Figures 1, 2, 4: representation-ratio distributions per targeting set.
+//!
+//! For each interface and sensitive class, the paper plots the ratio
+//! distribution of several *sets of targetings*: every individual
+//! attribute, 1 000 random pairs, the greedily discovered most skewed
+//! pairs toward/against the class, and (Figure 1, gender) the 3-way
+//! analogues. Only targetings with total recall ≥ 10 000 are shown.
+
+use adcomp_platform::InterfaceKind;
+
+use crate::discovery::{
+    random_compositions, rank_individuals, top_compositions, Direction, DiscoveryConfig,
+    IndividualSurvey, MeasuredTargeting,
+};
+use crate::metrics::{FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW};
+use crate::source::{AuditTarget, SensitiveClass, SourceError};
+use crate::stats::{fraction_outside, BoxStats};
+
+use super::ExperimentContext;
+
+/// Which set of targetings a distribution row describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SetLabel {
+    /// Every individual catalog attribute.
+    Individual,
+    /// Random k-way compositions.
+    Random(usize),
+    /// Greedy most-skewed compositions toward the class.
+    Top(usize),
+    /// Greedy most-skewed compositions against the class.
+    Bottom(usize),
+}
+
+impl std::fmt::Display for SetLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetLabel::Individual => write!(f, "Individual"),
+            SetLabel::Random(k) => write!(f, "Random {k}-way"),
+            SetLabel::Top(k) => write!(f, "Top {k}-way"),
+            SetLabel::Bottom(k) => write!(f, "Bottom {k}-way"),
+        }
+    }
+}
+
+/// One box of a figure: the ratio distribution of one set for one class
+/// on one interface.
+#[derive(Clone, Debug)]
+pub struct DistributionRow {
+    /// Interface label.
+    pub target: String,
+    /// The set of targetings.
+    pub set: SetLabel,
+    /// The sensitive class the ratios are relative to.
+    pub class: SensitiveClass,
+    /// All ratios (reach-filtered).
+    pub ratios: Vec<f64>,
+    /// Box-plot summary.
+    pub stats: BoxStats,
+    /// Fraction outside the four-fifths band (the paper quotes this for
+    /// the skewed pair sets).
+    pub violating: f64,
+}
+
+impl DistributionRow {
+    fn build(
+        target: &AuditTarget,
+        set: SetLabel,
+        class: SensitiveClass,
+        ratios: Vec<f64>,
+    ) -> Option<DistributionRow> {
+        let stats = BoxStats::from_samples(&ratios)?;
+        Some(DistributionRow {
+            target: target.label(),
+            set,
+            class,
+            violating: fraction_outside(&ratios, FOUR_FIFTHS_LOW, FOUR_FIFTHS_HIGH),
+            ratios,
+            stats,
+        })
+    }
+
+    /// TSV row: `interface, set, class, violating,` then box stats.
+    pub fn tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{:.3}\t{}",
+            self.target,
+            self.set,
+            self.class,
+            self.violating,
+            self.stats.tsv()
+        )
+    }
+
+    /// Header for [`DistributionRow::tsv`].
+    pub fn tsv_header() -> String {
+        format!("interface\tset\tclass\tviolating\t{}", BoxStats::tsv_header())
+    }
+}
+
+fn ratios_of(
+    set: &[MeasuredTargeting],
+    survey: &IndividualSurvey,
+    class: SensitiveClass,
+    min_reach: u64,
+) -> Vec<f64> {
+    set.iter()
+        .filter(|t| t.measurement.total >= min_reach)
+        .filter_map(|t| t.ratio(&survey.base, class))
+        .collect()
+}
+
+/// Computes the distribution rows for one interface: Individual and
+/// Random k plus Top/Bottom for every requested class and arity.
+///
+/// `arities` typically is `[2]`; Figure 1 uses `[2, 3]` for gender on the
+/// restricted interface.
+pub fn distributions_for(
+    ctx: &ExperimentContext,
+    kind: InterfaceKind,
+    classes: &[SensitiveClass],
+    arities: &[usize],
+) -> Result<Vec<DistributionRow>, SourceError> {
+    let target = ctx.target(kind);
+    let survey = ctx.survey(kind)?;
+    let cfg = ctx.config.discovery;
+    let mut rows = Vec::new();
+
+    // Individual ratios per class.
+    for &class in classes {
+        let ratios: Vec<f64> = survey
+            .entries
+            .iter()
+            .filter(|e| e.measurement.total >= cfg.min_reach)
+            .filter_map(|e| e.ratio(&survey.base, class))
+            .collect();
+        rows.extend(DistributionRow::build(&target, SetLabel::Individual, class, ratios));
+    }
+
+    for &arity in arities {
+        let arity_cfg = DiscoveryConfig { arity, ..cfg };
+        // Random compositions are class-independent; measure once.
+        let random = random_compositions(&target, &arity_cfg)?;
+        for &class in classes {
+            let ratios = ratios_of(&random, survey, class, cfg.min_reach);
+            rows.extend(DistributionRow::build(&target, SetLabel::Random(arity), class, ratios));
+        }
+        // Top/Bottom per class.
+        for &class in classes {
+            for direction in Direction::BOTH {
+                let ranked = rank_individuals(survey, class, direction, cfg.min_reach);
+                let set = top_compositions(&target, survey, &ranked, &arity_cfg)?;
+                let ratios = ratios_of(&set, survey, class, cfg.min_reach);
+                let label = match direction {
+                    Direction::Toward => SetLabel::Top(arity),
+                    Direction::Against => SetLabel::Bottom(arity),
+                };
+                rows.extend(DistributionRow::build(&target, label, class, ratios));
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Figure 1: the restricted interface, males and ages 18–24, with 2-way
+/// and (for gender) 3-way compositions.
+pub fn figure1(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceError> {
+    use adcomp_population::{AgeBucket, Gender};
+    let mut rows = distributions_for(
+        ctx,
+        InterfaceKind::FacebookRestricted,
+        &[SensitiveClass::Gender(Gender::Male)],
+        &[2, 3],
+    )?;
+    rows.extend(distributions_for(
+        ctx,
+        InterfaceKind::FacebookRestricted,
+        &[SensitiveClass::Age(AgeBucket::A18_24)],
+        &[2],
+    )?);
+    Ok(rows)
+}
+
+/// Figure 2: all four interfaces, males and ages 18–24, 2-way sets.
+pub fn figure2(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceError> {
+    use adcomp_population::{AgeBucket, Gender};
+    let classes =
+        [SensitiveClass::Gender(Gender::Male), SensitiveClass::Age(AgeBucket::A18_24)];
+    let mut rows = Vec::new();
+    for kind in super::INTERFACE_ORDER {
+        rows.extend(distributions_for(ctx, kind, &classes, &[2])?);
+    }
+    Ok(rows)
+}
+
+/// Figure 4 (appendix): all four interfaces, the three older age ranges.
+pub fn figure4(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceError> {
+    use adcomp_population::AgeBucket;
+    let classes = [
+        SensitiveClass::Age(AgeBucket::A25_34),
+        SensitiveClass::Age(AgeBucket::A35_54),
+        SensitiveClass::Age(AgeBucket::A55Plus),
+    ];
+    let mut rows = Vec::new();
+    for kind in super::INTERFACE_ORDER {
+        rows.extend(distributions_for(ctx, kind, &classes, &[2])?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentConfig, ExperimentContext};
+    use adcomp_population::Gender;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::new(ExperimentConfig::test(60)))
+    }
+
+    #[test]
+    fn restricted_interface_compositions_amplify_skew() {
+        // The §4.1 headline: Top 2-way out-skews Individual, Top 3-way
+        // out-skews Top 2-way, on the sanitized interface.
+        let male = SensitiveClass::Gender(Gender::Male);
+        let rows = distributions_for(ctx(), InterfaceKind::FacebookRestricted, &[male], &[2, 3])
+            .unwrap();
+        let p90 = |set: SetLabel| {
+            rows.iter().find(|r| r.set == set && r.class == male).map(|r| r.stats.p90)
+        };
+        let individual = p90(SetLabel::Individual).unwrap();
+        let top2 = p90(SetLabel::Top(2)).unwrap();
+        let top3 = p90(SetLabel::Top(3)).unwrap();
+        assert!(top2 > individual, "top2 {top2:.2} vs individual {individual:.2}");
+        // At test scale one simulated user is thousands of platform users,
+        // so 3-way audiences are heavily quantised and their measured tail
+        // can dip below the 2-way tail; require it to at least stay in the
+        // same band and far above individuals. The strict top3 > top2
+        // ordering is asserted at paper scale (fig1 binary / EXPERIMENTS.md).
+        assert!(
+            top3 > individual * 1.5 && top3 > top2 * 0.6,
+            "top3 {top3:.2} vs top2 {top2:.2}, individual {individual:.2}"
+        );
+        let p10 = |set: SetLabel| {
+            rows.iter().find(|r| r.set == set && r.class == male).map(|r| r.stats.p10)
+        };
+        let bottom2 = p10(SetLabel::Bottom(2)).unwrap();
+        assert!(bottom2 < p10(SetLabel::Individual).unwrap());
+    }
+
+    #[test]
+    fn most_skewed_pairs_mostly_violate_four_fifths() {
+        // §4.3: "over 90 percent of these falling outside the thresholds".
+        let male = SensitiveClass::Gender(Gender::Male);
+        let rows =
+            distributions_for(ctx(), InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
+        for set in [SetLabel::Top(2), SetLabel::Bottom(2)] {
+            let row = rows.iter().find(|r| r.set == set).unwrap();
+            assert!(
+                row.violating > 0.8,
+                "{set}: only {:.0}% violating",
+                row.violating * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn tsv_rows_are_well_formed() {
+        let male = SensitiveClass::Gender(Gender::Male);
+        let rows =
+            distributions_for(ctx(), InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
+        let header_cols = DistributionRow::tsv_header().split('\t').count();
+        for r in &rows {
+            assert_eq!(r.tsv().split('\t').count(), header_cols);
+        }
+        assert!(rows.len() >= 4, "Individual + Random + Top + Bottom");
+    }
+}

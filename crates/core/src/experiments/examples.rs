@@ -1,0 +1,156 @@
+//! Tables 2 and 3: illustrative skewed compositions.
+//!
+//! The paper's appendix lists, per platform and favoured gender/age,
+//! example "Top 2-way" pairs where the composition's representation ratio
+//! far exceeds either component's — e.g. *Interests — Electrical
+//! engineering* (3.71) ∧ *Interests — Cars* (2.18) → 12.43. This driver
+//! re-derives such examples from the discovered compositions.
+
+use adcomp_platform::InterfaceKind;
+use adcomp_population::{AgeBucket, Gender};
+
+use crate::discovery::{rank_individuals, top_compositions, Direction};
+use crate::source::{SensitiveClass, SourceError};
+
+use super::ExperimentContext;
+
+/// One example row of Tables 2/3.
+#[derive(Clone, Debug)]
+pub struct ExampleRow {
+    /// Interface label.
+    pub target: String,
+    /// The favoured class.
+    pub class: SensitiveClass,
+    /// Name of the first composed attribute.
+    pub name1: String,
+    /// Name of the second composed attribute.
+    pub name2: String,
+    /// Individual ratio of the first attribute.
+    pub ratio1: f64,
+    /// Individual ratio of the second attribute.
+    pub ratio2: f64,
+    /// Ratio of the composition.
+    pub combined: f64,
+}
+
+impl ExampleRow {
+    /// Amplification factor over the stronger component.
+    pub fn amplification(&self) -> f64 {
+        self.combined / self.ratio1.max(self.ratio2)
+    }
+
+    /// TSV row.
+    pub fn tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
+            self.target, self.class, self.name1, self.name2, self.ratio1, self.ratio2,
+            self.combined
+        )
+    }
+
+    /// TSV header.
+    pub fn tsv_header() -> &'static str {
+        "interface\tclass\ttargeting1\ttargeting2\tr1\tr2\tr_combined"
+    }
+}
+
+/// Finds up to `limit` illustrative examples for one class on one
+/// interface: compositions whose ratio exceeds both components', ordered
+/// by combined ratio.
+pub fn examples_for(
+    ctx: &ExperimentContext,
+    kind: InterfaceKind,
+    class: SensitiveClass,
+    limit: usize,
+) -> Result<Vec<ExampleRow>, SourceError> {
+    let target = ctx.target(kind);
+    let survey = ctx.survey(kind)?;
+    let cfg = ctx.config.discovery;
+    let ranked = rank_individuals(survey, class, Direction::Toward, cfg.min_reach);
+    let compositions = top_compositions(&target, survey, &ranked, &cfg)?;
+
+    let mut rows: Vec<ExampleRow> = compositions
+        .iter()
+        .filter_map(|c| {
+            let combined = c.ratio(&survey.base, class)?;
+            let e1 = &survey.entries[c.attrs[0].0 as usize];
+            let e2 = &survey.entries[c.attrs[1].0 as usize];
+            let ratio1 = e1.ratio(&survey.base, class)?;
+            let ratio2 = e2.ratio(&survey.base, class)?;
+            if combined <= ratio1.max(ratio2) {
+                return None; // not an amplification example
+            }
+            Some(ExampleRow {
+                target: target.label(),
+                class,
+                name1: target.targeting.attribute_name(c.attrs[0])?,
+                name2: target.targeting.attribute_name(c.attrs[1])?,
+                ratio1,
+                ratio2,
+                combined,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.combined.partial_cmp(&a.combined).expect("finite"));
+    rows.truncate(limit);
+    Ok(rows)
+}
+
+/// Table 2: gender examples (male and female) on every interface.
+pub fn table2(ctx: &ExperimentContext, per_cell: usize) -> Result<Vec<ExampleRow>, SourceError> {
+    let mut rows = Vec::new();
+    for kind in super::INTERFACE_ORDER {
+        for gender in Gender::ALL {
+            rows.extend(examples_for(ctx, kind, SensitiveClass::Gender(gender), per_cell)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Table 3: age examples (18–24 and 55+) on every interface.
+pub fn table3(ctx: &ExperimentContext, per_cell: usize) -> Result<Vec<ExampleRow>, SourceError> {
+    let mut rows = Vec::new();
+    for kind in super::INTERFACE_ORDER {
+        for age in [AgeBucket::A18_24, AgeBucket::A55Plus] {
+            rows.extend(examples_for(ctx, kind, SensitiveClass::Age(age), per_cell)?);
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentConfig, ExperimentContext};
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::new(ExperimentConfig::test(64)))
+    }
+
+    #[test]
+    fn examples_show_amplification() {
+        let male = SensitiveClass::Gender(Gender::Male);
+        let rows = examples_for(ctx(), InterfaceKind::LinkedIn, male, 5).unwrap();
+        assert!(!rows.is_empty(), "amplifying pairs must exist");
+        for r in &rows {
+            assert!(r.combined > r.ratio1.max(r.ratio2), "{r:?}");
+            assert!(r.amplification() > 1.0);
+            assert!(r.name1.contains(" — ") && r.name2.contains(" — "));
+        }
+        // Ordered by combined ratio.
+        let combined: Vec<f64> = rows.iter().map(|r| r.combined).collect();
+        assert!(combined.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn tsv_shape() {
+        let male = SensitiveClass::Gender(Gender::Male);
+        let rows = examples_for(ctx(), InterfaceKind::LinkedIn, male, 3).unwrap();
+        let cols = ExampleRow::tsv_header().split('\t').count();
+        for r in &rows {
+            assert_eq!(r.tsv().split('\t').count(), cols);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! §3 methodology checks: estimate consistency and granularity.
+//!
+//! Runs the paper's pre-study against each simulated interface and
+//! renders what §3 reports: that estimates are consistent under repeated
+//! queries, and each platform's significant-digit ladder and reporting
+//! floor.
+
+use adcomp_platform::InterfaceKind;
+
+use crate::probe::{consistency_probe, granularity_probe, ConsistencyReport, GranularityReport};
+use crate::source::SourceError;
+
+use super::ExperimentContext;
+
+/// Probe sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeConfig {
+    /// Random individual options per platform (paper: 20).
+    pub individual_specs: usize,
+    /// Random compositions per platform (paper: 20).
+    pub composed_specs: usize,
+    /// Back-to-back repeats per spec (paper: 100).
+    pub repeats: usize,
+    /// Queries for the granularity study (paper: >80 000 per platform).
+    pub granularity_queries: usize,
+}
+
+impl ProbeConfig {
+    /// The paper's settings.
+    pub fn paper() -> Self {
+        ProbeConfig {
+            individual_specs: 20,
+            composed_specs: 20,
+            repeats: 100,
+            granularity_queries: 80_000,
+        }
+    }
+
+    /// Scaled-down settings for tests.
+    pub fn test() -> Self {
+        ProbeConfig {
+            individual_specs: 5,
+            composed_specs: 5,
+            repeats: 10,
+            granularity_queries: 500,
+        }
+    }
+}
+
+/// One interface's methodology report.
+#[derive(Clone, Debug)]
+pub struct MethodologyRow {
+    /// Interface label.
+    pub target: String,
+    /// Consistency probe result.
+    pub consistency: ConsistencyReport,
+    /// Granularity probe result.
+    pub granularity: GranularityReport,
+}
+
+impl MethodologyRow {
+    /// Human summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: consistent={} ({} specs × {} repeats), sig-digits≤{}, floor={}",
+            self.target,
+            self.consistency.is_consistent(),
+            self.consistency.specs,
+            self.consistency.repeats,
+            self.granularity.max_significant_digits(),
+            self.granularity.min_nonzero.map_or("-".into(), |v| v.to_string()),
+        )
+    }
+}
+
+/// Runs both probes on every interface.
+pub fn methodology(
+    ctx: &ExperimentContext,
+    cfg: &ProbeConfig,
+) -> Result<Vec<MethodologyRow>, SourceError> {
+    let mut rows = Vec::new();
+    for kind in super::INTERFACE_ORDER {
+        let target = ctx.target(kind);
+        let consistency = consistency_probe(
+            &target,
+            ctx.config.seed ^ 0xC0,
+            cfg.individual_specs,
+            cfg.composed_specs,
+            cfg.repeats,
+        )?;
+        let granularity =
+            granularity_probe(&target, ctx.config.seed ^ 0x9A, cfg.granularity_queries)?;
+        rows.push(MethodologyRow { target: target.label(), consistency, granularity });
+    }
+    let _ = InterfaceKind::FacebookNormal; // imported for doc clarity
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentConfig, ExperimentContext};
+
+    #[test]
+    fn methodology_reports_consistency_and_ladders() {
+        let ctx = ExperimentContext::new(ExperimentConfig::test(65));
+        let rows = methodology(&ctx, &ProbeConfig::test()).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.consistency.is_consistent(), "{}", r.target);
+            assert!(r.granularity.max_significant_digits() <= 2);
+            assert!(r.summary().contains("consistent=true"));
+        }
+        // Facebook's floor is 1000; LinkedIn's 300 (when observed).
+        let fb = rows.iter().find(|r| r.target == "Facebook").unwrap();
+        if let Some(min) = fb.granularity.min_nonzero {
+            assert!(min >= 1_000);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Experiment drivers: one module per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`distributions`] | Figures 1, 2, 4 — representation-ratio box plots per targeting set |
+//! | [`recall_exp`] | Figure 5 — recall distributions of skewed targetings |
+//! | [`removal_exp`] | Figures 3, 6 — removal of skewed individual targetings |
+//! | [`table1`] | Table 1 — overlaps and top-1/top-10 union recalls |
+//! | [`examples`] | Tables 2, 3 — illustrative skewed compositions |
+//! | [`methodology`] | §3 — estimate consistency and granularity probes |
+//! | [`report`] | Markdown rendering of a full reproduction run |
+//! | [`lookalike_exp`] | Extension: lookalike / Special-Ad-Audience skew |
+//!
+//! All drivers share an [`ExperimentContext`] that owns the simulated
+//! platforms and caches the per-interface individual surveys (the audit's
+//! most expensive step, shared by every experiment exactly as the paper's
+//! crawl data was).
+
+pub mod distributions;
+pub mod examples;
+pub mod lookalike_exp;
+pub mod methodology;
+pub mod recall_exp;
+pub mod removal_exp;
+pub mod report;
+pub mod table1;
+
+use std::sync::OnceLock;
+
+use adcomp_platform::{InterfaceKind, SimScale, Simulation};
+
+use crate::discovery::{survey_individuals, DiscoveryConfig, IndividualSurvey};
+use crate::source::{AuditTarget, SourceError};
+
+/// Experiment-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Simulation size.
+    pub scale: SimScale,
+    /// Discovery parameters (top-k, reach floor, sampling seed).
+    pub discovery: DiscoveryConfig,
+}
+
+impl ExperimentConfig {
+    /// Paper-scale configuration (full catalogs, top-1000 discovery).
+    pub fn paper(seed: u64) -> Self {
+        ExperimentConfig { seed, scale: SimScale::Paper, discovery: DiscoveryConfig::default() }
+    }
+
+    /// Fast configuration for tests and examples.
+    pub fn test(seed: u64) -> Self {
+        ExperimentConfig {
+            seed,
+            scale: SimScale::Test,
+            discovery: DiscoveryConfig { top_k: 60, ..DiscoveryConfig::default() },
+        }
+    }
+}
+
+/// Owns the simulation and caches per-interface surveys.
+pub struct ExperimentContext {
+    /// The simulated platforms.
+    pub simulation: Simulation,
+    /// Global configuration.
+    pub config: ExperimentConfig,
+    surveys: [OnceLock<IndividualSurvey>; 4],
+}
+
+/// The paper's presentation order of interfaces.
+pub const INTERFACE_ORDER: [InterfaceKind; 4] = [
+    InterfaceKind::FacebookRestricted,
+    InterfaceKind::FacebookNormal,
+    InterfaceKind::GoogleDisplay,
+    InterfaceKind::LinkedIn,
+];
+
+fn interface_index(kind: InterfaceKind) -> usize {
+    INTERFACE_ORDER.iter().position(|k| *k == kind).expect("known interface")
+}
+
+impl ExperimentContext {
+    /// Builds the simulation for `config`.
+    pub fn new(config: ExperimentConfig) -> ExperimentContext {
+        ExperimentContext {
+            simulation: Simulation::build(config.seed, config.scale),
+            config,
+            surveys: Default::default(),
+        }
+    }
+
+    /// The audit target for an interface (restricted measures via its
+    /// parent automatically).
+    pub fn target(&self, kind: InterfaceKind) -> AuditTarget {
+        let platform = match kind {
+            InterfaceKind::FacebookNormal => &self.simulation.facebook,
+            InterfaceKind::FacebookRestricted => &self.simulation.facebook_restricted,
+            InterfaceKind::GoogleDisplay => &self.simulation.google,
+            InterfaceKind::LinkedIn => &self.simulation.linkedin,
+        };
+        AuditTarget::for_platform(platform, &self.simulation)
+    }
+
+    /// The cached individual survey of an interface (computed on first
+    /// use; every experiment shares it).
+    pub fn survey(&self, kind: InterfaceKind) -> Result<&IndividualSurvey, SourceError> {
+        let slot = &self.surveys[interface_index(kind)];
+        if let Some(s) = slot.get() {
+            return Ok(s);
+        }
+        let survey = survey_individuals(&self.target(kind))?;
+        let _ = slot.set(survey);
+        Ok(slot.get().expect("just set"))
+    }
+}
+
+/// Formats a count the way the paper does ("6.1M", "570K", "46K").
+pub fn fmt_count(value: u64) -> String {
+    if value >= 1_000_000_000 {
+        format!("{:.1}B", value as f64 / 1e9)
+    } else if value >= 1_000_000 {
+        format!("{:.1}M", value as f64 / 1e6)
+    } else if value >= 1_000 {
+        format!("{:.0}K", value as f64 / 1e3)
+    } else {
+        value.to_string()
+    }
+}
+
+/// Formats a recall with its percentage of the population ("6.1M (5.1%)").
+pub fn fmt_recall(recall: u64, population: u64) -> String {
+    if population == 0 {
+        return fmt_count(recall);
+    }
+    format!("{} ({:.1}%)", fmt_count(recall), 100.0 * recall as f64 / population as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_count_units() {
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(46_000), "46K");
+        assert_eq!(fmt_count(1_100_000), "1.1M");
+        assert_eq!(fmt_count(2_400_000_000), "2.4B");
+    }
+
+    #[test]
+    fn fmt_recall_with_population() {
+        assert_eq!(fmt_recall(6_100_000, 120_000_000), "6.1M (5.1%)");
+        assert_eq!(fmt_recall(10, 0), "10");
+    }
+
+    #[test]
+    fn context_builds_and_caches_surveys() {
+        let ctx = ExperimentContext::new(ExperimentConfig::test(50));
+        let s1 = ctx.survey(InterfaceKind::LinkedIn).unwrap();
+        let n1 = s1.entries.len();
+        // Second call must be the cached instance (same address).
+        let s2 = ctx.survey(InterfaceKind::LinkedIn).unwrap();
+        assert!(std::ptr::eq(s1, s2));
+        assert_eq!(n1, s2.entries.len());
+    }
+
+    #[test]
+    fn interface_order_matches_paper() {
+        assert_eq!(INTERFACE_ORDER[0].label(), "FB-restricted");
+        assert_eq!(INTERFACE_ORDER[1].label(), "Facebook");
+        assert_eq!(INTERFACE_ORDER[2].label(), "Google");
+        assert_eq!(INTERFACE_ORDER[3].label(), "LinkedIn");
+    }
+}

@@ -1,0 +1,274 @@
+//! Figure 5: recall distributions of skewed targetings.
+//!
+//! For each sensitive class the paper plots the recall (count of the
+//! class reached) of: all individual targetings (reference), the skewed
+//! individual targetings, and the skewed Top/Bottom 2-way compositions —
+//! where "skewed" means outside the four-fifths band in the studied
+//! direction. For Bottom sets (which *exclude* the class) recall is the
+//! complement count, per the paper's definition of recall for excluding
+//! targetings. The total size of the sensitive population is reported for
+//! reference.
+
+use adcomp_platform::InterfaceKind;
+
+use crate::discovery::{
+    rank_individuals, top_compositions, Direction, MeasuredTargeting,
+};
+use crate::metrics::{four_fifths_band, SkewBand};
+use crate::source::{SensitiveClass, SourceError};
+use crate::stats::BoxStats;
+
+use super::ExperimentContext;
+
+/// Which recall set a row describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecallSet {
+    /// Every individual targeting (reference distribution).
+    AllIndividual,
+    /// Individual targetings skewed toward the class (ratio > 1.25).
+    SkewedIndividual,
+    /// Top 2-way compositions skewed toward the class.
+    TopPairs,
+    /// Bottom 2-way compositions skewed against the class (recall of the
+    /// complement population).
+    BottomPairs,
+}
+
+impl std::fmt::Display for RecallSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecallSet::AllIndividual => "Individual (all)",
+            RecallSet::SkewedIndividual => "Individual (skewed)",
+            RecallSet::TopPairs => "Top 2-way",
+            RecallSet::BottomPairs => "Bottom 2-way",
+        })
+    }
+}
+
+/// One recall distribution.
+#[derive(Clone, Debug)]
+pub struct RecallRow {
+    /// Interface label.
+    pub target: String,
+    /// The set of targetings.
+    pub set: RecallSet,
+    /// The sensitive class whose recall is measured.
+    pub class: SensitiveClass,
+    /// Whether recall counts the class itself (`true`) or its complement
+    /// (`false`, for excluding targetings).
+    pub including: bool,
+    /// The recalls (one per targeting).
+    pub recalls: Vec<u64>,
+    /// Box-plot summary of the recalls.
+    pub stats: BoxStats,
+    /// Total size of the sensitive population on the platform.
+    pub population: u64,
+}
+
+impl RecallRow {
+    fn build(
+        target: String,
+        set: RecallSet,
+        class: SensitiveClass,
+        including: bool,
+        recalls: Vec<u64>,
+        population: u64,
+    ) -> Option<RecallRow> {
+        let as_f: Vec<f64> = recalls.iter().map(|&r| r as f64).collect();
+        let stats = BoxStats::from_samples(&as_f)?;
+        Some(RecallRow { target, set, class, including, recalls, stats, population })
+    }
+
+    /// Median recall with the percentage of the population (the numbers
+    /// §4.3 quotes, e.g. "570K (0.47%)").
+    pub fn median_summary(&self) -> String {
+        super::fmt_recall(self.stats.median.round() as u64, self.population)
+    }
+
+    /// TSV row.
+    pub fn tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            self.target,
+            self.set,
+            self.class,
+            if self.including { "include" } else { "exclude" },
+            self.population,
+            self.stats.tsv()
+        )
+    }
+
+    /// TSV header.
+    pub fn tsv_header() -> String {
+        format!("interface\tset\tclass\tmode\tpopulation\t{}", BoxStats::tsv_header())
+    }
+}
+
+fn recalls_including(set: &[&MeasuredTargeting], class: SensitiveClass) -> Vec<u64> {
+    set.iter().map(|t| t.measurement.class_count(class)).collect()
+}
+
+fn recalls_excluding(set: &[&MeasuredTargeting], class: SensitiveClass) -> Vec<u64> {
+    set.iter().map(|t| t.measurement.complement_count(class)).collect()
+}
+
+/// Recall rows for one interface and class.
+pub fn recall_for(
+    ctx: &ExperimentContext,
+    kind: InterfaceKind,
+    class: SensitiveClass,
+) -> Result<Vec<RecallRow>, SourceError> {
+    let target = ctx.target(kind);
+    let survey = ctx.survey(kind)?;
+    let cfg = ctx.config.discovery;
+    let label = target.label();
+    let population = survey.base.class_count(class);
+    let mut rows = Vec::new();
+
+    let eligible: Vec<&MeasuredTargeting> = survey
+        .entries
+        .iter()
+        .filter(|e| e.measurement.total >= cfg.min_reach)
+        .collect();
+    rows.extend(RecallRow::build(
+        label.clone(),
+        RecallSet::AllIndividual,
+        class,
+        true,
+        recalls_including(&eligible, class),
+        population,
+    ));
+
+    let skewed: Vec<&MeasuredTargeting> = eligible
+        .iter()
+        .copied()
+        .filter(|e| {
+            e.ratio(&survey.base, class)
+                .is_some_and(|r| four_fifths_band(r) == SkewBand::Over)
+        })
+        .collect();
+    rows.extend(RecallRow::build(
+        label.clone(),
+        RecallSet::SkewedIndividual,
+        class,
+        true,
+        recalls_including(&skewed, class),
+        population,
+    ));
+
+    // Top pairs skewed toward the class.
+    let ranked = rank_individuals(survey, class, Direction::Toward, cfg.min_reach);
+    let top = top_compositions(&target, survey, &ranked, &cfg)?;
+    let top_skewed: Vec<&MeasuredTargeting> = top
+        .iter()
+        .filter(|t| {
+            t.ratio(&survey.base, class)
+                .is_some_and(|r| four_fifths_band(r) == SkewBand::Over)
+        })
+        .collect();
+    rows.extend(RecallRow::build(
+        label.clone(),
+        RecallSet::TopPairs,
+        class,
+        true,
+        recalls_including(&top_skewed, class),
+        population,
+    ));
+
+    // Bottom pairs skewed against the class: recall of the complement.
+    let ranked = rank_individuals(survey, class, Direction::Against, cfg.min_reach);
+    let bottom = top_compositions(&target, survey, &ranked, &cfg)?;
+    let bottom_skewed: Vec<&MeasuredTargeting> = bottom
+        .iter()
+        .filter(|t| {
+            t.ratio(&survey.base, class)
+                .is_some_and(|r| four_fifths_band(r) == SkewBand::Under)
+        })
+        .collect();
+    let complement_population =
+        survey.base.complement_count(class);
+    rows.extend(RecallRow::build(
+        label,
+        RecallSet::BottomPairs,
+        class,
+        false,
+        recalls_excluding(&bottom_skewed, class),
+        complement_population,
+    ));
+
+    Ok(rows)
+}
+
+/// Figure 5: every interface × every class.
+pub fn figure5(ctx: &ExperimentContext) -> Result<Vec<RecallRow>, SourceError> {
+    let mut rows = Vec::new();
+    for kind in super::INTERFACE_ORDER {
+        for class in SensitiveClass::ALL {
+            rows.extend(recall_for(ctx, kind, class)?);
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentConfig, ExperimentContext};
+    use adcomp_population::Gender;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::new(ExperimentConfig::test(61)))
+    }
+
+    const FEMALE: SensitiveClass = SensitiveClass::Gender(Gender::Female);
+
+    #[test]
+    fn pairs_have_lower_median_recall_than_individuals() {
+        // §4.3: "targeting compositions tend to achieve lower recalls than
+        // individual targeting options".
+        let rows = recall_for(ctx(), InterfaceKind::FacebookNormal, FEMALE).unwrap();
+        let median = |set: RecallSet| {
+            rows.iter().find(|r| r.set == set).map(|r| r.stats.median)
+        };
+        let all = median(RecallSet::AllIndividual).unwrap();
+        if let Some(top) = median(RecallSet::TopPairs) {
+            assert!(top < all, "top pairs {top} vs individuals {all}");
+        }
+    }
+
+    #[test]
+    fn recalls_are_niche_fractions_of_population() {
+        // Median recall is a small percentage of the sensitive population.
+        let rows = recall_for(ctx(), InterfaceKind::FacebookNormal, FEMALE).unwrap();
+        let top = rows.iter().find(|r| r.set == RecallSet::TopPairs);
+        if let Some(top) = top {
+            assert!(top.population > 0);
+            let frac = top.stats.median / top.population as f64;
+            assert!(frac < 0.5, "recall fraction {frac} should be niche");
+            assert!(top.median_summary().contains('%'));
+        }
+    }
+
+    #[test]
+    fn bottom_rows_use_complement_population() {
+        let rows = recall_for(ctx(), InterfaceKind::LinkedIn, FEMALE).unwrap();
+        let all = rows.iter().find(|r| r.set == RecallSet::AllIndividual).unwrap();
+        if let Some(bottom) = rows.iter().find(|r| r.set == RecallSet::BottomPairs) {
+            assert!(!bottom.including);
+            // Complement population differs from the class population in a
+            // gender-skewed universe.
+            assert_ne!(bottom.population, all.population);
+        }
+    }
+
+    #[test]
+    fn tsv_shape() {
+        let rows = recall_for(ctx(), InterfaceKind::LinkedIn, FEMALE).unwrap();
+        let cols = RecallRow::tsv_header().split('\t').count();
+        for r in &rows {
+            assert_eq!(r.tsv().split('\t').count(), cols);
+        }
+    }
+}

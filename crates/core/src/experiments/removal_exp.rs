@@ -1,0 +1,135 @@
+//! Figures 3 and 6: the removal sweep across interfaces.
+
+use adcomp_population::{AgeBucket, Gender};
+
+use crate::discovery::Direction;
+use crate::removal::{removal_sweep, RemovalSweep};
+use crate::source::{SensitiveClass, SourceError};
+
+use super::ExperimentContext;
+
+/// Paper parameters: steps of 2 percentile up to 10.
+pub const STEP_PERCENTILE: f64 = 2.0;
+/// Upper end of the sweep.
+pub const MAX_PERCENTILE: f64 = 10.0;
+
+/// Runs the sweep for one class and direction on every interface.
+pub fn sweep_all_interfaces(
+    ctx: &ExperimentContext,
+    class: SensitiveClass,
+    direction: Direction,
+) -> Result<Vec<RemovalSweep>, SourceError> {
+    let mut sweeps = Vec::new();
+    for kind in super::INTERFACE_ORDER {
+        let target = ctx.target(kind);
+        let survey = ctx.survey(kind)?;
+        sweeps.push(removal_sweep(
+            &target,
+            survey,
+            class,
+            direction,
+            &ctx.config.discovery,
+            STEP_PERCENTILE,
+            MAX_PERCENTILE,
+        )?);
+    }
+    Ok(sweeps)
+}
+
+/// Figure 3: Top and Bottom 2-way sweeps for males.
+pub fn figure3(ctx: &ExperimentContext) -> Result<Vec<RemovalSweep>, SourceError> {
+    let male = SensitiveClass::Gender(Gender::Male);
+    let mut out = sweep_all_interfaces(ctx, male, Direction::Toward)?;
+    out.extend(sweep_all_interfaces(ctx, male, Direction::Against)?);
+    Ok(out)
+}
+
+/// Figure 6 (appendix): Top 2-way sweeps for the four age ranges plus the
+/// Bottom sweep for 55+ (the panels the paper shows).
+pub fn figure6(ctx: &ExperimentContext) -> Result<Vec<RemovalSweep>, SourceError> {
+    let mut out = Vec::new();
+    for age in AgeBucket::ALL {
+        out.extend(sweep_all_interfaces(ctx, SensitiveClass::Age(age), Direction::Toward)?);
+    }
+    out.extend(sweep_all_interfaces(
+        ctx,
+        SensitiveClass::Age(AgeBucket::A55Plus),
+        Direction::Against,
+    )?);
+    Ok(out)
+}
+
+/// TSV rendering of sweeps (one row per point).
+pub fn sweeps_tsv(sweeps: &[RemovalSweep]) -> String {
+    let mut out = String::from(
+        "interface\tclass\tdirection\tremoved_pct\tremoved_count\ttail_ratio\textreme_ratio\tn\n",
+    );
+    for s in sweeps {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\n",
+                s.target,
+                s.class,
+                s.direction.label(),
+                p.removed_percentile,
+                p.removed_count,
+                p.tail_ratio,
+                p.extreme_ratio,
+                p.compositions
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentConfig, ExperimentContext};
+    use adcomp_platform::InterfaceKind;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::new(ExperimentConfig::test(62)))
+    }
+
+    #[test]
+    fn single_interface_sweep_still_violates_after_removal() {
+        // The paper's key conclusion: removing the top decile of skewed
+        // individuals leaves compositions outside the four-fifths band.
+        let male = SensitiveClass::Gender(Gender::Male);
+        let target = ctx().target(InterfaceKind::FacebookRestricted);
+        let survey = ctx().survey(InterfaceKind::FacebookRestricted).unwrap();
+        let sweep = removal_sweep(
+            &target,
+            survey,
+            male,
+            Direction::Toward,
+            &ctx().config.discovery,
+            5.0,
+            10.0,
+        )
+        .unwrap();
+        assert!(sweep.still_violating_after_removal(), "sweep: {:?}", sweep.points);
+    }
+
+    #[test]
+    fn tsv_has_row_per_point() {
+        let male = SensitiveClass::Gender(Gender::Male);
+        let target = ctx().target(InterfaceKind::LinkedIn);
+        let survey = ctx().survey(InterfaceKind::LinkedIn).unwrap();
+        let sweep = removal_sweep(
+            &target,
+            survey,
+            male,
+            Direction::Toward,
+            &ctx().config.discovery,
+            5.0,
+            10.0,
+        )
+        .unwrap();
+        let tsv = sweeps_tsv(std::slice::from_ref(&sweep));
+        assert_eq!(tsv.lines().count(), 1 + sweep.points.len());
+    }
+}

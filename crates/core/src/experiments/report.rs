@@ -1,0 +1,209 @@
+//! Markdown report generation: one self-contained document summarising a
+//! full reproduction run (the `all` binary writes it to
+//! `results/report.md`).
+
+use crate::experiments::distributions::DistributionRow;
+use crate::experiments::examples::ExampleRow;
+use crate::experiments::lookalike_exp::LookalikeRow;
+use crate::experiments::methodology::MethodologyRow;
+use crate::experiments::recall_exp::RecallRow;
+use crate::experiments::table1::Table1Cell;
+use crate::removal::RemovalSweep;
+
+/// Accumulates sections and renders the final document.
+#[derive(Default)]
+pub struct ReportBuilder {
+    sections: Vec<String>,
+}
+
+impl ReportBuilder {
+    /// An empty report.
+    pub fn new() -> Self {
+        ReportBuilder::default()
+    }
+
+    /// Adds the figure-style ratio distributions as a table.
+    pub fn distributions(&mut self, title: &str, rows: &[DistributionRow]) -> &mut Self {
+        let mut s = format!("## {title}\n\n");
+        s.push_str("| interface | set | class | n | p10 | median | p90 | % outside 4/5 band |\n");
+        s.push_str("|---|---|---|---|---|---|---|---|\n");
+        for r in rows {
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.0}% |\n",
+                r.target,
+                r.set,
+                r.class,
+                r.stats.n,
+                r.stats.p10,
+                r.stats.median,
+                r.stats.p90,
+                r.violating * 100.0
+            ));
+        }
+        self.sections.push(s);
+        self
+    }
+
+    /// Adds recall rows.
+    pub fn recalls(&mut self, title: &str, rows: &[RecallRow]) -> &mut Self {
+        let mut s = format!("## {title}\n\n");
+        s.push_str("| interface | set | class | mode | median recall | population |\n");
+        s.push_str("|---|---|---|---|---|---|\n");
+        for r in rows {
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                r.target,
+                r.set,
+                r.class,
+                if r.including { "include" } else { "exclude" },
+                r.median_summary(),
+                crate::experiments::fmt_count(r.population)
+            ));
+        }
+        self.sections.push(s);
+        self
+    }
+
+    /// Adds removal sweeps (first and last point per sweep).
+    pub fn removal(&mut self, title: &str, sweeps: &[RemovalSweep]) -> &mut Self {
+        let mut s = format!("## {title}\n\n");
+        s.push_str("| interface | class | direction | tail@0% | tail@max | still violating |\n");
+        s.push_str("|---|---|---|---|---|---|\n");
+        for sweep in sweeps {
+            let (Some(first), Some(last)) = (sweep.points.first(), sweep.points.last()) else {
+                continue;
+            };
+            s.push_str(&format!(
+                "| {} | {} | {} | {:.3} | {:.3} | {} |\n",
+                sweep.target,
+                sweep.class,
+                sweep.direction.label(),
+                first.tail_ratio,
+                last.tail_ratio,
+                sweep.still_violating_after_removal()
+            ));
+        }
+        self.sections.push(s);
+        self
+    }
+
+    /// Adds Table-1 cells.
+    pub fn table1(&mut self, title: &str, cells: &[Table1Cell]) -> &mut Self {
+        let mut s = format!("## {title}\n\n");
+        s.push_str("| favoured | interface | median overlap | top-1 | top-10 |\n");
+        s.push_str("|---|---|---|---|---|\n");
+        for c in cells {
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                c.favoured,
+                c.target,
+                c.median_overlap.map_or("-".into(), |v| format!("{:.2}%", v * 100.0)),
+                c.top1_summary(),
+                c.top10_summary()
+            ));
+        }
+        self.sections.push(s);
+        self
+    }
+
+    /// Adds the illustrative composition examples.
+    pub fn examples(&mut self, title: &str, rows: &[ExampleRow]) -> &mut Self {
+        let mut s = format!("## {title}\n\n");
+        s.push_str("| interface | class | T1 | T2 | r1 | r2 | combined |\n");
+        s.push_str("|---|---|---|---|---|---|---|\n");
+        for r in rows {
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {:.2} | {:.2} | **{:.2}** |\n",
+                r.target, r.class, r.name1, r.name2, r.ratio1, r.ratio2, r.combined
+            ));
+        }
+        self.sections.push(s);
+        self
+    }
+
+    /// Adds the lookalike/Special-Ad-Audience rows.
+    pub fn lookalike(&mut self, title: &str, rows: &[LookalikeRow]) -> &mut Self {
+        let mut s = format!("## {title}\n\n");
+        s.push_str("| interface | seed | seed ratio | lookalike | SAA |\n");
+        s.push_str("|---|---|---|---|---|\n");
+        for r in rows {
+            s.push_str(&format!(
+                "| {} | {} | {:.2} | {:.2} | {:.2} |\n",
+                r.target, r.seed_name, r.seed_ratio, r.lookalike_ratio, r.saa_ratio
+            ));
+        }
+        self.sections.push(s);
+        self
+    }
+
+    /// Adds the methodology probe summaries.
+    pub fn methodology(&mut self, title: &str, rows: &[MethodologyRow]) -> &mut Self {
+        let mut s = format!("## {title}\n\n");
+        for r in rows {
+            s.push_str(&format!("- {}\n", r.summary()));
+        }
+        self.sections.push(s);
+        self
+    }
+
+    /// Renders the full document.
+    pub fn render(&self, run_label: &str) -> String {
+        let mut out = format!(
+            "# Reproduction run — {run_label}\n\n\
+             Generated by `adcomp-bench` from rounded platform estimates only.\n\n"
+        );
+        for s in &self.sections {
+            out.push_str(s);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of sections added so far.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when no sections were added.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::distributions::distributions_for;
+    use crate::experiments::methodology::{methodology, ProbeConfig};
+    use crate::experiments::{ExperimentConfig, ExperimentContext};
+    use crate::source::SensitiveClass;
+    use adcomp_platform::InterfaceKind;
+    use adcomp_population::Gender;
+
+    #[test]
+    fn report_contains_all_sections_and_valid_tables() {
+        let ctx = ExperimentContext::new(ExperimentConfig::test(66));
+        let male = SensitiveClass::Gender(Gender::Male);
+        let rows = distributions_for(&ctx, InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
+        let probes = methodology(&ctx, &ProbeConfig::test()).unwrap();
+
+        let mut b = ReportBuilder::new();
+        assert!(b.is_empty());
+        b.distributions("Figure 2 (LinkedIn slice)", &rows);
+        b.methodology("Methodology", &probes);
+        assert_eq!(b.len(), 2);
+
+        let doc = b.render("unit test");
+        assert!(doc.starts_with("# Reproduction run — unit test"));
+        assert!(doc.contains("## Figure 2 (LinkedIn slice)"));
+        assert!(doc.contains("## Methodology"));
+        assert!(doc.contains("LinkedIn"));
+        // Markdown table rows have a constant column count.
+        let header_cols = "| interface | set | class | n | p10 | median | p90 | % outside 4/5 band |"
+            .matches('|')
+            .count();
+        for line in doc.lines().filter(|l| l.starts_with("| LinkedIn")) {
+            assert_eq!(line.matches('|').count(), header_cols, "{line}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The composition-audit methodology of *On the Potential for
+//! Discrimination via Composition* (Venkatadri & Mislove, IMC 2020).
+//!
+//! This crate is the paper's primary contribution as a library. Given any
+//! advertising platform exposing the usual targeting surface — attribute
+//! catalogs, AND-of-OR composition, and **rounded** audience-size
+//! estimates (abstracted as [`EstimateSource`]) — it measures the
+//! potential for discriminatory ad targeting:
+//!
+//! * [`metrics`] — the representation ratio (Equation 1), recall, the
+//!   four-fifths rule, and rounding-robustness interval analysis;
+//! * [`discovery`] — the greedy search for the most skewed k-way
+//!   targeting compositions, plus random-composition baselines;
+//! * [`union_estimate`] — audience overlap measurement and
+//!   inclusion–exclusion union-recall estimation (platforms cannot
+//!   express OR-of-ANDs directly);
+//! * [`removal`] — the mitigation study: does removing the most skewed
+//!   individual attributes fix compositions? (No.);
+//! * [`probe`] — black-box characterisation of the platforms' size
+//!   estimates (consistency, significant-digit ladders);
+//! * [`mitigation`] — the paper's §5 proposal implemented: an
+//!   outcome-based pre-flight gate and a streaming advertiser anomaly
+//!   monitor;
+//! * [`budget`] — client-side query caps and throttling (the ethics
+//!   section's discipline);
+//! * [`experiments`] — drivers reproducing every figure and table of the
+//!   paper's evaluation.
+//!
+//! The pipeline sees only what a real advertiser sees: rounded size
+//! estimates from the targeting interface. Ground truth exists in the
+//! simulators for validation, but no metric here touches it.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adcomp_core::experiments::{ExperimentConfig, ExperimentContext};
+//! use adcomp_core::experiments::distributions::distributions_for;
+//! use adcomp_core::source::SensitiveClass;
+//! use adcomp_platform::InterfaceKind;
+//! use adcomp_population::Gender;
+//!
+//! let ctx = ExperimentContext::new(ExperimentConfig::test(1));
+//! let male = SensitiveClass::Gender(Gender::Male);
+//! let rows =
+//!     distributions_for(&ctx, InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
+//! // Top 2-way compositions out-skew individual attributes.
+//! assert!(!rows.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod discovery;
+pub mod experiments;
+pub mod mitigation;
+pub mod metrics;
+pub mod probe;
+pub mod removal;
+pub mod source;
+pub mod stats;
+pub mod union_estimate;
+
+pub use discovery::{
+    compose_and_measure, random_compositions, rank_individuals, survey_individuals,
+    top_compositions, Direction, DiscoveryConfig, IndividualSurvey, MeasuredTargeting,
+};
+pub use metrics::{
+    four_fifths_band, measure_spec, ratio_bounds, recall_of, rep_ratio, rep_ratio_of,
+    RatioBounds, SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
+};
+pub use probe::{
+    consistency_probe, granularity_from_observations, granularity_probe, significant_digits,
+    ConsistencyReport, GranularityReport,
+};
+pub use removal::{removal_sweep, RemovalPoint, RemovalSweep};
+pub use source::{AuditTarget, EstimateSource, Selector, SensitiveClass, SourceError};
+pub use stats::{fraction_outside, median, percentile, BoxStats};
+pub use union_estimate::{
+    median_pairwise_overlap, pairwise_overlap, union_recall, UnionEstimate,
+};
+pub use budget::{BudgetedSource, QueryBudget};
+pub use mitigation::{
+    AdvertiserMonitor, AdvertiserReport, PreflightConfig, PreflightGate, PreflightVerdict,
+};

@@ -1,0 +1,374 @@
+//! Outcome-based mitigations — the paper's §5 proposal, implemented.
+//!
+//! The paper concludes that restricting *individual* targeting options
+//! cannot prevent discriminatory targeting and that mitigations must be
+//! based on the **outcome of the composed targeting**:
+//!
+//! > "ad platforms could potentially use anomaly detection based on the
+//! > outcome of ad targeting to detect advertisers who consistently
+//! > target skewed audiences. Any flagged advertisers could then be
+//! > subject to further review…"
+//!
+//! Two mechanisms are provided:
+//!
+//! * [`PreflightGate`] — a per-campaign check a platform can run before
+//!   accepting an ad in a protected category: measure the *composed*
+//!   audience's representation ratios and reject/flag when any class
+//!   falls outside a configurable band. This is the "base mitigations on
+//!   the outcome of the composition" recommendation.
+//! * [`AdvertiserMonitor`] — a streaming anomaly detector over an
+//!   advertiser's campaign history: exponentially weighted skew scores
+//!   per sensitive attribute, flagging advertisers who *consistently*
+//!   target skewed audiences (single skewed campaigns may be benign
+//!   relevance effects; consistent skew is the anomaly).
+
+use std::collections::HashMap;
+
+use adcomp_targeting::TargetingSpec;
+
+use crate::metrics::{measure_spec, rep_ratio_of, SpecMeasurement};
+use crate::source::{AuditTarget, SensitiveClass, SourceError};
+
+/// Verdict of a pre-flight outcome check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PreflightVerdict {
+    /// All measured classes within the band.
+    Accept,
+    /// At least one class outside the band; carries the evidence.
+    Flag {
+        /// The violating classes with their measured ratios.
+        violations: Vec<(SensitiveClass, f64)>,
+    },
+    /// The audience is too small to measure reliably (below the reach
+    /// floor); platforms typically reject such micro-targeting outright
+    /// in protected categories.
+    TooSmall {
+        /// The measured total reach.
+        reach: u64,
+    },
+}
+
+/// Configuration of the outcome gate.
+#[derive(Clone, Copy, Debug)]
+pub struct PreflightConfig {
+    /// Lower ratio bound (default: the four-fifths 0.8).
+    pub low: f64,
+    /// Upper ratio bound (default: 1.25).
+    pub high: f64,
+    /// Minimum audience size to evaluate at all.
+    pub min_reach: u64,
+}
+
+impl Default for PreflightConfig {
+    fn default() -> Self {
+        PreflightConfig {
+            low: crate::metrics::FOUR_FIFTHS_LOW,
+            high: crate::metrics::FOUR_FIFTHS_HIGH,
+            min_reach: 10_000,
+        }
+    }
+}
+
+/// The outcome-based campaign gate.
+///
+/// Holds the base-population measurement so repeated checks cost only
+/// the seven per-spec queries.
+pub struct PreflightGate {
+    config: PreflightConfig,
+    base: SpecMeasurement,
+}
+
+impl PreflightGate {
+    /// Builds a gate for a target (measures the base population once).
+    pub fn new(target: &AuditTarget, config: PreflightConfig) -> Result<Self, SourceError> {
+        let base = measure_spec(target, &TargetingSpec::everyone())?;
+        Ok(PreflightGate { config, base })
+    }
+
+    /// Measures the composed spec and classifies its outcome.
+    pub fn check(
+        &self,
+        target: &AuditTarget,
+        spec: &TargetingSpec,
+    ) -> Result<PreflightVerdict, SourceError> {
+        let m = measure_spec(target, spec)?;
+        Ok(self.check_measurement(&m))
+    }
+
+    /// Classifies an already-measured targeting.
+    pub fn check_measurement(&self, m: &SpecMeasurement) -> PreflightVerdict {
+        if m.total < self.config.min_reach {
+            return PreflightVerdict::TooSmall { reach: m.total };
+        }
+        let mut violations = Vec::new();
+        for class in SensitiveClass::ALL {
+            if let Some(ratio) = rep_ratio_of(m, &self.base, class) {
+                if ratio < self.config.low || ratio > self.config.high {
+                    violations.push((class, ratio));
+                }
+            }
+        }
+        if violations.is_empty() {
+            PreflightVerdict::Accept
+        } else {
+            PreflightVerdict::Flag { violations }
+        }
+    }
+
+    /// The base-population measurement the gate compares against.
+    pub fn base(&self) -> &SpecMeasurement {
+        &self.base
+    }
+}
+
+/// Per-advertiser streaming skew score.
+///
+/// For every submitted campaign, each sensitive class contributes
+/// `|log(ratio)|` when outside the band (0 inside); the advertiser's
+/// score is an exponential moving average per class. An advertiser is
+/// flagged when any class's average exceeds `threshold` after at least
+/// `min_campaigns` observations — "consistently targeting skewed
+/// audiences", not a single outlier.
+#[derive(Clone, Debug)]
+pub struct AdvertiserMonitor {
+    /// EMA decay (weight of the newest observation), in `(0, 1]`.
+    pub alpha: f64,
+    /// Score threshold for flagging (in |log-ratio| units; `ln(2) ≈ 0.69`
+    /// means "on average twice as skewed as parity").
+    pub threshold: f64,
+    /// Minimum campaigns before an advertiser can be flagged.
+    pub min_campaigns: u32,
+    low: f64,
+    high: f64,
+    advertisers: HashMap<String, AdvertiserState>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct AdvertiserState {
+    campaigns: u32,
+    /// EMA of banded |log ratio| per class index (6 classes).
+    scores: [f64; 6],
+}
+
+/// Snapshot of one advertiser's standing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdvertiserReport {
+    /// Campaigns observed.
+    pub campaigns: u32,
+    /// Current per-class scores, ordered as [`SensitiveClass::ALL`].
+    pub scores: [f64; 6],
+    /// Whether the advertiser is currently flagged.
+    pub flagged: bool,
+}
+
+impl AdvertiserMonitor {
+    /// A monitor with the given EMA decay and flag threshold.
+    pub fn new(alpha: f64, threshold: f64, min_campaigns: u32) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(threshold > 0.0);
+        AdvertiserMonitor {
+            alpha,
+            threshold,
+            min_campaigns,
+            low: crate::metrics::FOUR_FIFTHS_LOW,
+            high: crate::metrics::FOUR_FIFTHS_HIGH,
+            advertisers: HashMap::new(),
+        }
+    }
+
+    /// Records one campaign's measured outcome for `advertiser`.
+    pub fn observe(
+        &mut self,
+        advertiser: &str,
+        measurement: &SpecMeasurement,
+        base: &SpecMeasurement,
+    ) {
+        let state = self.advertisers.entry(advertiser.to_string()).or_default();
+        state.campaigns += 1;
+        for (i, class) in SensitiveClass::ALL.iter().enumerate() {
+            let penalty = match rep_ratio_of(measurement, base, *class) {
+                Some(r) if r > 0.0 && (r < self.low || r > self.high) => r.ln().abs(),
+                // Ratio of exactly zero = total exclusion: maximal penalty.
+                Some(0.0) => 4.0,
+                _ => 0.0,
+            };
+            state.scores[i] = (1.0 - self.alpha) * state.scores[i] + self.alpha * penalty;
+        }
+    }
+
+    /// Current standing of an advertiser (`None` if never observed).
+    pub fn report(&self, advertiser: &str) -> Option<AdvertiserReport> {
+        let state = self.advertisers.get(advertiser)?;
+        let flagged = state.campaigns >= self.min_campaigns
+            && state.scores.iter().any(|&s| s > self.threshold);
+        Some(AdvertiserReport { campaigns: state.campaigns, scores: state.scores, flagged })
+    }
+
+    /// All currently flagged advertisers.
+    pub fn flagged(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .advertisers
+            .keys()
+            .filter(|name| self.report(name).is_some_and(|r| r.flagged))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{rank_individuals, survey_individuals, Direction, DiscoveryConfig};
+    use adcomp_platform::{SimScale, Simulation};
+    use adcomp_population::Gender;
+    use adcomp_targeting::AttributeId;
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static Simulation {
+        static SIM: OnceLock<Simulation> = OnceLock::new();
+        SIM.get_or_init(|| Simulation::build(46, SimScale::Test))
+    }
+
+    fn meas(total: u64, male: u64, female: u64, ages: [u64; 4]) -> SpecMeasurement {
+        SpecMeasurement { total, by_gender: [male, female], by_age: ages }
+    }
+
+    fn balanced_base() -> SpecMeasurement {
+        meas(8_000_000, 4_000_000, 4_000_000, [2_000_000; 4])
+    }
+
+    #[test]
+    fn preflight_accepts_balanced_flags_skewed() {
+        let target = AuditTarget::for_platform(&sim().facebook, sim());
+        let gate = PreflightGate::new(&target, PreflightConfig::default()).unwrap();
+        // Balanced synthetic measurement: parity with the gate's actual
+        // base rates.
+        let base = gate.base().clone();
+        let balanced = SpecMeasurement {
+            total: base.total / 10,
+            by_gender: [base.by_gender[0] / 10, base.by_gender[1] / 10],
+            by_age: base.by_age.map(|v| v / 10),
+        };
+        assert_eq!(gate.check_measurement(&balanced), PreflightVerdict::Accept);
+
+        // Heavy male skew: flagged with evidence for both genders.
+        let skewed = SpecMeasurement {
+            total: base.total / 10,
+            by_gender: [base.by_gender[0] / 5, base.by_gender[1] / 50],
+            by_age: base.by_age.map(|v| v / 10),
+        };
+        match gate.check_measurement(&skewed) {
+            PreflightVerdict::Flag { violations } => {
+                assert!(violations
+                    .iter()
+                    .any(|(c, r)| *c == SensitiveClass::Gender(Gender::Male) && *r > 1.25));
+            }
+            other => panic!("expected Flag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preflight_rejects_microtargeting() {
+        let target = AuditTarget::for_platform(&sim().facebook, sim());
+        let gate = PreflightGate::new(&target, PreflightConfig::default()).unwrap();
+        let tiny = meas(500, 300, 200, [100, 150, 150, 100]);
+        assert_eq!(gate.check_measurement(&tiny), PreflightVerdict::TooSmall { reach: 500 });
+    }
+
+    #[test]
+    fn preflight_catches_discovered_compositions_end_to_end() {
+        // The gate must flag exactly the kind of composition the paper's
+        // discovery finds on the restricted interface.
+        let target = AuditTarget::for_platform(&sim().facebook_restricted, sim());
+        let gate = PreflightGate::new(&target, PreflightConfig::default()).unwrap();
+        let survey = survey_individuals(&target).unwrap();
+        let male = SensitiveClass::Gender(Gender::Male);
+        let cfg = DiscoveryConfig { top_k: 20, ..DiscoveryConfig::default() };
+        let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
+        let top = crate::discovery::top_compositions(&target, &survey, &ranked, &cfg).unwrap();
+        let mut flagged = 0;
+        for comp in &top {
+            if matches!(gate.check_measurement(&comp.measurement), PreflightVerdict::Flag { .. })
+            {
+                flagged += 1;
+            }
+        }
+        assert!(
+            flagged * 2 > top.len(),
+            "the gate should flag most discovered top compositions ({flagged}/{})",
+            top.len()
+        );
+        // And accept an honest broad targeting.
+        let broad = measure_spec(&target, &TargetingSpec::and_of([AttributeId(0)])).unwrap();
+        let verdict = gate.check_measurement(&broad);
+        assert!(!matches!(verdict, PreflightVerdict::TooSmall { .. }));
+    }
+
+    #[test]
+    fn monitor_flags_consistent_not_occasional_skew() {
+        let base = balanced_base();
+        let skewed = meas(100_000, 90_000, 10_000, [25_000; 4]);
+        let balanced = meas(100_000, 50_000, 50_000, [25_000; 4]);
+        let mut monitor = AdvertiserMonitor::new(0.3, 0.5, 3);
+
+        // "badco" always skews; "okco" skews once among many balanced.
+        for _ in 0..6 {
+            monitor.observe("badco", &skewed, &base);
+            monitor.observe("okco", &balanced, &base);
+        }
+        monitor.observe("okco", &skewed, &base);
+        for _ in 0..4 {
+            monitor.observe("okco", &balanced, &base);
+        }
+
+        let bad = monitor.report("badco").unwrap();
+        assert!(bad.flagged, "consistent skew must flag: {:?}", bad.scores);
+        let ok = monitor.report("okco").unwrap();
+        assert!(!ok.flagged, "one-off skew must not flag: {:?}", ok.scores);
+        assert_eq!(monitor.flagged(), vec!["badco".to_string()]);
+    }
+
+    #[test]
+    fn monitor_respects_min_campaigns() {
+        let base = balanced_base();
+        let skewed = meas(100_000, 95_000, 5_000, [25_000; 4]);
+        let mut monitor = AdvertiserMonitor::new(0.5, 0.3, 5);
+        for i in 0..4 {
+            monitor.observe("newco", &skewed, &base);
+            assert!(
+                !monitor.report("newco").unwrap().flagged,
+                "must not flag before min_campaigns (at {i})"
+            );
+        }
+        monitor.observe("newco", &skewed, &base);
+        assert!(monitor.report("newco").unwrap().flagged);
+    }
+
+    #[test]
+    fn monitor_total_exclusion_gets_max_penalty() {
+        let base = balanced_base();
+        // Zero females reached: ratio 0 toward females.
+        let excluding = meas(100_000, 100_000, 0, [25_000; 4]);
+        let mut monitor = AdvertiserMonitor::new(1.0, 0.5, 1);
+        monitor.observe("exco", &excluding, &base);
+        let report = monitor.report("exco").unwrap();
+        let female_idx = 1; // SensitiveClass::ALL[1] = female
+        assert_eq!(report.scores[female_idx], 4.0);
+        assert!(report.flagged);
+    }
+
+    #[test]
+    fn unknown_advertiser_reports_none() {
+        let monitor = AdvertiserMonitor::new(0.5, 0.5, 1);
+        assert!(monitor.report("ghost").is_none());
+        assert!(monitor.flagged().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn bad_alpha_rejected() {
+        let _ = AdvertiserMonitor::new(0.0, 0.5, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Black-box characterisation of the platforms' size estimates.
+//!
+//! Before trusting the estimates, the paper studies them (§3,
+//! "Understanding size estimates"): 100 back-to-back repeated calls on 20
+//! random options and 20 random compositions per platform to check
+//! **consistency**, and the union of >80 000 distinct calls to infer the
+//! **granularity** (significant-digit ladder and reporting minimum).
+//! These probes run the same study against any [`EstimateSource`](crate::source::EstimateSource) and are
+//! the audit's guard against obfuscated (noised) estimates.
+
+use adcomp_targeting::{AttributeId, TargetingSpec};
+use rand::{Rng, SeedableRng};
+
+use crate::discovery::AuditRng;
+use crate::source::{AuditTarget, SourceError};
+
+/// Result of the consistency probe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConsistencyReport {
+    /// Specs probed.
+    pub specs: usize,
+    /// Repeats per spec.
+    pub repeats: usize,
+    /// Specs whose repeated estimates were not all identical.
+    pub inconsistent: Vec<TargetingSpec>,
+}
+
+impl ConsistencyReport {
+    /// True when every probed spec returned identical estimates.
+    pub fn is_consistent(&self) -> bool {
+        self.inconsistent.is_empty()
+    }
+}
+
+/// Repeats estimates `repeats` times for `n_individual` random individual
+/// options and `n_composed` random pairs (paper: 100 × (20 + 20)).
+pub fn consistency_probe(
+    target: &AuditTarget,
+    seed: u64,
+    n_individual: usize,
+    n_composed: usize,
+    repeats: usize,
+) -> Result<ConsistencyReport, SourceError> {
+    let mut rng = AuditRng::seed_from_u64(seed);
+    let n = target.targeting.catalog_len();
+    let mut specs = Vec::with_capacity(n_individual + n_composed);
+    for _ in 0..n_individual {
+        specs.push(TargetingSpec::and_of([AttributeId(rng.gen_range(0..n))]));
+    }
+    let mut attempts = 0;
+    while specs.len() < n_individual + n_composed && attempts < n_composed * 50 {
+        attempts += 1;
+        let a = AttributeId(rng.gen_range(0..n));
+        let b = AttributeId(rng.gen_range(0..n));
+        if target.targeting.can_compose(a, b) {
+            specs.push(TargetingSpec::and_of([a, b]));
+        }
+    }
+    let mut inconsistent = Vec::new();
+    for spec in &specs {
+        let first = target.total_estimate(spec)?;
+        for _ in 1..repeats {
+            if target.total_estimate(spec)? != first {
+                inconsistent.push(spec.clone());
+                break;
+            }
+        }
+    }
+    Ok(ConsistencyReport { specs: specs.len(), repeats, inconsistent })
+}
+
+/// Inferred granularity of a platform's estimates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GranularityReport {
+    /// Distinct non-zero estimate values observed.
+    pub observed_values: usize,
+    /// Smallest non-zero estimate observed (the reporting floor).
+    pub min_nonzero: Option<u64>,
+    /// Whether a zero estimate was ever returned.
+    pub saw_zero: bool,
+    /// Maximum number of significant digits per decade (index = decade,
+    /// i.e. `10^index ..< 10^(index+1)`); `0` for unobserved decades.
+    pub digits_per_decade: Vec<u32>,
+}
+
+impl GranularityReport {
+    /// Maximum significant digits across all decades.
+    pub fn max_significant_digits(&self) -> u32 {
+        self.digits_per_decade.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Number of significant digits in a positive integer (trailing zeros
+/// stripped).
+pub fn significant_digits(mut value: u64) -> u32 {
+    assert!(value > 0, "significant digits of zero are undefined");
+    while value.is_multiple_of(10) {
+        value /= 10;
+    }
+    let mut digits = 0;
+    while value > 0 {
+        value /= 10;
+        digits += 1;
+    }
+    digits
+}
+
+/// Infers the granularity ladder from a set of observed estimate values
+/// (the experiments feed every estimate they ever received into this).
+pub fn granularity_from_observations(values: impl IntoIterator<Item = u64>) -> GranularityReport {
+    let mut distinct = std::collections::BTreeSet::new();
+    let mut saw_zero = false;
+    for v in values {
+        if v == 0 {
+            saw_zero = true;
+        } else {
+            distinct.insert(v);
+        }
+    }
+    let mut digits_per_decade = vec![0u32; 20];
+    for &v in &distinct {
+        let decade = (v as f64).log10().floor() as usize;
+        let d = significant_digits(v);
+        if d > digits_per_decade[decade] {
+            digits_per_decade[decade] = d;
+        }
+    }
+    while digits_per_decade.last() == Some(&0) {
+        digits_per_decade.pop();
+    }
+    GranularityReport {
+        observed_values: distinct.len(),
+        min_nonzero: distinct.first().copied(),
+        saw_zero,
+        digits_per_decade,
+    }
+}
+
+/// Runs a granularity probe by querying many random specs (individuals
+/// and pairs) and collecting their estimates.
+pub fn granularity_probe(
+    target: &AuditTarget,
+    seed: u64,
+    queries: usize,
+) -> Result<GranularityReport, SourceError> {
+    let mut rng = AuditRng::seed_from_u64(seed ^ 0x9A17);
+    let n = target.targeting.catalog_len();
+    let mut observations = Vec::with_capacity(queries);
+    while observations.len() < queries {
+        let a = AttributeId(rng.gen_range(0..n));
+        let spec = if rng.gen_bool(0.5) {
+            TargetingSpec::and_of([a])
+        } else {
+            let b = AttributeId(rng.gen_range(0..n));
+            if !target.targeting.can_compose(a, b) {
+                continue;
+            }
+            TargetingSpec::and_of([a, b])
+        };
+        observations.push(target.total_estimate(&spec)?);
+    }
+    Ok(granularity_from_observations(observations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::AuditTarget;
+    use adcomp_platform::{SimScale, Simulation};
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static Simulation {
+        static SIM: OnceLock<Simulation> = OnceLock::new();
+        SIM.get_or_init(|| Simulation::build(45, SimScale::Test))
+    }
+
+    #[test]
+    fn significant_digit_counting() {
+        assert_eq!(significant_digits(1), 1);
+        assert_eq!(significant_digits(1_000), 1);
+        assert_eq!(significant_digits(1_200), 2);
+        assert_eq!(significant_digits(123_000), 3);
+        assert_eq!(significant_digits(101), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn significant_digits_of_zero_panics() {
+        let _ = significant_digits(0);
+    }
+
+    #[test]
+    fn simulated_platforms_are_consistent() {
+        // Paper finding: "across all three platforms, the returned
+        // estimates are consistent."
+        for p in sim().interfaces() {
+            let target = AuditTarget::for_platform(p, sim());
+            let report = consistency_probe(&target, 1, 5, 5, 10).unwrap();
+            assert!(report.is_consistent(), "{} inconsistent", p.label());
+            assert_eq!(report.specs, 10);
+        }
+    }
+
+    #[test]
+    fn granularity_matches_facebook_ladder() {
+        let target = AuditTarget::for_platform(&sim().facebook, sim());
+        let report = granularity_probe(&target, 2, 400).unwrap();
+        assert!(report.max_significant_digits() <= 2, "facebook is 2 sig digits");
+        if let Some(min) = report.min_nonzero {
+            assert!(min >= 1_000, "facebook floor is 1000, got {min}");
+        }
+    }
+
+    #[test]
+    fn granularity_matches_google_ladder() {
+        let target = AuditTarget::for_platform(&sim().google, sim());
+        let report = granularity_probe(&target, 3, 400).unwrap();
+        // Below 100_000: one significant digit.
+        for (decade, &d) in report.digits_per_decade.iter().enumerate().take(5) {
+            assert!(d <= 1, "decade 10^{decade} has {d} digits on google");
+        }
+        assert!(report.max_significant_digits() <= 2);
+    }
+
+    #[test]
+    fn granularity_from_observations_handles_zero_and_minimum() {
+        let r = granularity_from_observations([0, 300, 310, 4_600, 12_000]);
+        assert!(r.saw_zero);
+        assert_eq!(r.min_nonzero, Some(300));
+        assert_eq!(r.observed_values, 4);
+        assert_eq!(r.max_significant_digits(), 2);
+    }
+
+    #[test]
+    fn empty_observations() {
+        let r = granularity_from_observations([]);
+        assert_eq!(r.observed_values, 0);
+        assert_eq!(r.min_nonzero, None);
+        assert!(!r.saw_zero);
+        assert_eq!(r.max_significant_digits(), 0);
+    }
+}

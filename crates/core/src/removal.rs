@@ -1,0 +1,181 @@
+//! The removal experiment (paper §4.3, Figures 3 and 6).
+//!
+//! Would removing the most skewed *individual* targeting attributes
+//! mitigate skewed *compositions*? For each step, remove the top
+//! `p`-percentile most skewed individuals (in the studied direction),
+//! re-run the greedy discovery over the remainder, and record the
+//! resulting compositions' tail ratio. The paper finds the tail drops but
+//! stays far outside the four-fifths band — the headline argument that
+//! individual-option mitigations are insufficient.
+
+use crate::discovery::{
+    rank_individuals, top_compositions, Direction, DiscoveryConfig, IndividualSurvey,
+};
+use crate::source::{AuditTarget, SensitiveClass, SourceError};
+use crate::stats::percentile;
+
+/// One point of the removal sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RemovalPoint {
+    /// Percentile of most-skewed individuals removed (0, 2, …, 10).
+    pub removed_percentile: f64,
+    /// Number of individual attributes removed.
+    pub removed_count: usize,
+    /// The tail ratio of the re-discovered compositions: the 90th
+    /// percentile for `Direction::Toward`, the 10th for
+    /// `Direction::Against` (matching Figures 3/6's y-axes).
+    pub tail_ratio: f64,
+    /// The most extreme ratio among the re-discovered compositions.
+    pub extreme_ratio: f64,
+    /// Number of compositions that survived the reach filter.
+    pub compositions: usize,
+}
+
+/// Sweep output for one (class, direction) pair on one target.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemovalSweep {
+    /// Audited interface label.
+    pub target: String,
+    /// Sensitive class under study.
+    pub class: SensitiveClass,
+    /// Top or Bottom compositions.
+    pub direction: Direction,
+    /// One point per removal step.
+    pub points: Vec<RemovalPoint>,
+}
+
+/// Runs the sweep: steps of `step_percentile` (paper: 2) up to
+/// `max_percentile` (paper: 10).
+pub fn removal_sweep(
+    target: &AuditTarget,
+    survey: &IndividualSurvey,
+    class: SensitiveClass,
+    direction: Direction,
+    cfg: &DiscoveryConfig,
+    step_percentile: f64,
+    max_percentile: f64,
+) -> Result<RemovalSweep, SourceError> {
+    assert!(step_percentile > 0.0 && max_percentile >= step_percentile);
+    let ranked = rank_individuals(survey, class, direction, cfg.min_reach);
+    let mut points = Vec::new();
+    let mut pct = 0.0;
+    while pct <= max_percentile + 1e-9 {
+        // The ranking is most-skewed-first, so removal drops a prefix.
+        let removed_count = ((pct / 100.0) * ranked.len() as f64).round() as usize;
+        let remaining = &ranked[removed_count.min(ranked.len())..];
+        let compositions = top_compositions(target, survey, remaining, cfg)?;
+        let mut ratios: Vec<f64> = compositions
+            .iter()
+            .filter_map(|c| c.ratio(&survey.base, class))
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        if ratios.is_empty() {
+            // Nothing survived the reach filter; record a neutral point
+            // rather than aborting the sweep.
+            points.push(RemovalPoint {
+                removed_percentile: pct,
+                removed_count,
+                tail_ratio: 1.0,
+                extreme_ratio: 1.0,
+                compositions: 0,
+            });
+        } else {
+            let (tail, extreme) = match direction {
+                Direction::Toward => {
+                    (percentile(&ratios, 90.0), *ratios.last().expect("non-empty"))
+                }
+                Direction::Against => {
+                    (percentile(&ratios, 10.0), *ratios.first().expect("non-empty"))
+                }
+            };
+            points.push(RemovalPoint {
+                removed_percentile: pct,
+                removed_count,
+                tail_ratio: tail,
+                extreme_ratio: extreme,
+                compositions: ratios.len(),
+            });
+        }
+        pct += step_percentile;
+    }
+    Ok(RemovalSweep { target: target.label(), class, direction, points })
+}
+
+impl RemovalSweep {
+    /// Whether the final sweep point still violates the four-fifths band
+    /// — the paper's "removal is insufficient" conclusion.
+    pub fn still_violating_after_removal(&self) -> bool {
+        match self.points.last() {
+            None => false,
+            Some(p) => match self.direction {
+                Direction::Toward => p.tail_ratio > crate::metrics::FOUR_FIFTHS_HIGH,
+                Direction::Against => p.tail_ratio < crate::metrics::FOUR_FIFTHS_LOW,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::survey_individuals;
+    use adcomp_platform::{SimScale, Simulation};
+    use adcomp_population::Gender;
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static Simulation {
+        static SIM: OnceLock<Simulation> = OnceLock::new();
+        SIM.get_or_init(|| Simulation::build(44, SimScale::Test))
+    }
+
+    const MALE: SensitiveClass = SensitiveClass::Gender(Gender::Male);
+
+    fn small_cfg() -> DiscoveryConfig {
+        DiscoveryConfig { top_k: 40, min_reach: 10_000, arity: 2, seed: 3 }
+    }
+
+    #[test]
+    fn sweep_has_expected_steps_and_monotone_removal() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let sweep =
+            removal_sweep(&target, &survey, MALE, Direction::Toward, &small_cfg(), 2.0, 10.0)
+                .unwrap();
+        assert_eq!(sweep.points.len(), 6, "0,2,4,6,8,10");
+        assert_eq!(sweep.points[0].removed_count, 0);
+        let counts: Vec<usize> = sweep.points.iter().map(|p| p.removed_count).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        for p in &sweep.points {
+            assert!(p.tail_ratio.is_finite());
+            assert!(p.compositions > 0, "reach filter must not empty the set at test scale");
+        }
+    }
+
+    #[test]
+    fn removing_skewed_individuals_reduces_top_tail() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let sweep =
+            removal_sweep(&target, &survey, MALE, Direction::Toward, &small_cfg(), 5.0, 10.0)
+                .unwrap();
+        let first = sweep.points.first().unwrap().tail_ratio;
+        let last = sweep.points.last().unwrap().tail_ratio;
+        assert!(
+            last < first,
+            "removal should reduce the 90th-percentile ratio ({first:.2} -> {last:.2})"
+        );
+    }
+
+    #[test]
+    fn against_direction_uses_p10_tail() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let survey = survey_individuals(&target).unwrap();
+        let sweep =
+            removal_sweep(&target, &survey, MALE, Direction::Against, &small_cfg(), 10.0, 10.0)
+                .unwrap();
+        for p in &sweep.points {
+            assert!(p.tail_ratio <= 1.0, "bottom compositions skew against the class");
+            assert!(p.extreme_ratio <= p.tail_ratio);
+        }
+    }
+}

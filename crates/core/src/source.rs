@@ -1,0 +1,427 @@
+//! The audit's view of a platform: rounded size estimates only.
+//!
+//! [`EstimateSource`] is the narrow waist between the methodology and any
+//! platform implementation — the in-process simulators here, or a remote
+//! platform behind the `adcomp-wire` client. Everything the paper
+//! computes is derived from `estimate()` calls, exactly as the authors
+//! derived everything from the targeting UIs' size fields.
+//!
+//! [`AuditTarget`] pairs the interface being *audited* (where specs must
+//! validate) with the interface used for *measurement* of demographics.
+//! For Facebook's restricted interface — which forbids age and gender
+//! targeting — the paper "instead uses the corresponding targeting
+//! option on Facebook's normal interface to measure the representation
+//! ratio" (§3); the target carries the id translation for that.
+
+use std::sync::Arc;
+
+use adcomp_platform::{AdPlatform, EstimateRequest, PlatformError};
+use adcomp_population::{AgeBucket, Gender};
+use adcomp_targeting::{AttributeId, FeatureId, TargetingSpec};
+
+/// A value of a sensitive attribute (the `s` of the representation
+/// ratio).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SensitiveClass {
+    /// A gender value.
+    Gender(Gender),
+    /// An age bucket.
+    Age(AgeBucket),
+}
+
+impl SensitiveClass {
+    /// The six classes the paper studies, in presentation order.
+    pub const ALL: [SensitiveClass; 6] = [
+        SensitiveClass::Gender(Gender::Male),
+        SensitiveClass::Gender(Gender::Female),
+        SensitiveClass::Age(AgeBucket::A18_24),
+        SensitiveClass::Age(AgeBucket::A25_34),
+        SensitiveClass::Age(AgeBucket::A35_54),
+        SensitiveClass::Age(AgeBucket::A55Plus),
+    ];
+
+    /// Constrains a spec to this class (adds the gender/age targeting the
+    /// paper layers on top of the audited targeting).
+    pub fn constrain(&self, spec: &TargetingSpec) -> TargetingSpec {
+        let mut spec = spec.clone();
+        match self {
+            SensitiveClass::Gender(g) => spec.demographics.genders = Some(vec![*g]),
+            SensitiveClass::Age(a) => spec.demographics.ages = Some(vec![*a]),
+        }
+        spec
+    }
+
+    /// Display label matching the paper's axis labels.
+    pub fn label(&self) -> String {
+        match self {
+            SensitiveClass::Gender(g) => g.to_string(),
+            SensitiveClass::Age(a) => a.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for SensitiveClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A (possibly complemented) sensitive population — the paper's Table 1
+/// favours `Male`, `Female`, `Age not 18-24`, and `Age not 55+`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Selector {
+    /// Users with the class value.
+    Class(SensitiveClass),
+    /// Users with any *other* value of the same sensitive attribute.
+    Complement(SensitiveClass),
+}
+
+impl Selector {
+    /// Constrains a spec to this population.
+    pub fn constrain(&self, spec: &TargetingSpec) -> TargetingSpec {
+        match self {
+            Selector::Class(c) => c.constrain(spec),
+            Selector::Complement(SensitiveClass::Gender(g)) => {
+                SensitiveClass::Gender(g.other()).constrain(spec)
+            }
+            Selector::Complement(SensitiveClass::Age(a)) => {
+                let mut spec = spec.clone();
+                spec.demographics.ages =
+                    Some(AgeBucket::ALL.iter().copied().filter(|b| b != a).collect());
+                spec
+            }
+        }
+    }
+
+    /// Table-style label ("female", "not 18-24", …).
+    pub fn label(&self) -> String {
+        match self {
+            Selector::Class(c) => c.label(),
+            Selector::Complement(c) => format!("not {}", c.label()),
+        }
+    }
+}
+
+impl From<SensitiveClass> for Selector {
+    fn from(c: SensitiveClass) -> Selector {
+        Selector::Class(c)
+    }
+}
+
+impl std::fmt::Display for Selector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Errors surfaced to the audit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceError {
+    /// The platform rejected or failed the request.
+    Platform(PlatformError),
+    /// Transport failure (wire-backed sources).
+    Transport(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Platform(e) => write!(f, "platform error: {e}"),
+            SourceError::Transport(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<PlatformError> for SourceError {
+    fn from(e: PlatformError) -> Self {
+        SourceError::Platform(e)
+    }
+}
+
+/// Anything the audit can query for rounded audience-size estimates.
+pub trait EstimateSource: Send + Sync {
+    /// Report label ("Facebook", "FB-restricted", …).
+    fn label(&self) -> String;
+
+    /// Rounded audience-size estimate for a spec, using the interface's
+    /// broadest objective and the most restrictive frequency cap — the
+    /// paper's settings.
+    fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError>;
+
+    /// Validates a spec without estimating.
+    fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError>;
+
+    /// Number of catalog attributes.
+    fn catalog_len(&self) -> u32;
+
+    /// Human-readable attribute name.
+    fn attribute_name(&self, id: AttributeId) -> Option<String>;
+
+    /// Feature family of an attribute (for composition rules).
+    fn attribute_feature(&self, id: AttributeId) -> Option<FeatureId>;
+
+    /// Whether two attributes may be AND-composed on this interface.
+    fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool;
+
+    /// Whether the interface itself supports gender/age constraint.
+    fn supports_demographics(&self) -> bool;
+}
+
+impl EstimateSource for AdPlatform {
+    fn label(&self) -> String {
+        AdPlatform::label(self).to_string()
+    }
+
+    fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+        let req = EstimateRequest::new(spec.clone(), self.config().default_objective);
+        Ok(self.reach_estimate(&req)?.value)
+    }
+
+    fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
+        AdPlatform::check(self, spec).map_err(Into::into)
+    }
+
+    fn catalog_len(&self) -> u32 {
+        self.catalog().len() as u32
+    }
+
+    fn attribute_name(&self, id: AttributeId) -> Option<String> {
+        self.catalog().get(id).map(|e| e.name.clone())
+    }
+
+    fn attribute_feature(&self, id: AttributeId) -> Option<FeatureId> {
+        self.catalog().get(id).map(|e| e.feature)
+    }
+
+    fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
+        if a == b {
+            return false;
+        }
+        if self.config().capabilities.same_feature_and {
+            true
+        } else {
+            match (self.attribute_feature(a), self.attribute_feature(b)) {
+                (Some(fa), Some(fb)) => fa != fb,
+                _ => false,
+            }
+        }
+    }
+
+    fn supports_demographics(&self) -> bool {
+        self.config().capabilities.gender_targeting && self.config().capabilities.age_targeting
+    }
+}
+
+/// The pair of interfaces an audit runs against.
+#[derive(Clone)]
+pub struct AuditTarget {
+    /// Interface whose *targeting options* are being audited.
+    pub targeting: Arc<dyn EstimateSource>,
+    /// Interface used to measure demographic splits (may be the same).
+    pub measurement: Arc<dyn EstimateSource>,
+    /// Translation of targeting-interface attribute ids onto the
+    /// measurement interface, when they differ.
+    id_map: Option<Arc<Vec<AttributeId>>>,
+}
+
+impl AuditTarget {
+    /// A target that measures on the audited interface itself.
+    pub fn direct(source: Arc<dyn EstimateSource>) -> AuditTarget {
+        assert!(
+            source.supports_demographics(),
+            "direct targets need demographic targeting for measurement"
+        );
+        AuditTarget { targeting: source.clone(), measurement: source, id_map: None }
+    }
+
+    /// A target measured through a companion interface (the restricted
+    /// Facebook case). `id_map[i]` is attribute `i`'s id on `measurement`.
+    pub fn via(
+        targeting: Arc<dyn EstimateSource>,
+        measurement: Arc<dyn EstimateSource>,
+        id_map: Vec<AttributeId>,
+    ) -> AuditTarget {
+        assert_eq!(id_map.len() as u32, targeting.catalog_len(), "one mapping per attribute");
+        assert!(measurement.supports_demographics());
+        AuditTarget { targeting, measurement, id_map: Some(Arc::new(id_map)) }
+    }
+
+    /// Builds the audit target for a simulated platform, wiring the
+    /// restricted interface to its parent automatically.
+    pub fn for_platform(platform: &Arc<AdPlatform>, simulation: &adcomp_platform::Simulation) -> AuditTarget {
+        use adcomp_platform::InterfaceKind;
+        match platform.kind() {
+            InterfaceKind::FacebookRestricted => {
+                let ids: Vec<AttributeId> = platform
+                    .catalog()
+                    .ids()
+                    .map(|id| platform.parent_id(id).expect("restricted entries map to parent"))
+                    .collect();
+                AuditTarget::via(platform.clone(), simulation.facebook.clone(), ids)
+            }
+            _ => AuditTarget::direct(platform.clone()),
+        }
+    }
+
+    /// Report label of the audited interface.
+    pub fn label(&self) -> String {
+        self.targeting.label()
+    }
+
+    /// Translates a spec from targeting-interface ids to
+    /// measurement-interface ids.
+    pub fn translate(&self, spec: &TargetingSpec) -> TargetingSpec {
+        match &self.id_map {
+            None => spec.clone(),
+            Some(map) => {
+                let mut out = spec.clone();
+                for group in &mut out.include {
+                    for id in &mut group.attributes {
+                        *id = map[id.0 as usize];
+                    }
+                }
+                for id in &mut out.exclude {
+                    *id = map[id.0 as usize];
+                }
+                out
+            }
+        }
+    }
+
+    /// Estimate of `spec ∧ class` on the measurement interface
+    /// (`spec` is expressed in targeting-interface ids).
+    pub fn class_estimate(
+        &self,
+        spec: &TargetingSpec,
+        class: SensitiveClass,
+    ) -> Result<u64, SourceError> {
+        self.selector_estimate(spec, Selector::Class(class))
+    }
+
+    /// Estimate of `spec ∧ selector` on the measurement interface.
+    pub fn selector_estimate(
+        &self,
+        spec: &TargetingSpec,
+        selector: Selector,
+    ) -> Result<u64, SourceError> {
+        let translated = self.translate(spec);
+        self.measurement.estimate(&selector.constrain(&translated))
+    }
+
+    /// Estimate of `spec` alone on the measurement interface.
+    pub fn total_estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+        self.measurement.estimate(&self.translate(spec))
+    }
+}
+
+impl std::fmt::Debug for AuditTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AuditTarget(targeting={}, measurement={})",
+            self.targeting.label(),
+            self.measurement.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcomp_platform::{SimScale, Simulation};
+
+    fn sim() -> Simulation {
+        Simulation::build(90, SimScale::Test)
+    }
+
+    #[test]
+    fn sensitive_class_constrains_spec() {
+        let base = TargetingSpec::and_of([AttributeId(0)]);
+        let male = SensitiveClass::Gender(Gender::Male).constrain(&base);
+        assert_eq!(male.demographics.genders, Some(vec![Gender::Male]));
+        assert_eq!(male.include, base.include);
+        let young = SensitiveClass::Age(AgeBucket::A18_24).constrain(&base);
+        assert_eq!(young.demographics.ages, Some(vec![AgeBucket::A18_24]));
+        assert_eq!(SensitiveClass::ALL.len(), 6);
+    }
+
+    #[test]
+    fn adplatform_source_estimates() {
+        let s = sim();
+        let src: Arc<dyn EstimateSource> = s.facebook.clone();
+        assert_eq!(src.label(), "Facebook");
+        assert!(src.estimate(&TargetingSpec::everyone()).unwrap() > 0);
+        assert!(src.supports_demographics());
+        assert_eq!(src.catalog_len() as usize, s.facebook.catalog().len());
+        assert!(src.attribute_name(AttributeId(0)).unwrap().contains(" — "));
+    }
+
+    #[test]
+    fn composition_rules_respect_features() {
+        let s = sim();
+        let google: Arc<dyn EstimateSource> = s.google.clone();
+        // Find one attribute of each feature.
+        let mut by_feature = std::collections::HashMap::new();
+        for id in 0..google.catalog_len() {
+            let id = AttributeId(id);
+            by_feature.entry(google.attribute_feature(id).unwrap()).or_insert(id);
+        }
+        let feats: Vec<_> = by_feature.values().copied().collect();
+        assert!(feats.len() >= 2, "google needs two features");
+        assert!(google.can_compose(feats[0], feats[1]));
+        assert!(!google.can_compose(feats[0], feats[0]), "self-composition");
+        let fb: Arc<dyn EstimateSource> = s.facebook.clone();
+        assert!(fb.can_compose(AttributeId(0), AttributeId(1)), "facebook allows same-feature");
+    }
+
+    #[test]
+    fn restricted_target_measures_via_parent() {
+        let s = sim();
+        let target = AuditTarget::for_platform(&s.facebook_restricted, &s);
+        assert_eq!(target.label(), "FB-restricted");
+        assert_eq!(target.measurement.label(), "Facebook");
+        let spec = TargetingSpec::and_of([AttributeId(0)]);
+        // Restricted interface rejects gender targeting…
+        assert!(target
+            .targeting
+            .check(&SensitiveClass::Gender(Gender::Male).constrain(&spec))
+            .is_err());
+        // …but the target measures it through the parent.
+        let male = target.class_estimate(&spec, SensitiveClass::Gender(Gender::Male)).unwrap();
+        let female =
+            target.class_estimate(&spec, SensitiveClass::Gender(Gender::Female)).unwrap();
+        let total = target.total_estimate(&spec).unwrap();
+        assert!(male > 0 && female > 0);
+        assert!(total >= male.max(female));
+    }
+
+    #[test]
+    fn translate_maps_ids() {
+        let s = sim();
+        let target = AuditTarget::for_platform(&s.facebook_restricted, &s);
+        let spec = TargetingSpec::and_of([AttributeId(0), AttributeId(1)]);
+        let translated = target.translate(&spec);
+        let expected: Vec<AttributeId> = [AttributeId(0), AttributeId(1)]
+            .iter()
+            .map(|id| s.facebook_restricted.parent_id(*id).unwrap())
+            .collect();
+        let got: Vec<AttributeId> = translated.referenced_attributes().collect();
+        assert_eq!(got, expected);
+        // Direct targets translate to themselves.
+        let direct = AuditTarget::for_platform(&s.linkedin, &s);
+        assert_eq!(direct.translate(&spec), spec);
+    }
+
+    #[test]
+    fn estimates_match_between_target_paths_on_direct_interfaces() {
+        let s = sim();
+        let target = AuditTarget::for_platform(&s.linkedin, &s);
+        let spec = TargetingSpec::and_of([AttributeId(2)]);
+        assert_eq!(
+            target.total_estimate(&spec).unwrap(),
+            s.linkedin.clone().estimate(&spec).unwrap()
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the mitigation layer: the pre-flight gate must
+//! flag exactly the measurements whose ratios leave the band, and the
+//! advertiser monitor's flagging must be monotone in skew exposure.
+
+use adcomp_core::{
+    rep_ratio_of, AdvertiserMonitor, SensitiveClass, SpecMeasurement,
+};
+use proptest::prelude::*;
+
+fn measurement(male: u64, female: u64, ages: [u64; 4]) -> SpecMeasurement {
+    SpecMeasurement { total: male + female, by_gender: [male, female], by_age: ages }
+}
+
+fn balanced_base() -> SpecMeasurement {
+    measurement(4_000_000, 4_000_000, [2_000_000; 4])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn monitor_never_flags_within_band(
+        male in 1_000_000u64..1_100_000,
+        campaigns in 1usize..20)
+    {
+        // Ratios forced near parity: male/female within ~10 %.
+        let base = balanced_base();
+        let m = measurement(male, 1_050_000, [500_000; 4]);
+        let male_ratio = rep_ratio_of(&m, &base, SensitiveClass::ALL[0]).unwrap();
+        prop_assume!((0.8..=1.25).contains(&male_ratio));
+        let mut monitor = AdvertiserMonitor::new(0.5, 0.2, 1);
+        for _ in 0..campaigns {
+            monitor.observe("adv", &m, &base);
+        }
+        let report = monitor.report("adv").unwrap();
+        prop_assert!(!report.flagged, "in-band campaigns must never flag: {report:?}");
+        prop_assert_eq!(report.campaigns, campaigns as u32);
+    }
+
+    #[test]
+    fn monitor_flag_is_monotone_in_exposure(
+        skew in 2.0f64..20.0,
+        campaigns in 3usize..15)
+    {
+        // A consistently skewed advertiser's score grows with campaigns
+        // until it crosses the threshold; more campaigns never un-flag.
+        let base = balanced_base();
+        let male = (1_000_000.0 * skew) as u64;
+        let m = measurement(male, 1_000_000, [500_000; 4]);
+        let mut monitor = AdvertiserMonitor::new(0.4, 0.5, 3);
+        let mut flagged_at: Option<usize> = None;
+        for i in 1..=campaigns {
+            monitor.observe("adv", &m, &base);
+            let report = monitor.report("adv").unwrap();
+            if report.flagged && flagged_at.is_none() {
+                flagged_at = Some(i);
+            }
+            if let Some(at) = flagged_at {
+                prop_assert!(report.flagged, "must stay flagged after campaign {at}");
+            }
+        }
+        if campaigns >= 5 && skew >= 3.0 {
+            prop_assert!(flagged_at.is_some(), "strong consistent skew must flag");
+        }
+    }
+
+    #[test]
+    fn monitor_scores_bounded_by_max_penalty(
+        male in 0u64..10_000_000,
+        female in 0u64..10_000_000,
+        campaigns in 1usize..30)
+    {
+        prop_assume!(male + female > 0);
+        let base = balanced_base();
+        let m = measurement(male, female, [500_000; 4]);
+        let mut monitor = AdvertiserMonitor::new(0.3, 0.5, 1);
+        for _ in 0..campaigns {
+            monitor.observe("adv", &m, &base);
+        }
+        let report = monitor.report("adv").unwrap();
+        // EMA of penalties in [0, max(|ln r|, 4)] stays bounded.
+        for s in report.scores {
+            prop_assert!(s.is_finite() && s >= 0.0);
+            prop_assert!(s <= 17.0, "score {s} beyond any plausible |ln ratio|");
+        }
+    }
+
+    #[test]
+    fn separate_advertisers_are_independent(
+        skew_male in 3_000_000u64..9_000_000,
+        campaigns in 4usize..10)
+    {
+        let base = balanced_base();
+        let skewed = measurement(skew_male, 100_000, [500_000; 4]);
+        let fair = measurement(1_000_000, 1_000_000, [500_000; 4]);
+        let mut monitor = AdvertiserMonitor::new(0.4, 0.5, 3);
+        for _ in 0..campaigns {
+            monitor.observe("skewco", &skewed, &base);
+            monitor.observe("fairco", &fair, &base);
+        }
+        prop_assert!(monitor.report("skewco").unwrap().flagged);
+        prop_assert!(!monitor.report("fairco").unwrap().flagged);
+        prop_assert_eq!(monitor.flagged(), vec!["skewco".to_string()]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the metric layer: representation ratios, box
+//! statistics, inclusion–exclusion, and rounding bounds.
+
+use adcomp_core::{
+    four_fifths_band, percentile, ratio_bounds, rep_ratio, BoxStats, SensitiveClass, SkewBand,
+    SpecMeasurement,
+};
+use adcomp_platform::RoundingRule;
+use adcomp_population::Gender;
+use proptest::prelude::*;
+
+fn arb_measurement() -> impl Strategy<Value = SpecMeasurement> {
+    (1u64..10_000_000, 1u64..10_000_000, proptest::array::uniform4(1u64..5_000_000)).prop_map(
+        |(male, female, ages)| SpecMeasurement {
+            total: male + female,
+            by_gender: [male, female],
+            by_age: ages,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rep_ratio_symmetry(ta_s in 0u64..1_000_000, ta_ns in 1u64..1_000_000,
+                          ra_s in 1u64..100_000_000, ra_ns in 1u64..100_000_000) {
+        // Swapping the class with its complement inverts the ratio.
+        let r = rep_ratio(ta_s, ta_ns, ra_s, ra_ns).unwrap();
+        prop_assert!(r >= 0.0);
+        if ta_s > 0 {
+            let inv = rep_ratio(ta_ns, ta_s, ra_ns, ra_s).unwrap();
+            prop_assert!((r * inv - 1.0).abs() < 1e-9, "r={r} inv={inv}");
+        }
+    }
+
+    #[test]
+    fn rep_ratio_scale_invariance(ta_s in 1u64..100_000, ta_ns in 1u64..100_000,
+                                  ra_s in 1u64..1_000_000, ra_ns in 1u64..1_000_000,
+                                  k in 2u64..50) {
+        // Scaling all counts by k leaves the ratio unchanged.
+        let r1 = rep_ratio(ta_s, ta_ns, ra_s, ra_ns).unwrap();
+        let r2 = rep_ratio(ta_s * k, ta_ns * k, ra_s * k, ra_ns * k).unwrap();
+        prop_assert!((r1 - r2).abs() < 1e-9 * r1.max(1.0));
+    }
+
+    #[test]
+    fn complement_counts_partition(m in arb_measurement()) {
+        for class in SensitiveClass::ALL {
+            let total: u64 = match class {
+                SensitiveClass::Gender(_) => m.by_gender.iter().sum(),
+                SensitiveClass::Age(_) => m.by_age.iter().sum(),
+            };
+            prop_assert_eq!(m.class_count(class) + m.complement_count(class), total);
+        }
+    }
+
+    #[test]
+    fn four_fifths_band_partitions_line(r in 0.0f64..100.0) {
+        let band = four_fifths_band(r);
+        match band {
+            SkewBand::Under => prop_assert!(r < 0.8),
+            SkewBand::Within => prop_assert!((0.8..=1.25).contains(&r)),
+            SkewBand::Over => prop_assert!(r > 1.25),
+        }
+    }
+
+    #[test]
+    fn box_stats_are_ordered_and_within_range(values in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+        let b = BoxStats::from_samples(&values).unwrap();
+        prop_assert!(b.min <= b.p10 && b.p10 <= b.p25 && b.p25 <= b.median);
+        prop_assert!(b.median <= b.p75 && b.p75 <= b.p90 && b.p90 <= b.max);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(b.min, lo);
+        prop_assert_eq!(b.max, hi);
+        prop_assert_eq!(b.n, values.len());
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&sorted, lo) <= percentile(&sorted, hi) + 1e-9);
+    }
+
+    #[test]
+    fn rounding_bounds_contain_point_ratio(
+        male in 1u64..5_000_000, female in 1u64..5_000_000,
+        base_male in 50_000_000u64..150_000_000, base_female in 50_000_000u64..150_000_000)
+    {
+        // Round exact counts through Facebook's ladder, then the interval
+        // reconstruction must contain the exact-data ratio.
+        let rule = RoundingRule::facebook();
+        let meas = SpecMeasurement {
+            total: rule.apply(male + female),
+            by_gender: [rule.apply(male), rule.apply(female)],
+            by_age: [1, 1, 1, 1],
+        };
+        let base = SpecMeasurement {
+            total: rule.apply(base_male + base_female),
+            by_gender: [rule.apply(base_male), rule.apply(base_female)],
+            by_age: [1, 1, 1, 1],
+        };
+        let class = SensitiveClass::Gender(Gender::Male);
+        let exact = rep_ratio(male, female, base_male, base_female).unwrap();
+        if let Some(b) = ratio_bounds(&meas, &base, class, &rule) {
+            prop_assert!(b.lo <= b.hi);
+            prop_assert!(
+                b.lo <= exact && exact <= b.hi,
+                "exact {exact} outside [{}, {}]", b.lo, b.hi
+            );
+            prop_assert!(b.lo <= b.least_skewed() && b.least_skewed() <= b.hi);
+        }
+    }
+}

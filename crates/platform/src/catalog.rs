@@ -1,0 +1,388 @@
+//! Synthetic targeting-attribute catalogs.
+//!
+//! A catalog is the platform's browsable list of attribute-based targeting
+//! options (and, for Google, placement topics). Each entry carries the
+//! generative [`AttributeModel`] that defines its audience in the
+//! universe. Entry skews are drawn per *category*: a category has a mean
+//! demographic lean (Games lean male, Beauty leans female, Retirement
+//! leans old, …) plus per-attribute noise and an occasional heavy-tail
+//! draw — this mixture is what produces the paper's long-tailed
+//! representation-ratio distributions.
+
+use adcomp_population::{AttributeModel, LATENT_DIMS};
+use adcomp_targeting::{AttributeId, CatalogView, FeatureId};
+
+use crate::names::pool;
+
+/// How a category's attributes skew, on average.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkewProfile {
+    /// Mean of the direct gender bias (positive = male).
+    pub gender_mean: f32,
+    /// Std-dev of the per-attribute gender-bias noise.
+    pub gender_sigma: f32,
+    /// Mean of the age lean (positive = old; mapped onto the age-bias
+    /// vector as `lean * bucket.signal()`).
+    pub age_mean: f32,
+    /// Std-dev of the per-attribute age-lean noise.
+    pub age_sigma: f32,
+    /// Probability that an attribute gets an extra heavy-tail demographic
+    /// bias (models the "Interested in Marie Claire"-style outliers).
+    pub heavy_tail_prob: f64,
+    /// Magnitude of the heavy-tail bias.
+    pub heavy_tail_scale: f32,
+    /// Popularity is log-uniform in this range.
+    pub popularity_range: (f64, f64),
+    /// Std-dev of loadings on the neutral topic axes.
+    pub topic_sigma: f32,
+}
+
+impl SkewProfile {
+    /// A neutral default profile.
+    pub fn neutral() -> Self {
+        SkewProfile {
+            gender_mean: 0.0,
+            gender_sigma: 0.28,
+            age_mean: 0.0,
+            age_sigma: 0.26,
+            heavy_tail_prob: 0.05,
+            heavy_tail_scale: 0.7,
+            popularity_range: (0.004, 0.25),
+            topic_sigma: 0.6,
+        }
+    }
+
+    /// Shifts the mean gender lean (positive = male).
+    pub fn lean_male(mut self, shift: f32) -> Self {
+        self.gender_mean += shift;
+        self
+    }
+
+    /// Shifts the mean age lean (positive = old).
+    pub fn lean_old(mut self, shift: f32) -> Self {
+        self.age_mean += shift;
+        self
+    }
+}
+
+/// Recipe for one catalog category.
+#[derive(Clone, Debug)]
+pub struct CategorySpec {
+    /// Display name ("Interests", "Job Functions", …).
+    pub name: &'static str,
+    /// Name-pool domain (see the crate-private `names` module).
+    pub domain: &'static str,
+    /// Feature family, for platforms that restrict same-feature ANDs.
+    pub feature: FeatureId,
+    /// Number of attributes to generate.
+    pub count: u32,
+    /// Demographic skew profile.
+    pub skew: SkewProfile,
+}
+
+/// One catalog entry.
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// Platform-local id (dense, equal to the entry's index).
+    pub id: AttributeId,
+    /// Human-readable name, `"Category — Phrase"`.
+    pub name: String,
+    /// Category display name.
+    pub category: &'static str,
+    /// Feature family.
+    pub feature: FeatureId,
+    /// Generative audience model.
+    pub model: AttributeModel,
+}
+
+/// A platform's attribute catalog.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// Generates a catalog from category recipes.
+    ///
+    /// Deterministic in `(seed, specs)`. Attribute ids are dense in
+    /// generation order, so a category's entries are contiguous.
+    pub fn generate(seed: u64, specs: &[CategorySpec]) -> Catalog {
+        use adcomp_population::hash_api::{normal, uniform};
+
+        let mut entries = Vec::new();
+        for (cat_idx, spec) in specs.iter().enumerate() {
+            let names = pool(spec.domain);
+            assert!(
+                (spec.count as usize) <= names.capacity(),
+                "category {} wants {} names but the {} pool holds {}",
+                spec.name,
+                spec.count,
+                spec.domain,
+                names.capacity()
+            );
+            let cat_seed = seed ^ ((cat_idx as u64 + 1) << 32);
+            for i in 0..spec.count {
+                let id = AttributeId(entries.len() as u32);
+                let s = spec.skew;
+                let a = i as u64;
+
+                // Popularity: log-uniform.
+                let (lo, hi) = s.popularity_range;
+                let u = uniform(cat_seed, a, 1);
+                let popularity = (lo.ln() + u * (hi.ln() - lo.ln())).exp();
+
+                // Direct demographic biases.
+                let mut gender_bias = s.gender_mean + s.gender_sigma * normal(cat_seed, a, 2);
+                let mut age_lean = s.age_mean + s.age_sigma * normal(cat_seed, a, 3);
+                if uniform(cat_seed, a, 4) < s.heavy_tail_prob {
+                    // Heavy tail hits gender or age, signed.
+                    let sign = if uniform(cat_seed, a, 5) < 0.5 { -1.0 } else { 1.0 };
+                    if uniform(cat_seed, a, 6) < 0.5 {
+                        gender_bias += sign * s.heavy_tail_scale;
+                    } else {
+                        age_lean += sign * s.heavy_tail_scale;
+                    }
+                }
+
+                // Latent loadings: small on the demographic axes (0, 1) so
+                // facially-neutral attributes still correlate, larger on
+                // 1–3 random topic axes.
+                let mut loadings = [0f32; LATENT_DIMS];
+                loadings[0] = 0.15 * normal(cat_seed, a, 7);
+                loadings[1] = 0.15 * normal(cat_seed, a, 8);
+                let n_topics = 1 + (uniform(cat_seed, a, 9) * 3.0) as usize;
+                for t in 0..n_topics {
+                    let axis = 2 + ((uniform(cat_seed, a, 10 + t as u64)
+                        * (LATENT_DIMS - 2) as f64) as usize)
+                        .min(LATENT_DIMS - 3);
+                    loadings[axis] += s.topic_sigma * normal(cat_seed, a, 20 + t as u64);
+                }
+
+                let age_biases = [
+                    age_lean * adcomp_population::AgeBucket::A18_24.signal(),
+                    age_lean * adcomp_population::AgeBucket::A25_34.signal(),
+                    age_lean * adcomp_population::AgeBucket::A35_54.signal(),
+                    age_lean * adcomp_population::AgeBucket::A55Plus.signal(),
+                ];
+
+                let model = AttributeModel::new(cat_seed.wrapping_add(a))
+                    .popularity(popularity)
+                    .loadings(loadings)
+                    .gender_bias(gender_bias)
+                    .age_biases(age_biases);
+
+                entries.push(CatalogEntry {
+                    id,
+                    name: format!("{} — {}", spec.name, names.phrase(i as usize)),
+                    category: spec.name,
+                    feature: spec.feature,
+                    model,
+                });
+            }
+        }
+        Catalog { entries }
+    }
+
+    /// Builds a catalog from explicit entries (ids are reassigned densely).
+    /// Used to derive the restricted interface's sanitized subset.
+    pub fn from_entries(mut entries: Vec<CatalogEntry>) -> Catalog {
+        for (i, e) in entries.iter_mut().enumerate() {
+            e.id = AttributeId(i as u32);
+        }
+        Catalog { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry lookup.
+    pub fn get(&self, id: AttributeId) -> Option<&CatalogEntry> {
+        self.entries.get(id.0 as usize)
+    }
+
+    /// All entries in id order.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// All attribute ids.
+    pub fn ids(&self) -> impl Iterator<Item = AttributeId> + '_ {
+        (0..self.entries.len() as u32).map(AttributeId)
+    }
+
+    /// A *sanitization score*: how demographically loaded an entry's model
+    /// is on paper-visible axes. The restricted interface keeps the
+    /// lowest-scoring entries, mirroring Facebook removing the most
+    /// obviously skewed options after the settlement.
+    pub fn sanitization_score(entry: &CatalogEntry) -> f32 {
+        let m = &entry.model;
+        let age_mag =
+            m.age_biases.iter().map(|b| b.abs()).fold(0f32, f32::max);
+        m.gender_bias.abs() + age_mag + 0.5 * (m.loadings[0].abs() + m.loadings[1].abs())
+    }
+
+    /// Derives the sanitized subset of `self` with the `keep` least
+    /// demographically loaded entries (the restricted-interface catalog).
+    /// Also returns, for each kept entry, its id in the *parent* catalog,
+    /// so audits can translate restricted specs onto the full interface
+    /// (the paper measures restricted targetings' demographics through
+    /// Facebook's normal interface, which still exposes age/gender).
+    pub fn sanitized(&self, keep: usize) -> (Catalog, Vec<AttributeId>) {
+        assert!(keep <= self.entries.len(), "cannot keep more entries than exist");
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            Catalog::sanitization_score(&self.entries[a])
+                .partial_cmp(&Catalog::sanitization_score(&self.entries[b]))
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        let mut kept: Vec<usize> = order.into_iter().take(keep).collect();
+        kept.sort_unstable(); // preserve original ordering for readability
+        let parents: Vec<AttributeId> = kept.iter().map(|&i| AttributeId(i as u32)).collect();
+        let entries: Vec<CatalogEntry> = kept.iter().map(|&i| self.entries[i].clone()).collect();
+        (Catalog::from_entries(entries), parents)
+    }
+}
+
+impl CatalogView for Catalog {
+    fn exists(&self, id: AttributeId) -> bool {
+        (id.0 as usize) < self.entries.len()
+    }
+    fn feature_of(&self, id: AttributeId) -> Option<FeatureId> {
+        self.get(id).map(|e| e.feature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<CategorySpec> {
+        vec![
+            CategorySpec {
+                name: "Games",
+                domain: "games",
+                feature: FeatureId(0),
+                count: 30,
+                skew: SkewProfile::neutral().lean_male(0.8),
+            },
+            CategorySpec {
+                name: "Beauty",
+                domain: "beauty",
+                feature: FeatureId(0),
+                count: 25,
+                skew: SkewProfile::neutral().lean_male(-0.8),
+            },
+            CategorySpec {
+                name: "Topics",
+                domain: "media",
+                feature: FeatureId(1),
+                count: 40,
+                skew: SkewProfile::neutral(),
+            },
+        ]
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_dense() {
+        let a = Catalog::generate(7, &specs());
+        let b = Catalog::generate(7, &specs());
+        assert_eq!(a.len(), 95);
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.model, y.model);
+        }
+        for (i, e) in a.entries().iter().enumerate() {
+            assert_eq!(e.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_unique_and_prefixed() {
+        let c = Catalog::generate(7, &specs());
+        let mut seen = std::collections::HashSet::new();
+        for e in c.entries() {
+            assert!(seen.insert(e.name.clone()), "duplicate name {}", e.name);
+            assert!(e.name.starts_with(e.category));
+            assert!(e.name.contains(" — "));
+        }
+    }
+
+    #[test]
+    fn category_lean_shows_in_mean_bias() {
+        let c = Catalog::generate(7, &specs());
+        let mean = |cat: &str| {
+            let biases: Vec<f32> = c
+                .entries()
+                .iter()
+                .filter(|e| e.category == cat)
+                .map(|e| e.model.gender_bias)
+                .collect();
+            biases.iter().sum::<f32>() / biases.len() as f32
+        };
+        assert!(mean("Games") > 0.3, "games should lean male");
+        assert!(mean("Beauty") < -0.3, "beauty should lean female");
+    }
+
+    #[test]
+    fn catalog_view_impl() {
+        let c = Catalog::generate(7, &specs());
+        assert!(c.exists(AttributeId(0)));
+        assert!(!c.exists(AttributeId(95)));
+        assert_eq!(c.feature_of(AttributeId(0)), Some(FeatureId(0)));
+        assert_eq!(c.feature_of(AttributeId(94)), Some(FeatureId(1)));
+        assert_eq!(c.feature_of(AttributeId(200)), None);
+    }
+
+    #[test]
+    fn sanitized_keeps_least_skewed_and_maps_parents() {
+        let c = Catalog::generate(7, &specs());
+        let (sub, parents) = c.sanitized(40);
+        assert_eq!(sub.len(), 40);
+        assert_eq!(parents.len(), 40);
+        // Parent mapping points at entries with identical models.
+        for (e, p) in sub.entries().iter().zip(&parents) {
+            assert_eq!(e.model, c.get(*p).unwrap().model);
+            assert_eq!(e.name, c.get(*p).unwrap().name);
+        }
+        // Mean |gender bias| of kept entries is below the full catalog's.
+        let mean_abs = |cat: &Catalog| {
+            cat.entries().iter().map(|e| e.model.gender_bias.abs()).sum::<f32>()
+                / cat.len() as f32
+        };
+        assert!(mean_abs(&sub) < mean_abs(&c), "sanitized must be milder");
+        // Dense re-ids.
+        for (i, e) in sub.entries().iter().enumerate() {
+            assert_eq!(e.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep more")]
+    fn sanitized_rejects_oversize() {
+        let c = Catalog::generate(7, &specs());
+        let _ = c.sanitized(1000);
+    }
+
+    #[test]
+    fn popularity_within_configured_range() {
+        let c = Catalog::generate(9, &specs());
+        for e in c.entries() {
+            // Recover popularity from the intercept: σ(bias).
+            let p = 1.0 / (1.0 + (-e.model.bias as f64).exp());
+            assert!(
+                (0.003..=0.26).contains(&p),
+                "popularity {p} out of range for {}",
+                e.name
+            );
+        }
+    }
+}

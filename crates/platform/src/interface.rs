@@ -1,0 +1,494 @@
+//! The advertiser-facing platform interface.
+//!
+//! An [`AdPlatform`] bundles a universe, a catalog with materialised
+//! attribute audiences, an interface policy ([`Capabilities`]) and a size
+//! estimator ([`RoundingRule`]). Its advertiser-visible surface is
+//! deliberately narrow — browse the catalog, validate a spec, request a
+//! rounded reach estimate — because that is all the paper's methodology
+//! (and any real advertiser) gets to see. Ground-truth accessors exist for
+//! tests and ablations and are clearly marked.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adcomp_bitset::Bitset;
+use adcomp_population::Universe;
+use adcomp_targeting::{
+    evaluate, validate, AttributeId, AttributeResolver, Capabilities, EvalError, TargetingSpec,
+    ValidationError,
+};
+use parking_lot::Mutex;
+
+use crate::catalog::Catalog;
+use crate::estimate::{EstimateKind, RoundingRule, SizeEstimate};
+use crate::objective::{FrequencyCap, Objective};
+use crate::ratelimit::QueryStats;
+
+/// Which real-world interface a platform simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterfaceKind {
+    /// Facebook's normal ads interface.
+    FacebookNormal,
+    /// Facebook's restricted interface for special ad categories
+    /// (housing, employment, credit).
+    FacebookRestricted,
+    /// Google Display campaigns.
+    GoogleDisplay,
+    /// LinkedIn campaign manager.
+    LinkedIn,
+}
+
+impl InterfaceKind {
+    /// Short label used in reports (matches the paper's figure captions).
+    pub fn label(self) -> &'static str {
+        match self {
+            InterfaceKind::FacebookNormal => "Facebook",
+            InterfaceKind::FacebookRestricted => "FB-restricted",
+            InterfaceKind::GoogleDisplay => "Google",
+            InterfaceKind::LinkedIn => "LinkedIn",
+        }
+    }
+}
+
+/// Static configuration of a platform interface.
+#[derive(Clone, Debug)]
+pub struct PlatformConfig {
+    /// Which interface this simulates.
+    pub kind: InterfaceKind,
+    /// What the interface permits.
+    pub capabilities: Capabilities,
+    /// Size-estimate rounding ladder.
+    pub rounding: RoundingRule,
+    /// Users or impressions.
+    pub estimate_kind: EstimateKind,
+    /// Objectives the interface offers.
+    pub supported_objectives: Vec<Objective>,
+    /// The broadest-reach objective (what the audit selects).
+    pub default_objective: Objective,
+}
+
+/// A reach-estimate request, as assembled by the targeting UI.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateRequest {
+    /// The targeting specification.
+    pub spec: TargetingSpec,
+    /// Campaign objective.
+    pub objective: Objective,
+    /// Frequency capping (only meaningful on impression platforms).
+    pub frequency_cap: FrequencyCap,
+}
+
+impl EstimateRequest {
+    /// Request with the given spec and the platform defaults the paper
+    /// uses (broadest objective chosen by the caller, most restrictive
+    /// frequency cap).
+    pub fn new(spec: TargetingSpec, objective: Objective) -> Self {
+        EstimateRequest { spec, objective, frequency_cap: FrequencyCap::most_restrictive() }
+    }
+}
+
+/// Advertiser-visible request failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlatformError {
+    /// The spec violates the interface policy.
+    Validation(ValidationError),
+    /// The spec references unknown attributes (evaluation-time).
+    Eval(EvalError),
+    /// The objective is not offered by this interface.
+    UnsupportedObjective(Objective),
+    /// Too many requests; retry after the given duration.
+    RateLimited {
+        /// Suggested back-off.
+        retry_after: Duration,
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Validation(e) => write!(f, "invalid targeting: {e}"),
+            PlatformError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            PlatformError::UnsupportedObjective(o) => {
+                write!(f, "objective '{o}' is not offered by this interface")
+            }
+            PlatformError::RateLimited { retry_after } => {
+                write!(f, "rate limited; retry after {retry_after:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<ValidationError> for PlatformError {
+    fn from(e: ValidationError) -> Self {
+        PlatformError::Validation(e)
+    }
+}
+
+impl From<EvalError> for PlatformError {
+    fn from(e: EvalError) -> Self {
+        PlatformError::Eval(e)
+    }
+}
+
+/// One simulated advertising platform interface.
+pub struct AdPlatform {
+    config: PlatformConfig,
+    universe: Arc<Universe>,
+    catalog: Catalog,
+    /// Materialised audience per catalog entry (same index as the id).
+    audiences: Vec<Bitset>,
+    /// For derived (restricted) interfaces: each attribute's id on the
+    /// parent interface.
+    parent_ids: Option<Vec<AttributeId>>,
+    stats: Mutex<QueryStats>,
+}
+
+impl AdPlatform {
+    /// Builds a platform, materialising every catalog audience.
+    pub fn new(config: PlatformConfig, universe: Arc<Universe>, catalog: Catalog) -> AdPlatform {
+        assert!(
+            config.supported_objectives.contains(&config.default_objective),
+            "default objective must be supported"
+        );
+        let audiences =
+            catalog.entries().iter().map(|e| universe.materialize(&e.model)).collect();
+        AdPlatform {
+            config,
+            universe,
+            catalog,
+            audiences,
+            parent_ids: None,
+            stats: Mutex::new(QueryStats::default()),
+        }
+    }
+
+    /// Builds a *derived* interface over the same universe as `parent`,
+    /// with a catalog whose entries are a subset of the parent's
+    /// (`parent_ids[i]` = id of entry `i` on the parent). Audiences are
+    /// shared (cloned bitsets), not re-materialised.
+    ///
+    /// This models Facebook's restricted interface, which exposes a
+    /// sanitized subset of the normal interface's options over the same
+    /// user base.
+    pub fn derived(
+        config: PlatformConfig,
+        parent: &AdPlatform,
+        catalog: Catalog,
+        parent_ids: Vec<AttributeId>,
+    ) -> AdPlatform {
+        assert_eq!(catalog.len(), parent_ids.len(), "one parent id per entry");
+        let audiences = parent_ids
+            .iter()
+            .map(|pid| {
+                parent
+                    .audiences
+                    .get(pid.0 as usize)
+                    .unwrap_or_else(|| panic!("parent id #{} out of range", pid.0))
+                    .clone()
+            })
+            .collect();
+        AdPlatform {
+            config,
+            universe: parent.universe.clone(),
+            catalog,
+            audiences,
+            parent_ids: Some(parent_ids),
+            stats: Mutex::new(QueryStats::default()),
+        }
+    }
+
+    /// The advertiser-visible reach estimate for a targeting request.
+    ///
+    /// This is the paper's primary measurement endpoint: validate the spec
+    /// against the interface policy, compute the audience, scale to
+    /// platform range (× frequency-cap multiplier on impression
+    /// platforms), and round through the platform's ladder.
+    pub fn reach_estimate(&self, request: &EstimateRequest) -> Result<SizeEstimate, PlatformError> {
+        if !self.config.supported_objectives.contains(&request.objective) {
+            return Err(PlatformError::UnsupportedObjective(request.objective));
+        }
+        if let Err(e) = validate(&request.spec, &self.config.capabilities, &self.catalog) {
+            self.stats.lock().validation_failures += 1;
+            return Err(e.into());
+        }
+        let audience = evaluate(self, &request.spec)?;
+        let mut value = audience.len() as f64 * self.universe.scale();
+        if self.config.estimate_kind == EstimateKind::Impressions {
+            value *= request.frequency_cap.impressions_multiplier();
+        }
+        self.stats.lock().estimates += 1;
+        Ok(SizeEstimate {
+            value: self.config.rounding.apply(value.round() as u64),
+            kind: self.config.estimate_kind,
+        })
+    }
+
+    /// Validates a spec without estimating (the UI does this eagerly).
+    pub fn check(&self, spec: &TargetingSpec) -> Result<(), PlatformError> {
+        validate(spec, &self.config.capabilities, &self.catalog).map_err(Into::into)
+    }
+
+    /// The interface's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Interface configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Which interface this simulates.
+    pub fn kind(&self) -> InterfaceKind {
+        self.config.kind
+    }
+
+    /// Report label ("Facebook", "FB-restricted", …).
+    pub fn label(&self) -> &'static str {
+        self.config.kind.label()
+    }
+
+    /// For derived interfaces: the id of `id` on the parent interface.
+    /// The audit uses this to re-express restricted-interface specs on the
+    /// normal interface, which still offers age/gender targeting (paper
+    /// §3: "we instead use the corresponding targeting option on
+    /// Facebook's normal interface to measure the representation ratio").
+    pub fn parent_id(&self, id: AttributeId) -> Option<AttributeId> {
+        self.parent_ids.as_ref().and_then(|ids| ids.get(id.0 as usize).copied())
+    }
+
+    /// Snapshot of the query counters.
+    pub fn stats(&self) -> QueryStats {
+        *self.stats.lock()
+    }
+
+    /// Record a rate-limited request (called by the serving layer).
+    pub fn note_rate_limited(&self) {
+        self.stats.lock().rate_limited += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Ground-truth access — NOT part of the advertiser-visible surface.
+    // Used by tests, calibration, and the rounding ablation; the audit
+    // pipeline never calls these.
+    // ------------------------------------------------------------------
+
+    /// Ground truth: the exact audience of a spec, bypassing interface
+    /// policy (but not attribute existence).
+    pub fn exact_audience(&self, spec: &TargetingSpec) -> Result<Bitset, PlatformError> {
+        evaluate(self, spec).map_err(Into::into)
+    }
+
+    /// Ground truth: the materialised audience of catalog entry `idx`
+    /// (index = attribute id). Used by the lookalike engine and tests.
+    pub fn attribute_audience_raw(&self, idx: usize) -> Option<&Bitset> {
+        self.audiences.get(idx)
+    }
+
+    /// Ground truth: the universe behind the interface.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Ground truth: the shared universe handle (for building derived
+    /// interfaces or cross-interface audits).
+    pub fn universe_arc(&self) -> Arc<Universe> {
+        self.universe.clone()
+    }
+}
+
+impl AttributeResolver for AdPlatform {
+    fn attribute_audience(&self, id: AttributeId) -> Option<&Bitset> {
+        self.audiences.get(id.0 as usize)
+    }
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+}
+
+impl std::fmt::Debug for AdPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdPlatform")
+            .field("kind", &self.config.kind)
+            .field("catalog", &self.catalog.len())
+            .field("users", &self.universe.n_users())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CategorySpec, SkewProfile};
+    use adcomp_population::{DemographicProfile, Gender, UniverseConfig};
+    use adcomp_targeting::FeatureId;
+
+    fn test_platform(kind: InterfaceKind, caps: Capabilities) -> AdPlatform {
+        let universe = Arc::new(Universe::generate(&UniverseConfig {
+            n_users: 20_000,
+            seed: 5,
+            scale: 1_000.0,
+            profile: DemographicProfile::balanced(),
+        }));
+        let catalog = Catalog::generate(
+            5,
+            &[
+                CategorySpec {
+                    name: "Games",
+                    domain: "games",
+                    feature: FeatureId(0),
+                    count: 20,
+                    skew: SkewProfile::neutral().lean_male(0.8),
+                },
+                CategorySpec {
+                    name: "Topics",
+                    domain: "media",
+                    feature: FeatureId(1),
+                    count: 20,
+                    skew: SkewProfile::neutral(),
+                },
+            ],
+        );
+        let config = PlatformConfig {
+            kind,
+            capabilities: caps,
+            rounding: RoundingRule::facebook(),
+            estimate_kind: EstimateKind::Users,
+            supported_objectives: vec![Objective::Reach, Objective::Traffic],
+            default_objective: Objective::Reach,
+        };
+        AdPlatform::new(config, universe, catalog)
+    }
+
+    #[test]
+    fn estimate_scales_and_rounds() {
+        let p = test_platform(InterfaceKind::FacebookNormal, Capabilities::permissive());
+        let spec = TargetingSpec::and_of([AttributeId(0)]);
+        let exact = p.exact_audience(&spec).unwrap().len();
+        let est = p.reach_estimate(&EstimateRequest::new(spec, Objective::Reach)).unwrap();
+        assert_eq!(est.kind, EstimateKind::Users);
+        assert_eq!(est.value, RoundingRule::facebook().apply(exact * 1_000));
+        assert_eq!(p.stats().estimates, 1);
+    }
+
+    #[test]
+    fn estimates_are_consistent_across_repeats() {
+        // Paper §3: 100 back-to-back repeated calls return consistent
+        // estimates on all platforms.
+        let p = test_platform(InterfaceKind::FacebookNormal, Capabilities::permissive());
+        let spec = TargetingSpec::and_of([AttributeId(1), AttributeId(2)]);
+        let first = p.reach_estimate(&EstimateRequest::new(spec.clone(), Objective::Reach));
+        for _ in 0..99 {
+            assert_eq!(
+                p.reach_estimate(&EstimateRequest::new(spec.clone(), Objective::Reach)),
+                first
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_objective_rejected() {
+        let p = test_platform(InterfaceKind::FacebookNormal, Capabilities::permissive());
+        let req = EstimateRequest::new(TargetingSpec::everyone(), Objective::BrandAwareness);
+        assert_eq!(
+            p.reach_estimate(&req),
+            Err(PlatformError::UnsupportedObjective(Objective::BrandAwareness))
+        );
+    }
+
+    #[test]
+    fn policy_violations_rejected_and_counted() {
+        let p = test_platform(InterfaceKind::FacebookRestricted, Capabilities::restricted());
+        let req = EstimateRequest::new(
+            TargetingSpec::builder().gender(Gender::Male).build(),
+            Objective::Reach,
+        );
+        assert!(matches!(p.reach_estimate(&req), Err(PlatformError::Validation(_))));
+        assert_eq!(p.stats().validation_failures, 1);
+        assert_eq!(p.stats().estimates, 0);
+    }
+
+    #[test]
+    fn derived_interface_shares_audiences_and_maps_parents() {
+        let parent = test_platform(InterfaceKind::FacebookNormal, Capabilities::permissive());
+        let (sub, parents) = parent.catalog().sanitized(10);
+        let config = PlatformConfig {
+            kind: InterfaceKind::FacebookRestricted,
+            capabilities: Capabilities::restricted(),
+            ..parent.config().clone()
+        };
+        let restricted = AdPlatform::derived(config, &parent, sub, parents);
+        assert_eq!(restricted.catalog().len(), 10);
+        for id in restricted.catalog().ids() {
+            let parent_id = restricted.parent_id(id).unwrap();
+            assert_eq!(
+                restricted.attribute_audience(id).unwrap(),
+                parent.attribute_audience(parent_id).unwrap(),
+                "audience must be identical on both interfaces"
+            );
+        }
+        // Same spec on both interfaces gives the same estimate value when
+        // expressed in each one's ids.
+        let rid = AttributeId(3);
+        let pid = restricted.parent_id(rid).unwrap();
+        let on_restricted = restricted
+            .reach_estimate(&EstimateRequest::new(TargetingSpec::and_of([rid]), Objective::Reach))
+            .unwrap();
+        let on_parent = parent
+            .reach_estimate(&EstimateRequest::new(TargetingSpec::and_of([pid]), Objective::Reach))
+            .unwrap();
+        assert_eq!(on_restricted, on_parent);
+    }
+
+    #[test]
+    fn impressions_scale_with_frequency_cap() {
+        let universe = Arc::new(Universe::generate(&UniverseConfig {
+            n_users: 10_000,
+            seed: 6,
+            scale: 100.0,
+            profile: DemographicProfile::balanced(),
+        }));
+        let catalog = Catalog::generate(
+            6,
+            &[CategorySpec {
+                name: "Topics",
+                domain: "media",
+                feature: FeatureId(0),
+                count: 5,
+                skew: SkewProfile::neutral(),
+            }],
+        );
+        let p = AdPlatform::new(
+            PlatformConfig {
+                kind: InterfaceKind::GoogleDisplay,
+                capabilities: Capabilities::cross_feature_only(),
+                rounding: RoundingRule::Exact,
+                estimate_kind: EstimateKind::Impressions,
+                supported_objectives: vec![Objective::BrandAwarenessAndReach],
+                default_objective: Objective::BrandAwarenessAndReach,
+            },
+            universe,
+            catalog,
+        );
+        let spec = TargetingSpec::and_of([AttributeId(0)]);
+        let capped = EstimateRequest::new(spec.clone(), Objective::BrandAwarenessAndReach);
+        let mut uncapped = capped.clone();
+        uncapped.frequency_cap = FrequencyCap { per_month: 12 };
+        let low = p.reach_estimate(&capped).unwrap().value;
+        let high = p.reach_estimate(&uncapped).unwrap().value;
+        assert_eq!(high, low * 12, "impressions scale with the cap");
+        assert_eq!(p.reach_estimate(&capped).unwrap().kind, EstimateKind::Impressions);
+    }
+
+    #[test]
+    fn unknown_attribute_surfaces_as_validation_error() {
+        let p = test_platform(InterfaceKind::FacebookNormal, Capabilities::permissive());
+        let req = EstimateRequest::new(TargetingSpec::and_of([AttributeId(999)]), Objective::Reach);
+        assert!(matches!(
+            p.reach_estimate(&req),
+            Err(PlatformError::Validation(ValidationError::UnknownAttribute(_)))
+        ));
+    }
+}

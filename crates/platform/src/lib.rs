@@ -1,0 +1,50 @@
+//! Simulated advertising platforms.
+//!
+//! The paper audits the advertiser-visible side of Facebook (normal and
+//! restricted interfaces), Google Display, and LinkedIn. Live access to
+//! the 2020-era interfaces is gated, so this crate rebuilds that surface
+//! over the synthetic universes of `adcomp-population`:
+//!
+//! * [`Catalog`] — browsable attribute catalogs of the paper's exact
+//!   sizes (393/667 Facebook restricted/normal, 873 attributes + 2 424
+//!   topics on Google, 552 on LinkedIn), each entry backed by a
+//!   generative audience model;
+//! * [`AdPlatform`] — validate a [`TargetingSpec`](adcomp_targeting::TargetingSpec)
+//!   against the interface policy and return a **rounded**
+//!   [`SizeEstimate`] exactly as the targeting UIs did (two significant
+//!   digits with a 1 000 floor on Facebook; one-then-two digits with a 40
+//!   floor on Google; two digits with a 300 floor on LinkedIn);
+//! * [`Simulation`] — the calibrated four-interface bundle experiments
+//!   run against;
+//! * [`TokenBucket`]/[`QueryStats`] — the query-budget machinery the
+//!   paper's ethics section describes.
+//!
+//! The audit pipeline in `adcomp-core` sees only this advertiser surface;
+//! ground-truth accessors ([`AdPlatform::exact_audience`] and friends)
+//! exist solely for tests and ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod custom_audience;
+mod estimate;
+mod interface;
+mod lookalike;
+mod names;
+mod objective;
+mod presets;
+mod ratelimit;
+
+pub use catalog::{Catalog, CatalogEntry, CategorySpec, SkewProfile};
+pub use estimate::{round_significant, EstimateKind, RoundingRule, SizeEstimate};
+pub use interface::{
+    AdPlatform, EstimateRequest, InterfaceKind, PlatformConfig, PlatformError,
+};
+pub use custom_audience::{ContactHash, MatchedAudience};
+pub use lookalike::{LookalikeConfig, LookalikeError, MIN_SEED};
+pub use objective::{FrequencyCap, Objective};
+pub use presets::{
+    build_facebook, build_facebook_restricted, build_google, build_linkedin, SimScale, Simulation,
+};
+pub use ratelimit::{QueryStats, TokenBucket};

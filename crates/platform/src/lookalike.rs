@@ -1,0 +1,284 @@
+//! Lookalike audiences and "Special Ad Audiences".
+//!
+//! The paper's background (§2.1–2.2): platforms let advertisers expand a
+//! *seed* audience (from PII upload or site activity) to the users most
+//! similar to it. On Facebook's restricted interface, Lookalike
+//! Audiences are replaced by **Special Ad Audiences** — "adjusted to
+//! comply with the audience selection restrictions" — which drop
+//! demographic features from the similarity model but keep behavioural
+//! ones.
+//!
+//! The simulator implements both:
+//!
+//! * the similarity model scores a candidate by weighted co-membership
+//!   with the seed's most *characteristic* attributes (highest lift
+//!   `P(a | seed) / P(a)`), the behavioural part;
+//! * regular lookalikes add a demographic affinity bonus for matching
+//!   the seed's majority gender/age, the part SAAs remove.
+//!
+//! Because attribute memberships themselves correlate with demographics
+//! (that is the whole point of the paper), dropping the explicit
+//! demographic features does **not** make the expansion neutral — a
+//! seed of mostly-male users still expands to a mostly-male audience
+//! through its characteristic attributes. The audit can measure exactly
+//! how much skew survives the adjustment.
+
+use adcomp_bitset::Bitset;
+
+use crate::interface::AdPlatform;
+
+/// Lookalike expansion parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LookalikeConfig {
+    /// Output size as a multiple of the seed size (platforms offer 1–10 %
+    /// of the country; we model it relative to the seed).
+    pub expansion: f64,
+    /// Number of characteristic attributes the similarity model uses.
+    pub top_attributes: usize,
+    /// Weight of the demographic affinity bonus (regular lookalikes).
+    pub demographic_weight: f32,
+    /// Special Ad Audience mode: drop the demographic features entirely.
+    pub special_ad_audience: bool,
+}
+
+impl Default for LookalikeConfig {
+    fn default() -> Self {
+        LookalikeConfig {
+            expansion: 5.0,
+            top_attributes: 24,
+            demographic_weight: 1.5,
+            special_ad_audience: false,
+        }
+    }
+}
+
+impl LookalikeConfig {
+    /// The restricted interface's variant.
+    pub fn special_ad_audience() -> Self {
+        LookalikeConfig { special_ad_audience: true, ..LookalikeConfig::default() }
+    }
+}
+
+/// Errors specific to lookalike construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LookalikeError {
+    /// The seed has too few users for a stable similarity model
+    /// (platforms require ≥ 100).
+    SeedTooSmall {
+        /// Seed size provided.
+        size: u64,
+        /// Required minimum.
+        minimum: u64,
+    },
+}
+
+impl std::fmt::Display for LookalikeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LookalikeError::SeedTooSmall { size, minimum } => {
+                write!(f, "seed audience of {size} users is below the minimum of {minimum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LookalikeError {}
+
+/// Minimum seed size (Facebook requires 100 matched users).
+pub const MIN_SEED: u64 = 100;
+
+impl AdPlatform {
+    /// Expands `seed` into a lookalike audience.
+    ///
+    /// Deterministic: scores every non-seed user and keeps the
+    /// `expansion × |seed|` highest, breaking ties by user id.
+    pub fn lookalike(
+        &self,
+        seed: &Bitset,
+        config: &LookalikeConfig,
+    ) -> Result<Bitset, LookalikeError> {
+        let seed_size = seed.len();
+        if seed_size < MIN_SEED {
+            return Err(LookalikeError::SeedTooSmall { size: seed_size, minimum: MIN_SEED });
+        }
+        let universe = self.universe();
+        let n = universe.n_users();
+
+        // 1. Characteristic attributes: highest lift P(a|seed)/P(a).
+        let mut lifts: Vec<(usize, f64)> = Vec::with_capacity(self.catalog().len());
+        for (idx, id) in self.catalog().ids().enumerate() {
+            let audience = self
+                .attribute_audience_raw(idx)
+                .unwrap_or_else(|| panic!("audience for {id:?}"));
+            let in_seed = audience.intersection_len(seed);
+            if in_seed == 0 {
+                continue;
+            }
+            let p_given_seed = in_seed as f64 / seed_size as f64;
+            let p = audience.len() as f64 / n as f64;
+            if p > 0.0 {
+                lifts.push((idx, p_given_seed / p));
+            }
+        }
+        lifts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite lifts").then(a.0.cmp(&b.0)));
+        lifts.truncate(config.top_attributes);
+
+        // 2. Score candidates by weighted co-membership (log-lift weights).
+        let mut scores = vec![0f32; n as usize];
+        for &(idx, lift) in &lifts {
+            let weight = (lift.max(1.0)).ln() as f32;
+            if weight <= 0.0 {
+                continue;
+            }
+            let audience = self.attribute_audience_raw(idx).expect("audience");
+            for user in audience.iter() {
+                scores[user as usize] += weight;
+            }
+        }
+
+        // 3. Demographic affinity (regular lookalikes only): each user
+        //    gains weight proportional to how over-represented their
+        //    gender/age is in the seed relative to the platform base rate.
+        //    A balanced seed therefore contributes no demographic signal.
+        if !config.special_ad_audience && config.demographic_weight > 0.0 {
+            use adcomp_population::{AgeBucket, Gender};
+            for gender in Gender::ALL {
+                let audience = universe.gender_audience(gender);
+                let seed_rate = audience.intersection_len(seed) as f64 / seed_size as f64;
+                let base_rate = audience.len() as f64 / n as f64;
+                let excess = (seed_rate - base_rate) as f32;
+                if excess > 0.0 {
+                    for user in audience.iter() {
+                        scores[user as usize] += config.demographic_weight * excess;
+                    }
+                }
+            }
+            for age in AgeBucket::ALL {
+                let audience = universe.age_audience(age);
+                let seed_rate = audience.intersection_len(seed) as f64 / seed_size as f64;
+                let base_rate = audience.len() as f64 / n as f64;
+                let excess = (seed_rate - base_rate) as f32;
+                if excess > 0.0 {
+                    for user in audience.iter() {
+                        scores[user as usize] += config.demographic_weight * 0.5 * excess;
+                    }
+                }
+            }
+        }
+
+        // 4. Top-k non-seed users, ties by id.
+        let want = ((seed_size as f64 * config.expansion).round() as usize).min(n as usize);
+        let mut candidates: Vec<u32> = (0..n).filter(|u| !seed.contains(*u)).collect();
+        candidates.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("finite scores")
+                .then(a.cmp(&b))
+        });
+        candidates.truncate(want);
+        candidates.sort_unstable();
+        Ok(Bitset::from_sorted_iter(candidates))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{SimScale, Simulation};
+    use adcomp_population::Gender;
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static Simulation {
+        static SIM: OnceLock<Simulation> = OnceLock::new();
+        SIM.get_or_init(|| Simulation::build(48, SimScale::Test))
+    }
+
+    /// A male-heavy seed: males holding a male-skewed attribute.
+    fn male_seed() -> Bitset {
+        let fb = &sim().facebook;
+        let u = fb.universe();
+        // Find a clearly male-skewed attribute to seed from.
+        let males = u.gender_audience(Gender::Male);
+        let females = u.gender_audience(Gender::Female);
+        let best = fb
+            .catalog()
+            .ids()
+            .max_by(|&a, &b| {
+                let skew = |id: adcomp_targeting::AttributeId| {
+                    let aud = fb.attribute_audience_raw(id.0 as usize).unwrap();
+                    aud.intersection_len(males) as f64 / aud.intersection_len(females).max(1) as f64
+                };
+                skew(a).partial_cmp(&skew(b)).unwrap()
+            })
+            .unwrap();
+        fb.attribute_audience_raw(best.0 as usize).unwrap().clone()
+    }
+
+    fn male_fraction(set: &Bitset) -> f64 {
+        let u = sim().facebook.universe();
+        set.intersection_len(u.gender_audience(Gender::Male)) as f64 / set.len() as f64
+    }
+
+    #[test]
+    fn lookalike_has_requested_size_and_excludes_seed() {
+        let seed = male_seed();
+        let config = LookalikeConfig { expansion: 3.0, ..LookalikeConfig::default() };
+        let lal = sim().facebook.lookalike(&seed, &config).unwrap();
+        assert_eq!(lal.len(), (seed.len() as f64 * 3.0).round() as u64);
+        assert!(lal.is_disjoint(&seed), "lookalike must not contain seed users");
+    }
+
+    #[test]
+    fn lookalike_replicates_seed_skew() {
+        let seed = male_seed();
+        let base_rate = male_fraction(sim().facebook.universe().everyone());
+        let seed_rate = male_fraction(&seed);
+        assert!(seed_rate > base_rate + 0.05, "seed must be male-heavy ({seed_rate})");
+        let lal = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+        let lal_rate = male_fraction(&lal);
+        assert!(
+            lal_rate > base_rate + 0.05,
+            "lookalike must replicate skew: {lal_rate} vs base {base_rate}"
+        );
+    }
+
+    #[test]
+    fn special_ad_audience_reduces_but_does_not_remove_skew() {
+        // The headline of the lookalike extension: dropping explicit
+        // demographic features (the SAA "adjustment") leaves behavioural
+        // leakage — attribute co-membership still carries gender.
+        let seed = male_seed();
+        let base_rate = male_fraction(sim().facebook.universe().everyone());
+        let regular = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+        let saa = sim()
+            .facebook
+            .lookalike(&seed, &LookalikeConfig::special_ad_audience())
+            .unwrap();
+        let regular_rate = male_fraction(&regular);
+        let saa_rate = male_fraction(&saa);
+        assert!(
+            saa_rate <= regular_rate + 1e-9,
+            "adjustment must not increase skew ({saa_rate} vs {regular_rate})"
+        );
+        assert!(
+            saa_rate > base_rate + 0.03,
+            "behavioural leakage keeps the SAA skewed: {saa_rate} vs base {base_rate}"
+        );
+    }
+
+    #[test]
+    fn tiny_seed_rejected() {
+        let seed: Bitset = (0..50u32).collect();
+        let err = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap_err();
+        assert_eq!(err, LookalikeError::SeedTooSmall { size: 50, minimum: MIN_SEED });
+        assert!(err.to_string().contains("50"));
+    }
+
+    #[test]
+    fn lookalike_is_deterministic() {
+        let seed = male_seed();
+        let a = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+        let b = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,401 @@
+//! Deterministic generation of human-readable attribute names.
+//!
+//! The real catalogs contain entries like *"Interests — Electrical
+//! engineering"* or *"Gamers — Shooter Game Fans"* (paper Tables 2–3).
+//! Synthetic catalogs reproduce that shape: every attribute is named
+//! `"<Category> — <Phrase>"`, with phrases drawn from per-domain word
+//! pools and extended with qualifiers when a category needs more entries
+//! than its pool holds. Generation is deterministic and collision-free.
+
+/// Qualifiers appended to base phrases when a category's pool runs out.
+const QUALIFIERS: &[&str] = &[
+    "Fans",
+    "Enthusiasts",
+    "Beginners",
+    "Professionals",
+    "News",
+    "Magazines",
+    "Equipment",
+    "Accessories",
+    "Events",
+    "Clubs",
+    "Communities",
+    "Courses",
+    "Tutorials",
+    "Reviews",
+    "Deals",
+    "Brands",
+    "Collectors",
+    "Culture",
+    "History",
+    "Trends",
+    "Startups",
+    "Services",
+    "Supplies",
+    "Workshops",
+];
+
+/// A lazily expanding pool of distinct phrases for one category.
+pub(crate) struct NamePool {
+    base: &'static [&'static str],
+}
+
+impl NamePool {
+    pub(crate) fn new(base: &'static [&'static str]) -> Self {
+        assert!(!base.is_empty(), "name pool needs at least one phrase");
+        NamePool { base }
+    }
+
+    /// Number of distinct names this pool can produce.
+    pub(crate) fn capacity(&self) -> usize {
+        self.base.len() * (1 + QUALIFIERS.len())
+    }
+
+    /// The `i`-th distinct phrase: bare phrases first, then
+    /// phrase–qualifier combinations.
+    pub(crate) fn phrase(&self, i: usize) -> String {
+        let n = self.base.len();
+        if i < n {
+            self.base[i].to_string()
+        } else {
+            let j = i - n;
+            let qualifier = QUALIFIERS[(j / n) % QUALIFIERS.len()];
+            format!("{} {}", self.base[j % n], qualifier)
+        }
+    }
+}
+
+/// Word pools keyed by domain; shared across platforms so the same domain
+/// produces the same flavour of names everywhere.
+pub(crate) fn pool(domain: &str) -> NamePool {
+    let base: &'static [&'static str] = match domain {
+        "interests" => &[
+            "Electrical engineering",
+            "Mechanical engineering",
+            "Cars",
+            "Sedans",
+            "Hatchbacks",
+            "Sports cars",
+            "Automobile repair",
+            "Computer engineering",
+            "Interior design",
+            "Epidemiology",
+            "Veterinary medicine",
+            "Multi-level marketing",
+            "Product design",
+            "Grocery stores",
+            "Credit monitoring",
+            "Mortgage calculators",
+            "Reverse mortgages",
+            "Life insurance",
+            "Home equity",
+            "Government debt",
+            "Data security",
+            "Fundraising",
+            "Vocational education",
+            "Entry-level jobs",
+            "Apartment hunting",
+            "Moving services",
+            "Microcredit",
+            "Income tax",
+            "Consumer reports",
+            "Living rooms",
+            "Bungalows",
+            "Buy to let",
+        ],
+        "games" => &[
+            "Strategy games",
+            "Racing games",
+            "Shooter games",
+            "Massively multiplayer online games",
+            "Tile games",
+            "Sports games",
+            "Puzzle games",
+            "Card games",
+            "Board games",
+            "Role-playing games",
+            "Arcade games",
+            "Simulation games",
+            "Platformers",
+            "Fighting games",
+            "Trivia games",
+            "Word games",
+        ],
+        "industries" => &[
+            "Military",
+            "Construction and Extraction",
+            "Education and Libraries",
+            "Community and Social Services",
+            "Healthcare and Medical",
+            "Legal Services",
+            "Transportation and Moving",
+            "Sales",
+            "Management",
+            "Administrative Services",
+            "Arts and Entertainment",
+            "Farming and Fishing",
+            "Installation and Repair",
+            "Food and Restaurants",
+            "IT and Technical Services",
+            "Cleaning and Maintenance",
+            "Production",
+            "Protective Services",
+        ],
+        "beauty" => &[
+            "Cosmetics",
+            "Hair products",
+            "Eye makeup",
+            "Skin care",
+            "Anti-aging products",
+            "Fragrances",
+            "Nail care",
+            "Salons",
+            "Spas",
+            "Hair styling",
+            "Natural beauty",
+            "Beauty boxes",
+        ],
+        "shopping" => &[
+            "Boutiques",
+            "Children's clothing",
+            "Discount stores",
+            "Luxury goods",
+            "Coupons",
+            "Online shopping",
+            "Department stores",
+            "Handbags",
+            "Shoes",
+            "Jewelry",
+            "Watches",
+            "Home decor",
+        ],
+        "family" => &[
+            "Parenting",
+            "Toddlers",
+            "Motherhood",
+            "Fatherhood",
+            "Weddings",
+            "Engagement",
+            "Family vacations",
+            "Childcare",
+            "Adoption",
+            "Grandparenting",
+        ],
+        "vehicles" => &[
+            "Custom vehicles",
+            "Performance vehicles",
+            "Luxury vehicles",
+            "Motorcycles",
+            "Trucks",
+            "Electric vehicles",
+            "Classic cars",
+            "Car audio",
+            "Off-road vehicles",
+            "Auto racing",
+            "Car shows",
+            "Vehicle leasing",
+        ],
+        "food" => &[
+            "Greek cuisine",
+            "South American cuisine",
+            "Grains and pasta",
+            "Baking",
+            "Grilling",
+            "Vegetarian cuisine",
+            "Coffee",
+            "Tea",
+            "Wine",
+            "Craft beer",
+            "Desserts",
+            "Street food",
+            "Seafood",
+            "Barbecue",
+        ],
+        "crafts" => &[
+            "Art and craft supplies",
+            "Fiber and textile arts",
+            "Woodworking",
+            "Scrapbooking",
+            "Knitting",
+            "Pottery",
+            "Painting",
+            "Drawing",
+            "Quilting",
+            "Jewelry making",
+        ],
+        "tech" => &[
+            "Chips and processors",
+            "Hardware modding",
+            "Operating systems",
+            "Linux",
+            "CPUs",
+            "Graphics cards",
+            "Mechanical keyboards",
+            "Home networking",
+            "Smart home",
+            "3D printing",
+            "Drones",
+            "Virtual reality",
+            "Cloud computing",
+            "Cybersecurity",
+        ],
+        "sports" => &[
+            "Soccer",
+            "Volleyball",
+            "Kickboxing",
+            "Japanese martial arts",
+            "Table tennis",
+            "Basketball",
+            "Baseball",
+            "Running",
+            "Cycling",
+            "Swimming",
+            "Yoga",
+            "Weightlifting",
+            "Rock climbing",
+            "Golf",
+            "Tennis",
+        ],
+        "finance" => &[
+            "Retirement planning",
+            "Life insurance",
+            "Corporate financial planning",
+            "Stock trading",
+            "Savings accounts",
+            "Credit cards",
+            "Student loans",
+            "Tax preparation",
+            "Estate planning",
+            "Cryptocurrencies",
+            "Budgeting",
+            "Mutual funds",
+        ],
+        "jobs" => &[
+            "Engineering",
+            "Accounting",
+            "Consulting",
+            "Operations",
+            "Administrative",
+            "Marketing",
+            "Human resources",
+            "Information technology",
+            "Business development",
+            "Customer support",
+            "Research",
+            "Design",
+            "Legal",
+            "Purchasing",
+            "Quality assurance",
+        ],
+        "seniority" => &[
+            "CXO",
+            "Vice president",
+            "Director",
+            "Manager",
+            "Senior contributor",
+            "Entry level",
+            "Owner",
+            "Partner",
+            "Training",
+            "Unpaid",
+        ],
+        "education" => &[
+            "Some high school",
+            "High school graduates",
+            "In college",
+            "College graduates",
+            "Master's degrees",
+            "Doctorates",
+            "Alumni and reunions",
+            "Online degrees",
+            "Trade schools",
+            "Continuing education",
+        ],
+        "lifestyle" => &[
+            "Frequent travelers",
+            "Expats",
+            "Homeowners",
+            "Renters",
+            "Newlyweds",
+            "Retiring soon",
+            "Job seekers",
+            "Small business owners",
+            "Pet owners",
+            "Gardeners",
+            "Volunteers",
+            "Commuters",
+        ],
+        "media" => &[
+            "Classic films",
+            "Manga",
+            "Fan fiction",
+            "Documentaries",
+            "Podcasts",
+            "Reality television",
+            "Science fiction",
+            "True crime",
+            "Animation",
+            "Live music",
+            "Opera",
+            "Stand-up comedy",
+        ],
+        _ => panic!("unknown name domain: {domain}"),
+    };
+    NamePool::new(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phrases_are_distinct_up_to_capacity() {
+        let p = pool("games");
+        let cap = p.capacity();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..cap {
+            assert!(seen.insert(p.phrase(i)), "duplicate at {i}: {}", p.phrase(i));
+        }
+    }
+
+    #[test]
+    fn bare_phrases_come_first() {
+        let p = pool("interests");
+        assert_eq!(p.phrase(0), "Electrical engineering");
+        assert!(p.phrase(0).split(' ').count() <= 3);
+        // Past the pool, qualifiers appear.
+        let extended = p.phrase(p.base.len());
+        assert!(extended.ends_with("Fans"), "got {extended}");
+    }
+
+    #[test]
+    fn all_domains_resolve() {
+        for d in [
+            "interests",
+            "games",
+            "industries",
+            "beauty",
+            "shopping",
+            "family",
+            "vehicles",
+            "food",
+            "crafts",
+            "tech",
+            "sports",
+            "finance",
+            "jobs",
+            "seniority",
+            "education",
+            "lifestyle",
+            "media",
+        ] {
+            assert!(pool(d).capacity() > 100, "domain {d} too small");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown name domain")]
+    fn unknown_domain_panics() {
+        let _ = pool("nope");
+    }
+}

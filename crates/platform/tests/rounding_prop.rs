@@ -1,0 +1,89 @@
+//! Property tests for the size-estimate rounding ladders: idempotence,
+//! monotonicity, bounded relative error, and inverse-interval soundness —
+//! the properties the paper's §3 granularity analysis implicitly relies
+//! on.
+
+use adcomp_platform::{round_significant, RoundingRule};
+use proptest::prelude::*;
+
+fn arb_rule() -> impl Strategy<Value = RoundingRule> {
+    prop_oneof![
+        Just(RoundingRule::facebook()),
+        Just(RoundingRule::google()),
+        Just(RoundingRule::linkedin()),
+        Just(RoundingRule::Exact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn rounding_is_idempotent(rule in arb_rule(), v in 0u64..10_000_000_000) {
+        let once = rule.apply(v);
+        prop_assert_eq!(rule.apply(once), once, "apply must be a projection");
+    }
+
+    #[test]
+    fn rounding_is_monotone(rule in arb_rule(), a in 0u64..10_000_000_000, b in 0u64..10_000_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(rule.apply(lo) <= rule.apply(hi));
+    }
+
+    #[test]
+    fn relative_error_is_bounded(rule in arb_rule(), v in 1u64..10_000_000_000) {
+        let rounded = rule.apply(v);
+        match rule {
+            RoundingRule::Exact => prop_assert_eq!(rounded, v),
+            RoundingRule::SignificantClamped { minimum, .. } => {
+                if v >= minimum {
+                    // Two significant digits: ≤ 5 % relative error at the
+                    // worst (half of one unit in the second digit of 10).
+                    let rel = (rounded as f64 - v as f64).abs() / v as f64;
+                    prop_assert!(rel <= 0.06, "v={v} rounded={rounded} rel={rel}");
+                }
+            }
+            RoundingRule::SignificantTiered { minimum, switch_at, .. } => {
+                if v >= minimum {
+                    // One significant digit below the switch: ≤ ~33 %
+                    // (5 rounds to 10 is the worst case at 100 %? no:
+                    // half-up at one digit is ≤ 5/15 ≈ 33 % for v ≥ 10,
+                    // and v in [minimum, 10) is returned exactly).
+                    let rel = (rounded as f64 - v as f64).abs() / v as f64;
+                    let bound = if v < switch_at { 0.34 } else { 0.06 };
+                    prop_assert!(rel <= bound, "v={v} rounded={rounded} rel={rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_interval_is_sound_and_tight(rule in arb_rule(), v in 0u64..100_000_000) {
+        let rounded = rule.apply(v);
+        let (lo, hi) = rule
+            .inverse_interval(rounded)
+            .expect("every produced value must have a preimage");
+        prop_assert!((lo..=hi).contains(&v), "v={v} not in [{lo}, {hi}] for {rounded}");
+        // Soundness: the endpoints themselves round back to the value.
+        prop_assert_eq!(rule.apply(lo.max(1)), if lo == 0 { rule.apply(0) } else { rounded });
+        prop_assert_eq!(rule.apply(hi), rounded);
+    }
+
+    #[test]
+    fn round_significant_keeps_magnitude(digits in 1u32..5, v in 1u64..10_000_000_000) {
+        let r = round_significant(v, digits);
+        // Never more than one order of magnitude of drift, and result is
+        // representable with `digits` significant digits.
+        prop_assert!(r as f64 >= v as f64 * 0.5 && r as f64 <= v as f64 * 1.5);
+        let mut stripped = r;
+        while stripped > 0 && stripped.is_multiple_of(10) {
+            stripped /= 10;
+        }
+        let mut count = 0;
+        while stripped > 0 {
+            stripped /= 10;
+            count += 1;
+        }
+        prop_assert!(count <= digits, "{r} has {count} sig digits > {digits}");
+    }
+}

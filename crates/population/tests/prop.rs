@@ -1,0 +1,113 @@
+//! Property tests for the universe generator: demographic partitions,
+//! prior adherence, determinism, and monotonicity of the attribute model.
+
+use adcomp_population::{
+    AgeBucket, AttributeModel, DemographicProfile, Gender, Universe, UniverseConfig,
+};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = DemographicProfile> {
+    (
+        0.05f64..0.95,
+        proptest::array::uniform4(0.05f64..1.0),
+        0.0f32..1.5,
+        0.0f32..1.5,
+    )
+        .prop_map(|(male_fraction, age_weights, gender_signal, age_signal)| {
+            DemographicProfile { male_fraction, age_weights, gender_signal, age_signal }
+        })
+}
+
+fn universe(seed: u64, profile: DemographicProfile) -> Universe {
+    Universe::generate(&UniverseConfig { n_users: 6_000, seed, scale: 1.0, profile })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn demographic_sets_partition_for_any_profile(seed in 0u64..1000, profile in arb_profile()) {
+        let u = universe(seed, profile);
+        let males = u.gender_audience(Gender::Male);
+        let females = u.gender_audience(Gender::Female);
+        prop_assert!(males.is_disjoint(females));
+        prop_assert_eq!(males.len() + females.len(), u.n_users() as u64);
+        let age_total: u64 = AgeBucket::ALL.iter().map(|a| u.age_audience(*a).len()).sum();
+        prop_assert_eq!(age_total, u.n_users() as u64);
+        // Per-user lookup agrees with the precomputed sets.
+        for user in (0..u.n_users()).step_by(997) {
+            let d = u.demographics(user);
+            prop_assert!(u.gender_audience(d.gender).contains(user));
+            prop_assert!(u.age_audience(d.age).contains(user));
+        }
+    }
+
+    #[test]
+    fn priors_hold_within_sampling_error(seed in 0u64..1000, profile in arb_profile()) {
+        let u = universe(seed, profile.clone());
+        let male_frac = u.gender_audience(Gender::Male).len() as f64 / u.n_users() as f64;
+        // Binomial std-err for n=6000 is ≤ 0.0065; allow 5 sigma.
+        prop_assert!((male_frac - profile.male_fraction).abs() < 0.033,
+                     "male {male_frac} vs prior {}", profile.male_fraction);
+        let total: f64 = profile.age_weights.iter().sum();
+        for age in AgeBucket::ALL {
+            let expect = profile.age_weights[age.index()] / total;
+            let got = u.age_audience(age).len() as f64 / u.n_users() as f64;
+            prop_assert!((got - expect).abs() < 0.04, "{age}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn materialisation_deterministic_and_seed_sensitive(
+        seed in 0u64..1000, attr_seed in 0u64..1000, p in 0.02f64..0.5)
+    {
+        let u = universe(seed, DemographicProfile::balanced());
+        let m = AttributeModel::new(attr_seed).popularity(p);
+        let a = u.materialize(&m);
+        prop_assert_eq!(a.clone(), u.materialize(&m), "same model → same audience");
+        let m2 = AttributeModel::new(attr_seed ^ 0xFFFF_0000).popularity(p);
+        let b = u.materialize(&m2);
+        // Different attribute seeds decorrelate membership: the overlap
+        // should be near p² of the universe, far from identity.
+        prop_assert!(a != b || a.is_empty());
+    }
+
+    #[test]
+    fn popularity_is_monotone_in_bias(seed in 0u64..200, attr_seed in 0u64..200) {
+        let u = universe(seed, DemographicProfile::balanced());
+        let low = u.materialize(&AttributeModel::new(attr_seed).popularity(0.05));
+        let high = u.materialize(&AttributeModel::new(attr_seed).popularity(0.30));
+        // Same Bernoulli stream, higher threshold: strictly nested sets.
+        prop_assert!(low.is_subset(&high), "audiences share a draw stream");
+        prop_assert!(low.len() < high.len());
+    }
+
+    #[test]
+    fn gender_bias_direction_is_respected(seed in 0u64..200, bias in 0.4f32..1.5) {
+        let u = universe(seed, DemographicProfile::balanced());
+        let m = AttributeModel::new(7).popularity(0.2).gender_bias(bias);
+        let audience = u.materialize(&m);
+        let males = u.gender_audience(Gender::Male);
+        let females = u.gender_audience(Gender::Female);
+        let male_rate = audience.intersection_len(males) as f64 / males.len() as f64;
+        let female_rate = audience.intersection_len(females) as f64 / females.len() as f64;
+        prop_assert!(male_rate > female_rate,
+                     "bias {bias}: male {male_rate} vs female {female_rate}");
+    }
+
+    #[test]
+    fn membership_probability_matches_realised_rate(seed in 0u64..50) {
+        // The mean model probability and the realised audience fraction
+        // must agree (law of large numbers over the user dimension).
+        let u = universe(seed, DemographicProfile::balanced());
+        let m = AttributeModel::new(3).popularity(0.15).gender_bias(0.5).loading(4, 0.8);
+        let audience = u.materialize(&m);
+        let mean_p: f64 = (0..u.n_users())
+            .map(|user| u.membership_probability(&m, user))
+            .sum::<f64>()
+            / u.n_users() as f64;
+        let realised = audience.len() as f64 / u.n_users() as f64;
+        prop_assert!((mean_p - realised).abs() < 0.02,
+                     "mean p {mean_p} vs realised {realised}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Evaluation of targeting specs against a population.
+
+use adcomp_bitset::Bitset;
+use adcomp_population::Universe;
+
+use crate::ast::{AttributeId, TargetingSpec};
+
+/// Source of attribute audiences: implemented by the platform layer, which
+/// owns the materialised (and cached) per-attribute bitsets for its
+/// catalog.
+pub trait AttributeResolver {
+    /// The audience of a catalog attribute, or `None` for an unknown id.
+    fn attribute_audience(&self, id: AttributeId) -> Option<&Bitset>;
+
+    /// The universe the audiences were materialised against.
+    fn universe(&self) -> &Universe;
+}
+
+/// Evaluation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The spec referenced an attribute the resolver does not know.
+    UnknownAttribute(AttributeId),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownAttribute(id) => write!(f, "unknown attribute #{}", id.0),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Computes the exact audience of `spec`.
+///
+/// Semantics (matching the platforms' documented behaviour):
+///
+/// ```text
+/// audience = demographics ∧ (∧ over groups (∨ over attributes))
+///                         ∧ ¬(∨ over exclusions)
+/// ```
+///
+/// Group evaluation is ordered smallest-first so intersections shrink as
+/// early as possible; exclusions are applied last.
+pub fn evaluate<R: AttributeResolver + ?Sized>(
+    resolver: &R,
+    spec: &TargetingSpec,
+) -> Result<Bitset, EvalError> {
+    let universe = resolver.universe();
+
+    // OR within each group.
+    let mut group_sets: Vec<Bitset> = Vec::with_capacity(spec.include.len());
+    for group in &spec.include {
+        let mut acc: Option<Bitset> = None;
+        for &id in &group.attributes {
+            let audience =
+                resolver.attribute_audience(id).ok_or(EvalError::UnknownAttribute(id))?;
+            acc = Some(match acc {
+                None => audience.clone(),
+                Some(cur) => cur.or(audience),
+            });
+        }
+        // An empty group matches nobody; normalised specs never contain
+        // one, but evaluation must still be total.
+        group_sets.push(acc.unwrap_or_default());
+    }
+    // AND across groups, smallest first.
+    group_sets.sort_by_key(|s| s.len());
+    let mut audience: Option<Bitset> = None;
+    for set in group_sets {
+        audience = Some(match audience {
+            None => set,
+            Some(cur) => cur.and(&set),
+        });
+        if audience.as_ref().is_some_and(|a| a.is_empty()) {
+            break;
+        }
+    }
+
+    // Demographics.
+    let mut audience = match audience {
+        Some(a) => a,
+        None => universe.everyone().clone(),
+    };
+    if let Some(genders) = &spec.demographics.genders {
+        let mut demo = Bitset::new();
+        for g in genders {
+            demo = demo.or(universe.gender_audience(*g));
+        }
+        audience = audience.and(&demo);
+    }
+    if let Some(ages) = &spec.demographics.ages {
+        let mut demo = Bitset::new();
+        for a in ages {
+            demo = demo.or(universe.age_audience(*a));
+        }
+        audience = audience.and(&demo);
+    }
+
+    // Exclusions.
+    for &id in &spec.exclude {
+        let excluded =
+            resolver.attribute_audience(id).ok_or(EvalError::UnknownAttribute(id))?;
+        audience = audience.and_not(excluded);
+        if audience.is_empty() {
+            break;
+        }
+    }
+
+    Ok(audience)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcomp_population::{
+        AgeBucket, AttributeModel, DemographicProfile, Gender, UniverseConfig,
+    };
+
+    /// Test resolver over a handful of materialised attributes.
+    struct TestResolver {
+        universe: Universe,
+        audiences: Vec<Bitset>,
+    }
+
+    impl AttributeResolver for TestResolver {
+        fn attribute_audience(&self, id: AttributeId) -> Option<&Bitset> {
+            self.audiences.get(id.0 as usize)
+        }
+        fn universe(&self) -> &Universe {
+            &self.universe
+        }
+    }
+
+    fn resolver() -> TestResolver {
+        let universe = Universe::generate(&UniverseConfig {
+            n_users: 30_000,
+            seed: 42,
+            scale: 1.0,
+            profile: DemographicProfile::balanced(),
+        });
+        let models = [
+            AttributeModel::new(100).popularity(0.3),
+            AttributeModel::new(101).popularity(0.2).gender_bias(1.0),
+            AttributeModel::new(102).popularity(0.25).age_biases([1.0, 0.3, -0.3, -1.0]),
+            AttributeModel::new(103).popularity(0.15).loading(3, 1.2),
+        ];
+        let audiences = models.iter().map(|m| universe.materialize(m)).collect();
+        TestResolver { universe, audiences }
+    }
+
+    /// Naive per-user reference evaluation.
+    fn reference(r: &TestResolver, spec: &TargetingSpec) -> Bitset {
+        let u = &r.universe;
+        let mut out = Bitset::new();
+        'user: for user in 0..u.n_users() {
+            let d = u.demographics(user);
+            if let Some(gs) = &spec.demographics.genders {
+                if !gs.contains(&d.gender) {
+                    continue;
+                }
+            }
+            if let Some(ags) = &spec.demographics.ages {
+                if !ags.contains(&d.age) {
+                    continue;
+                }
+            }
+            for group in &spec.include {
+                if !group.attributes.iter().any(|a| r.audiences[a.0 as usize].contains(user)) {
+                    continue 'user;
+                }
+            }
+            for a in &spec.exclude {
+                if r.audiences[a.0 as usize].contains(user) {
+                    continue 'user;
+                }
+            }
+            out.insert(user);
+        }
+        out
+    }
+
+    #[test]
+    fn everyone_spec_returns_universe() {
+        let r = resolver();
+        let a = evaluate(&r, &TargetingSpec::everyone()).unwrap();
+        assert_eq!(a, r.universe.everyone().clone());
+    }
+
+    #[test]
+    fn matches_reference_on_varied_specs() {
+        let r = resolver();
+        let specs = [
+            TargetingSpec::and_of([AttributeId(0)]),
+            TargetingSpec::and_of([AttributeId(0), AttributeId(1)]),
+            TargetingSpec::builder()
+                .any_of([AttributeId(0), AttributeId(2)])
+                .attribute(AttributeId(3))
+                .build(),
+            TargetingSpec::builder().gender(Gender::Female).attribute(AttributeId(1)).build(),
+            TargetingSpec::builder()
+                .ages([AgeBucket::A18_24, AgeBucket::A25_34])
+                .any_of([AttributeId(1), AttributeId(3)])
+                .exclude([AttributeId(2)])
+                .build(),
+            TargetingSpec::builder().exclude([AttributeId(0)]).build(),
+        ];
+        for spec in &specs {
+            assert_eq!(evaluate(&r, spec).unwrap(), reference(&r, spec), "spec: {spec}");
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let r = resolver();
+        let spec = TargetingSpec::and_of([AttributeId(999)]);
+        assert_eq!(evaluate(&r, &spec), Err(EvalError::UnknownAttribute(AttributeId(999))));
+        let spec = TargetingSpec::builder().exclude([AttributeId(999)]).build();
+        assert_eq!(evaluate(&r, &spec), Err(EvalError::UnknownAttribute(AttributeId(999))));
+    }
+
+    #[test]
+    fn empty_group_matches_nobody() {
+        let r = resolver();
+        let spec = TargetingSpec {
+            include: vec![crate::ast::OrGroup { attributes: vec![] }],
+            ..Default::default()
+        };
+        assert!(evaluate(&r, &spec).unwrap().is_empty());
+    }
+
+    #[test]
+    fn intersect_audience_equals_audience_intersection() {
+        // The algebraic closure property used by inclusion–exclusion:
+        // eval(a ∧ b) == eval(a) ∧ eval(b).
+        let r = resolver();
+        let a = TargetingSpec::builder()
+            .any_of([AttributeId(0), AttributeId(1)])
+            .gender(Gender::Male)
+            .build();
+        let b = TargetingSpec::builder().attribute(AttributeId(2)).build();
+        let ab = a.intersect(&b).unwrap();
+        let ea = evaluate(&r, &a).unwrap();
+        let eb = evaluate(&r, &b).unwrap();
+        assert_eq!(evaluate(&r, &ab).unwrap(), ea.and(&eb));
+    }
+
+    #[test]
+    fn normalization_preserves_audience() {
+        let r = resolver();
+        let spec = TargetingSpec::builder()
+            .any_of([AttributeId(1), AttributeId(0), AttributeId(1)])
+            .genders([Gender::Male, Gender::Female])
+            .exclude([AttributeId(3), AttributeId(3)])
+            .build();
+        assert_eq!(
+            evaluate(&r, &spec).unwrap(),
+            evaluate(&r, &spec.normalized()).unwrap()
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EvalError::UnknownAttribute(AttributeId(7));
+        assert_eq!(e.to_string(), "unknown attribute #7");
+    }
+}

@@ -1,0 +1,212 @@
+//! Blocking client for the wire protocol.
+//!
+//! The client plays the role of the paper's measurement scripts: a
+//! single connection issuing request/response pairs, with optional
+//! polite retry when the server answers `RateLimited`.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use adcomp_targeting::TargetingSpec;
+use parking_lot::Mutex;
+
+use crate::codec::{from_bytes, to_bytes, CodecError};
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::message::{ErrorCode, Request, Response};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or framing problem.
+    Transport(FrameError),
+    /// Undecodable response.
+    Codec(CodecError),
+    /// Server answered with an error.
+    Server {
+        /// Error code.
+        code: ErrorCode,
+        /// Detail message.
+        message: String,
+    },
+    /// Server answered with a response of the wrong kind.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Codec(e) => write!(f, "codec: {e}"),
+            ClientError::Server { code, message } => write!(f, "server {code:?}: {message}"),
+            ClientError::UnexpectedResponse => write!(f, "unexpected response kind"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// One page of catalog metadata: the entries plus the next page's start
+/// id when more remain.
+pub type CatalogPage = (Vec<(String, u16)>, Option<u32>);
+
+/// Interface description returned by [`Client::describe`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterfaceDescription {
+    /// Report label.
+    pub label: String,
+    /// Catalog size.
+    pub catalog_len: u32,
+    /// Gender targeting allowed?
+    pub gender_targeting: bool,
+    /// Age targeting allowed?
+    pub age_targeting: bool,
+    /// Exclusions allowed?
+    pub exclusions: bool,
+    /// Same-feature AND allowed?
+    pub same_feature_and: bool,
+    /// Estimates are impressions?
+    pub impressions: bool,
+}
+
+/// A blocking protocol client. Internally synchronised, so it can be
+/// shared behind an `Arc` by a multi-threaded audit.
+pub struct Client {
+    conn: Mutex<Conn>,
+    /// How many times to retry a rate-limited request before giving up
+    /// (sleeping [`Client::backoff`] between tries).
+    pub max_retries: u32,
+    /// Sleep between rate-limited retries.
+    pub backoff: Duration,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            conn: Mutex::new(Conn { reader: BufReader::new(stream), writer }),
+            max_retries: 5,
+            backoff: Duration::from_millis(50),
+        })
+    }
+
+    fn call(&self, request: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0;
+        loop {
+            let response = {
+                let mut conn = self.conn.lock();
+                write_frame(&mut conn.writer, &to_bytes(request))?;
+                let payload = read_frame(&mut conn.reader)?;
+                from_bytes::<Response>(&payload)?
+            };
+            match response {
+                Response::Error { code: ErrorCode::RateLimited, message }
+                    if attempt < self.max_retries =>
+                {
+                    attempt += 1;
+                    let _ = message;
+                    std::thread::sleep(self.backoff);
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Fetches the interface description.
+    pub fn describe(&self) -> Result<InterfaceDescription, ClientError> {
+        match self.call(&Request::Describe)? {
+            Response::Described {
+                label,
+                catalog_len,
+                gender_targeting,
+                age_targeting,
+                exclusions,
+                same_feature_and,
+                impressions,
+            } => Ok(InterfaceDescription {
+                label,
+                catalog_len,
+                gender_targeting,
+                age_targeting,
+                exclusions,
+                same_feature_and,
+                impressions,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches one attribute's name and feature.
+    pub fn attribute_info(&self, id: u32) -> Result<(String, u16), ClientError> {
+        match self.call(&Request::AttributeInfo { id })? {
+            Response::AttributeInfo { name, feature } => Ok((name, feature)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Validates a spec server-side.
+    pub fn check(&self, spec: &TargetingSpec) -> Result<(), ClientError> {
+        match self.call(&Request::Check { spec: spec.clone() })? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches the rounded audience-size estimate for a spec.
+    pub fn estimate(&self, spec: &TargetingSpec) -> Result<u64, ClientError> {
+        match self.call(&Request::Estimate { spec: spec.clone() })? {
+            Response::Estimate { value } => Ok(value),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches one page of catalog metadata (`(name, feature)` pairs
+    /// starting at id `start`); returns the entries and the next page's
+    /// start id when more remain.
+    pub fn catalog_page(
+        &self,
+        start: u32,
+        limit: u32,
+    ) -> Result<CatalogPage, ClientError> {
+        match self.call(&Request::CatalogPage { start, limit })? {
+            Response::CatalogPage { entries, next, .. } => Ok((entries, next)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches the server's query counters.
+    pub fn stats(&self) -> Result<(u64, u64, u64), ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { estimates, validation_failures, rate_limited } => {
+                Ok((estimates, validation_failures, rate_limited))
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}

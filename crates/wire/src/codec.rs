@@ -1,0 +1,284 @@
+//! Binary wire encoding.
+//!
+//! A small, explicit, length-checked codec over [`bytes`] buffers. Every
+//! type that crosses the wire implements [`WireEncode`]/[`WireDecode`].
+//! Integers are big-endian; strings are UTF-8 with a u32 length prefix;
+//! vectors carry a u32 count; options a presence byte. Decoding is total:
+//! malformed input yields a [`CodecError`], never a panic.
+
+use bytes::{Buf, BufMut};
+
+/// Encoding target alias.
+pub type Writer = Vec<u8>;
+
+/// Decode failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the type requires.
+    UnexpectedEof,
+    /// Unknown enum tag.
+    InvalidTag {
+        /// Type being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A declared length exceeds the sanity limit.
+    LengthOverflow {
+        /// Declared element count or byte length.
+        declared: u64,
+    },
+    /// String bytes were not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::InvalidTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
+            CodecError::LengthOverflow { declared } => {
+                write!(f, "declared length {declared} exceeds limit")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maximum element count accepted for any collection (DoS guard).
+pub const MAX_ELEMENTS: u64 = 1 << 20;
+
+/// Serialise into a byte buffer.
+pub trait WireEncode {
+    /// Appends this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Writer);
+}
+
+/// Deserialise from a byte buffer.
+pub trait WireDecode: Sized {
+    /// Reads one value, advancing `buf`.
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+}
+
+/// Checks `buf` holds at least `n` bytes.
+#[inline]
+fn need(buf: &&[u8], n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! impl_int {
+    ($ty:ty, $put:ident, $get:ident, $size:expr) => {
+        impl WireEncode for $ty {
+            fn encode(&self, buf: &mut Writer) {
+                buf.$put(*self);
+            }
+        }
+        impl WireDecode for $ty {
+            fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+                need(buf, $size)?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_int!(u8, put_u8, get_u8, 1);
+impl_int!(u16, put_u16, get_u16, 2);
+impl_int!(u32, put_u32, get_u32, 4);
+impl_int!(u64, put_u64, get_u64, 8);
+
+impl WireEncode for bool {
+    fn encode(&self, buf: &mut Writer) {
+        buf.put_u8(*self as u8);
+    }
+}
+
+impl WireDecode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::InvalidTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl WireEncode for str {
+    fn encode(&self, buf: &mut Writer) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, buf: &mut Writer) {
+        self.as_str().encode(buf);
+    }
+}
+
+impl WireDecode for String {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as u64;
+        if len > MAX_ELEMENTS {
+            return Err(CodecError::LengthOverflow { declared: len });
+        }
+        need(buf, len as usize)?;
+        let (head, rest) = buf.split_at(len as usize);
+        let s = std::str::from_utf8(head).map_err(|_| CodecError::InvalidUtf8)?.to_string();
+        *buf = rest;
+        Ok(s)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, buf: &mut Writer) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as u64;
+        if len > MAX_ELEMENTS {
+            return Err(CodecError::LengthOverflow { declared: len });
+        }
+        let mut out = Vec::with_capacity(len.min(4096) as usize);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, buf: &mut Writer) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(CodecError::InvalidTag { what: "Option", tag }),
+        }
+    }
+}
+
+/// Encodes a value to a fresh buffer.
+pub fn to_bytes<T: WireEncode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes a value, requiring the buffer to be fully consumed.
+pub fn from_bytes<T: WireDecode>(mut buf: &[u8]) -> Result<T, CodecError> {
+    let value = T::decode(&mut buf)?;
+    if !buf.is_empty() {
+        // Trailing garbage indicates a framing bug or protocol mismatch.
+        return Err(CodecError::LengthOverflow { declared: buf.len() as u64 });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn string_and_collections() {
+        roundtrip(String::new());
+        roundtrip("hello — unicode ✓".to_string());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some("x".to_string()));
+        roundtrip(Option::<u32>::None);
+        roundtrip(vec![Some(1u8), None]);
+    }
+
+    #[test]
+    fn eof_is_detected_everywhere() {
+        assert_eq!(from_bytes::<u32>(&[1, 2]), Err(CodecError::UnexpectedEof));
+        // String longer than remaining bytes.
+        let mut buf = Vec::new();
+        10u32.encode(&mut buf);
+        buf.extend_from_slice(b"abc");
+        assert_eq!(from_bytes::<String>(&buf), Err(CodecError::UnexpectedEof));
+        // Vec with a count but no elements.
+        let bytes = to_bytes(&3u32);
+        assert_eq!(from_bytes::<Vec<u16>>(&bytes), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        assert!(matches!(
+            from_bytes::<bool>(&[7]),
+            Err(CodecError::InvalidTag { what: "bool", tag: 7 })
+        ));
+        assert!(matches!(
+            from_bytes::<Option<u8>>(&[9]),
+            Err(CodecError::InvalidTag { what: "Option", tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn length_overflow_guard() {
+        let bytes = to_bytes(&u32::MAX);
+        assert!(matches!(
+            from_bytes::<Vec<u8>>(&bytes),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+        assert!(matches!(
+            from_bytes::<String>(&bytes),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&5u8);
+        bytes.push(0);
+        assert!(from_bytes::<u8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(from_bytes::<String>(&buf), Err(CodecError::InvalidUtf8));
+    }
+}

@@ -1,0 +1,123 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Each frame is a big-endian `u32` payload length followed by the
+//! payload. The length is bounded by [`MAX_FRAME_BYTES`] so a corrupt or
+//! hostile peer cannot make the reader allocate unbounded memory — the
+//! classic framing pitfall.
+
+use std::io::{Read, Write};
+
+/// Upper bound on a frame payload (1 MiB — far above any protocol
+/// message, far below trouble).
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Framing failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// Peer closed the connection cleanly between frames.
+    Closed,
+    /// Declared length exceeds [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// The declared payload length.
+        declared: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge { declared } => {
+                write!(f, "frame of {declared} bytes exceeds the {MAX_FRAME_BYTES} limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    assert!(payload.len() as u64 <= MAX_FRAME_BYTES as u64, "oversized outgoing frame");
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns [`FrameError::Closed`] on a clean EOF at a
+/// frame boundary; a mid-frame EOF is an I/O error.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // Distinguish clean close (no bytes) from torn frame (some bytes).
+    match reader.read(&mut len_bytes)? {
+        0 => return Err(FrameError::Closed),
+        n => reader.read_exact(&mut len_bytes[n..])?,
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge { declared: len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), vec![7u8; 1000]);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn torn_length_prefix_is_io_error() {
+        let mut cursor = Cursor::new(vec![0u8, 0]); // 2 of 4 length bytes
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn torn_payload_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 10 payload bytes
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversized outgoing frame")]
+    fn oversized_write_panics() {
+        let mut sink = Vec::new();
+        let huge = vec![0u8; (MAX_FRAME_BYTES + 1) as usize];
+        let _ = write_frame(&mut sink, &huge);
+    }
+}

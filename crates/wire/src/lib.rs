@@ -1,0 +1,48 @@
+//! Wire protocol and transport for the simulated platform APIs.
+//!
+//! The paper automated the targeting UIs' underlying size-estimate APIs
+//! with scripts; this crate is that measurement plumbing for the
+//! simulators, built the way the Rust networking guides teach a
+//! synchronous stack: explicit framing, a total (never-panicking)
+//! decoder, and a thread-per-connection blocking server —
+//! no async runtime required at audit query rates.
+//!
+//! * [`codec`] — length-checked binary encoding of every protocol type;
+//! * [`frame`] — u32-length-prefixed frames with a hard size cap;
+//! * [`message`] — the request/response protocol (describe, browse,
+//!   validate, estimate, stats);
+//! * [`server`] — expose any [`AdPlatform`](adcomp_platform::AdPlatform)
+//!   on a TCP socket, with optional token-bucket rate limiting;
+//! * [`client`] — blocking client with polite rate-limit retry.
+//!
+//! # Loopback example
+//!
+//! ```
+//! use adcomp_platform::{SimScale, Simulation};
+//! use adcomp_targeting::TargetingSpec;
+//! use adcomp_wire::{serve, Client, ServerConfig};
+//!
+//! let sim = Simulation::build(7, SimScale::Test);
+//! let handle = serve(sim.linkedin.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let client = Client::connect(handle.addr()).unwrap();
+//! assert_eq!(client.describe().unwrap().label, "LinkedIn");
+//! let reach = client.estimate(&TargetingSpec::everyone()).unwrap();
+//! assert!(reach > 0);
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod frame;
+pub mod message;
+
+pub mod client;
+pub mod server;
+
+pub use client::{CatalogPage, Client, ClientError, InterfaceDescription};
+pub use codec::{from_bytes, to_bytes, CodecError, WireDecode, WireEncode};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use message::{ErrorCode, Request, Response};
+pub use server::{serve, ServerConfig, ServerHandle};

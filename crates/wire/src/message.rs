@@ -1,0 +1,446 @@
+//! Protocol messages: what the audit's query scripts exchange with a
+//! platform endpoint.
+//!
+//! The shape mirrors what the paper reverse-engineered from the targeting
+//! UIs: describe the interface, browse attributes, validate a targeting,
+//! and fetch the audience-size estimate for it.
+
+use adcomp_population::{AgeBucket, Gender};
+use adcomp_targeting::{AttributeId, DemographicSpec, Location, OrGroup, TargetingSpec};
+
+use crate::codec::{CodecError, WireDecode, WireEncode, Writer};
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Interface description (label, catalog size, capabilities).
+    Describe,
+    /// Name/feature of one attribute.
+    AttributeInfo {
+        /// Attribute id.
+        id: u32,
+    },
+    /// Validate a targeting spec against interface policy.
+    Check {
+        /// The spec.
+        spec: TargetingSpec,
+    },
+    /// Rounded audience-size estimate for a spec.
+    Estimate {
+        /// The spec.
+        spec: TargetingSpec,
+    },
+    /// Query-counter snapshot.
+    Stats,
+    /// A page of catalog entries (bulk metadata download, so clients need
+    /// not issue one `AttributeInfo` per attribute).
+    CatalogPage {
+        /// First attribute id of the page.
+        start: u32,
+        /// Maximum entries to return (server may cap).
+        limit: u32,
+    },
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Interface description.
+    Described {
+        /// Report label ("Facebook", …).
+        label: String,
+        /// Catalog size.
+        catalog_len: u32,
+        /// Gender targeting allowed?
+        gender_targeting: bool,
+        /// Age targeting allowed?
+        age_targeting: bool,
+        /// Exclusions allowed?
+        exclusions: bool,
+        /// Same-feature AND allowed?
+        same_feature_and: bool,
+        /// Estimates are impressions (vs users)?
+        impressions: bool,
+    },
+    /// Attribute metadata.
+    AttributeInfo {
+        /// Human-readable name.
+        name: String,
+        /// Feature family.
+        feature: u16,
+    },
+    /// Spec passed validation.
+    Ok,
+    /// The estimate.
+    Estimate {
+        /// Rounded value at platform scale.
+        value: u64,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Successful estimates served.
+        estimates: u64,
+        /// Validation rejections.
+        validation_failures: u64,
+        /// Rate-limit rejections.
+        rate_limited: u64,
+    },
+    /// Request failed.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A page of catalog metadata.
+    CatalogPage {
+        /// First id of the page.
+        start: u32,
+        /// `(name, feature)` per attribute, ids `start..start+len`.
+        entries: Vec<(String, u16)>,
+        /// Id to request next, when more entries exist.
+        next: Option<u32>,
+    },
+}
+
+impl WireEncode for (String, u16) {
+    fn encode(&self, buf: &mut Writer) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl WireDecode for (String, u16) {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok((String::decode(buf)?, u16::decode(buf)?))
+    }
+}
+
+/// Error codes carried on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Targeting violates interface policy.
+    InvalidTargeting,
+    /// Unknown attribute id.
+    UnknownAttribute,
+    /// Client exceeded the query rate.
+    RateLimited,
+    /// Malformed request.
+    BadRequest,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::InvalidTargeting => 0,
+            ErrorCode::UnknownAttribute => 1,
+            ErrorCode::RateLimited => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        Ok(match tag {
+            0 => ErrorCode::InvalidTargeting,
+            1 => ErrorCode::UnknownAttribute,
+            2 => ErrorCode::RateLimited,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::Internal,
+            tag => return Err(CodecError::InvalidTag { what: "ErrorCode", tag }),
+        })
+    }
+}
+
+// --- TargetingSpec encoding -------------------------------------------
+
+impl WireEncode for TargetingSpec {
+    fn encode(&self, buf: &mut Writer) {
+        let genders: Option<Vec<u8>> = self
+            .demographics
+            .genders
+            .as_ref()
+            .map(|gs| gs.iter().map(|g| g.index() as u8).collect());
+        genders.encode(buf);
+        let ages: Option<Vec<u8>> =
+            self.demographics.ages.as_ref().map(|a| a.iter().map(|b| b.index() as u8).collect());
+        ages.encode(buf);
+        let include: Vec<Vec<u32>> =
+            self.include.iter().map(|g| g.attributes.iter().map(|a| a.0).collect()).collect();
+        include.encode(buf);
+        let exclude: Vec<u32> = self.exclude.iter().map(|a| a.0).collect();
+        exclude.encode(buf);
+    }
+}
+
+impl WireDecode for TargetingSpec {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let genders: Option<Vec<u8>> = Option::decode(buf)?;
+        let genders = genders
+            .map(|gs| {
+                gs.into_iter()
+                    .map(|i| match i {
+                        0 => Ok(Gender::Male),
+                        1 => Ok(Gender::Female),
+                        tag => Err(CodecError::InvalidTag { what: "Gender", tag }),
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?;
+        let ages: Option<Vec<u8>> = Option::decode(buf)?;
+        let ages = ages
+            .map(|a| {
+                a.into_iter()
+                    .map(|i| {
+                        if (i as usize) < AgeBucket::ALL.len() {
+                            Ok(AgeBucket::from_index(i as usize))
+                        } else {
+                            Err(CodecError::InvalidTag { what: "AgeBucket", tag: i })
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?;
+        let include: Vec<Vec<u32>> = Vec::decode(buf)?;
+        let exclude: Vec<u32> = Vec::decode(buf)?;
+        Ok(TargetingSpec {
+            demographics: DemographicSpec { genders, ages, location: Location::UnitedStates },
+            include: include
+                .into_iter()
+                .map(|g| OrGroup { attributes: g.into_iter().map(AttributeId).collect() })
+                .collect(),
+            exclude: exclude.into_iter().map(AttributeId).collect(),
+        })
+    }
+}
+
+// --- Request / Response encoding --------------------------------------
+
+impl WireEncode for Request {
+    fn encode(&self, buf: &mut Writer) {
+        match self {
+            Request::Describe => 0u8.encode(buf),
+            Request::AttributeInfo { id } => {
+                1u8.encode(buf);
+                id.encode(buf);
+            }
+            Request::Check { spec } => {
+                2u8.encode(buf);
+                spec.encode(buf);
+            }
+            Request::Estimate { spec } => {
+                3u8.encode(buf);
+                spec.encode(buf);
+            }
+            Request::Stats => 4u8.encode(buf),
+            Request::CatalogPage { start, limit } => {
+                5u8.encode(buf);
+                start.encode(buf);
+                limit.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for Request {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            0 => Request::Describe,
+            1 => Request::AttributeInfo { id: u32::decode(buf)? },
+            2 => Request::Check { spec: TargetingSpec::decode(buf)? },
+            3 => Request::Estimate { spec: TargetingSpec::decode(buf)? },
+            4 => Request::Stats,
+            5 => Request::CatalogPage { start: u32::decode(buf)?, limit: u32::decode(buf)? },
+            tag => return Err(CodecError::InvalidTag { what: "Request", tag }),
+        })
+    }
+}
+
+impl WireEncode for Response {
+    fn encode(&self, buf: &mut Writer) {
+        match self {
+            Response::Described {
+                label,
+                catalog_len,
+                gender_targeting,
+                age_targeting,
+                exclusions,
+                same_feature_and,
+                impressions,
+            } => {
+                0u8.encode(buf);
+                label.encode(buf);
+                catalog_len.encode(buf);
+                gender_targeting.encode(buf);
+                age_targeting.encode(buf);
+                exclusions.encode(buf);
+                same_feature_and.encode(buf);
+                impressions.encode(buf);
+            }
+            Response::AttributeInfo { name, feature } => {
+                1u8.encode(buf);
+                name.encode(buf);
+                feature.encode(buf);
+            }
+            Response::Ok => 2u8.encode(buf),
+            Response::Estimate { value } => {
+                3u8.encode(buf);
+                value.encode(buf);
+            }
+            Response::Stats { estimates, validation_failures, rate_limited } => {
+                4u8.encode(buf);
+                estimates.encode(buf);
+                validation_failures.encode(buf);
+                rate_limited.encode(buf);
+            }
+            Response::Error { code, message } => {
+                5u8.encode(buf);
+                code.tag().encode(buf);
+                message.encode(buf);
+            }
+            Response::CatalogPage { start, entries, next } => {
+                6u8.encode(buf);
+                start.encode(buf);
+                entries.encode(buf);
+                next.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for Response {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            0 => Response::Described {
+                label: String::decode(buf)?,
+                catalog_len: u32::decode(buf)?,
+                gender_targeting: bool::decode(buf)?,
+                age_targeting: bool::decode(buf)?,
+                exclusions: bool::decode(buf)?,
+                same_feature_and: bool::decode(buf)?,
+                impressions: bool::decode(buf)?,
+            },
+            1 => Response::AttributeInfo {
+                name: String::decode(buf)?,
+                feature: u16::decode(buf)?,
+            },
+            2 => Response::Ok,
+            3 => Response::Estimate { value: u64::decode(buf)? },
+            4 => Response::Stats {
+                estimates: u64::decode(buf)?,
+                validation_failures: u64::decode(buf)?,
+                rate_limited: u64::decode(buf)?,
+            },
+            5 => Response::Error {
+                code: ErrorCode::from_tag(u8::decode(buf)?)?,
+                message: String::decode(buf)?,
+            },
+            6 => Response::CatalogPage {
+                start: u32::decode(buf)?,
+                entries: Vec::decode(buf)?,
+                next: Option::decode(buf)?,
+            },
+            tag => return Err(CodecError::InvalidTag { what: "Response", tag }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(from_bytes::<Request>(&to_bytes(&r)).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        assert_eq!(from_bytes::<Response>(&to_bytes(&r)).unwrap(), r);
+    }
+
+    fn sample_spec() -> TargetingSpec {
+        TargetingSpec::builder()
+            .genders([Gender::Female])
+            .ages([AgeBucket::A18_24, AgeBucket::A55Plus])
+            .any_of([AttributeId(1), AttributeId(2)])
+            .attribute(AttributeId(9))
+            .exclude([AttributeId(4)])
+            .build()
+    }
+
+    #[test]
+    fn catalog_page_roundtrips() {
+        roundtrip_req(Request::CatalogPage { start: 10, limit: 100 });
+        roundtrip_resp(Response::CatalogPage {
+            start: 10,
+            entries: vec![("Games — Racing games".into(), 0), ("Topics — Manga".into(), 1)],
+            next: Some(12),
+        });
+        roundtrip_resp(Response::CatalogPage { start: 0, entries: vec![], next: None });
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Describe);
+        roundtrip_req(Request::AttributeInfo { id: 42 });
+        roundtrip_req(Request::Check { spec: sample_spec() });
+        roundtrip_req(Request::Estimate { spec: TargetingSpec::everyone() });
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Described {
+            label: "Facebook".into(),
+            catalog_len: 667,
+            gender_targeting: true,
+            age_targeting: true,
+            exclusions: true,
+            same_feature_and: true,
+            impressions: false,
+        });
+        roundtrip_resp(Response::AttributeInfo { name: "Games — Racing games".into(), feature: 0 });
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Estimate { value: 5_200_000 });
+        roundtrip_resp(Response::Stats { estimates: 1, validation_failures: 2, rate_limited: 3 });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::RateLimited,
+            message: "slow down".into(),
+        });
+    }
+
+    #[test]
+    fn spec_roundtrip_preserves_semantics() {
+        let spec = sample_spec();
+        let decoded = from_bytes::<TargetingSpec>(&to_bytes(&spec)).unwrap();
+        assert_eq!(decoded, spec);
+        let everyone = from_bytes::<TargetingSpec>(&to_bytes(&TargetingSpec::everyone())).unwrap();
+        assert!(everyone.demographics.is_unconstrained());
+    }
+
+    #[test]
+    fn bad_gender_tag_rejected() {
+        // Hand-craft a spec with gender index 9.
+        let mut buf = Vec::new();
+        Some(vec![9u8]).encode(&mut buf);
+        Option::<Vec<u8>>::None.encode(&mut buf);
+        Vec::<Vec<u32>>::new().encode(&mut buf);
+        Vec::<u32>::new().encode(&mut buf);
+        assert!(matches!(
+            from_bytes::<TargetingSpec>(&buf),
+            Err(CodecError::InvalidTag { what: "Gender", tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn unknown_message_tags_rejected() {
+        assert!(from_bytes::<Request>(&[99]).is_err());
+        assert!(from_bytes::<Response>(&[99]).is_err());
+        assert!(matches!(
+            ErrorCode::from_tag(200),
+            Err(CodecError::InvalidTag { what: "ErrorCode", tag: 200 })
+        ));
+    }
+}

@@ -1,0 +1,245 @@
+//! Threaded TCP server exposing an [`AdPlatform`] over the wire protocol.
+//!
+//! One accept thread plus one thread per connection — the smoltcp-style
+//! synchronous event model is plenty for an audit workload of one or a
+//! few measurement clients. A shared token-bucket rate limiter models the
+//! query throttling real platforms apply (and that the paper's ethics
+//! section respected from the client side).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use adcomp_platform::{
+    AdPlatform, EstimateRequest, PlatformError, TokenBucket,
+};
+use adcomp_targeting::ValidationError;
+use parking_lot::Mutex;
+
+use crate::codec::{from_bytes, to_bytes};
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::message::{ErrorCode, Request, Response};
+
+/// Server tuning.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Requests per second admitted across all connections; `None`
+    /// disables rate limiting.
+    pub rate_limit: Option<f64>,
+    /// Burst capacity of the limiter.
+    pub burst: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { rate_limit: None, burst: 50.0 }
+    }
+}
+
+/// Handle to a running server; shutting down joins all threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use port 0 to pick a free port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes the listener, and joins the accept thread.
+    /// In-flight connections finish their current request and close.
+    pub fn shutdown(mut self) {
+        self.signal_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.signal_shutdown();
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts serving `platform` on `addr` (e.g. `"127.0.0.1:0"`).
+pub fn serve(
+    platform: Arc<AdPlatform>,
+    addr: &str,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let limiter = config
+        .rate_limit
+        .map(|rate| Arc::new(Mutex::new((TokenBucket::new(rate, config.burst), Instant::now()))));
+
+    let accept_shutdown = shutdown.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("adcomp-wire-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let platform = platform.clone();
+                let limiter = limiter.clone();
+                let conn_shutdown = accept_shutdown.clone();
+                // Workers are detached: joining them here would deadlock a
+                // shutdown while a client keeps its connection open (the
+                // worker blocks in read_frame). A worker exits when its
+                // client closes, on a transport error, or at the next
+                // request after shutdown.
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, platform, limiter, conn_shutdown);
+                });
+            }
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+type SharedLimiter = Arc<Mutex<(TokenBucket, Instant)>>;
+
+fn handle_connection(
+    stream: TcpStream,
+    platform: Arc<AdPlatform>,
+    limiter: Option<SharedLimiter>,
+    shutdown: Arc<AtomicBool>,
+) -> Result<(), FrameError> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let response = match from_bytes::<Request>(&payload) {
+            Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+            Ok(request) => {
+                if let Some(limiter) = &limiter {
+                    let mut guard = limiter.lock();
+                    let (bucket, epoch) = &mut *guard;
+                    if !bucket.try_acquire(epoch.elapsed()) {
+                        platform.note_rate_limited();
+                        write_frame(
+                            &mut writer,
+                            &to_bytes(&Response::Error {
+                                code: ErrorCode::RateLimited,
+                                message: format!(
+                                    "retry after {:?}",
+                                    bucket.retry_after(epoch.elapsed())
+                                ),
+                            }),
+                        )?;
+                        continue;
+                    }
+                }
+                handle_request(&platform, request)
+            }
+        };
+        write_frame(&mut writer, &to_bytes(&response))?;
+    }
+}
+
+fn handle_request(platform: &AdPlatform, request: Request) -> Response {
+    match request {
+        Request::Describe => {
+            let caps = &platform.config().capabilities;
+            Response::Described {
+                label: platform.label().to_string(),
+                catalog_len: platform.catalog().len() as u32,
+                gender_targeting: caps.gender_targeting,
+                age_targeting: caps.age_targeting,
+                exclusions: caps.exclusions,
+                same_feature_and: caps.same_feature_and,
+                impressions: platform.config().estimate_kind
+                    == adcomp_platform::EstimateKind::Impressions,
+            }
+        }
+        Request::AttributeInfo { id } => {
+            match platform.catalog().get(adcomp_targeting::AttributeId(id)) {
+                Some(entry) => Response::AttributeInfo {
+                    name: entry.name.clone(),
+                    feature: entry.feature.0,
+                },
+                None => Response::Error {
+                    code: ErrorCode::UnknownAttribute,
+                    message: format!("attribute #{id} not in catalog"),
+                },
+            }
+        }
+        Request::Check { spec } => match platform.check(&spec) {
+            Ok(()) => Response::Ok,
+            Err(e) => platform_error_to_response(e),
+        },
+        Request::Estimate { spec } => {
+            let req = EstimateRequest::new(spec, platform.config().default_objective);
+            match platform.reach_estimate(&req) {
+                Ok(est) => Response::Estimate { value: est.value },
+                Err(e) => platform_error_to_response(e),
+            }
+        }
+        Request::CatalogPage { start, limit } => {
+            // Cap pages to keep frames well under MAX_FRAME_BYTES.
+            const PAGE_CAP: u32 = 1_000;
+            let total = platform.catalog().len() as u32;
+            let start = start.min(total);
+            let end = start.saturating_add(limit.min(PAGE_CAP)).min(total);
+            let entries: Vec<(String, u16)> = (start..end)
+                .map(|id| {
+                    let e = platform
+                        .catalog()
+                        .get(adcomp_targeting::AttributeId(id))
+                        .expect("id < total");
+                    (e.name.clone(), e.feature.0)
+                })
+                .collect();
+            let next = (end < total).then_some(end);
+            Response::CatalogPage { start, entries, next }
+        }
+        Request::Stats => {
+            let s = platform.stats();
+            Response::Stats {
+                estimates: s.estimates,
+                validation_failures: s.validation_failures,
+                rate_limited: s.rate_limited,
+            }
+        }
+    }
+}
+
+fn platform_error_to_response(e: PlatformError) -> Response {
+    let code = match &e {
+        PlatformError::Validation(ValidationError::UnknownAttribute(_)) => {
+            ErrorCode::UnknownAttribute
+        }
+        PlatformError::Validation(_) => ErrorCode::InvalidTargeting,
+        PlatformError::Eval(_) => ErrorCode::UnknownAttribute,
+        PlatformError::RateLimited { .. } => ErrorCode::RateLimited,
+        PlatformError::UnsupportedObjective(_) => ErrorCode::BadRequest,
+    };
+    Response::Error { code, message: e.to_string() }
+}

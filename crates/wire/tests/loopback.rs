@@ -1,0 +1,210 @@
+//! End-to-end tests over a real TCP loopback: server, client, rate
+//! limiting, error mapping, and concurrent clients.
+
+use std::sync::Arc;
+
+use adcomp_platform::{SimScale, Simulation};
+use adcomp_population::Gender;
+use adcomp_targeting::{AttributeId, TargetingSpec};
+use adcomp_wire::{serve, Client, ClientError, ErrorCode, ServerConfig};
+
+fn sim() -> &'static Simulation {
+    use std::sync::OnceLock;
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| Simulation::build(70, SimScale::Test))
+}
+
+#[test]
+fn describe_matches_platform() {
+    let handle = serve(sim().google.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    let desc = client.describe().unwrap();
+    assert_eq!(desc.label, "Google");
+    assert_eq!(desc.catalog_len as usize, sim().google.catalog().len());
+    assert!(!desc.same_feature_and, "google composes across features only");
+    assert!(desc.impressions);
+    handle.shutdown();
+}
+
+#[test]
+fn estimates_match_in_process_values() {
+    let handle = serve(sim().facebook.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    for spec in [
+        TargetingSpec::everyone(),
+        TargetingSpec::and_of([AttributeId(0)]),
+        TargetingSpec::builder().gender(Gender::Female).attribute(AttributeId(1)).build(),
+    ] {
+        let remote = client.estimate(&spec).unwrap();
+        let local = {
+            use adcomp_platform::EstimateRequest;
+            sim().facebook
+                .reach_estimate(&EstimateRequest::new(
+                    spec.clone(),
+                    sim().facebook.config().default_objective,
+                ))
+                .unwrap()
+                .value
+        };
+        assert_eq!(remote, local, "spec {spec}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn attribute_info_and_unknown_ids() {
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    let (name, _feature) = client.attribute_info(0).unwrap();
+    assert_eq!(name, sim().linkedin.catalog().get(AttributeId(0)).unwrap().name);
+    match client.attribute_info(99_999) {
+        Err(ClientError::Server { code: ErrorCode::UnknownAttribute, .. }) => {}
+        other => panic!("expected UnknownAttribute, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn policy_violations_map_to_invalid_targeting() {
+    let handle =
+        serve(sim().facebook_restricted.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    let spec = TargetingSpec::builder().gender(Gender::Male).build();
+    match client.check(&spec) {
+        Err(ClientError::Server { code: ErrorCode::InvalidTargeting, message }) => {
+            assert!(message.contains("gender"), "message: {message}");
+        }
+        other => panic!("expected InvalidTargeting, got {other:?}"),
+    }
+    // Valid spec passes.
+    client.check(&TargetingSpec::and_of([AttributeId(0)])).unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn stats_are_served() {
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    let before = client.stats().unwrap();
+    client.estimate(&TargetingSpec::everyone()).unwrap();
+    let after = client.stats().unwrap();
+    assert!(after.0 > before.0, "estimate counter must advance");
+    handle.shutdown();
+}
+
+#[test]
+fn rate_limited_client_retries_transparently() {
+    // 20 req/s with burst 2: a burst of requests trips the limiter, and
+    // the client's retry loop absorbs it.
+    let config = ServerConfig { rate_limit: Some(20.0), burst: 2.0 };
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", config).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    for _ in 0..6 {
+        client.estimate(&TargetingSpec::everyone()).unwrap();
+    }
+    let (_, _, rate_limited) = client.stats().unwrap();
+    assert!(rate_limited > 0, "the limiter must have fired at least once");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let handle = serve(sim().facebook.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let spec = TargetingSpec::and_of([AttributeId(2)]);
+    let expected = {
+        let c = Client::connect(addr).unwrap();
+        c.estimate(&spec).unwrap()
+    };
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let spec = spec.clone();
+        threads.push(std::thread::spawn(move || {
+            let c = Client::connect(addr).unwrap();
+            (0..20).map(|_| c.estimate(&spec).unwrap()).collect::<Vec<u64>>()
+        }));
+    }
+    for t in threads {
+        for v in t.join().unwrap() {
+            assert_eq!(v, expected);
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shared_client_across_threads() {
+    let handle = serve(sim().facebook.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Arc::new(Client::connect(handle.addr()).unwrap());
+    let spec = TargetingSpec::and_of([AttributeId(3)]);
+    let expected = client.estimate(&spec).unwrap();
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let client = client.clone();
+        let spec = spec.clone();
+        threads.push(std::thread::spawn(move || client.estimate(&spec).unwrap()));
+    }
+    for t in threads {
+        assert_eq!(t.join().unwrap(), expected);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn server_survives_malformed_frames() {
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    // Send garbage bytes in a valid frame; the server should answer with
+    // BadRequest rather than dropping the connection.
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let garbage = [0xFFu8, 0x01, 0x02];
+    raw.write_all(&(garbage.len() as u32).to_be_bytes()).unwrap();
+    raw.write_all(&garbage).unwrap();
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).unwrap();
+    let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+    raw.read_exact(&mut payload).unwrap();
+    let resp: adcomp_wire::Response = adcomp_wire::from_bytes(&payload).unwrap();
+    assert!(matches!(
+        resp,
+        adcomp_wire::Response::Error { code: ErrorCode::BadRequest, .. }
+    ));
+    // The same platform still serves real clients.
+    let client = Client::connect(handle.addr()).unwrap();
+    assert!(client.estimate(&TargetingSpec::everyone()).unwrap() > 0);
+    handle.shutdown();
+}
+
+#[test]
+fn catalog_pagination_covers_the_whole_catalog() {
+    let handle = serve(sim().google.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    let total = sim().google.catalog().len() as u32;
+
+    // Walk pages of 64 and reassemble the catalog.
+    let mut start = 0u32;
+    let mut all: Vec<(String, u16)> = Vec::new();
+    loop {
+        let (entries, next) = client.catalog_page(start, 64).unwrap();
+        assert!(entries.len() <= 64);
+        all.extend(entries);
+        match next {
+            Some(n) => {
+                assert_eq!(n, all.len() as u32, "pages must be contiguous");
+                start = n;
+            }
+            None => break,
+        }
+    }
+    assert_eq!(all.len() as u32, total);
+    for (i, (name, feature)) in all.iter().enumerate() {
+        let entry = sim().google.catalog().get(AttributeId(i as u32)).unwrap();
+        assert_eq!(*name, entry.name);
+        assert_eq!(*feature, entry.feature.0);
+    }
+    // Out-of-range start yields an empty terminal page, not an error.
+    let (entries, next) = client.catalog_page(total + 10, 64).unwrap();
+    assert!(entries.is_empty());
+    assert_eq!(next, None);
+    handle.shutdown();
+}

@@ -1,0 +1,69 @@
+//! Lookalike audiences and the "Special Ad Audience" adjustment.
+//!
+//! The restricted interface replaces Lookalike Audiences with Special Ad
+//! Audiences that are "adjusted to comply with the audience selection
+//! restrictions" (paper §2.2) — i.e. built without demographic features.
+//! This example uploads a male-skewed customer list, expands it both
+//! ways, and measures what the adjustment actually buys: skew drops a
+//! little, but behavioural similarity leaks the seed's demographics into
+//! the expansion regardless.
+//!
+//! ```text
+//! cargo run --release --example lookalike_leakage
+//! ```
+
+use discrimination_via_composition::bitset::Bitset;
+use discrimination_via_composition::platform::{LookalikeConfig, SimScale, Simulation};
+use discrimination_via_composition::population::Gender;
+
+fn main() {
+    let sim = Simulation::build(2020, SimScale::Test);
+    let fb = &sim.facebook;
+    let universe = fb.universe();
+    let males = universe.gender_audience(Gender::Male);
+    let females = universe.gender_audience(Gender::Female);
+
+    let ratio = |set: &Bitset| {
+        let m = set.intersection_len(males) as f64 / males.len() as f64;
+        let f = set.intersection_len(females) as f64 / females.len() as f64;
+        m / f
+    };
+
+    // The advertiser's "customer list": members of the most male-skewed
+    // attribute audience (stand-in for a PII upload of, say, the buyers
+    // of a male-dominated product).
+    let seed = (0..fb.catalog().len())
+        .map(|idx| fb.attribute_audience_raw(idx).unwrap())
+        .filter(|audience| audience.len() >= 500)
+        .max_by(|a, b| ratio(a).partial_cmp(&ratio(b)).unwrap())
+        .expect("catalog has audiences")
+        .clone();
+
+    println!("seed (customer list):       {:>8} users, male ratio {:>5.2}", seed.len(), ratio(&seed));
+
+    let regular = fb.lookalike(&seed, &LookalikeConfig::default()).expect("lookalike");
+    println!(
+        "regular lookalike:          {:>8} users, male ratio {:>5.2}",
+        regular.len(),
+        ratio(&regular)
+    );
+
+    let saa = fb
+        .lookalike(&seed, &LookalikeConfig::special_ad_audience())
+        .expect("special ad audience");
+    println!(
+        "special ad audience (SAA):  {:>8} users, male ratio {:>5.2}",
+        saa.len(),
+        ratio(&saa)
+    );
+
+    println!();
+    println!("The SAA 'adjustment' removes explicit demographic features, yet the");
+    println!("expansion remains skewed: attribute co-membership carries demographics.");
+    println!("Outcome-level mitigation (core::mitigation::PreflightGate) would catch");
+    println!("both audiences; feature-level adjustment catches neither.");
+
+    assert!(ratio(&regular) > 1.25, "regular lookalike should violate four-fifths");
+    assert!(ratio(&saa) > 1.25, "SAA should still violate four-fifths");
+    assert!(ratio(&saa) <= ratio(&regular) + 1e-9);
+}

@@ -1,0 +1,67 @@
+//! Cross-platform comparison: how individual-attribute skew differs
+//! across Facebook, FB-restricted, Google, and LinkedIn — a miniature of
+//! the paper's Figure 2 "Individual" columns plus the §4.2 observations
+//! (LinkedIn leans male; Google/LinkedIn lean away from 18-24).
+//!
+//! ```text
+//! cargo run --release --example platform_comparison
+//! ```
+
+use discrimination_via_composition::audit::experiments::{
+    ExperimentConfig, ExperimentContext, INTERFACE_ORDER,
+};
+use discrimination_via_composition::audit::{BoxStats, SensitiveClass};
+use discrimination_via_composition::population::{AgeBucket, Gender};
+
+fn main() {
+    let ctx = ExperimentContext::new(ExperimentConfig::test(2020));
+    let male = SensitiveClass::Gender(Gender::Male);
+    let young = SensitiveClass::Age(AgeBucket::A18_24);
+
+    println!(
+        "{:<15} {:<9} {:>8} {:>8} {:>8} {:>8} {:>6}",
+        "interface", "class", "p10", "median", "p90", "max", "n"
+    );
+    for kind in INTERFACE_ORDER {
+        let survey = ctx.survey(kind).expect("survey");
+        for class in [male, young] {
+            let ratios: Vec<f64> = survey
+                .entries
+                .iter()
+                .filter(|e| e.measurement.total >= 10_000)
+                .filter_map(|e| e.ratio(&survey.base, class))
+                .collect();
+            let b = BoxStats::from_samples(&ratios).expect("non-empty");
+            println!(
+                "{:<15} {:<9} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6}",
+                kind.label(),
+                class.to_string(),
+                b.p10,
+                b.median,
+                b.p90,
+                b.max,
+                b.n
+            );
+        }
+    }
+
+    // The paper's §4.2 directional finding, verified on the simulation.
+    // The median is the stable statistic at this reduced scale (the p90
+    // tail of ~70 attributes is a handful of samples).
+    let median_male = |kind| {
+        let survey = ctx.survey(kind).unwrap();
+        let ratios: Vec<f64> = survey
+            .entries
+            .iter()
+            .filter(|e| e.measurement.total >= 10_000)
+            .filter_map(|e| e.ratio(&survey.base, male))
+            .collect();
+        BoxStats::from_samples(&ratios).unwrap().median
+    };
+    use discrimination_via_composition::platform::InterfaceKind;
+    let li = median_male(InterfaceKind::LinkedIn);
+    let fb = median_male(InterfaceKind::FacebookNormal);
+    println!("\nLinkedIn individual male median = {li:.2}; Facebook = {fb:.2}");
+    println!("(paper's direction: LinkedIn's professional catalog leans male, Facebook's female)");
+    assert!(li > fb, "LinkedIn should lean more male than Facebook");
+}

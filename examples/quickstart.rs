@@ -1,0 +1,68 @@
+//! Quickstart: build a simulated platform, compose two targeting
+//! attributes, and measure how much more skewed the composition is than
+//! either attribute alone — the paper's core phenomenon in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use discrimination_via_composition::audit::{
+    measure_spec, rep_ratio_of, AuditTarget, SensitiveClass,
+};
+use discrimination_via_composition::platform::{SimScale, Simulation};
+use discrimination_via_composition::population::Gender;
+use discrimination_via_composition::targeting::{AttributeId, TargetingSpec};
+
+fn main() {
+    // A deterministic, laptop-sized simulation of all four interfaces.
+    let sim = Simulation::build(2020, SimScale::Test);
+    let target = AuditTarget::for_platform(&sim.facebook, &sim);
+    let male = SensitiveClass::Gender(Gender::Male);
+
+    // The base population measurement RA (denominators of Equation 1).
+    let base = measure_spec(&target, &TargetingSpec::everyone()).expect("base measurement");
+
+    // Find a male-skewed pair of attributes to demonstrate with.
+    let catalog = sim.facebook.catalog();
+    let mut best: Option<(AttributeId, AttributeId, f64, f64, f64)> = None;
+    for a in 0..60u32 {
+        for b in (a + 1)..60u32 {
+            let (ia, ib) = (AttributeId(a), AttributeId(b));
+            let ra = ratio(&target, &base, TargetingSpec::and_of([ia]), male);
+            let rb = ratio(&target, &base, TargetingSpec::and_of([ib]), male);
+            let rab = ratio(&target, &base, TargetingSpec::and_of([ia, ib]), male);
+            if let (Some(ra), Some(rb), Some(rab)) = (ra, rb, rab) {
+                if rab > ra.max(rb) && ra > 1.2 && rb > 1.2
+                    && best.is_none_or(|(.., prev)| rab > prev) {
+                        best = Some((ia, ib, ra, rb, rab));
+                    }
+            }
+        }
+    }
+
+    let (ia, ib, ra, rb, rab) = best.expect("an amplifying pair exists in the first 60 attrs");
+    let name = |id: AttributeId| catalog.get(id).unwrap().name.clone();
+    println!("Attribute A: {:<50} rep ratio (male) = {ra:.2}", name(ia));
+    println!("Attribute B: {:<50} rep ratio (male) = {rb:.2}", name(ib));
+    println!("A AND B:     {:<50} rep ratio (male) = {rab:.2}", "(composition)");
+    println!();
+    println!(
+        "The composition is {:.1}x more skewed than the stronger component —",
+        rab / ra.max(rb)
+    );
+    println!("composing individually-mild targeting options amplifies demographic skew.");
+    assert!(rab > ra.max(rb));
+}
+
+fn ratio(
+    target: &AuditTarget,
+    base: &discrimination_via_composition::audit::SpecMeasurement,
+    spec: TargetingSpec,
+    class: SensitiveClass,
+) -> Option<f64> {
+    let m = measure_spec(target, &spec).ok()?;
+    if m.total < 10_000 {
+        return None; // the paper's niche-targeting filter
+    }
+    rep_ratio_of(&m, base, class)
+}

@@ -1,0 +1,121 @@
+//! End-to-end pipeline tests: the paper's qualitative findings must hold
+//! on the simulated platforms, driving everything through the public
+//! audit API exactly as the experiment binaries do.
+
+use discrimination_via_composition::audit::experiments::distributions::{
+    distributions_for, SetLabel,
+};
+use discrimination_via_composition::audit::experiments::table1::table1_cell;
+use discrimination_via_composition::audit::experiments::{ExperimentConfig, ExperimentContext};
+use discrimination_via_composition::audit::{
+    removal_sweep, Direction, Selector, SensitiveClass,
+};
+use discrimination_via_composition::platform::InterfaceKind;
+use discrimination_via_composition::population::{AgeBucket, Gender};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::new(ExperimentConfig::test(777)))
+}
+
+const MALE: SensitiveClass = SensitiveClass::Gender(Gender::Male);
+
+#[test]
+fn finding1_composition_amplifies_on_restricted_interface() {
+    // §4.1: even the sanitized interface yields skewed compositions, and
+    // 3-way compositions out-skew 2-way.
+    let rows =
+        distributions_for(ctx(), InterfaceKind::FacebookRestricted, &[MALE], &[2, 3]).unwrap();
+    let stat = |set: SetLabel, f: fn(&discrimination_via_composition::audit::BoxStats) -> f64| {
+        rows.iter().find(|r| r.set == set).map(|r| f(&r.stats)).unwrap()
+    };
+    let ind_p90 = stat(SetLabel::Individual, |b| b.p90);
+    let top2_p90 = stat(SetLabel::Top(2), |b| b.p90);
+    let top3_p90 = stat(SetLabel::Top(3), |b| b.p90);
+    assert!(ind_p90 > 1.25, "individuals already violate four-fifths at p90");
+    assert!(top2_p90 > ind_p90);
+    assert!(top3_p90 > top2_p90, "skew grows with arity: {top2_p90} -> {top3_p90}");
+    let bot2_p10 = stat(SetLabel::Bottom(2), |b| b.p10);
+    assert!(bot2_p10 < stat(SetLabel::Individual, |b| b.p10));
+}
+
+#[test]
+fn finding2_all_platforms_have_skewed_individuals() {
+    // §4.2: every interface has individual options violating four-fifths.
+    for kind in discrimination_via_composition::audit::experiments::INTERFACE_ORDER {
+        let rows = distributions_for(ctx(), kind, &[MALE], &[2]).unwrap();
+        let ind = rows.iter().find(|r| r.set == SetLabel::Individual).unwrap();
+        assert!(
+            ind.violating > 0.0,
+            "{}: some individuals must violate the band",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn finding3_random_pairs_add_modest_skew() {
+    // §4.3: random compositions tend to be more skewed than individuals
+    // (wider distribution), though far less than the discovered tops.
+    let rows = distributions_for(ctx(), InterfaceKind::FacebookNormal, &[MALE], &[2]).unwrap();
+    let spread = |set: SetLabel| {
+        let r = rows.iter().find(|r| r.set == set).unwrap();
+        r.stats.p90 / r.stats.p10
+    };
+    let ind = spread(SetLabel::Individual);
+    let random = spread(SetLabel::Random(2));
+    let top = rows.iter().find(|r| r.set == SetLabel::Top(2)).unwrap().stats.p90;
+    assert!(
+        random > ind * 0.9,
+        "random pairs should not be materially tighter than individuals: {random} vs {ind}"
+    );
+    assert!(top > rows.iter().find(|r| r.set == SetLabel::Random(2)).unwrap().stats.p90);
+}
+
+#[test]
+fn finding4_removal_is_insufficient() {
+    // §4.3/Fig 3: dropping the most skewed decile of individuals lowers
+    // but does not fix compositional skew.
+    let target = ctx().target(InterfaceKind::FacebookRestricted);
+    let survey = ctx().survey(InterfaceKind::FacebookRestricted).unwrap();
+    let sweep = removal_sweep(
+        &target,
+        survey,
+        MALE,
+        Direction::Toward,
+        &ctx().config.discovery,
+        2.0,
+        10.0,
+    )
+    .unwrap();
+    let first = sweep.points.first().unwrap();
+    let last = sweep.points.last().unwrap();
+    assert!(last.tail_ratio <= first.tail_ratio, "removal reduces the tail");
+    assert!(sweep.still_violating_after_removal(), "but does not fix it");
+}
+
+#[test]
+fn finding5_union_raises_recall() {
+    // §4.3/Table 1: top-10 union recall well above top-1.
+    let favoured = Selector::Class(SensitiveClass::Gender(Gender::Female));
+    let cell = table1_cell(ctx(), InterfaceKind::FacebookNormal, favoured).unwrap();
+    assert!(cell.top10_recall as f64 >= cell.top1_recall as f64 * 1.5);
+    if let Some(overlap) = cell.median_overlap {
+        assert!(overlap < 0.5, "audiences barely overlap: {overlap}");
+    }
+}
+
+#[test]
+fn finding6_age_exclusion_possible_on_linkedin() {
+    // Appendix A: "we can effectively exclude older users (for example,
+    // users on LinkedIn aged 55+) via targeting compositions."
+    let old = SensitiveClass::Age(AgeBucket::A55Plus);
+    let rows = distributions_for(ctx(), InterfaceKind::LinkedIn, &[old], &[2]).unwrap();
+    let bottom = rows.iter().find(|r| r.set == SetLabel::Bottom(2)).unwrap();
+    assert!(
+        bottom.stats.p10 < 0.8,
+        "bottom compositions must under-represent 55+: p10 = {}",
+        bottom.stats.p10
+    );
+}

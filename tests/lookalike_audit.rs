@@ -1,0 +1,102 @@
+//! Auditing lookalike expansion (paper §2.1–2.2 extension): regular
+//! Lookalike Audiences replicate a seed's demographic skew, and the
+//! restricted interface's "Special Ad Audiences" — which drop explicit
+//! demographic features — still inherit skew through attribute
+//! co-membership. Measured with the paper's representation-ratio metric.
+
+use discrimination_via_composition::bitset::Bitset;
+use discrimination_via_composition::platform::{LookalikeConfig, SimScale, Simulation};
+use discrimination_via_composition::population::Gender;
+use std::sync::OnceLock;
+
+fn sim() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| Simulation::build(4242, SimScale::Test))
+}
+
+/// Representation ratio toward males of an arbitrary user set, computed
+/// from ground truth (this is an audience the advertiser uploads, not a
+/// targeting the platform estimates).
+fn male_ratio(set: &Bitset) -> f64 {
+    let u = sim().facebook.universe();
+    let males = u.gender_audience(Gender::Male);
+    let females = u.gender_audience(Gender::Female);
+    let male_rate = set.intersection_len(males) as f64 / males.len() as f64;
+    let female_rate = set.intersection_len(females) as f64 / females.len() as f64;
+    male_rate / female_rate
+}
+
+/// A male-skewed seed: the most male-leaning attribute's audience.
+fn skewed_seed() -> Bitset {
+    let fb = &sim().facebook;
+    let mut best: Option<(f64, Bitset)> = None;
+    for idx in 0..fb.catalog().len() {
+        let audience = fb.attribute_audience_raw(idx).unwrap();
+        if audience.len() < 500 {
+            continue;
+        }
+        let r = male_ratio(audience);
+        if best.as_ref().is_none_or(|(prev, _)| r > *prev) {
+            best = Some((r, audience.clone()));
+        }
+    }
+    best.expect("catalog has attributes").1
+}
+
+#[test]
+fn regular_lookalike_amplifies_reach_while_keeping_skew() {
+    let seed = skewed_seed();
+    let seed_ratio = male_ratio(&seed);
+    assert!(seed_ratio > 1.5, "seed must be clearly skewed ({seed_ratio:.2})");
+
+    let lal = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+    assert!(lal.len() >= seed.len() * 4, "expansion grows reach");
+    let lal_ratio = male_ratio(&lal);
+    assert!(
+        lal_ratio > 1.25,
+        "lookalike stays outside the four-fifths band ({lal_ratio:.2})"
+    );
+}
+
+#[test]
+fn special_ad_audience_adjustment_is_insufficient() {
+    // The restricted interface replaces lookalikes with Special Ad
+    // Audiences "adjusted to comply with the audience selection
+    // restrictions" (§2.2). The adjustment drops demographic features —
+    // but behavioural similarity still carries demographics, so the SAA
+    // remains skewed: another instance of the paper's thesis that
+    // feature-level mitigations miss outcome-level skew.
+    let seed = skewed_seed();
+    let regular = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+    let saa = sim()
+        .facebook
+        .lookalike(&seed, &LookalikeConfig::special_ad_audience())
+        .unwrap();
+
+    let regular_ratio = male_ratio(&regular);
+    let saa_ratio = male_ratio(&saa);
+    assert!(
+        saa_ratio <= regular_ratio + 1e-9,
+        "adjustment must not increase skew ({saa_ratio:.2} vs {regular_ratio:.2})"
+    );
+    assert!(
+        saa_ratio > 1.25,
+        "SAA still violates the four-fifths band ({saa_ratio:.2})"
+    );
+}
+
+#[test]
+fn lookalike_of_balanced_seed_stays_balanced() {
+    // Control: a demographically balanced seed must not acquire skew
+    // from the expansion machinery itself.
+    let u = sim().facebook.universe();
+    let seed: Bitset = (0..u.n_users()).filter(|v| v % 37 == 0).collect();
+    let seed_ratio = male_ratio(&seed);
+    assert!((0.8..=1.25).contains(&seed_ratio), "random seed is balanced");
+    let lal = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+    let lal_ratio = male_ratio(&lal);
+    assert!(
+        (0.6..=1.6).contains(&lal_ratio),
+        "balanced seed must expand roughly balanced ({lal_ratio:.2})"
+    );
+}

@@ -1,0 +1,119 @@
+//! End-to-end test of the §5 mitigation extensions: the outcome-based
+//! pre-flight gate and the advertiser anomaly monitor, driven over the
+//! wire protocol like a platform-side service would run them.
+
+use std::sync::Arc;
+
+use discrimination_via_composition::audit::{
+    measure_spec, rank_individuals, survey_individuals, top_compositions, AdvertiserMonitor,
+    AuditTarget, Direction, DiscoveryConfig, PreflightConfig, PreflightGate, PreflightVerdict,
+    SensitiveClass,
+};
+use discrimination_via_composition::platform::{SimScale, Simulation};
+use discrimination_via_composition::population::Gender;
+use discrimination_via_composition::targeting::TargetingSpec;
+use discrimination_via_composition::wire::{serve, ServerConfig};
+use discrimination_via_composition::RemoteSource;
+
+#[test]
+fn preflight_gate_blocks_discovered_compositions_over_the_wire() {
+    let sim = Simulation::build(1234, SimScale::Test);
+    // The "platform side" exposes Facebook over TCP; the gate runs as a
+    // client of that API — it needs nothing but rounded estimates.
+    let handle = serve(sim.facebook.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let remote = Arc::new(RemoteSource::connect(handle.addr()).unwrap());
+    let target = AuditTarget::direct(remote);
+
+    let gate = PreflightGate::new(&target, PreflightConfig::default()).unwrap();
+
+    // An adversarial advertiser discovers skewed compositions…
+    let male = SensitiveClass::Gender(Gender::Male);
+    let survey = survey_individuals(&target).unwrap();
+    let cfg = DiscoveryConfig { top_k: 30, ..DiscoveryConfig::default() };
+    let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
+    let top = top_compositions(&target, &survey, &ranked, &cfg).unwrap();
+    assert!(!top.is_empty());
+
+    // …and the gate flags the bulk of them, with per-class evidence.
+    let mut flagged = 0;
+    for comp in &top {
+        match gate.check_measurement(&comp.measurement) {
+            PreflightVerdict::Flag { violations } => {
+                flagged += 1;
+                assert!(violations.iter().any(|(_, r)| *r > 1.25 || *r < 0.8));
+            }
+            PreflightVerdict::Accept | PreflightVerdict::TooSmall { .. } => {}
+        }
+    }
+    assert!(
+        flagged * 2 > top.len(),
+        "gate flagged only {flagged}/{} compositions",
+        top.len()
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn monitor_distinguishes_adversarial_from_honest_advertisers() {
+    let sim = Simulation::build(1235, SimScale::Test);
+    let target = AuditTarget::for_platform(&sim.facebook, &sim);
+    let base = measure_spec(&target, &TargetingSpec::everyone()).unwrap();
+
+    // Adversarial history: the top male-skewed compositions.
+    let male = SensitiveClass::Gender(Gender::Male);
+    let survey = survey_individuals(&target).unwrap();
+    let cfg = DiscoveryConfig { top_k: 20, ..DiscoveryConfig::default() };
+    let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
+    let adversarial = top_compositions(&target, &survey, &ranked, &cfg).unwrap();
+
+    // Honest history: broad individual targetings near parity.
+    let honest: Vec<_> = survey
+        .entries
+        .iter()
+        .filter(|e| {
+            e.measurement.total >= 100_000
+                && e.ratio(&survey.base, male).is_some_and(|r| (0.9..=1.1).contains(&r))
+        })
+        .take(8)
+        .collect();
+    assert!(honest.len() >= 3, "need near-parity attributes, got {}", honest.len());
+
+    let mut monitor = AdvertiserMonitor::new(0.3, 0.5, 3);
+    for comp in adversarial.iter().take(8) {
+        monitor.observe("skewco", &comp.measurement, &base);
+    }
+    for entry in &honest {
+        monitor.observe("fairco", &entry.measurement, &base);
+    }
+
+    let skew = monitor.report("skewco").unwrap();
+    assert!(skew.flagged, "adversarial advertiser must be flagged: {:?}", skew.scores);
+    let fair = monitor.report("fairco").unwrap();
+    assert!(
+        !fair.flagged,
+        "honest advertiser must not be flagged: {:?}",
+        fair.scores
+    );
+    assert_eq!(monitor.flagged(), vec!["skewco".to_string()]);
+}
+
+#[test]
+fn gate_accepts_everyone_and_rejects_microtargeting() {
+    let sim = Simulation::build(1236, SimScale::Test);
+    let target = AuditTarget::for_platform(&sim.facebook, &sim);
+    let gate = PreflightGate::new(&target, PreflightConfig::default()).unwrap();
+    // Targeting everyone is by definition unskewed.
+    let everyone = measure_spec(&target, &TargetingSpec::everyone()).unwrap();
+    assert_eq!(gate.check_measurement(&everyone), PreflightVerdict::Accept);
+    // Empty-ish audiences are rejected as too small to assess.
+    let tiny = discrimination_via_composition::audit::SpecMeasurement {
+        total: 500,
+        by_gender: [300, 200],
+        by_age: [100, 150, 150, 100],
+    };
+    assert!(matches!(
+        gate.check_measurement(&tiny),
+        PreflightVerdict::TooSmall { reach: 500 }
+    ));
+}

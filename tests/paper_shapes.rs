@@ -1,0 +1,133 @@
+//! Calibration-shape tests: the simulation's aggregate behaviour must
+//! match the paper's *directional* findings (who leans which way, what
+//! is niche, what violates the band) — the contract DESIGN.md §5 states.
+
+use discrimination_via_composition::audit::experiments::{ExperimentConfig, ExperimentContext};
+use discrimination_via_composition::audit::{BoxStats, SensitiveClass};
+use discrimination_via_composition::platform::InterfaceKind;
+use discrimination_via_composition::population::{AgeBucket, Gender};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::new(ExperimentConfig::test(888)))
+}
+
+fn individual_ratios(kind: InterfaceKind, class: SensitiveClass) -> Vec<f64> {
+    let survey = ctx().survey(kind).unwrap();
+    survey
+        .entries
+        .iter()
+        .filter(|e| e.measurement.total >= 10_000)
+        .filter_map(|e| e.ratio(&survey.base, class))
+        .collect()
+}
+
+fn box_of(kind: InterfaceKind, class: SensitiveClass) -> BoxStats {
+    BoxStats::from_samples(&individual_ratios(kind, class)).expect("non-empty")
+}
+
+const MALE: SensitiveClass = SensitiveClass::Gender(Gender::Male);
+const YOUNG: SensitiveClass = SensitiveClass::Age(AgeBucket::A18_24);
+const OLD: SensitiveClass = SensitiveClass::Age(AgeBucket::A55Plus);
+
+#[test]
+fn linkedin_attributes_lean_male_facebook_lean_female() {
+    // Paper §4.2: LinkedIn p90 toward males ≈ 2.09; Facebook ≈ 1.45 with
+    // a female lean overall.
+    let li = box_of(InterfaceKind::LinkedIn, MALE);
+    let fb = box_of(InterfaceKind::FacebookNormal, MALE);
+    assert!(li.p90 > fb.p90, "LinkedIn p90 {} vs Facebook {}", li.p90, fb.p90);
+    assert!(li.median > fb.median, "median lean ordering");
+    assert!(li.p90 > 1.5, "LinkedIn must have clearly male-skewed options");
+}
+
+#[test]
+fn google_and_linkedin_lean_away_from_young_users() {
+    // Paper §4.2: Google's and LinkedIn's attributes skew away from
+    // 18-24 and toward 55+.
+    for kind in [InterfaceKind::GoogleDisplay, InterfaceKind::LinkedIn] {
+        let young = box_of(kind, YOUNG);
+        let old = box_of(kind, OLD);
+        assert!(
+            young.median < old.median,
+            "{}: young median {} should be below old median {}",
+            kind.label(),
+            young.median,
+            old.median
+        );
+    }
+}
+
+#[test]
+fn individual_skew_has_paper_magnitude() {
+    // Fig 1 Individual column: p90 ≈ 1.84, p10 ≈ 0.5 on FB-restricted.
+    // Shape requirement: both whiskers outside the four-fifths band but
+    // single-digit.
+    let b = box_of(InterfaceKind::FacebookRestricted, MALE);
+    assert!(b.p90 > 1.25 && b.p90 < 6.0, "p90 = {}", b.p90);
+    assert!(b.p10 < 0.8 && b.p10 > 0.1, "p10 = {}", b.p10);
+    assert!(b.median > 0.5 && b.median < 2.0, "median = {}", b.median);
+}
+
+#[test]
+fn restricted_interface_is_milder_than_full_interface() {
+    // The sanitized catalog drops the most extreme options, so its
+    // individual tails sit inside the full interface's.
+    let restricted = box_of(InterfaceKind::FacebookRestricted, MALE);
+    let full = box_of(InterfaceKind::FacebookNormal, MALE);
+    assert!(
+        restricted.max <= full.max,
+        "restricted max {} must not exceed full max {}",
+        restricted.max,
+        full.max
+    );
+    let spread_r = restricted.p90 / restricted.p10;
+    let spread_f = full.p90 / full.p10;
+    assert!(
+        spread_r <= spread_f * 1.05,
+        "restricted spread {spread_r} vs full {spread_f}"
+    );
+}
+
+#[test]
+fn population_totals_are_platform_scale() {
+    // Fig 5 reference lines: platform-scale sensitive-population totals.
+    let fb = ctx().survey(InterfaceKind::FacebookNormal).unwrap();
+    let females = fb.base.class_count(SensitiveClass::Gender(Gender::Female));
+    assert!(
+        (50_000_000..400_000_000).contains(&females),
+        "facebook female total {females}"
+    );
+    let google = ctx().survey(InterfaceKind::GoogleDisplay).unwrap();
+    assert!(
+        google.base.total > 1_000_000_000,
+        "google impressions total {}",
+        google.base.total
+    );
+    let li = ctx().survey(InterfaceKind::LinkedIn).unwrap();
+    let li_males = li.base.class_count(MALE);
+    let li_females = li.base.class_count(SensitiveClass::Gender(Gender::Female));
+    assert!(li_males > li_females, "LinkedIn member base leans male");
+}
+
+#[test]
+fn individual_recalls_are_niche() {
+    // §4.3: median individual recalls are a few percent of the sensitive
+    // population.
+    let survey = ctx().survey(InterfaceKind::FacebookNormal).unwrap();
+    let females = survey.base.class_count(SensitiveClass::Gender(Gender::Female));
+    let mut recalls: Vec<f64> = survey
+        .entries
+        .iter()
+        .filter(|e| e.measurement.total >= 10_000)
+        .map(|e| e.measurement.class_count(SensitiveClass::Gender(Gender::Female)) as f64)
+        .collect();
+    recalls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = recalls[recalls.len() / 2];
+    let fraction = median / females as f64;
+    assert!(
+        fraction < 0.25,
+        "median individual recall should be a niche fraction, got {fraction}"
+    );
+}

@@ -1,0 +1,135 @@
+//! Rounding-robustness: the audit computes ratios from rounded estimates
+//! only. These tests verify (a) the rounded-data ratios stay close to the
+//! ground-truth ratios the simulator can compute exactly, and (b) the
+//! paper's interval analysis — the ratio bounds derived from the rounding
+//! ladders always contain the exact ratio.
+
+use discrimination_via_composition::audit::{
+    measure_spec, ratio_bounds, rep_ratio, rep_ratio_of, AuditTarget, SensitiveClass,
+};
+use discrimination_via_composition::platform::{SimScale, Simulation};
+use discrimination_via_composition::population::Gender;
+use discrimination_via_composition::targeting::{AttributeId, TargetingSpec};
+use std::sync::OnceLock;
+
+fn sim() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| Simulation::build(999, SimScale::Test))
+}
+
+/// Ground-truth ratio via the simulator's exact sets (what the audit can
+/// never see on a real platform).
+fn exact_ratio(spec: &TargetingSpec, class: SensitiveClass) -> Option<f64> {
+    let fb = &sim().facebook;
+    let audience = fb.exact_audience(spec).unwrap();
+    let u = fb.universe();
+    let (class_set, complement_set) = match class {
+        SensitiveClass::Gender(g) => {
+            (u.gender_audience(g).clone(), u.gender_audience(g.other()).clone())
+        }
+        SensitiveClass::Age(a) => {
+            let mut complement = adcomp_bitset_everyone(u);
+            let class_set = u.age_audience(a).clone();
+            complement = complement.and_not(&class_set);
+            (class_set, complement)
+        }
+    };
+    rep_ratio(
+        audience.intersection_len(&class_set),
+        audience.intersection_len(&complement_set),
+        class_set.len(),
+        complement_set.len(),
+    )
+}
+
+fn adcomp_bitset_everyone(
+    u: &discrimination_via_composition::population::Universe,
+) -> discrimination_via_composition::bitset::Bitset {
+    u.everyone().clone()
+}
+
+#[test]
+fn rounded_ratios_track_exact_ratios() {
+    let target = AuditTarget::for_platform(&sim().facebook, sim());
+    let base = measure_spec(&target, &TargetingSpec::everyone()).unwrap();
+    let male = SensitiveClass::Gender(Gender::Male);
+    let mut checked = 0;
+    for id in 0..40u32 {
+        let spec = TargetingSpec::and_of([AttributeId(id)]);
+        let m = measure_spec(&target, &spec).unwrap();
+        if m.total < 100_000 {
+            continue; // tiny audiences have coarse rounding; skip for the tracking check
+        }
+        let (Some(rounded), Some(exact)) =
+            (rep_ratio_of(&m, &base, male), exact_ratio(&spec, male))
+        else {
+            continue;
+        };
+        let rel = (rounded - exact).abs() / exact;
+        assert!(
+            rel < 0.25,
+            "attr {id}: rounded {rounded:.3} vs exact {exact:.3} ({rel:.2} rel err)"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "need a meaningful sample, got {checked}");
+}
+
+#[test]
+fn ratio_bounds_contain_exact_ratio() {
+    // Paper §3: "we confirm that even allowing for the representation
+    // ratios to take their least skewed values (subject to the rounding
+    // ranges), we find very similar degrees of skew."
+    let target = AuditTarget::for_platform(&sim().facebook, sim());
+    let rounding = sim().facebook.config().rounding;
+    let base = measure_spec(&target, &TargetingSpec::everyone()).unwrap();
+    let male = SensitiveClass::Gender(Gender::Male);
+    let mut checked = 0;
+    for id in 0..40u32 {
+        let spec = TargetingSpec::and_of([AttributeId(id)]);
+        let m = measure_spec(&target, &spec).unwrap();
+        let (Some(bounds), Some(exact)) =
+            (ratio_bounds(&m, &base, male, &rounding), exact_ratio(&spec, male))
+        else {
+            continue;
+        };
+        assert!(
+            bounds.lo <= exact && exact <= bounds.hi,
+            "attr {id}: exact {exact:.4} outside [{:.4}, {:.4}]",
+            bounds.lo,
+            bounds.hi
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "need a meaningful sample, got {checked}");
+}
+
+#[test]
+fn least_skewed_values_preserve_conclusions() {
+    // For clearly skewed attributes, even the least skewed value in the
+    // rounding interval stays outside the four-fifths band.
+    let target = AuditTarget::for_platform(&sim().facebook, sim());
+    let rounding = sim().facebook.config().rounding;
+    let base = measure_spec(&target, &TargetingSpec::everyone()).unwrap();
+    let male = SensitiveClass::Gender(Gender::Male);
+    let mut strong = 0;
+    for id in 0..sim().facebook.catalog().len() as u32 {
+        let spec = TargetingSpec::and_of([AttributeId(id)]);
+        let m = measure_spec(&target, &spec).unwrap();
+        if m.total < 100_000 {
+            continue;
+        }
+        let Some(point) = rep_ratio_of(&m, &base, male) else { continue };
+        if point < 2.0 {
+            continue; // only strongly skewed attributes
+        }
+        let bounds = ratio_bounds(&m, &base, male, &rounding).unwrap();
+        assert!(
+            bounds.least_skewed() > 1.25,
+            "attr {id}: point {point:.2} but least-skewed {:.2} inside band",
+            bounds.least_skewed()
+        );
+        strong += 1;
+    }
+    assert!(strong >= 3, "need some strongly skewed attributes, got {strong}");
+}
