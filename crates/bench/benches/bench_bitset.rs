@@ -55,8 +55,12 @@ fn bench_materialised_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("set_ops");
     let a: Bitset = sample(3, 0.05).into_iter().collect();
     let b: Bitset = sample(4, 0.05).into_iter().collect();
-    group.bench_function("and", |bencher| bencher.iter(|| std::hint::black_box(a.and(&b))));
-    group.bench_function("or", |bencher| bencher.iter(|| std::hint::black_box(a.or(&b))));
+    group.bench_function("and", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.and(&b)))
+    });
+    group.bench_function("or", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.or(&b)))
+    });
     group.bench_function("and_not", |bencher| {
         bencher.iter(|| std::hint::black_box(a.and_not(&b)))
     });

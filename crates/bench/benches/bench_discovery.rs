@@ -2,11 +2,11 @@
 //! (DESIGN.md §6): the paper's greedy method against measuring every
 //! eligible pair.
 
-use adcomp_core::{
-    rank_individuals, survey_individuals, top_compositions, compose_and_measure,
-    Direction, DiscoveryConfig, SensitiveClass,
-};
 use adcomp_core::AuditTarget;
+use adcomp_core::{
+    compose_and_measure, rank_individuals, survey_individuals, top_compositions, Direction,
+    DiscoveryConfig, SensitiveClass,
+};
 use adcomp_platform::{SimScale, Simulation};
 use adcomp_population::Gender;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -25,7 +25,12 @@ fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
     let survey = survey_individuals(&target).unwrap();
     let male = SensitiveClass::Gender(Gender::Male);
     let ranked = rank_individuals(&survey, male, Direction::Toward, 10_000);
-    let cfg = DiscoveryConfig { top_k: 50, min_reach: 10_000, arity: 2, seed: 1 };
+    let cfg = DiscoveryConfig {
+        top_k: 50,
+        min_reach: 10_000,
+        arity: 2,
+        seed: 1,
+    };
 
     let mut group = c.benchmark_group("discovery");
     group.sample_size(10);
@@ -37,7 +42,11 @@ fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
     // Exhaustive ablation: measure every pair among the top 40 ranked
     // (greedy needs ~11 individuals for 50 pairs; exhaustive scans many
     // more pairs for the same answer quality).
-    let prefix: Vec<_> = ranked.iter().take(40).map(|&i| survey.entries[i].attrs[0]).collect();
+    let prefix: Vec<_> = ranked
+        .iter()
+        .take(40)
+        .map(|&i| survey.entries[i].attrs[0])
+        .collect();
     group.bench_function("exhaustive_40x40", |bencher| {
         bencher.iter(|| {
             let mut best = Vec::new();

@@ -12,8 +12,14 @@ fn bench_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluate");
     let specs = [
         ("individual", TargetingSpec::and_of([AttributeId(0)])),
-        ("pair", TargetingSpec::and_of([AttributeId(0), AttributeId(1)])),
-        ("triple", TargetingSpec::and_of([AttributeId(0), AttributeId(1), AttributeId(2)])),
+        (
+            "pair",
+            TargetingSpec::and_of([AttributeId(0), AttributeId(1)]),
+        ),
+        (
+            "triple",
+            TargetingSpec::and_of([AttributeId(0), AttributeId(1), AttributeId(2)]),
+        ),
         (
             "or_group",
             TargetingSpec::builder()
@@ -30,7 +36,10 @@ fn bench_eval(c: &mut Criterion) {
         ),
         (
             "exclusion",
-            TargetingSpec::builder().attribute(AttributeId(0)).exclude([AttributeId(1)]).build(),
+            TargetingSpec::builder()
+                .attribute(AttributeId(0))
+                .exclude([AttributeId(1)])
+                .build(),
         ),
     ];
     for (label, spec) in &specs {
@@ -73,12 +82,18 @@ fn bench_lookalike(c: &mut Criterion) {
     group.bench_function("special_ad_audience", |bencher| {
         bencher.iter(|| {
             std::hint::black_box(
-                fb.lookalike(&seed, &LookalikeConfig::special_ad_audience()).unwrap(),
+                fb.lookalike(&seed, &LookalikeConfig::special_ad_audience())
+                    .unwrap(),
             )
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_eval, bench_estimate_endpoint, bench_lookalike);
+criterion_group!(
+    benches,
+    bench_eval,
+    bench_estimate_endpoint,
+    bench_lookalike
+);
 criterion_main!(benches);

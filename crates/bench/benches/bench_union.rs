@@ -11,8 +11,9 @@ fn bench_union_orders(c: &mut Criterion) {
     let sim = Simulation::build(84, SimScale::Test);
     let target = AuditTarget::for_platform(&sim.facebook, &sim);
     let female = Selector::Class(SensitiveClass::Gender(Gender::Female));
-    let specs: Vec<TargetingSpec> =
-        (0..8).map(|i| TargetingSpec::and_of([AttributeId(i)])).collect();
+    let specs: Vec<TargetingSpec> = (0..8)
+        .map(|i| TargetingSpec::and_of([AttributeId(i)]))
+        .collect();
 
     let mut group = c.benchmark_group("union_recall");
     group.sample_size(10);

@@ -53,7 +53,9 @@ fn rounding_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
             if m.total < 100_000 {
                 continue;
             }
-            let Some(rounded) = rep_ratio_of(&m, &base, male) else { continue };
+            let Some(rounded) = rep_ratio_of(&m, &base, male) else {
+                continue;
+            };
             // Ground truth from exact sets.
             let audience = platform.exact_audience(&spec).expect("exact");
             let Some(exact) = rep_ratio(
@@ -86,7 +88,11 @@ fn rounding_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
             stats.max
         ));
     }
-    print_block("rounding_ablation.tsv", "interface\tn\tmedian_rel_err\tp90\tmax", rows);
+    print_block(
+        "rounding_ablation.tsv",
+        "interface\tn\tmedian_rel_err\tp90\tmax",
+        rows,
+    );
 }
 
 /// Greedy top-K quality vs an exhaustive pairwise crawl.
@@ -96,17 +102,26 @@ fn greedy_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
     let target = ctx.target(kind);
     let survey = timed("survey", || survey_individuals(&target)).expect("survey");
     let male = SensitiveClass::Gender(Gender::Male);
-    let cfg = DiscoveryConfig { top_k: 100, ..ctx.config.discovery };
+    let cfg = DiscoveryConfig {
+        top_k: 100,
+        ..ctx.config.discovery
+    };
     let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
 
     // Greedy: measure ~top_k pairs.
-    let greedy = timed("greedy", || top_compositions(&target, &survey, &ranked, &cfg))
-        .expect("greedy discovery");
+    let greedy = timed("greedy", || {
+        top_compositions(&target, &survey, &ranked, &cfg)
+    })
+    .expect("greedy discovery");
     let greedy_queries = greedy.len() * 7;
 
     // Exhaustive crawl over the top 60 ranked individuals (ground truth
     // for "the true top pairs" within a tractable pool).
-    let pool: Vec<_> = ranked.iter().take(60).map(|&i| survey.entries[i].attrs[0]).collect();
+    let pool: Vec<_> = ranked
+        .iter()
+        .take(60)
+        .map(|&i| survey.entries[i].attrs[0])
+        .collect();
     let exhaustive = timed("exhaustive", || {
         let mut all = Vec::new();
         for i in 0..pool.len() {
@@ -124,9 +139,8 @@ fn greedy_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
     });
     let exhaustive_queries = exhaustive.len() * 7;
 
-    let ratio_of = |mt: &adcomp_core::MeasuredTargeting| {
-        mt.ratio(&survey.base, male).unwrap_or(0.0)
-    };
+    let ratio_of =
+        |mt: &adcomp_core::MeasuredTargeting| mt.ratio(&survey.base, male).unwrap_or(0.0);
     let top_set = |set: &[adcomp_core::MeasuredTargeting], k: usize| {
         let mut sorted: Vec<_> = set.iter().collect();
         sorted.sort_by(|a, b| ratio_of(b).partial_cmp(&ratio_of(a)).expect("finite"));

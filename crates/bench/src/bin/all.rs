@@ -88,7 +88,10 @@ fn main() {
         .removal("Figure 6 — removal sweep (ages)", &f6)
         .table1("Table 1 — overlap and union recall", &t1)
         .lookalike("Extension — lookalike / Special Ad Audiences", &lal)
-        .examples("Tables 2–3 — illustrative compositions", &t2.iter().chain(&t3).cloned().collect::<Vec<_>>())
+        .examples(
+            "Tables 2–3 — illustrative compositions",
+            &t2.iter().chain(&t3).cloned().collect::<Vec<_>>(),
+        )
         .methodology("§3 methodology probes", &m);
     write(dir, "report.md", report.render("paper-scale simulation"));
     println!("all experiments complete");

@@ -29,9 +29,16 @@ fn main() {
     // ':' marks the four-fifths thresholds).
     let plots: Vec<PlotRow> = rows
         .iter()
-        .map(|r| PlotRow { label: format!("{} ({})", r.set, r.class), stats: r.stats })
+        .map(|r| PlotRow {
+            label: format!("{} ({})", r.set, r.class),
+            stats: r.stats,
+        })
         .collect();
     println!("\n{}", render_log2(&plots, 1.0 / 64.0, 64.0, 64));
 
-    print_block("fig1.tsv", &DistributionRow::tsv_header(), rows.iter().map(|r| r.tsv()));
+    print_block(
+        "fig1.tsv",
+        &DistributionRow::tsv_header(),
+        rows.iter().map(|r| r.tsv()),
+    );
 }

@@ -40,12 +40,19 @@ fn main() {
             plots.clear();
         }
         last = r.target.clone();
-        plots.push(PlotRow { label: format!("{} ({})", r.set, r.class), stats: r.stats });
+        plots.push(PlotRow {
+            label: format!("{} ({})", r.set, r.class),
+            stats: r.stats,
+        });
     }
     if !plots.is_empty() {
         println!("\n--- {last} ---");
         print!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
     }
 
-    print_block("fig2.tsv", &DistributionRow::tsv_header(), rows.iter().map(|r| r.tsv()));
+    print_block(
+        "fig2.tsv",
+        &DistributionRow::tsv_header(),
+        rows.iter().map(|r| r.tsv()),
+    );
 }

@@ -12,11 +12,19 @@ fn main() {
     println!("(paper: after removing the top 10th percentile on FB-restricted,");
     println!(" the Top 2-way p90 was still ≈ 3.02 — outside the four-fifths band)\n");
     for s in &sweeps {
-        println!("--- {} / {} / {} 2-way ---", s.target, s.class, s.direction.label());
+        println!(
+            "--- {} / {} / {} 2-way ---",
+            s.target,
+            s.class,
+            s.direction.label()
+        );
         for p in &s.points {
             println!(
                 "  removed {:>4.0}% ({:>3} attrs): tail={:<8.3} extreme={:<8.3} n={}",
-                p.removed_percentile, p.removed_count, p.tail_ratio, p.extreme_ratio,
+                p.removed_percentile,
+                p.removed_count,
+                p.tail_ratio,
+                p.extreme_ratio,
                 p.compositions
             );
         }

@@ -26,5 +26,9 @@ fn main() {
             r.median_summary()
         );
     }
-    print_block("fig5.tsv", &RecallRow::tsv_header(), rows.iter().map(|r| r.tsv()));
+    print_block(
+        "fig5.tsv",
+        &RecallRow::tsv_header(),
+        rows.iter().map(|r| r.tsv()),
+    );
 }

@@ -9,11 +9,19 @@ fn main() {
 
     println!("Figure 6 — removal of skewed individual targetings (age ranges)\n");
     for s in &sweeps {
-        println!("--- {} / {} / {} 2-way ---", s.target, s.class, s.direction.label());
+        println!(
+            "--- {} / {} / {} 2-way ---",
+            s.target,
+            s.class,
+            s.direction.label()
+        );
         for p in &s.points {
             println!(
                 "  removed {:>4.0}% ({:>3} attrs): tail={:<8.3} extreme={:<8.3} n={}",
-                p.removed_percentile, p.removed_count, p.tail_ratio, p.extreme_ratio,
+                p.removed_percentile,
+                p.removed_count,
+                p.tail_ratio,
+                p.extreme_ratio,
                 p.compositions
             );
         }

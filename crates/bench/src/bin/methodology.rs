@@ -12,8 +12,8 @@ fn main() {
         SimScale::Test => ProbeConfig::test(),
     };
     let ctx = context(cli);
-    let rows = timed("methodology probes", || methodology(&ctx, &probe))
-        .expect("methodology drivers");
+    let rows =
+        timed("methodology probes", || methodology(&ctx, &probe)).expect("methodology drivers");
 
     println!("§3 methodology — size-estimate characterisation");
     println!("(paper: all platforms consistent; FB 2 sig digits min 1000,");

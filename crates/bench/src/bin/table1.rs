@@ -21,7 +21,8 @@ fn main() {
             "{:<12} {:<14} {:>10} {:>18} {:>18}",
             c.favoured.to_string(),
             c.target,
-            c.median_overlap.map_or("-".into(), |v| format!("{:.2}%", v * 100.0)),
+            c.median_overlap
+                .map_or("-".into(), |v| format!("{:.2}%", v * 100.0)),
             c.top1_summary(),
             c.top10_summary()
         );

@@ -18,7 +18,13 @@ fn main() {
         for r in rows {
             println!(
                 "{:<14} {:<8} {:<45} ∧ {:<45} {:>5.2} {:>5.2} → {:>6.2}",
-                r.target, r.class.to_string(), r.name1, r.name2, r.ratio1, r.ratio2, r.combined
+                r.target,
+                r.class.to_string(),
+                r.name1,
+                r.name2,
+                r.ratio1,
+                r.ratio2,
+                r.combined
             );
         }
     }

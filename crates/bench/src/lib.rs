@@ -83,7 +83,11 @@ pub fn context(cli: Cli) -> ExperimentContext {
     let config = ExperimentConfig {
         seed: cli.seed,
         scale: cli.scale,
-        discovery: DiscoveryConfig { top_k: cli.top_k, ..DiscoveryConfig::default() },
+        discovery: DiscoveryConfig {
+            top_k: cli.top_k,
+            ..DiscoveryConfig::default()
+        },
+        resilience: None,
     };
     let ctx = ExperimentContext::new(config);
     eprintln!(

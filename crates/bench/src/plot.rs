@@ -80,7 +80,11 @@ pub fn render_log2(rows: &[PlotRow], lo: f64, hi: f64, width: usize) -> String {
         legend[pos(1.0)] = '^';
     }
     legend[width - 1] = '^';
-    out.push_str(&format!("{:<label_width$} {}\n", "", legend.iter().collect::<String>()));
+    out.push_str(&format!(
+        "{:<label_width$} {}\n",
+        "",
+        legend.iter().collect::<String>()
+    ));
     out.push_str(&format!(
         "{:<label_width$} {:<w2$}1{:>w3$}\n",
         "",
@@ -97,12 +101,24 @@ mod tests {
     use super::*;
 
     fn stats(p10: f64, p25: f64, median: f64, p75: f64, p90: f64) -> BoxStats {
-        BoxStats { n: 100, min: p10 / 2.0, p10, p25, median, p75, p90, max: p90 * 2.0 }
+        BoxStats {
+            n: 100,
+            min: p10 / 2.0,
+            p10,
+            p25,
+            median,
+            p75,
+            p90,
+            max: p90 * 2.0,
+        }
     }
 
     #[test]
     fn renders_ordered_glyphs() {
-        let rows = vec![PlotRow { label: "Top 2-way".into(), stats: stats(2.0, 3.0, 4.0, 6.0, 9.0) }];
+        let rows = vec![PlotRow {
+            label: "Top 2-way".into(),
+            stats: stats(2.0, 3.0, 4.0, 6.0, 9.0),
+        }];
         let s = render_log2(&rows, 0.25, 16.0, 48);
         let line = s.lines().next().unwrap();
         // Whisker, box and median markers all present, in order.
@@ -117,8 +133,10 @@ mod tests {
 
     #[test]
     fn guides_visible_for_centered_distribution() {
-        let rows =
-            vec![PlotRow { label: "Individual".into(), stats: stats(0.5, 0.9, 1.0, 1.1, 2.0) }];
+        let rows = vec![PlotRow {
+            label: "Individual".into(),
+            stats: stats(0.5, 0.9, 1.0, 1.1, 2.0),
+        }];
         let s = render_log2(&rows, 0.125, 8.0, 64);
         // The 0.8/1.25 guides appear as ':' somewhere when outside the box.
         // (With the box covering 0.9..1.1, both guides sit outside it.)
@@ -134,12 +152,18 @@ mod tests {
         let s = render_log2(&rows, 0.25, 16.0, 40);
         // Label column is padded to at least 8 characters.
         let label_width = "Extreme".len().max(8);
-        assert_eq!(s.lines().next().unwrap().len(), label_width + 1 + 40 + " n=100".len());
+        assert_eq!(
+            s.lines().next().unwrap().len(),
+            label_width + 1 + 40 + " n=100".len()
+        );
     }
 
     #[test]
     fn legend_includes_bounds_and_one() {
-        let rows = vec![PlotRow { label: "X".into(), stats: stats(0.5, 0.7, 1.0, 1.4, 2.0) }];
+        let rows = vec![PlotRow {
+            label: "X".into(),
+            stats: stats(0.5, 0.7, 1.0, 1.4, 2.0),
+        }];
         let s = render_log2(&rows, 0.25, 4.0, 40);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3, "{s}");

@@ -90,7 +90,10 @@ impl Container {
             for &v in values {
                 bits[(v >> 6) as usize] |= 1u64 << (v & 63);
             }
-            Container::Bitmap { bits, len: values.len() as u32 }
+            Container::Bitmap {
+                bits,
+                len: values.len() as u32,
+            }
         }
     }
 
@@ -251,11 +254,14 @@ impl Container {
             },
             Container::Bitmap { bits, .. } => {
                 let word_idx = (value >> 6) as usize;
-                let mut rank: u32 =
-                    bits[..word_idx].iter().map(|w| w.count_ones()).sum();
+                let mut rank: u32 = bits[..word_idx].iter().map(|w| w.count_ones()).sum();
                 let within = value & 63;
                 // Mask keeps bits [0, within] of the boundary word.
-                let mask = if within == 63 { u64::MAX } else { (1u64 << (within + 1)) - 1 };
+                let mask = if within == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (within + 1)) - 1
+                };
                 rank += (bits[word_idx] & mask).count_ones();
                 rank
             }
@@ -376,18 +382,30 @@ impl Container {
 /// Iterator over one container's values.
 pub(crate) enum ContainerIter<'a> {
     Array(std::slice::Iter<'a, u16>),
-    Bitmap { bits: &'a [u64; BITMAP_WORDS], word_idx: usize, word: u64 },
-    Run { runs: std::slice::Iter<'a, Interval>, current: Option<(u32, u32)> },
+    Bitmap {
+        bits: &'a [u64; BITMAP_WORDS],
+        word_idx: usize,
+        word: u64,
+    },
+    Run {
+        runs: std::slice::Iter<'a, Interval>,
+        current: Option<(u32, u32)>,
+    },
 }
 
 impl<'a> ContainerIter<'a> {
     fn new(container: &'a Container) -> Self {
         match container {
             Container::Array(values) => ContainerIter::Array(values.iter()),
-            Container::Bitmap { bits, .. } => {
-                ContainerIter::Bitmap { bits, word_idx: 0, word: bits[0] }
-            }
-            Container::Run(runs) => ContainerIter::Run { runs: runs.iter(), current: None },
+            Container::Bitmap { bits, .. } => ContainerIter::Bitmap {
+                bits,
+                word_idx: 0,
+                word: bits[0],
+            },
+            Container::Run(runs) => ContainerIter::Run {
+                runs: runs.iter(),
+                current: None,
+            },
         }
     }
 }
@@ -398,7 +416,11 @@ impl Iterator for ContainerIter<'_> {
     fn next(&mut self) -> Option<u16> {
         match self {
             ContainerIter::Array(iter) => iter.next().copied(),
-            ContainerIter::Bitmap { bits, word_idx, word } => loop {
+            ContainerIter::Bitmap {
+                bits,
+                word_idx,
+                word,
+            } => loop {
                 if *word != 0 {
                     let bit = word.trailing_zeros();
                     *word &= *word - 1;

@@ -13,7 +13,11 @@ pub struct Iter<'a> {
 
 impl<'a> Iter<'a> {
     pub(crate) fn new(chunks: &'a [(u16, Container)]) -> Self {
-        Iter { chunks, chunk_idx: 0, current: None }
+        Iter {
+            chunks,
+            chunk_idx: 0,
+            current: None,
+        }
     }
 }
 

@@ -90,7 +90,10 @@ impl Bitset {
         let mut pending: Vec<u16> = Vec::new();
         for v in values {
             if let Some(prev) = last {
-                assert!(v > prev, "from_sorted_iter: values must be strictly increasing");
+                assert!(
+                    v > prev,
+                    "from_sorted_iter: values must be strictly increasing"
+                );
             }
             last = Some(v);
             let (hi, lo) = split(v);
@@ -162,12 +165,16 @@ impl Bitset {
 
     /// Smallest value, if any.
     pub fn min(&self) -> Option<u32> {
-        self.chunks.first().map(|(k, c)| join(*k, c.min().expect("non-empty container")))
+        self.chunks
+            .first()
+            .map(|(k, c)| join(*k, c.min().expect("non-empty container")))
     }
 
     /// Largest value, if any.
     pub fn max(&self) -> Option<u32> {
-        self.chunks.last().map(|(k, c)| join(*k, c.max().expect("non-empty container")))
+        self.chunks
+            .last()
+            .map(|(k, c)| join(*k, c.max().expect("non-empty container")))
     }
 
     /// Number of values `<= value` (1-based rank).
@@ -273,7 +280,10 @@ impl Bitset {
 
     /// Approximate heap footprint in bytes (containers only).
     pub fn memory_bytes(&self) -> usize {
-        self.chunks.iter().map(|(_, c)| 2 + c.memory_bytes()).sum::<usize>()
+        self.chunks
+            .iter()
+            .map(|(_, c)| 2 + c.memory_bytes())
+            .sum::<usize>()
             + self.chunks.capacity() * std::mem::size_of::<(u16, Container)>()
     }
 
@@ -393,7 +403,10 @@ mod tests {
         }
         let expect: Bitset = (0u32..4096).collect();
         assert_eq!(t.len(), 4096);
-        assert_eq!(t.iter().collect::<Vec<_>>(), expect.iter().collect::<Vec<_>>());
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            expect.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -445,7 +458,10 @@ mod tests {
         let dense_bytes = s.memory_bytes();
         let before: Vec<u32> = s.iter().collect();
         s.run_optimize();
-        assert!(s.memory_bytes() < dense_bytes, "one long run must be smaller");
+        assert!(
+            s.memory_bytes() < dense_bytes,
+            "one long run must be smaller"
+        );
         assert_eq!(s.iter().collect::<Vec<_>>(), before);
         assert_eq!(s.len(), 60_000);
         assert!(s.contains(59_999) && !s.contains(60_000));

@@ -269,11 +269,7 @@ fn array_array(a: &[u16], b: &[u16], op: Op) -> Option<Container> {
     }
 }
 
-fn bitmap_bitmap(
-    a: &[u64; BITMAP_WORDS],
-    b: &[u64; BITMAP_WORDS],
-    op: Op,
-) -> Option<Container> {
+fn bitmap_bitmap(a: &[u64; BITMAP_WORDS], b: &[u64; BITMAP_WORDS], op: Op) -> Option<Container> {
     let mut bits = Box::new([0u64; BITMAP_WORDS]);
     let mut len = 0u32;
     for k in 0..BITMAP_WORDS {

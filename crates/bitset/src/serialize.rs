@@ -133,7 +133,9 @@ impl Bitset {
         }
         let chunk_count = r.u32()? as usize;
         if chunk_count > u16::MAX as usize + 1 {
-            return Err(DecodeError::CorruptContainer("more chunks than possible keys"));
+            return Err(DecodeError::CorruptContainer(
+                "more chunks than possible keys",
+            ));
         }
         let mut set = Bitset::new();
         let mut last_key: Option<u16> = None;
@@ -244,7 +246,10 @@ mod tests {
     fn version_checked() {
         let mut bytes = Bitset::new().to_bytes();
         bytes[0] = 9;
-        assert_eq!(Bitset::from_bytes(&bytes), Err(DecodeError::UnsupportedVersion(9)));
+        assert_eq!(
+            Bitset::from_bytes(&bytes),
+            Err(DecodeError::UnsupportedVersion(9))
+        );
     }
 
     #[test]
@@ -264,7 +269,10 @@ mod tests {
     fn trailing_bytes_detected() {
         let mut bytes = Bitset::from_sorted_iter([1, 2, 3]).to_bytes();
         bytes.push(0);
-        assert_eq!(Bitset::from_bytes(&bytes), Err(DecodeError::TrailingBytes(1)));
+        assert_eq!(
+            Bitset::from_bytes(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        );
     }
 
     #[test]
@@ -287,7 +295,10 @@ mod tests {
         bytes.extend_from_slice(&1u32.to_le_bytes());
         bytes.extend_from_slice(&0u16.to_le_bytes());
         bytes.push(7);
-        assert_eq!(Bitset::from_bytes(&bytes), Err(DecodeError::InvalidLayout(7)));
+        assert_eq!(
+            Bitset::from_bytes(&bytes),
+            Err(DecodeError::InvalidLayout(7))
+        );
 
         // Bitmap with wrong cardinality.
         let mut bytes = vec![FORMAT_VERSION];
@@ -304,7 +315,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(DecodeError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(DecodeError::UnexpectedEof
+            .to_string()
+            .contains("end of input"));
         assert!(DecodeError::TrailingBytes(3).to_string().contains('3'));
     }
 }

@@ -29,7 +29,9 @@ mod parking_lot_lite {
         }
 
         pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+            self.0
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
         }
     }
 }
@@ -46,20 +48,27 @@ pub struct QueryBudget {
 impl QueryBudget {
     /// Unlimited budget (accounting only).
     pub fn unlimited() -> Self {
-        QueryBudget { max_queries: u64::MAX, min_interval: Duration::ZERO }
+        QueryBudget {
+            max_queries: u64::MAX,
+            min_interval: Duration::ZERO,
+        }
     }
 
     /// A capped budget with no throttling.
     pub fn capped(max_queries: u64) -> Self {
-        QueryBudget { max_queries, min_interval: Duration::ZERO }
+        QueryBudget {
+            max_queries,
+            min_interval: Duration::ZERO,
+        }
     }
 }
 
 /// An [`EstimateSource`] wrapper enforcing a [`QueryBudget`].
 ///
-/// Exceeding the cap yields `SourceError::Transport("query budget
-/// exhausted…")` so pipelines fail loudly instead of silently hammering
-/// the platform. Throttling sleeps the calling thread.
+/// Exceeding the cap yields [`SourceError::BudgetExhausted`] — a *fatal*
+/// error the resilience layer never retries — so pipelines fail loudly
+/// instead of silently hammering the platform. Throttling sleeps the
+/// calling thread.
 pub struct BudgetedSource {
     inner: Arc<dyn EstimateSource>,
     budget: QueryBudget,
@@ -70,7 +79,12 @@ pub struct BudgetedSource {
 impl BudgetedSource {
     /// Wraps `inner` with `budget`.
     pub fn new(inner: Arc<dyn EstimateSource>, budget: QueryBudget) -> Self {
-        BudgetedSource { inner, budget, used: AtomicU64::new(0), last: Mutex::new(None) }
+        BudgetedSource {
+            inner,
+            budget,
+            used: AtomicU64::new(0),
+            last: Mutex::new(None),
+        }
     }
 
     /// Estimate queries spent so far.
@@ -88,10 +102,10 @@ impl BudgetedSource {
         // rejected query was still *attempted* load-wise.
         let spent = self.used.fetch_add(1, Ordering::Relaxed);
         if spent >= self.budget.max_queries {
-            return Err(SourceError::Transport(format!(
-                "query budget exhausted ({} queries)",
-                self.budget.max_queries
-            )));
+            return Err(SourceError::BudgetExhausted {
+                used: spent + 1,
+                cap: self.budget.max_queries,
+            });
         }
         if !self.budget.min_interval.is_zero() {
             let mut last = self.last.lock();
@@ -212,7 +226,11 @@ mod tests {
         let target = AuditTarget::direct(src.clone());
         let survey = crate::discovery::survey_individuals(&target).unwrap();
         assert_eq!(survey.entries.len() as u64, catalog);
-        assert_eq!(src.used(), expected, "the survey's query count is predictable");
+        assert_eq!(
+            src.used(),
+            expected,
+            "the survey's query count is predictable"
+        );
     }
 
     #[test]

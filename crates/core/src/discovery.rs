@@ -84,7 +84,11 @@ pub fn survey_individuals(target: &AuditTarget) -> Result<IndividualSurvey, Sour
         let id = AttributeId(raw);
         let spec = TargetingSpec::and_of([id]);
         let measurement = measure_spec(target, &spec)?;
-        entries.push(MeasuredTargeting { spec, attrs: vec![id], measurement });
+        entries.push(MeasuredTargeting {
+            spec,
+            attrs: vec![id],
+            measurement,
+        });
     }
     Ok(IndividualSurvey { entries, base })
 }
@@ -106,7 +110,12 @@ pub struct DiscoveryConfig {
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
-        DiscoveryConfig { top_k: 1_000, min_reach: 10_000, arity: 2, seed: 0x5EED }
+        DiscoveryConfig {
+            top_k: 1_000,
+            min_reach: 10_000,
+            arity: 2,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -140,7 +149,11 @@ pub fn compose_and_measure(
 ) -> Result<MeasuredTargeting, SourceError> {
     let spec = TargetingSpec::and_of(attrs.iter().copied());
     let measurement = measure_spec(target, &spec)?;
-    Ok(MeasuredTargeting { spec, attrs: attrs.to_vec(), measurement })
+    Ok(MeasuredTargeting {
+        spec,
+        attrs: attrs.to_vec(),
+        measurement,
+    })
 }
 
 /// All `arity`-subsets of `ids` whose members are pairwise composable on
@@ -166,7 +179,10 @@ fn composable_subsets(
         }
         for i in start..ids.len() {
             let candidate = ids[i];
-            if stack.iter().all(|&prev| target.targeting.can_compose(prev, candidate)) {
+            if stack
+                .iter()
+                .all(|&prev| target.targeting.can_compose(prev, candidate))
+            {
                 stack.push(candidate);
                 recurse(target, ids, i + 1, arity, stack, out);
                 stack.pop();
@@ -193,8 +209,10 @@ pub fn top_compositions(
     let mut m = cfg.arity;
     let mut combos: Vec<Vec<AttributeId>> = Vec::new();
     while m <= ranked.len() {
-        let prefix: Vec<AttributeId> =
-            ranked[..m].iter().map(|&i| survey.entries[i].attrs[0]).collect();
+        let prefix: Vec<AttributeId> = ranked[..m]
+            .iter()
+            .map(|&i| survey.entries[i].attrs[0])
+            .collect();
         combos = composable_subsets(target, &prefix, cfg.arity);
         if combos.len() >= cfg.top_k {
             break;
@@ -235,7 +253,10 @@ pub fn random_compositions(
         let mut attrs: Vec<AttributeId> = Vec::with_capacity(cfg.arity);
         while attrs.len() < cfg.arity {
             let candidate = AttributeId(rng.gen_range(0..n));
-            if attrs.iter().all(|&prev| target.targeting.can_compose(prev, candidate)) {
+            if attrs
+                .iter()
+                .all(|&prev| target.targeting.can_compose(prev, candidate))
+            {
                 attrs.push(candidate);
             } else {
                 break;
@@ -269,7 +290,12 @@ mod tests {
     }
 
     fn cfg(top_k: usize) -> DiscoveryConfig {
-        DiscoveryConfig { top_k, min_reach: 10_000, arity: 2, seed: 7 }
+        DiscoveryConfig {
+            top_k,
+            min_reach: 10_000,
+            arity: 2,
+            seed: 7,
+        }
     }
 
     const MALE: SensitiveClass = SensitiveClass::Gender(Gender::Male);
@@ -296,7 +322,10 @@ mod tests {
             .iter()
             .map(|&i| survey.entries[i].ratio(&survey.base, MALE).unwrap())
             .collect();
-        assert!(ratios.windows(2).all(|w| w[0] >= w[1]), "descending for Toward");
+        assert!(
+            ratios.windows(2).all(|w| w[0] >= w[1]),
+            "descending for Toward"
+        );
         for &i in &ranked {
             assert!(survey.entries[i].measurement.total >= 10_000);
         }
@@ -316,8 +345,10 @@ mod tests {
         let top = top_compositions(&target, &survey, &ranked, &cfg(60)).unwrap();
         assert!(!top.is_empty());
         let top_median = {
-            let mut r: Vec<f64> =
-                top.iter().filter_map(|t| t.ratio(&survey.base, MALE)).collect();
+            let mut r: Vec<f64> = top
+                .iter()
+                .filter_map(|t| t.ratio(&survey.base, MALE))
+                .collect();
             r.sort_by(|a, b| a.partial_cmp(b).unwrap());
             r[r.len() / 2]
         };

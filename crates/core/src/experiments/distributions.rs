@@ -93,7 +93,10 @@ impl DistributionRow {
 
     /// Header for [`DistributionRow::tsv`].
     pub fn tsv_header() -> String {
-        format!("interface\tset\tclass\tviolating\t{}", BoxStats::tsv_header())
+        format!(
+            "interface\tset\tclass\tviolating\t{}",
+            BoxStats::tsv_header()
+        )
     }
 }
 
@@ -133,7 +136,12 @@ pub fn distributions_for(
             .filter(|e| e.measurement.total >= cfg.min_reach)
             .filter_map(|e| e.ratio(&survey.base, class))
             .collect();
-        rows.extend(DistributionRow::build(&target, SetLabel::Individual, class, ratios));
+        rows.extend(DistributionRow::build(
+            &target,
+            SetLabel::Individual,
+            class,
+            ratios,
+        ));
     }
 
     for &arity in arities {
@@ -142,7 +150,12 @@ pub fn distributions_for(
         let random = random_compositions(&target, &arity_cfg)?;
         for &class in classes {
             let ratios = ratios_of(&random, survey, class, cfg.min_reach);
-            rows.extend(DistributionRow::build(&target, SetLabel::Random(arity), class, ratios));
+            rows.extend(DistributionRow::build(
+                &target,
+                SetLabel::Random(arity),
+                class,
+                ratios,
+            ));
         }
         // Top/Bottom per class.
         for &class in classes {
@@ -183,8 +196,10 @@ pub fn figure1(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceEr
 /// Figure 2: all four interfaces, males and ages 18–24, 2-way sets.
 pub fn figure2(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceError> {
     use adcomp_population::{AgeBucket, Gender};
-    let classes =
-        [SensitiveClass::Gender(Gender::Male), SensitiveClass::Age(AgeBucket::A18_24)];
+    let classes = [
+        SensitiveClass::Gender(Gender::Male),
+        SensitiveClass::Age(AgeBucket::A18_24),
+    ];
     let mut rows = Vec::new();
     for kind in super::INTERFACE_ORDER {
         rows.extend(distributions_for(ctx, kind, &classes, &[2])?);
@@ -224,15 +239,20 @@ mod tests {
         // The §4.1 headline: Top 2-way out-skews Individual, Top 3-way
         // out-skews Top 2-way, on the sanitized interface.
         let male = SensitiveClass::Gender(Gender::Male);
-        let rows = distributions_for(ctx(), InterfaceKind::FacebookRestricted, &[male], &[2, 3])
-            .unwrap();
+        let rows =
+            distributions_for(ctx(), InterfaceKind::FacebookRestricted, &[male], &[2, 3]).unwrap();
         let p90 = |set: SetLabel| {
-            rows.iter().find(|r| r.set == set && r.class == male).map(|r| r.stats.p90)
+            rows.iter()
+                .find(|r| r.set == set && r.class == male)
+                .map(|r| r.stats.p90)
         };
         let individual = p90(SetLabel::Individual).unwrap();
         let top2 = p90(SetLabel::Top(2)).unwrap();
         let top3 = p90(SetLabel::Top(3)).unwrap();
-        assert!(top2 > individual, "top2 {top2:.2} vs individual {individual:.2}");
+        assert!(
+            top2 > individual,
+            "top2 {top2:.2} vs individual {individual:.2}"
+        );
         // At test scale one simulated user is thousands of platform users,
         // so 3-way audiences are heavily quantised and their measured tail
         // can dip below the 2-way tail; require it to at least stay in the
@@ -243,7 +263,9 @@ mod tests {
             "top3 {top3:.2} vs top2 {top2:.2}, individual {individual:.2}"
         );
         let p10 = |set: SetLabel| {
-            rows.iter().find(|r| r.set == set && r.class == male).map(|r| r.stats.p10)
+            rows.iter()
+                .find(|r| r.set == set && r.class == male)
+                .map(|r| r.stats.p10)
         };
         let bottom2 = p10(SetLabel::Bottom(2)).unwrap();
         assert!(bottom2 < p10(SetLabel::Individual).unwrap());
@@ -253,8 +275,7 @@ mod tests {
     fn most_skewed_pairs_mostly_violate_four_fifths() {
         // §4.3: "over 90 percent of these falling outside the thresholds".
         let male = SensitiveClass::Gender(Gender::Male);
-        let rows =
-            distributions_for(ctx(), InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
+        let rows = distributions_for(ctx(), InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
         for set in [SetLabel::Top(2), SetLabel::Bottom(2)] {
             let row = rows.iter().find(|r| r.set == set).unwrap();
             assert!(
@@ -268,8 +289,7 @@ mod tests {
     #[test]
     fn tsv_rows_are_well_formed() {
         let male = SensitiveClass::Gender(Gender::Male);
-        let rows =
-            distributions_for(ctx(), InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
+        let rows = distributions_for(ctx(), InterfaceKind::LinkedIn, &[male], &[2]).unwrap();
         let header_cols = DistributionRow::tsv_header().split('\t').count();
         for r in &rows {
             assert_eq!(r.tsv().split('\t').count(), header_cols);

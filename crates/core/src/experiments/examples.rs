@@ -43,7 +43,12 @@ impl ExampleRow {
     pub fn tsv(&self) -> String {
         format!(
             "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
-            self.target, self.class, self.name1, self.name2, self.ratio1, self.ratio2,
+            self.target,
+            self.class,
+            self.name1,
+            self.name2,
+            self.ratio1,
+            self.ratio2,
             self.combined
         )
     }
@@ -101,7 +106,12 @@ pub fn table2(ctx: &ExperimentContext, per_cell: usize) -> Result<Vec<ExampleRow
     let mut rows = Vec::new();
     for kind in super::INTERFACE_ORDER {
         for gender in Gender::ALL {
-            rows.extend(examples_for(ctx, kind, SensitiveClass::Gender(gender), per_cell)?);
+            rows.extend(examples_for(
+                ctx,
+                kind,
+                SensitiveClass::Gender(gender),
+                per_cell,
+            )?);
         }
     }
     Ok(rows)

@@ -97,7 +97,10 @@ pub fn lookalike_for(
 
     let mut rows = Vec::with_capacity(candidates.len());
     for (idx, seed_ratio) in candidates {
-        let seed = platform.attribute_audience_raw(idx).expect("ranked audience").clone();
+        let seed = platform
+            .attribute_audience_raw(idx)
+            .expect("ranked audience")
+            .clone();
         let regular = platform
             .lookalike(&seed, &LookalikeConfig::default())
             .expect("seed size was checked");

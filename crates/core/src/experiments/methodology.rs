@@ -68,7 +68,9 @@ impl MethodologyRow {
             self.consistency.specs,
             self.consistency.repeats,
             self.granularity.max_significant_digits(),
-            self.granularity.min_nonzero.map_or("-".into(), |v| v.to_string()),
+            self.granularity
+                .min_nonzero
+                .map_or("-".into(), |v| v.to_string()),
         )
     }
 }
@@ -90,7 +92,11 @@ pub fn methodology(
         )?;
         let granularity =
             granularity_probe(&target, ctx.config.seed ^ 0x9A, cfg.granularity_queries)?;
-        rows.push(MethodologyRow { target: target.label(), consistency, granularity });
+        rows.push(MethodologyRow {
+            target: target.label(),
+            consistency,
+            granularity,
+        });
     }
     let _ = InterfaceKind::FacebookNormal; // imported for doc clarity
     Ok(rows)

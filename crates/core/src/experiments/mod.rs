@@ -30,6 +30,7 @@ use std::sync::OnceLock;
 use adcomp_platform::{InterfaceKind, SimScale, Simulation};
 
 use crate::discovery::{survey_individuals, DiscoveryConfig, IndividualSurvey};
+use crate::resilience::ResilienceConfig;
 use crate::source::{AuditTarget, SourceError};
 
 /// Experiment-wide configuration.
@@ -41,12 +42,23 @@ pub struct ExperimentConfig {
     pub scale: SimScale,
     /// Discovery parameters (top-k, reach floor, sampling seed).
     pub discovery: DiscoveryConfig,
+    /// Optional retry/degradation layer wrapped around every audit
+    /// target. `None` (the default) talks to the sources directly —
+    /// the right choice for in-process simulators, which cannot fail
+    /// transiently. Set it when the target sits behind a wire client
+    /// or a fault-injecting harness.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl ExperimentConfig {
     /// Paper-scale configuration (full catalogs, top-1000 discovery).
     pub fn paper(seed: u64) -> Self {
-        ExperimentConfig { seed, scale: SimScale::Paper, discovery: DiscoveryConfig::default() }
+        ExperimentConfig {
+            seed,
+            scale: SimScale::Paper,
+            discovery: DiscoveryConfig::default(),
+            resilience: None,
+        }
     }
 
     /// Fast configuration for tests and examples.
@@ -54,8 +66,20 @@ impl ExperimentConfig {
         ExperimentConfig {
             seed,
             scale: SimScale::Test,
-            discovery: DiscoveryConfig { top_k: 60, ..DiscoveryConfig::default() },
+            discovery: DiscoveryConfig {
+                top_k: 60,
+                ..DiscoveryConfig::default()
+            },
+            resilience: None,
         }
+    }
+
+    /// Wraps every audit target in a [`ResilientSource`] with `config`.
+    ///
+    /// [`ResilientSource`]: crate::resilience::ResilientSource
+    pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = Some(config);
+        self
     }
 }
 
@@ -77,7 +101,10 @@ pub const INTERFACE_ORDER: [InterfaceKind; 4] = [
 ];
 
 fn interface_index(kind: InterfaceKind) -> usize {
-    INTERFACE_ORDER.iter().position(|k| *k == kind).expect("known interface")
+    INTERFACE_ORDER
+        .iter()
+        .position(|k| *k == kind)
+        .expect("known interface")
 }
 
 impl ExperimentContext {
@@ -99,7 +126,11 @@ impl ExperimentContext {
             InterfaceKind::GoogleDisplay => &self.simulation.google,
             InterfaceKind::LinkedIn => &self.simulation.linkedin,
         };
-        AuditTarget::for_platform(platform, &self.simulation)
+        let target = AuditTarget::for_platform(platform, &self.simulation);
+        match self.config.resilience {
+            Some(config) => target.with_resilience(config),
+            None => target,
+        }
     }
 
     /// The cached individual survey of an interface (computed on first
@@ -133,7 +164,11 @@ pub fn fmt_recall(recall: u64, population: u64) -> String {
     if population == 0 {
         return fmt_count(recall);
     }
-    format!("{} ({:.1}%)", fmt_count(recall), 100.0 * recall as f64 / population as f64)
+    format!(
+        "{} ({:.1}%)",
+        fmt_count(recall),
+        100.0 * recall as f64 / population as f64
+    )
 }
 
 #[cfg(test)]

@@ -11,9 +11,7 @@
 
 use adcomp_platform::InterfaceKind;
 
-use crate::discovery::{
-    rank_individuals, top_compositions, Direction, MeasuredTargeting,
-};
+use crate::discovery::{rank_individuals, top_compositions, Direction, MeasuredTargeting};
 use crate::metrics::{four_fifths_band, SkewBand};
 use crate::source::{SensitiveClass, SourceError};
 use crate::stats::BoxStats;
@@ -76,7 +74,15 @@ impl RecallRow {
     ) -> Option<RecallRow> {
         let as_f: Vec<f64> = recalls.iter().map(|&r| r as f64).collect();
         let stats = BoxStats::from_samples(&as_f)?;
-        Some(RecallRow { target, set, class, including, recalls, stats, population })
+        Some(RecallRow {
+            target,
+            set,
+            class,
+            including,
+            recalls,
+            stats,
+            population,
+        })
     }
 
     /// Median recall with the percentage of the population (the numbers
@@ -100,16 +106,23 @@ impl RecallRow {
 
     /// TSV header.
     pub fn tsv_header() -> String {
-        format!("interface\tset\tclass\tmode\tpopulation\t{}", BoxStats::tsv_header())
+        format!(
+            "interface\tset\tclass\tmode\tpopulation\t{}",
+            BoxStats::tsv_header()
+        )
     }
 }
 
 fn recalls_including(set: &[&MeasuredTargeting], class: SensitiveClass) -> Vec<u64> {
-    set.iter().map(|t| t.measurement.class_count(class)).collect()
+    set.iter()
+        .map(|t| t.measurement.class_count(class))
+        .collect()
 }
 
 fn recalls_excluding(set: &[&MeasuredTargeting], class: SensitiveClass) -> Vec<u64> {
-    set.iter().map(|t| t.measurement.complement_count(class)).collect()
+    set.iter()
+        .map(|t| t.measurement.complement_count(class))
+        .collect()
 }
 
 /// Recall rows for one interface and class.
@@ -185,8 +198,7 @@ pub fn recall_for(
                 .is_some_and(|r| four_fifths_band(r) == SkewBand::Under)
         })
         .collect();
-    let complement_population =
-        survey.base.complement_count(class);
+    let complement_population = survey.base.complement_count(class);
     rows.extend(RecallRow::build(
         label,
         RecallSet::BottomPairs,
@@ -229,9 +241,7 @@ mod tests {
         // §4.3: "targeting compositions tend to achieve lower recalls than
         // individual targeting options".
         let rows = recall_for(ctx(), InterfaceKind::FacebookNormal, FEMALE).unwrap();
-        let median = |set: RecallSet| {
-            rows.iter().find(|r| r.set == set).map(|r| r.stats.median)
-        };
+        let median = |set: RecallSet| rows.iter().find(|r| r.set == set).map(|r| r.stats.median);
         let all = median(RecallSet::AllIndividual).unwrap();
         if let Some(top) = median(RecallSet::TopPairs) {
             assert!(top < all, "top pairs {top} vs individuals {all}");
@@ -254,7 +264,10 @@ mod tests {
     #[test]
     fn bottom_rows_use_complement_population() {
         let rows = recall_for(ctx(), InterfaceKind::LinkedIn, FEMALE).unwrap();
-        let all = rows.iter().find(|r| r.set == RecallSet::AllIndividual).unwrap();
+        let all = rows
+            .iter()
+            .find(|r| r.set == RecallSet::AllIndividual)
+            .unwrap();
         if let Some(bottom) = rows.iter().find(|r| r.set == RecallSet::BottomPairs) {
             assert!(!bottom.including);
             // Complement population differs from the class population in a

@@ -49,7 +49,11 @@ pub fn figure3(ctx: &ExperimentContext) -> Result<Vec<RemovalSweep>, SourceError
 pub fn figure6(ctx: &ExperimentContext) -> Result<Vec<RemovalSweep>, SourceError> {
     let mut out = Vec::new();
     for age in AgeBucket::ALL {
-        out.extend(sweep_all_interfaces(ctx, SensitiveClass::Age(age), Direction::Toward)?);
+        out.extend(sweep_all_interfaces(
+            ctx,
+            SensitiveClass::Age(age),
+            Direction::Toward,
+        )?);
     }
     out.extend(sweep_all_interfaces(
         ctx,
@@ -111,7 +115,11 @@ mod tests {
             10.0,
         )
         .unwrap();
-        assert!(sweep.still_violating_after_removal(), "sweep: {:?}", sweep.points);
+        assert!(
+            sweep.still_violating_after_removal(),
+            "sweep: {:?}",
+            sweep.points
+        );
     }
 
     #[test]

@@ -97,7 +97,8 @@ impl ReportBuilder {
                 "| {} | {} | {} | {} | {} |\n",
                 c.favoured,
                 c.target,
-                c.median_overlap.map_or("-".into(), |v| format!("{:.2}%", v * 100.0)),
+                c.median_overlap
+                    .map_or("-".into(), |v| format!("{:.2}%", v * 100.0)),
                 c.top1_summary(),
                 c.top10_summary()
             ));
@@ -199,9 +200,10 @@ mod tests {
         assert!(doc.contains("## Methodology"));
         assert!(doc.contains("LinkedIn"));
         // Markdown table rows have a constant column count.
-        let header_cols = "| interface | set | class | n | p10 | median | p90 | % outside 4/5 band |"
-            .matches('|')
-            .count();
+        let header_cols =
+            "| interface | set | class | n | p10 | median | p90 | % outside 4/5 band |"
+                .matches('|')
+                .count();
         for line in doc.lines().filter(|l| l.starts_with("| LinkedIn")) {
             assert_eq!(line.matches('|').count(), header_cols, "{line}");
         }

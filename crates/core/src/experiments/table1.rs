@@ -109,7 +109,8 @@ pub fn table1_cell(
         favoured,
         // Top 100 (paper); at test scale fewer exist, and the pair count
         // grows quadratically, so cap harder there.
-        100.min(specs.len()).min(if cfg.top_k < 1000 { 20 } else { 100 }),
+        100.min(specs.len())
+            .min(if cfg.top_k < 1000 { 20 } else { 100 }),
     )?;
 
     let population = target.selector_estimate(&TargetingSpec::everyone(), favoured)?;
@@ -158,7 +159,8 @@ pub fn table1_tsv(cells: &[Table1Cell]) -> String {
             "{}\t{}\t{}\t{}\t{}\t{}\n",
             c.favoured,
             c.target,
-            c.median_overlap.map_or("-".to_string(), |v| format!("{:.2}%", v * 100.0)),
+            c.median_overlap
+                .map_or("-".to_string(), |v| format!("{:.2}%", v * 100.0)),
             c.top1_recall,
             c.top10_recall,
             c.population
@@ -192,7 +194,10 @@ mod tests {
             cell.top1_recall
         );
         assert!(cell.top10_recall <= cell.population * 2, "sane magnitude");
-        assert!(cell.union_queries > 10, "inclusion–exclusion needs intersections");
+        assert!(
+            cell.union_queries > 10,
+            "inclusion–exclusion needs intersections"
+        );
     }
 
     #[test]
@@ -222,9 +227,7 @@ mod tests {
     #[test]
     fn tsv_covers_all_cells() {
         let favoured = Selector::Class(SensitiveClass::Gender(Gender::Male));
-        let cells = vec![
-            table1_cell(ctx(), InterfaceKind::LinkedIn, favoured).unwrap(),
-        ];
+        let cells = vec![table1_cell(ctx(), InterfaceKind::LinkedIn, favoured).unwrap()];
         let tsv = table1_tsv(&cells);
         assert_eq!(tsv.lines().count(), 2);
         assert!(tsv.contains("LinkedIn"));

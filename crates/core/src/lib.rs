@@ -23,6 +23,8 @@
 //!   monitor;
 //! * [`budget`] — client-side query caps and throttling (the ethics
 //!   section's discipline);
+//! * [`resilience`] — retry, error classification, and graceful
+//!   degradation, so multi-day audits survive flaky platforms;
 //! * [`experiments`] — drivers reproducing every figure and table of the
 //!   paper's evaluation.
 //!
@@ -53,33 +55,35 @@
 pub mod budget;
 pub mod discovery;
 pub mod experiments;
-pub mod mitigation;
 pub mod metrics;
+pub mod mitigation;
 pub mod probe;
 pub mod removal;
+pub mod resilience;
 pub mod source;
 pub mod stats;
 pub mod union_estimate;
 
+pub use budget::{BudgetedSource, QueryBudget};
 pub use discovery::{
     compose_and_measure, random_compositions, rank_individuals, survey_individuals,
     top_compositions, Direction, DiscoveryConfig, IndividualSurvey, MeasuredTargeting,
 };
 pub use metrics::{
-    four_fifths_band, measure_spec, ratio_bounds, recall_of, rep_ratio, rep_ratio_of,
-    RatioBounds, SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
+    four_fifths_band, measure_spec, ratio_bounds, recall_of, rep_ratio, rep_ratio_of, RatioBounds,
+    SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
 };
-pub use probe::{
-    consistency_probe, granularity_from_observations, granularity_probe, significant_digits,
-    ConsistencyReport, GranularityReport,
-};
-pub use removal::{removal_sweep, RemovalPoint, RemovalSweep};
-pub use source::{AuditTarget, EstimateSource, Selector, SensitiveClass, SourceError};
-pub use stats::{fraction_outside, median, percentile, BoxStats};
-pub use union_estimate::{
-    median_pairwise_overlap, pairwise_overlap, union_recall, UnionEstimate,
-};
-pub use budget::{BudgetedSource, QueryBudget};
 pub use mitigation::{
     AdvertiserMonitor, AdvertiserReport, PreflightConfig, PreflightGate, PreflightVerdict,
 };
+pub use probe::{
+    consistency_probe, granularity_from_observations, granularity_probe, significant_digits,
+    ConsistencyReport, GranularityProbe, GranularityReport, ProbeCheckpoint,
+};
+pub use removal::{removal_sweep, RemovalPoint, RemovalSweep};
+pub use resilience::{
+    classify, DegradationPolicy, ErrorClass, ResilienceConfig, ResilienceStats, ResilientSource,
+};
+pub use source::{AuditTarget, EstimateSource, Selector, SensitiveClass, SourceError};
+pub use stats::{fraction_outside, median, percentile, BoxStats};
+pub use union_estimate::{median_pairwise_overlap, pairwise_overlap, union_recall, UnionEstimate};

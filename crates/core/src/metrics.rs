@@ -100,7 +100,11 @@ pub fn measure_spec(
     for a in AgeBucket::ALL {
         by_age[a.index()] = target.class_estimate(spec, SensitiveClass::Age(a))?;
     }
-    Ok(SpecMeasurement { total, by_gender, by_age })
+    Ok(SpecMeasurement {
+        total,
+        by_gender,
+        by_age,
+    })
 }
 
 /// Representation ratio from the four estimate counts (Equation 1).
@@ -192,7 +196,11 @@ mod tests {
     use super::*;
 
     fn meas(total: u64, male: u64, female: u64, ages: [u64; 4]) -> SpecMeasurement {
-        SpecMeasurement { total, by_gender: [male, female], by_age: ages }
+        SpecMeasurement {
+            total,
+            by_gender: [male, female],
+            by_age: ages,
+        }
     }
 
     const MALE: SensitiveClass = SensitiveClass::Gender(Gender::Male);
@@ -223,7 +231,11 @@ mod tests {
         assert_eq!(m.class_count(MALE), 60);
         assert_eq!(m.complement_count(MALE), 40);
         assert_eq!(m.class_count(YOUNG), 10);
-        assert_eq!(m.complement_count(YOUNG), 90, "sum of the other three buckets");
+        assert_eq!(
+            m.complement_count(YOUNG),
+            90,
+            "sum of the other three buckets"
+        );
     }
 
     #[test]

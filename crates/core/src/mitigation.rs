@@ -201,7 +201,11 @@ impl AdvertiserMonitor {
         let state = self.advertisers.get(advertiser)?;
         let flagged = state.campaigns >= self.min_campaigns
             && state.scores.iter().any(|&s| s > self.threshold);
-        Some(AdvertiserReport { campaigns: state.campaigns, scores: state.scores, flagged })
+        Some(AdvertiserReport {
+            campaigns: state.campaigns,
+            scores: state.scores,
+            flagged,
+        })
     }
 
     /// All currently flagged advertisers.
@@ -232,7 +236,11 @@ mod tests {
     }
 
     fn meas(total: u64, male: u64, female: u64, ages: [u64; 4]) -> SpecMeasurement {
-        SpecMeasurement { total, by_gender: [male, female], by_age: ages }
+        SpecMeasurement {
+            total,
+            by_gender: [male, female],
+            by_age: ages,
+        }
     }
 
     fn balanced_base() -> SpecMeasurement {
@@ -274,7 +282,10 @@ mod tests {
         let target = AuditTarget::for_platform(&sim().facebook, sim());
         let gate = PreflightGate::new(&target, PreflightConfig::default()).unwrap();
         let tiny = meas(500, 300, 200, [100, 150, 150, 100]);
-        assert_eq!(gate.check_measurement(&tiny), PreflightVerdict::TooSmall { reach: 500 });
+        assert_eq!(
+            gate.check_measurement(&tiny),
+            PreflightVerdict::TooSmall { reach: 500 }
+        );
     }
 
     #[test]
@@ -285,13 +296,18 @@ mod tests {
         let gate = PreflightGate::new(&target, PreflightConfig::default()).unwrap();
         let survey = survey_individuals(&target).unwrap();
         let male = SensitiveClass::Gender(Gender::Male);
-        let cfg = DiscoveryConfig { top_k: 20, ..DiscoveryConfig::default() };
+        let cfg = DiscoveryConfig {
+            top_k: 20,
+            ..DiscoveryConfig::default()
+        };
         let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
         let top = crate::discovery::top_compositions(&target, &survey, &ranked, &cfg).unwrap();
         let mut flagged = 0;
         for comp in &top {
-            if matches!(gate.check_measurement(&comp.measurement), PreflightVerdict::Flag { .. })
-            {
+            if matches!(
+                gate.check_measurement(&comp.measurement),
+                PreflightVerdict::Flag { .. }
+            ) {
                 flagged += 1;
             }
         }

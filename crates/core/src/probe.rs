@@ -8,6 +8,10 @@
 //! These probes run the same study against any [`EstimateSource`](crate::source::EstimateSource) and are
 //! the audit's guard against obfuscated (noised) estimates.
 
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::Path;
+
 use adcomp_targeting::{AttributeId, TargetingSpec};
 use rand::{Rng, SeedableRng};
 
@@ -17,12 +21,15 @@ use crate::source::{AuditTarget, SourceError};
 /// Result of the consistency probe.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ConsistencyReport {
-    /// Specs probed.
+    /// Distinct specs probed.
     pub specs: usize,
     /// Repeats per spec.
     pub repeats: usize,
     /// Specs whose repeated estimates were not all identical.
     pub inconsistent: Vec<TargetingSpec>,
+    /// Sampling shortfalls: specs requested but not delivered because the
+    /// catalog ran out of distinct (composable) options to sample.
+    pub warnings: usize,
 }
 
 impl ConsistencyReport {
@@ -34,6 +41,11 @@ impl ConsistencyReport {
 
 /// Repeats estimates `repeats` times for `n_individual` random individual
 /// options and `n_composed` random pairs (paper: 100 × (20 + 20)).
+///
+/// Sampled specs are deduplicated — probing the same spec twice would
+/// double-count its repeats without adding evidence. When the catalog is
+/// too small to deliver the requested number of *distinct* specs, the
+/// report's `warnings` counts the shortfall instead of looping forever.
 pub fn consistency_probe(
     target: &AuditTarget,
     seed: u64,
@@ -44,18 +56,28 @@ pub fn consistency_probe(
     let mut rng = AuditRng::seed_from_u64(seed);
     let n = target.targeting.catalog_len();
     let mut specs = Vec::with_capacity(n_individual + n_composed);
-    for _ in 0..n_individual {
-        specs.push(TargetingSpec::and_of([AttributeId(rng.gen_range(0..n))]));
-    }
+    // Dedup on the attribute-id shape: (id, MAX) for singles, ordered
+    // (min, max) for pairs.
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
     let mut attempts = 0;
-    while specs.len() < n_individual + n_composed && attempts < n_composed * 50 {
+    while specs.len() < n_individual && attempts < n_individual * 50 {
+        attempts += 1;
+        let id = rng.gen_range(0..n);
+        if seen.insert((id, u32::MAX)) {
+            specs.push(TargetingSpec::and_of([AttributeId(id)]));
+        }
+    }
+    let individual_delivered = specs.len();
+    let mut attempts = 0;
+    while specs.len() < individual_delivered + n_composed && attempts < n_composed * 50 {
         attempts += 1;
         let a = AttributeId(rng.gen_range(0..n));
         let b = AttributeId(rng.gen_range(0..n));
-        if target.targeting.can_compose(a, b) {
+        if target.targeting.can_compose(a, b) && seen.insert((a.0.min(b.0), a.0.max(b.0))) {
             specs.push(TargetingSpec::and_of([a, b]));
         }
     }
+    let warnings = (n_individual + n_composed).saturating_sub(specs.len());
     let mut inconsistent = Vec::new();
     for spec in &specs {
         let first = target.total_estimate(spec)?;
@@ -66,7 +88,12 @@ pub fn consistency_probe(
             }
         }
     }
-    Ok(ConsistencyReport { specs: specs.len(), repeats, inconsistent })
+    Ok(ConsistencyReport {
+        specs: specs.len(),
+        repeats,
+        inconsistent,
+        warnings,
+    })
 }
 
 /// Inferred granularity of a platform's estimates.
@@ -136,30 +163,274 @@ pub fn granularity_from_observations(values: impl IntoIterator<Item = u64>) -> G
     }
 }
 
+/// SplitMix64 — used to derive an independent RNG per spec index, so the
+/// probe's spec sequence is a pure function of `(seed, index)` and a
+/// resumed run regenerates specs without replaying RNG state.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The random spec scheduled at `index` of a granularity probe: 50/50 a
+/// single attribute or an AND pair; `None` when the pair drawn at this
+/// index is not composable on the target (the index is skipped for free).
+fn spec_at(target: &AuditTarget, seed: u64, index: u64) -> Option<TargetingSpec> {
+    let mut rng = AuditRng::seed_from_u64(mix(seed
+        ^ 0x9A17
+        ^ index.wrapping_mul(0xA076_1D64_78BD_642F)));
+    let n = target.targeting.catalog_len();
+    let a = AttributeId(rng.gen_range(0..n));
+    if rng.gen_bool(0.5) {
+        Some(TargetingSpec::and_of([a]))
+    } else {
+        let b = AttributeId(rng.gen_range(0..n));
+        target
+            .targeting
+            .can_compose(a, b)
+            .then(|| TargetingSpec::and_of([a, b]))
+    }
+}
+
+/// Serialisable snapshot of a [`GranularityProbe`] in flight.
+///
+/// The format is a plain text file (version header, one field per line,
+/// then one observation per line), written atomically via a `.tmp`
+/// sibling — robust to being killed mid-save.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeCheckpoint {
+    /// The probe's seed (resuming with a different seed is an error).
+    pub seed: u64,
+    /// Total observations the probe is collecting.
+    pub queries: usize,
+    /// Next spec index to evaluate.
+    pub next_index: u64,
+    /// Queries abandoned by the resilience layer so far.
+    pub skipped: u64,
+    /// Estimates collected so far.
+    pub observations: Vec<u64>,
+}
+
+const CHECKPOINT_HEADER: &str = "adcomp-granularity-checkpoint v1";
+
+impl ProbeCheckpoint {
+    /// Writes the checkpoint to `path` (atomic rename over a `.tmp`).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(f, "{CHECKPOINT_HEADER}")?;
+            writeln!(f, "seed {}", self.seed)?;
+            writeln!(f, "queries {}", self.queries)?;
+            writeln!(f, "next_index {}", self.next_index)?;
+            writeln!(f, "skipped {}", self.skipped)?;
+            writeln!(f, "observations {}", self.observations.len())?;
+            for v in &self.observations {
+                writeln!(f, "{v}")?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a checkpoint back from `path`.
+    pub fn load(path: &Path) -> std::io::Result<ProbeCheckpoint> {
+        use std::io::{Error, ErrorKind};
+        let bad = |what: &str| Error::new(ErrorKind::InvalidData, format!("checkpoint: {what}"));
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        if lines.next() != Some(CHECKPOINT_HEADER) {
+            return Err(bad("bad header"));
+        }
+        let mut field = |name: &str| -> std::io::Result<u64> {
+            let line = lines.next().ok_or_else(|| bad("truncated"))?;
+            let value = line
+                .strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .ok_or_else(|| bad(name))?;
+            value.trim().parse().map_err(|_| bad(name))
+        };
+        let seed = field("seed")?;
+        let queries = field("queries")? as usize;
+        let next_index = field("next_index")?;
+        let skipped = field("skipped")?;
+        let count = field("observations")? as usize;
+        let observations: Vec<u64> = lines
+            .by_ref()
+            .take(count)
+            .map(|l| l.trim().parse().map_err(|_| bad("observation")))
+            .collect::<Result<_, _>>()?;
+        if observations.len() != count {
+            return Err(bad("missing observations"));
+        }
+        Ok(ProbeCheckpoint {
+            seed,
+            queries,
+            next_index,
+            skipped,
+            observations,
+        })
+    }
+}
+
+/// A resumable granularity probe.
+///
+/// The paper's granularity study is the audit's biggest query bill
+/// (>80 000 calls); a crash near the end of a multi-day run must not
+/// restart it. The probe's spec schedule is indexed — spec `i` is a pure
+/// function of `(seed, i)` — so progress is just `(next_index,
+/// observations)`: checkpoint those, and a resumed probe continues
+/// exactly where the crash left off, never re-issuing an answered query.
+/// Only the single query in flight at the kill is re-asked.
+#[derive(Clone, Debug)]
+pub struct GranularityProbe {
+    seed: u64,
+    queries: usize,
+    next_index: u64,
+    skipped: u64,
+    observations: Vec<u64>,
+}
+
+impl GranularityProbe {
+    /// A fresh probe collecting `queries` estimates.
+    pub fn new(seed: u64, queries: usize) -> Self {
+        GranularityProbe {
+            seed,
+            queries,
+            next_index: 0,
+            skipped: 0,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Resumes from a checkpoint.
+    pub fn resume(checkpoint: ProbeCheckpoint) -> Self {
+        GranularityProbe {
+            seed: checkpoint.seed,
+            queries: checkpoint.queries,
+            next_index: checkpoint.next_index,
+            skipped: checkpoint.skipped,
+            observations: checkpoint.observations,
+        }
+    }
+
+    /// Snapshot of the current progress.
+    pub fn checkpoint(&self) -> ProbeCheckpoint {
+        ProbeCheckpoint {
+            seed: self.seed,
+            queries: self.queries,
+            next_index: self.next_index,
+            skipped: self.skipped,
+            observations: self.observations.clone(),
+        }
+    }
+
+    /// Whether every scheduled query has been answered or skipped.
+    pub fn completed(&self) -> bool {
+        self.observations.len() as u64 + self.skipped >= self.queries as u64
+    }
+
+    /// Estimates collected so far.
+    pub fn observations(&self) -> &[u64] {
+        &self.observations
+    }
+
+    /// Queries skipped (resilience-layer degradation) so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Runs until complete. On error the probe keeps its progress: save
+    /// a [`checkpoint`](GranularityProbe::checkpoint) and
+    /// [`resume`](GranularityProbe::resume) later. A query abandoned by
+    /// the resilience layer ([`SourceError::Skipped`]) is counted and
+    /// excluded from the ladder rather than aborting the probe.
+    pub fn run(&mut self, target: &AuditTarget) -> Result<GranularityReport, SourceError> {
+        while !self.completed() {
+            let index = self.next_index;
+            let Some(spec) = spec_at(target, self.seed, index) else {
+                // Non-composable pair: the index is consumed, no query.
+                self.next_index = index + 1;
+                continue;
+            };
+            match target.total_estimate(&spec) {
+                Ok(value) => {
+                    self.observations.push(value);
+                    self.next_index = index + 1;
+                }
+                Err(SourceError::Skipped { .. }) => {
+                    self.skipped += 1;
+                    self.next_index = index + 1;
+                }
+                // `next_index` still points at this spec: a resumed run
+                // re-asks the unanswered query, and only that one.
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// Like [`run`](GranularityProbe::run), saving a checkpoint to
+    /// `path` every `every` answered queries (and one final time), so a
+    /// kill at any point loses at most `every − 1` answers.
+    pub fn run_checkpointed(
+        &mut self,
+        target: &AuditTarget,
+        path: &Path,
+        every: usize,
+    ) -> Result<GranularityReport, SourceError> {
+        assert!(every > 0, "checkpoint interval must be positive");
+        let mut since_save = 0usize;
+        while !self.completed() {
+            let index = self.next_index;
+            let Some(spec) = spec_at(target, self.seed, index) else {
+                self.next_index = index + 1;
+                continue;
+            };
+            match target.total_estimate(&spec) {
+                Ok(value) => {
+                    self.observations.push(value);
+                    self.next_index = index + 1;
+                }
+                Err(SourceError::Skipped { .. }) => {
+                    self.skipped += 1;
+                    self.next_index = index + 1;
+                }
+                Err(e) => {
+                    let _ = self.checkpoint().save(path);
+                    return Err(e);
+                }
+            }
+            since_save += 1;
+            if since_save >= every {
+                self.checkpoint()
+                    .save(path)
+                    .map_err(|e| SourceError::Transport(format!("checkpoint save: {e}")))?;
+                since_save = 0;
+            }
+        }
+        self.checkpoint()
+            .save(path)
+            .map_err(|e| SourceError::Transport(format!("checkpoint save: {e}")))?;
+        Ok(self.report())
+    }
+
+    /// The granularity inferred from the observations so far.
+    pub fn report(&self) -> GranularityReport {
+        granularity_from_observations(self.observations.iter().copied())
+    }
+}
+
 /// Runs a granularity probe by querying many random specs (individuals
-/// and pairs) and collecting their estimates.
+/// and pairs) and collecting their estimates. One-shot convenience over
+/// [`GranularityProbe`].
 pub fn granularity_probe(
     target: &AuditTarget,
     seed: u64,
     queries: usize,
 ) -> Result<GranularityReport, SourceError> {
-    let mut rng = AuditRng::seed_from_u64(seed ^ 0x9A17);
-    let n = target.targeting.catalog_len();
-    let mut observations = Vec::with_capacity(queries);
-    while observations.len() < queries {
-        let a = AttributeId(rng.gen_range(0..n));
-        let spec = if rng.gen_bool(0.5) {
-            TargetingSpec::and_of([a])
-        } else {
-            let b = AttributeId(rng.gen_range(0..n));
-            if !target.targeting.can_compose(a, b) {
-                continue;
-            }
-            TargetingSpec::and_of([a, b])
-        };
-        observations.push(target.total_estimate(&spec)?);
-    }
-    Ok(granularity_from_observations(observations))
+    GranularityProbe::new(seed, queries).run(target)
 }
 
 #[cfg(test)]
@@ -205,7 +476,10 @@ mod tests {
     fn granularity_matches_facebook_ladder() {
         let target = AuditTarget::for_platform(&sim().facebook, sim());
         let report = granularity_probe(&target, 2, 400).unwrap();
-        assert!(report.max_significant_digits() <= 2, "facebook is 2 sig digits");
+        assert!(
+            report.max_significant_digits() <= 2,
+            "facebook is 2 sig digits"
+        );
         if let Some(min) = report.min_nonzero {
             assert!(min >= 1_000, "facebook floor is 1000, got {min}");
         }
@@ -220,6 +494,141 @@ mod tests {
             assert!(d <= 1, "decade 10^{decade} has {d} digits on google");
         }
         assert!(report.max_significant_digits() <= 2);
+    }
+
+    /// Fails with a transport error exactly once, at call `fail_at`.
+    struct FailOnceSource {
+        inner: std::sync::Arc<dyn crate::source::EstimateSource>,
+        calls: std::sync::atomic::AtomicU64,
+        fail_at: u64,
+    }
+
+    impl crate::source::EstimateSource for FailOnceSource {
+        fn label(&self) -> String {
+            self.inner.label()
+        }
+
+        fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+            let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if call == self.fail_at {
+                return Err(SourceError::Transport("injected crash".into()));
+            }
+            self.inner.estimate(spec)
+        }
+
+        fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
+            self.inner.check(spec)
+        }
+
+        fn catalog_len(&self) -> u32 {
+            self.inner.catalog_len()
+        }
+
+        fn attribute_name(&self, id: AttributeId) -> Option<String> {
+            self.inner.attribute_name(id)
+        }
+
+        fn attribute_feature(&self, id: AttributeId) -> Option<adcomp_targeting::FeatureId> {
+            self.inner.attribute_feature(id)
+        }
+
+        fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
+            self.inner.can_compose(a, b)
+        }
+
+        fn supports_demographics(&self) -> bool {
+            self.inner.supports_demographics()
+        }
+    }
+
+    #[test]
+    fn indexed_schedule_is_deterministic() {
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let a = granularity_probe(&target, 7, 60).unwrap();
+        let b = granularity_probe(&target, 7, 60).unwrap();
+        assert_eq!(a, b);
+        let c = granularity_probe(&target, 8, 60).unwrap();
+        assert_ne!(a.observed_values, 0);
+        // Different seeds draw different specs (ladders may coincide, the
+        // raw observation sets should not).
+        let mut pa = GranularityProbe::new(7, 60);
+        let mut pc = GranularityProbe::new(8, 60);
+        pa.run(&target).unwrap();
+        pc.run(&target).unwrap();
+        assert_ne!(pa.observations(), pc.observations());
+        let _ = c;
+    }
+
+    #[test]
+    fn interrupted_probe_resumes_without_reissuing_answered_queries() {
+        const QUERIES: usize = 40;
+        let flaky = std::sync::Arc::new(FailOnceSource {
+            inner: sim().linkedin.clone(),
+            calls: std::sync::atomic::AtomicU64::new(0),
+            fail_at: 17,
+        });
+        let target = AuditTarget::direct(flaky.clone());
+        let clean = granularity_probe(
+            &AuditTarget::for_platform(&sim().linkedin, sim()),
+            5,
+            QUERIES,
+        )
+        .unwrap();
+
+        let mut probe = GranularityProbe::new(5, QUERIES);
+        let err = probe.run(&target).unwrap_err();
+        assert!(matches!(err, SourceError::Transport(_)));
+        assert_eq!(
+            probe.observations().len(),
+            17,
+            "answers before the crash are kept"
+        );
+
+        // Checkpoint survives a trip through disk.
+        let path = std::env::temp_dir().join(format!(
+            "adcomp-probe-ckpt-{}-{}.txt",
+            std::process::id(),
+            5
+        ));
+        probe.checkpoint().save(&path).unwrap();
+        let restored = ProbeCheckpoint::load(&path).unwrap();
+        assert_eq!(restored, probe.checkpoint());
+        let _ = std::fs::remove_file(&path);
+
+        let mut resumed = GranularityProbe::resume(restored);
+        let report = resumed.run(&target).unwrap();
+        assert_eq!(report, clean, "interruption must not change the result");
+        // Every answered query was issued exactly once; only the one
+        // in-flight at the crash was re-asked.
+        assert_eq!(
+            flaky.calls.load(std::sync::atomic::Ordering::SeqCst),
+            QUERIES as u64 + 1
+        );
+    }
+
+    #[test]
+    fn checkpoint_load_rejects_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("adcomp-probe-bad-{}.txt", std::process::id()));
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        assert!(ProbeCheckpoint::load(&path).is_err());
+        std::fs::write(&path, format!("{CHECKPOINT_HEADER}\nseed 1\n")).unwrap();
+        assert!(ProbeCheckpoint::load(&path).is_err(), "truncated file");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_consistency_specs_are_collapsed() {
+        // A 1-attribute catalog can deliver one individual spec and no
+        // pairs; the rest of the request shows up as warnings.
+        let target = AuditTarget::for_platform(&sim().linkedin, sim());
+        let report = consistency_probe(&target, 3, 5, 5, 2).unwrap();
+        assert_eq!(report.specs + report.warnings, 10);
+        // On a full-size catalog the sampler should find 10 distinct specs.
+        assert_eq!(
+            report.warnings, 0,
+            "552-attribute catalog has plenty of distinct specs"
+        );
     }
 
     #[test]

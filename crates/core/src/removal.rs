@@ -81,12 +81,14 @@ pub fn removal_sweep(
             });
         } else {
             let (tail, extreme) = match direction {
-                Direction::Toward => {
-                    (percentile(&ratios, 90.0), *ratios.last().expect("non-empty"))
-                }
-                Direction::Against => {
-                    (percentile(&ratios, 10.0), *ratios.first().expect("non-empty"))
-                }
+                Direction::Toward => (
+                    percentile(&ratios, 90.0),
+                    *ratios.last().expect("non-empty"),
+                ),
+                Direction::Against => (
+                    percentile(&ratios, 10.0),
+                    *ratios.first().expect("non-empty"),
+                ),
             };
             points.push(RemovalPoint {
                 removed_percentile: pct,
@@ -98,7 +100,12 @@ pub fn removal_sweep(
         }
         pct += step_percentile;
     }
-    Ok(RemovalSweep { target: target.label(), class, direction, points })
+    Ok(RemovalSweep {
+        target: target.label(),
+        class,
+        direction,
+        points,
+    })
 }
 
 impl RemovalSweep {
@@ -131,23 +138,38 @@ mod tests {
     const MALE: SensitiveClass = SensitiveClass::Gender(Gender::Male);
 
     fn small_cfg() -> DiscoveryConfig {
-        DiscoveryConfig { top_k: 40, min_reach: 10_000, arity: 2, seed: 3 }
+        DiscoveryConfig {
+            top_k: 40,
+            min_reach: 10_000,
+            arity: 2,
+            seed: 3,
+        }
     }
 
     #[test]
     fn sweep_has_expected_steps_and_monotone_removal() {
         let target = AuditTarget::for_platform(&sim().linkedin, sim());
         let survey = survey_individuals(&target).unwrap();
-        let sweep =
-            removal_sweep(&target, &survey, MALE, Direction::Toward, &small_cfg(), 2.0, 10.0)
-                .unwrap();
+        let sweep = removal_sweep(
+            &target,
+            &survey,
+            MALE,
+            Direction::Toward,
+            &small_cfg(),
+            2.0,
+            10.0,
+        )
+        .unwrap();
         assert_eq!(sweep.points.len(), 6, "0,2,4,6,8,10");
         assert_eq!(sweep.points[0].removed_count, 0);
         let counts: Vec<usize> = sweep.points.iter().map(|p| p.removed_count).collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]));
         for p in &sweep.points {
             assert!(p.tail_ratio.is_finite());
-            assert!(p.compositions > 0, "reach filter must not empty the set at test scale");
+            assert!(
+                p.compositions > 0,
+                "reach filter must not empty the set at test scale"
+            );
         }
     }
 
@@ -155,9 +177,16 @@ mod tests {
     fn removing_skewed_individuals_reduces_top_tail() {
         let target = AuditTarget::for_platform(&sim().linkedin, sim());
         let survey = survey_individuals(&target).unwrap();
-        let sweep =
-            removal_sweep(&target, &survey, MALE, Direction::Toward, &small_cfg(), 5.0, 10.0)
-                .unwrap();
+        let sweep = removal_sweep(
+            &target,
+            &survey,
+            MALE,
+            Direction::Toward,
+            &small_cfg(),
+            5.0,
+            10.0,
+        )
+        .unwrap();
         let first = sweep.points.first().unwrap().tail_ratio;
         let last = sweep.points.last().unwrap().tail_ratio;
         assert!(
@@ -170,11 +199,21 @@ mod tests {
     fn against_direction_uses_p10_tail() {
         let target = AuditTarget::for_platform(&sim().linkedin, sim());
         let survey = survey_individuals(&target).unwrap();
-        let sweep =
-            removal_sweep(&target, &survey, MALE, Direction::Against, &small_cfg(), 10.0, 10.0)
-                .unwrap();
+        let sweep = removal_sweep(
+            &target,
+            &survey,
+            MALE,
+            Direction::Against,
+            &small_cfg(),
+            10.0,
+            10.0,
+        )
+        .unwrap();
         for p in &sweep.points {
-            assert!(p.tail_ratio <= 1.0, "bottom compositions skew against the class");
+            assert!(
+                p.tail_ratio <= 1.0,
+                "bottom compositions skew against the class"
+            );
             assert!(p.extreme_ratio <= p.tail_ratio);
         }
     }

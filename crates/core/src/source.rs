@@ -121,6 +121,34 @@ pub enum SourceError {
     Platform(PlatformError),
     /// Transport failure (wire-backed sources).
     Transport(String),
+    /// The platform definitively rejected the request (policy violation,
+    /// unknown attribute, malformed query) — retrying cannot help.
+    Rejected(String),
+    /// The platform throttled the request; retry after the hint (when
+    /// the server sent one).
+    RateLimited {
+        /// Server-advertised back-off.
+        retry_after: Option<std::time::Duration>,
+    },
+    /// The transport's circuit breaker is open: the endpoint looks dead.
+    CircuitOpen {
+        /// Time until the breaker admits a probe.
+        retry_in: std::time::Duration,
+    },
+    /// The query budget the audit pledged is spent; querying further
+    /// would break the ethics protocol, so this is never retried.
+    BudgetExhausted {
+        /// Queries issued.
+        used: u64,
+        /// The pledged cap.
+        cap: u64,
+    },
+    /// The query failed persistently and the resilience policy chose to
+    /// skip it (degraded mode) rather than abort the audit.
+    Skipped {
+        /// The final error, rendered.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SourceError {
@@ -128,6 +156,20 @@ impl std::fmt::Display for SourceError {
         match self {
             SourceError::Platform(e) => write!(f, "platform error: {e}"),
             SourceError::Transport(msg) => write!(f, "transport error: {msg}"),
+            SourceError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+            SourceError::RateLimited {
+                retry_after: Some(d),
+            } => {
+                write!(f, "rate limited; retry after {d:?}")
+            }
+            SourceError::RateLimited { retry_after: None } => write!(f, "rate limited"),
+            SourceError::CircuitOpen { retry_in } => {
+                write!(f, "circuit open; endpoint unavailable for {retry_in:?}")
+            }
+            SourceError::BudgetExhausted { used, cap } => {
+                write!(f, "query budget exhausted ({used}/{cap})")
+            }
+            SourceError::Skipped { reason } => write!(f, "query skipped: {reason}"),
         }
     }
 }
@@ -233,7 +275,11 @@ impl AuditTarget {
             source.supports_demographics(),
             "direct targets need demographic targeting for measurement"
         );
-        AuditTarget { targeting: source.clone(), measurement: source, id_map: None }
+        AuditTarget {
+            targeting: source.clone(),
+            measurement: source,
+            id_map: None,
+        }
     }
 
     /// A target measured through a companion interface (the restricted
@@ -243,21 +289,36 @@ impl AuditTarget {
         measurement: Arc<dyn EstimateSource>,
         id_map: Vec<AttributeId>,
     ) -> AuditTarget {
-        assert_eq!(id_map.len() as u32, targeting.catalog_len(), "one mapping per attribute");
+        assert_eq!(
+            id_map.len() as u32,
+            targeting.catalog_len(),
+            "one mapping per attribute"
+        );
         assert!(measurement.supports_demographics());
-        AuditTarget { targeting, measurement, id_map: Some(Arc::new(id_map)) }
+        AuditTarget {
+            targeting,
+            measurement,
+            id_map: Some(Arc::new(id_map)),
+        }
     }
 
     /// Builds the audit target for a simulated platform, wiring the
     /// restricted interface to its parent automatically.
-    pub fn for_platform(platform: &Arc<AdPlatform>, simulation: &adcomp_platform::Simulation) -> AuditTarget {
+    pub fn for_platform(
+        platform: &Arc<AdPlatform>,
+        simulation: &adcomp_platform::Simulation,
+    ) -> AuditTarget {
         use adcomp_platform::InterfaceKind;
         match platform.kind() {
             InterfaceKind::FacebookRestricted => {
                 let ids: Vec<AttributeId> = platform
                     .catalog()
                     .ids()
-                    .map(|id| platform.parent_id(id).expect("restricted entries map to parent"))
+                    .map(|id| {
+                        platform
+                            .parent_id(id)
+                            .expect("restricted entries map to parent")
+                    })
                     .collect();
                 AuditTarget::via(platform.clone(), simulation.facebook.clone(), ids)
             }
@@ -268,6 +329,28 @@ impl AuditTarget {
     /// Report label of the audited interface.
     pub fn label(&self) -> String {
         self.targeting.label()
+    }
+
+    /// The same target with retry/degradation
+    /// ([`ResilientSource`](crate::resilience::ResilientSource)) wrapped
+    /// around both interfaces. A direct target (measuring on the audited
+    /// interface itself) keeps sharing one wrapper, so retry statistics
+    /// stay unified.
+    pub fn with_resilience(&self, config: crate::resilience::ResilienceConfig) -> AuditTarget {
+        use crate::resilience::ResilientSource;
+        let targeting: Arc<dyn EstimateSource> =
+            Arc::new(ResilientSource::new(self.targeting.clone(), config));
+        let measurement: Arc<dyn EstimateSource> =
+            if Arc::ptr_eq(&self.targeting, &self.measurement) {
+                targeting.clone()
+            } else {
+                Arc::new(ResilientSource::new(self.measurement.clone(), config))
+            };
+        AuditTarget {
+            targeting,
+            measurement,
+            id_map: self.id_map.clone(),
+        }
     }
 
     /// Translates a spec from targeting-interface ids to
@@ -366,14 +449,19 @@ mod tests {
         let mut by_feature = std::collections::HashMap::new();
         for id in 0..google.catalog_len() {
             let id = AttributeId(id);
-            by_feature.entry(google.attribute_feature(id).unwrap()).or_insert(id);
+            by_feature
+                .entry(google.attribute_feature(id).unwrap())
+                .or_insert(id);
         }
         let feats: Vec<_> = by_feature.values().copied().collect();
         assert!(feats.len() >= 2, "google needs two features");
         assert!(google.can_compose(feats[0], feats[1]));
         assert!(!google.can_compose(feats[0], feats[0]), "self-composition");
         let fb: Arc<dyn EstimateSource> = s.facebook.clone();
-        assert!(fb.can_compose(AttributeId(0), AttributeId(1)), "facebook allows same-feature");
+        assert!(
+            fb.can_compose(AttributeId(0), AttributeId(1)),
+            "facebook allows same-feature"
+        );
     }
 
     #[test]
@@ -389,9 +477,12 @@ mod tests {
             .check(&SensitiveClass::Gender(Gender::Male).constrain(&spec))
             .is_err());
         // …but the target measures it through the parent.
-        let male = target.class_estimate(&spec, SensitiveClass::Gender(Gender::Male)).unwrap();
-        let female =
-            target.class_estimate(&spec, SensitiveClass::Gender(Gender::Female)).unwrap();
+        let male = target
+            .class_estimate(&spec, SensitiveClass::Gender(Gender::Male))
+            .unwrap();
+        let female = target
+            .class_estimate(&spec, SensitiveClass::Gender(Gender::Female))
+            .unwrap();
         let total = target.total_estimate(&spec).unwrap();
         assert!(male > 0 && female > 0);
         assert!(total >= male.max(female));

@@ -17,7 +17,10 @@ use serde::{Deserialize, Serialize};
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -154,6 +157,9 @@ mod tests {
     fn tsv_roundtrip_shape() {
         let b = BoxStats::from_samples(&[1.0, 2.0]).unwrap();
         let row = b.tsv();
-        assert_eq!(row.split('\t').count(), BoxStats::tsv_header().split('\t').count());
+        assert_eq!(
+            row.split('\t').count(),
+            BoxStats::tsv_header().split('\t').count()
+        );
     }
 }

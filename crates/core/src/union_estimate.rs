@@ -108,7 +108,10 @@ pub fn union_recall(
 ) -> Result<UnionEstimate, SourceError> {
     let k = specs.len();
     assert!(k > 0, "union of zero audiences");
-    assert!(k <= 20, "inclusion–exclusion over {k} sets is 2^{k} queries; cap is 20");
+    assert!(
+        k <= 20,
+        "inclusion–exclusion over {k} sets is 2^{k} queries; cap is 20"
+    );
     let max_order = max_order.min(k);
 
     let mut partial_sums = Vec::with_capacity(max_order);
@@ -143,7 +146,11 @@ pub fn union_recall(
         acc += sign * order_total;
         partial_sums.push(acc);
     }
-    Ok(UnionEstimate { recall: acc.max(0) as u64, partial_sums, queries })
+    Ok(UnionEstimate {
+        recall: acc.max(0) as u64,
+        partial_sums,
+        queries,
+    })
 }
 
 /// Advances `subset` to the next `|subset|`-combination of `0..k` in
@@ -185,7 +192,9 @@ mod tests {
     fn overlap_of_identical_specs_is_one() {
         let target = AuditTarget::for_platform(&sim().facebook, sim());
         let spec = TargetingSpec::and_of([AttributeId(0)]);
-        let o = pairwise_overlap(&target, &spec, &spec, FEMALE).unwrap().unwrap();
+        let o = pairwise_overlap(&target, &spec, &spec, FEMALE)
+            .unwrap()
+            .unwrap();
         assert!((o - 1.0).abs() < 1e-9, "overlap {o}");
     }
 
@@ -211,7 +220,9 @@ mod tests {
         let est = union_recall(&target, &[a.clone(), b.clone()], FEMALE, 2).unwrap();
         let sa = target.selector_estimate(&a, FEMALE).unwrap();
         let sb = target.selector_estimate(&b, FEMALE).unwrap();
-        let sab = target.selector_estimate(&a.intersect(&b).unwrap(), FEMALE).unwrap();
+        let sab = target
+            .selector_estimate(&a.intersect(&b).unwrap(), FEMALE)
+            .unwrap();
         assert_eq!(est.recall as i128, sa as i128 + sb as i128 - sab as i128);
         assert_eq!(est.partial_sums.len(), 2);
         assert_eq!(est.queries, 3);
@@ -234,7 +245,11 @@ mod tests {
         assert!(full.recall > 0);
         // The exact expansion's final correction is small relative to the
         // total (convergence), and partial sums bracket the final value.
-        assert!(full.final_correction() < 0.35, "correction {}", full.final_correction());
+        assert!(
+            full.final_correction() < 0.35,
+            "correction {}",
+            full.final_correction()
+        );
         let final_sum = *full.partial_sums.last().unwrap();
         let odd = full.partial_sums[0];
         assert!(odd >= final_sum, "order-1 overestimates the union");
@@ -243,8 +258,9 @@ mod tests {
     #[test]
     fn union_recall_at_least_max_single_and_at_most_sum() {
         let target = AuditTarget::for_platform(&sim().linkedin, sim());
-        let specs: Vec<TargetingSpec> =
-            (0..4).map(|i| TargetingSpec::and_of([AttributeId(i)])).collect();
+        let specs: Vec<TargetingSpec> = (0..4)
+            .map(|i| TargetingSpec::and_of([AttributeId(i)]))
+            .collect();
         let singles: Vec<u64> = specs
             .iter()
             .map(|s| target.selector_estimate(s, FEMALE).unwrap())

@@ -2,13 +2,15 @@
 //! flag exactly the measurements whose ratios leave the band, and the
 //! advertiser monitor's flagging must be monotone in skew exposure.
 
-use adcomp_core::{
-    rep_ratio_of, AdvertiserMonitor, SensitiveClass, SpecMeasurement,
-};
+use adcomp_core::{rep_ratio_of, AdvertiserMonitor, SensitiveClass, SpecMeasurement};
 use proptest::prelude::*;
 
 fn measurement(male: u64, female: u64, ages: [u64; 4]) -> SpecMeasurement {
-    SpecMeasurement { total: male + female, by_gender: [male, female], by_age: ages }
+    SpecMeasurement {
+        total: male + female,
+        by_gender: [male, female],
+        by_age: ages,
+    }
 }
 
 fn balanced_base() -> SpecMeasurement {

@@ -10,13 +10,16 @@ use adcomp_population::Gender;
 use proptest::prelude::*;
 
 fn arb_measurement() -> impl Strategy<Value = SpecMeasurement> {
-    (1u64..10_000_000, 1u64..10_000_000, proptest::array::uniform4(1u64..5_000_000)).prop_map(
-        |(male, female, ages)| SpecMeasurement {
+    (
+        1u64..10_000_000,
+        1u64..10_000_000,
+        proptest::array::uniform4(1u64..5_000_000),
+    )
+        .prop_map(|(male, female, ages)| SpecMeasurement {
             total: male + female,
             by_gender: [male, female],
             by_age: ages,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,85 @@
+//! The serving-side abstraction over a platform.
+//!
+//! [`PlatformApi`] is exactly the surface a serving layer (the wire
+//! server, or any other transport) needs from a platform: describe,
+//! browse, validate, estimate, count. [`AdPlatform`] implements it
+//! directly; [`FaultyPlatform`](crate::FaultyPlatform) implements it by
+//! delegating through a fault plan — so a server can expose either
+//! without knowing which it holds.
+
+use adcomp_targeting::TargetingSpec;
+
+use crate::catalog::Catalog;
+use crate::estimate::SizeEstimate;
+use crate::interface::{AdPlatform, EstimateRequest, PlatformConfig, PlatformError};
+use crate::ratelimit::QueryStats;
+
+/// What a serving layer may ask of a platform.
+pub trait PlatformApi: Send + Sync {
+    /// Interface configuration (capabilities, rounding, objectives).
+    fn config(&self) -> &PlatformConfig;
+
+    /// The browsable attribute catalog.
+    fn catalog(&self) -> &Catalog;
+
+    /// The advertiser-visible reach estimate.
+    fn reach_estimate(&self, request: &EstimateRequest) -> Result<SizeEstimate, PlatformError>;
+
+    /// Validates a spec without estimating.
+    fn check(&self, spec: &TargetingSpec) -> Result<(), PlatformError>;
+
+    /// Snapshot of the query counters.
+    fn stats(&self) -> QueryStats;
+
+    /// Records a rate-limited request (called by the serving layer).
+    fn note_rate_limited(&self);
+
+    /// Report label ("Facebook", "FB-restricted", …).
+    fn label(&self) -> &'static str {
+        self.config().kind.label()
+    }
+}
+
+impl PlatformApi for AdPlatform {
+    fn config(&self) -> &PlatformConfig {
+        AdPlatform::config(self)
+    }
+
+    fn catalog(&self) -> &Catalog {
+        AdPlatform::catalog(self)
+    }
+
+    fn reach_estimate(&self, request: &EstimateRequest) -> Result<SizeEstimate, PlatformError> {
+        AdPlatform::reach_estimate(self, request)
+    }
+
+    fn check(&self, spec: &TargetingSpec) -> Result<(), PlatformError> {
+        AdPlatform::check(self, spec)
+    }
+
+    fn stats(&self) -> QueryStats {
+        AdPlatform::stats(self)
+    }
+
+    fn note_rate_limited(&self) {
+        AdPlatform::note_rate_limited(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimScale, Simulation};
+    use std::sync::Arc;
+
+    #[test]
+    fn adplatform_serves_through_the_trait() {
+        let sim = Simulation::build(91, SimScale::Test);
+        let api: Arc<dyn PlatformApi> = sim.linkedin.clone();
+        assert_eq!(api.label(), "LinkedIn");
+        assert!(!api.catalog().is_empty());
+        let req = EstimateRequest::new(TargetingSpec::everyone(), api.config().default_objective);
+        assert!(api.reach_estimate(&req).unwrap().value > 0);
+        assert_eq!(api.stats().estimates, 1);
+    }
+}

@@ -136,7 +136,11 @@ impl Catalog {
                 let mut age_lean = s.age_mean + s.age_sigma * normal(cat_seed, a, 3);
                 if uniform(cat_seed, a, 4) < s.heavy_tail_prob {
                     // Heavy tail hits gender or age, signed.
-                    let sign = if uniform(cat_seed, a, 5) < 0.5 { -1.0 } else { 1.0 };
+                    let sign = if uniform(cat_seed, a, 5) < 0.5 {
+                        -1.0
+                    } else {
+                        1.0
+                    };
                     if uniform(cat_seed, a, 6) < 0.5 {
                         gender_bias += sign * s.heavy_tail_scale;
                     } else {
@@ -152,9 +156,10 @@ impl Catalog {
                 loadings[1] = 0.15 * normal(cat_seed, a, 8);
                 let n_topics = 1 + (uniform(cat_seed, a, 9) * 3.0) as usize;
                 for t in 0..n_topics {
-                    let axis = 2 + ((uniform(cat_seed, a, 10 + t as u64)
-                        * (LATENT_DIMS - 2) as f64) as usize)
-                        .min(LATENT_DIMS - 3);
+                    let axis = 2
+                        + ((uniform(cat_seed, a, 10 + t as u64) * (LATENT_DIMS - 2) as f64)
+                            as usize)
+                            .min(LATENT_DIMS - 3);
                     loadings[axis] += s.topic_sigma * normal(cat_seed, a, 20 + t as u64);
                 }
 
@@ -223,8 +228,7 @@ impl Catalog {
     /// obviously skewed options after the settlement.
     pub fn sanitization_score(entry: &CatalogEntry) -> f32 {
         let m = &entry.model;
-        let age_mag =
-            m.age_biases.iter().map(|b| b.abs()).fold(0f32, f32::max);
+        let age_mag = m.age_biases.iter().map(|b| b.abs()).fold(0f32, f32::max);
         m.gender_bias.abs() + age_mag + 0.5 * (m.loadings[0].abs() + m.loadings[1].abs())
     }
 
@@ -235,7 +239,10 @@ impl Catalog {
     /// (the paper measures restricted targetings' demographics through
     /// Facebook's normal interface, which still exposes age/gender).
     pub fn sanitized(&self, keep: usize) -> (Catalog, Vec<AttributeId>) {
-        assert!(keep <= self.entries.len(), "cannot keep more entries than exist");
+        assert!(
+            keep <= self.entries.len(),
+            "cannot keep more entries than exist"
+        );
         let mut order: Vec<usize> = (0..self.entries.len()).collect();
         order.sort_by(|&a, &b| {
             Catalog::sanitization_score(&self.entries[a])
@@ -355,7 +362,10 @@ mod tests {
         }
         // Mean |gender bias| of kept entries is below the full catalog's.
         let mean_abs = |cat: &Catalog| {
-            cat.entries().iter().map(|e| e.model.gender_bias.abs()).sum::<f32>()
+            cat.entries()
+                .iter()
+                .map(|e| e.model.gender_bias.abs())
+                .sum::<f32>()
                 / cat.len() as f32
         };
         assert!(mean_abs(&sub) < mean_abs(&c), "sanitized must be milder");

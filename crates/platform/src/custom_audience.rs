@@ -67,8 +67,7 @@ impl AdPlatform {
     pub fn contact_hash(&self, user: u32) -> ContactHash {
         let seed = self.universe().config().seed;
         ContactHash(
-            (hash_api::uniform(seed ^ CONTACT_STREAM, user as u64, 0) * u64::MAX as f64) as u64
-                | 1, // never zero, so 0 can be used as a sentinel in tests
+            (hash_api::uniform(seed ^ CONTACT_STREAM, user as u64, 0) * u64::MAX as f64) as u64 | 1, // never zero, so 0 can be used as a sentinel in tests
         )
     }
 
@@ -94,7 +93,9 @@ impl AdPlatform {
         let seed = self.universe().config().seed;
         let mut members: Vec<u32> = Vec::new();
         for h in &submitted {
-            let Some(&user) = index.get(&h.0) else { continue };
+            let Some(&user) = index.get(&h.0) else {
+                continue;
+            };
             // Platform-side match failure, deterministic per (seed, hash).
             if hash_api::uniform(seed ^ MATCH_STREAM, h.0, 1) < MATCH_FAILURE {
                 continue;
@@ -191,15 +192,19 @@ mod tests {
         // match it, expand it — the expansion inherits the bias.
         let fb = &sim().facebook;
         let u = fb.universe();
-        let male_users: Vec<u32> =
-            u.gender_audience(Gender::Male).iter().take(2_000).collect();
-        let hashes: Vec<ContactHash> =
-            male_users.iter().map(|&user| fb.contact_hash(user)).collect();
+        let male_users: Vec<u32> = u.gender_audience(Gender::Male).iter().take(2_000).collect();
+        let hashes: Vec<ContactHash> = male_users
+            .iter()
+            .map(|&user| fb.contact_hash(user))
+            .collect();
         let matched = fb.match_customer_list(&hashes);
         assert!(matched.audience.len() >= super::super::lookalike::MIN_SEED);
 
         let lal = fb
-            .lookalike(&matched.audience, &crate::lookalike::LookalikeConfig::default())
+            .lookalike(
+                &matched.audience,
+                &crate::lookalike::LookalikeConfig::default(),
+            )
             .unwrap();
         let males = u.gender_audience(Gender::Male);
         let male_frac = lal.intersection_len(males) as f64 / lal.len() as f64;

@@ -65,7 +65,10 @@ pub enum RoundingRule {
 impl RoundingRule {
     /// Facebook's ladder.
     pub fn facebook() -> Self {
-        RoundingRule::SignificantClamped { digits: 2, minimum: 1_000 }
+        RoundingRule::SignificantClamped {
+            digits: 2,
+            minimum: 1_000,
+        }
     }
 
     /// Google's ladder.
@@ -101,11 +104,20 @@ impl RoundingRule {
                     round_significant(exact, digits)
                 }
             }
-            RoundingRule::SignificantTiered { digits_low, digits_high, switch_at, minimum } => {
+            RoundingRule::SignificantTiered {
+                digits_low,
+                digits_high,
+                switch_at,
+                minimum,
+            } => {
                 if exact < minimum {
                     0
                 } else {
-                    let digits = if exact < switch_at { digits_low } else { digits_high };
+                    let digits = if exact < switch_at {
+                        digits_low
+                    } else {
+                        digits_high
+                    };
                     round_significant(exact, digits)
                 }
             }
@@ -248,7 +260,11 @@ mod tests {
     #[test]
     fn inverse_interval_contains_exactly_the_preimage() {
         // Exhaustive check over a range for each ladder.
-        for rule in [RoundingRule::facebook(), RoundingRule::google(), RoundingRule::linkedin()] {
+        for rule in [
+            RoundingRule::facebook(),
+            RoundingRule::google(),
+            RoundingRule::linkedin(),
+        ] {
             for exact in 0u64..5_000 {
                 let rounded = rule.apply(exact);
                 let (lo, hi) = rule

@@ -83,7 +83,11 @@ impl EstimateRequest {
     /// uses (broadest objective chosen by the caller, most restrictive
     /// frequency cap).
     pub fn new(spec: TargetingSpec, objective: Objective) -> Self {
-        EstimateRequest { spec, objective, frequency_cap: FrequencyCap::most_restrictive() }
+        EstimateRequest {
+            spec,
+            objective,
+            frequency_cap: FrequencyCap::most_restrictive(),
+        }
     }
 }
 
@@ -101,6 +105,8 @@ pub enum PlatformError {
         /// Suggested back-off.
         retry_after: Duration,
     },
+    /// A transient server-side failure; safe to retry.
+    Transient(String),
 }
 
 impl std::fmt::Display for PlatformError {
@@ -114,6 +120,7 @@ impl std::fmt::Display for PlatformError {
             PlatformError::RateLimited { retry_after } => {
                 write!(f, "rate limited; retry after {retry_after:?}")
             }
+            PlatformError::Transient(msg) => write!(f, "transient failure: {msg}"),
         }
     }
 }
@@ -149,11 +156,16 @@ impl AdPlatform {
     /// Builds a platform, materialising every catalog audience.
     pub fn new(config: PlatformConfig, universe: Arc<Universe>, catalog: Catalog) -> AdPlatform {
         assert!(
-            config.supported_objectives.contains(&config.default_objective),
+            config
+                .supported_objectives
+                .contains(&config.default_objective),
             "default objective must be supported"
         );
-        let audiences =
-            catalog.entries().iter().map(|e| universe.materialize(&e.model)).collect();
+        let audiences = catalog
+            .entries()
+            .iter()
+            .map(|e| universe.materialize(&e.model))
+            .collect();
         AdPlatform {
             config,
             universe,
@@ -206,7 +218,11 @@ impl AdPlatform {
     /// platform range (× frequency-cap multiplier on impression
     /// platforms), and round through the platform's ladder.
     pub fn reach_estimate(&self, request: &EstimateRequest) -> Result<SizeEstimate, PlatformError> {
-        if !self.config.supported_objectives.contains(&request.objective) {
+        if !self
+            .config
+            .supported_objectives
+            .contains(&request.objective)
+        {
             return Err(PlatformError::UnsupportedObjective(request.objective));
         }
         if let Err(e) = validate(&request.spec, &self.config.capabilities, &self.catalog) {
@@ -256,7 +272,9 @@ impl AdPlatform {
     /// §3: "we instead use the corresponding targeting option on
     /// Facebook's normal interface to measure the representation ratio").
     pub fn parent_id(&self, id: AttributeId) -> Option<AttributeId> {
-        self.parent_ids.as_ref().and_then(|ids| ids.get(id.0 as usize).copied())
+        self.parent_ids
+            .as_ref()
+            .and_then(|ids| ids.get(id.0 as usize).copied())
     }
 
     /// Snapshot of the query counters.
@@ -367,7 +385,9 @@ mod tests {
         let p = test_platform(InterfaceKind::FacebookNormal, Capabilities::permissive());
         let spec = TargetingSpec::and_of([AttributeId(0)]);
         let exact = p.exact_audience(&spec).unwrap().len();
-        let est = p.reach_estimate(&EstimateRequest::new(spec, Objective::Reach)).unwrap();
+        let est = p
+            .reach_estimate(&EstimateRequest::new(spec, Objective::Reach))
+            .unwrap();
         assert_eq!(est.kind, EstimateKind::Users);
         assert_eq!(est.value, RoundingRule::facebook().apply(exact * 1_000));
         assert_eq!(p.stats().estimates, 1);
@@ -394,18 +414,26 @@ mod tests {
         let req = EstimateRequest::new(TargetingSpec::everyone(), Objective::BrandAwareness);
         assert_eq!(
             p.reach_estimate(&req),
-            Err(PlatformError::UnsupportedObjective(Objective::BrandAwareness))
+            Err(PlatformError::UnsupportedObjective(
+                Objective::BrandAwareness
+            ))
         );
     }
 
     #[test]
     fn policy_violations_rejected_and_counted() {
-        let p = test_platform(InterfaceKind::FacebookRestricted, Capabilities::restricted());
+        let p = test_platform(
+            InterfaceKind::FacebookRestricted,
+            Capabilities::restricted(),
+        );
         let req = EstimateRequest::new(
             TargetingSpec::builder().gender(Gender::Male).build(),
             Objective::Reach,
         );
-        assert!(matches!(p.reach_estimate(&req), Err(PlatformError::Validation(_))));
+        assert!(matches!(
+            p.reach_estimate(&req),
+            Err(PlatformError::Validation(_))
+        ));
         assert_eq!(p.stats().validation_failures, 1);
         assert_eq!(p.stats().estimates, 0);
     }
@@ -434,10 +462,16 @@ mod tests {
         let rid = AttributeId(3);
         let pid = restricted.parent_id(rid).unwrap();
         let on_restricted = restricted
-            .reach_estimate(&EstimateRequest::new(TargetingSpec::and_of([rid]), Objective::Reach))
+            .reach_estimate(&EstimateRequest::new(
+                TargetingSpec::and_of([rid]),
+                Objective::Reach,
+            ))
             .unwrap();
         let on_parent = parent
-            .reach_estimate(&EstimateRequest::new(TargetingSpec::and_of([pid]), Objective::Reach))
+            .reach_estimate(&EstimateRequest::new(
+                TargetingSpec::and_of([pid]),
+                Objective::Reach,
+            ))
             .unwrap();
         assert_eq!(on_restricted, on_parent);
     }
@@ -479,7 +513,10 @@ mod tests {
         let low = p.reach_estimate(&capped).unwrap().value;
         let high = p.reach_estimate(&uncapped).unwrap().value;
         assert_eq!(high, low * 12, "impressions scale with the cap");
-        assert_eq!(p.reach_estimate(&capped).unwrap().kind, EstimateKind::Impressions);
+        assert_eq!(
+            p.reach_estimate(&capped).unwrap().kind,
+            EstimateKind::Impressions
+        );
     }
 
     #[test]
@@ -488,7 +525,9 @@ mod tests {
         let req = EstimateRequest::new(TargetingSpec::and_of([AttributeId(999)]), Objective::Reach);
         assert!(matches!(
             p.reach_estimate(&req),
-            Err(PlatformError::Validation(ValidationError::UnknownAttribute(_)))
+            Err(PlatformError::Validation(
+                ValidationError::UnknownAttribute(_)
+            ))
         ));
     }
 }

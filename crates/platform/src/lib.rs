@@ -26,25 +26,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 mod catalog;
 mod custom_audience;
 mod estimate;
+mod faults;
 mod interface;
 mod lookalike;
 mod names;
 mod objective;
 mod presets;
 mod ratelimit;
+mod retry;
 
+pub use api::PlatformApi;
 pub use catalog::{Catalog, CatalogEntry, CategorySpec, SkewProfile};
-pub use estimate::{round_significant, EstimateKind, RoundingRule, SizeEstimate};
-pub use interface::{
-    AdPlatform, EstimateRequest, InterfaceKind, PlatformConfig, PlatformError,
-};
 pub use custom_audience::{ContactHash, MatchedAudience};
+pub use estimate::{round_significant, EstimateKind, RoundingRule, SizeEstimate};
+pub use faults::{FaultKind, FaultPlan, FaultRule, FaultStats, FaultyPlatform, Schedule};
+pub use interface::{AdPlatform, EstimateRequest, InterfaceKind, PlatformConfig, PlatformError};
 pub use lookalike::{LookalikeConfig, LookalikeError, MIN_SEED};
 pub use objective::{FrequencyCap, Objective};
 pub use presets::{
     build_facebook, build_facebook_restricted, build_google, build_linkedin, SimScale, Simulation,
 };
 pub use ratelimit::{QueryStats, TokenBucket};
+pub use retry::{CircuitBreaker, CircuitState, RetryPolicy};

@@ -55,7 +55,10 @@ impl Default for LookalikeConfig {
 impl LookalikeConfig {
     /// The restricted interface's variant.
     pub fn special_ad_audience() -> Self {
-        LookalikeConfig { special_ad_audience: true, ..LookalikeConfig::default() }
+        LookalikeConfig {
+            special_ad_audience: true,
+            ..LookalikeConfig::default()
+        }
     }
 }
 
@@ -76,7 +79,10 @@ impl std::fmt::Display for LookalikeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LookalikeError::SeedTooSmall { size, minimum } => {
-                write!(f, "seed audience of {size} users is below the minimum of {minimum}")
+                write!(
+                    f,
+                    "seed audience of {size} users is below the minimum of {minimum}"
+                )
             }
         }
     }
@@ -99,7 +105,10 @@ impl AdPlatform {
     ) -> Result<Bitset, LookalikeError> {
         let seed_size = seed.len();
         if seed_size < MIN_SEED {
-            return Err(LookalikeError::SeedTooSmall { size: seed_size, minimum: MIN_SEED });
+            return Err(LookalikeError::SeedTooSmall {
+                size: seed_size,
+                minimum: MIN_SEED,
+            });
         }
         let universe = self.universe();
         let n = universe.n_users();
@@ -120,7 +129,11 @@ impl AdPlatform {
                 lifts.push((idx, p_given_seed / p));
             }
         }
-        lifts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite lifts").then(a.0.cmp(&b.0)));
+        lifts.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite lifts")
+                .then(a.0.cmp(&b.0))
+        });
         lifts.truncate(config.top_attributes);
 
         // 2. Score candidates by weighted co-membership (log-lift weights).
@@ -222,10 +235,16 @@ mod tests {
     #[test]
     fn lookalike_has_requested_size_and_excludes_seed() {
         let seed = male_seed();
-        let config = LookalikeConfig { expansion: 3.0, ..LookalikeConfig::default() };
+        let config = LookalikeConfig {
+            expansion: 3.0,
+            ..LookalikeConfig::default()
+        };
         let lal = sim().facebook.lookalike(&seed, &config).unwrap();
         assert_eq!(lal.len(), (seed.len() as f64 * 3.0).round() as u64);
-        assert!(lal.is_disjoint(&seed), "lookalike must not contain seed users");
+        assert!(
+            lal.is_disjoint(&seed),
+            "lookalike must not contain seed users"
+        );
     }
 
     #[test]
@@ -233,8 +252,14 @@ mod tests {
         let seed = male_seed();
         let base_rate = male_fraction(sim().facebook.universe().everyone());
         let seed_rate = male_fraction(&seed);
-        assert!(seed_rate > base_rate + 0.05, "seed must be male-heavy ({seed_rate})");
-        let lal = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+        assert!(
+            seed_rate > base_rate + 0.05,
+            "seed must be male-heavy ({seed_rate})"
+        );
+        let lal = sim()
+            .facebook
+            .lookalike(&seed, &LookalikeConfig::default())
+            .unwrap();
         let lal_rate = male_fraction(&lal);
         assert!(
             lal_rate > base_rate + 0.05,
@@ -249,7 +274,10 @@ mod tests {
         // leakage — attribute co-membership still carries gender.
         let seed = male_seed();
         let base_rate = male_fraction(sim().facebook.universe().everyone());
-        let regular = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+        let regular = sim()
+            .facebook
+            .lookalike(&seed, &LookalikeConfig::default())
+            .unwrap();
         let saa = sim()
             .facebook
             .lookalike(&seed, &LookalikeConfig::special_ad_audience())
@@ -269,16 +297,31 @@ mod tests {
     #[test]
     fn tiny_seed_rejected() {
         let seed: Bitset = (0..50u32).collect();
-        let err = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap_err();
-        assert_eq!(err, LookalikeError::SeedTooSmall { size: 50, minimum: MIN_SEED });
+        let err = sim()
+            .facebook
+            .lookalike(&seed, &LookalikeConfig::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LookalikeError::SeedTooSmall {
+                size: 50,
+                minimum: MIN_SEED
+            }
+        );
         assert!(err.to_string().contains("50"));
     }
 
     #[test]
     fn lookalike_is_deterministic() {
         let seed = male_seed();
-        let a = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
-        let b = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+        let a = sim()
+            .facebook
+            .lookalike(&seed, &LookalikeConfig::default())
+            .unwrap();
+        let b = sim()
+            .facebook
+            .lookalike(&seed, &LookalikeConfig::default())
+            .unwrap();
         assert_eq!(a, b);
     }
 }

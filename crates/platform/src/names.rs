@@ -354,7 +354,11 @@ mod tests {
         let cap = p.capacity();
         let mut seen = std::collections::HashSet::new();
         for i in 0..cap {
-            assert!(seen.insert(p.phrase(i)), "duplicate at {i}: {}", p.phrase(i));
+            assert!(
+                seen.insert(p.phrase(i)),
+                "duplicate at {i}: {}",
+                p.phrase(i)
+            );
         }
     }
 

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn frequency_cap_scales_impressions() {
-        assert_eq!(FrequencyCap::most_restrictive().impressions_multiplier(), 1.0);
+        assert_eq!(
+            FrequencyCap::most_restrictive().impressions_multiplier(),
+            1.0
+        );
         assert!(
             FrequencyCap::platform_default().impressions_multiplier()
                 > FrequencyCap::most_restrictive().impressions_multiplier()

@@ -82,12 +82,22 @@ impl Simulation {
         let facebook_restricted = Arc::new(build_facebook_restricted(&facebook, scale));
         let google = Arc::new(build_google(seed ^ 0x6006, scale));
         let linkedin = Arc::new(build_linkedin(seed ^ 0x11, scale));
-        Simulation { facebook, facebook_restricted, google, linkedin }
+        Simulation {
+            facebook,
+            facebook_restricted,
+            google,
+            linkedin,
+        }
     }
 
     /// The four interfaces in the paper's presentation order.
     pub fn interfaces(&self) -> [&Arc<AdPlatform>; 4] {
-        [&self.facebook_restricted, &self.facebook, &self.google, &self.linkedin]
+        [
+            &self.facebook_restricted,
+            &self.facebook,
+            &self.google,
+            &self.linkedin,
+        ]
     }
 }
 
@@ -116,19 +126,97 @@ pub fn build_facebook(seed: u64, scale: SimScale) -> AdPlatform {
     let feat = FeatureId(0);
     let n = SkewProfile::neutral;
     let specs = [
-        CategorySpec { name: "Interests", domain: "interests", feature: feat, count: scaled(100, f), skew: n() },
-        CategorySpec { name: "Games", domain: "games", feature: feat, count: scaled(55, f), skew: n().lean_male(0.5).lean_old(-0.25) },
-        CategorySpec { name: "Industries", domain: "industries", feature: feat, count: scaled(70, f), skew: n().lean_male(0.18) },
-        CategorySpec { name: "Beauty", domain: "beauty", feature: feat, count: scaled(45, f), skew: n().lean_male(-0.6) },
-        CategorySpec { name: "Shopping", domain: "shopping", feature: feat, count: scaled(55, f), skew: n().lean_male(-0.4) },
-        CategorySpec { name: "Family and relationships", domain: "family", feature: feat, count: scaled(50, f), skew: n().lean_male(-0.3).lean_old(0.1) },
-        CategorySpec { name: "Vehicles", domain: "vehicles", feature: feat, count: scaled(50, f), skew: n().lean_male(0.5) },
-        CategorySpec { name: "Consumer electronics", domain: "tech", feature: feat, count: scaled(50, f), skew: n().lean_male(0.45).lean_old(-0.15) },
-        CategorySpec { name: "Sports", domain: "sports", feature: feat, count: scaled(45, f), skew: n().lean_male(0.3).lean_old(-0.1) },
-        CategorySpec { name: "Entertainment", domain: "media", feature: feat, count: scaled(27, f), skew: n() },
-        CategorySpec { name: "Finance", domain: "finance", feature: feat, count: scaled(40, f), skew: n().lean_old(0.35) },
-        CategorySpec { name: "Education", domain: "education", feature: feat, count: scaled(30, f), skew: n().lean_old(-0.35) },
-        CategorySpec { name: "Lifestyle", domain: "lifestyle", feature: feat, count: scaled(50, f), skew: n().lean_old(0.18) },
+        CategorySpec {
+            name: "Interests",
+            domain: "interests",
+            feature: feat,
+            count: scaled(100, f),
+            skew: n(),
+        },
+        CategorySpec {
+            name: "Games",
+            domain: "games",
+            feature: feat,
+            count: scaled(55, f),
+            skew: n().lean_male(0.5).lean_old(-0.25),
+        },
+        CategorySpec {
+            name: "Industries",
+            domain: "industries",
+            feature: feat,
+            count: scaled(70, f),
+            skew: n().lean_male(0.18),
+        },
+        CategorySpec {
+            name: "Beauty",
+            domain: "beauty",
+            feature: feat,
+            count: scaled(45, f),
+            skew: n().lean_male(-0.6),
+        },
+        CategorySpec {
+            name: "Shopping",
+            domain: "shopping",
+            feature: feat,
+            count: scaled(55, f),
+            skew: n().lean_male(-0.4),
+        },
+        CategorySpec {
+            name: "Family and relationships",
+            domain: "family",
+            feature: feat,
+            count: scaled(50, f),
+            skew: n().lean_male(-0.3).lean_old(0.1),
+        },
+        CategorySpec {
+            name: "Vehicles",
+            domain: "vehicles",
+            feature: feat,
+            count: scaled(50, f),
+            skew: n().lean_male(0.5),
+        },
+        CategorySpec {
+            name: "Consumer electronics",
+            domain: "tech",
+            feature: feat,
+            count: scaled(50, f),
+            skew: n().lean_male(0.45).lean_old(-0.15),
+        },
+        CategorySpec {
+            name: "Sports",
+            domain: "sports",
+            feature: feat,
+            count: scaled(45, f),
+            skew: n().lean_male(0.3).lean_old(-0.1),
+        },
+        CategorySpec {
+            name: "Entertainment",
+            domain: "media",
+            feature: feat,
+            count: scaled(27, f),
+            skew: n(),
+        },
+        CategorySpec {
+            name: "Finance",
+            domain: "finance",
+            feature: feat,
+            count: scaled(40, f),
+            skew: n().lean_old(0.35),
+        },
+        CategorySpec {
+            name: "Education",
+            domain: "education",
+            feature: feat,
+            count: scaled(30, f),
+            skew: n().lean_old(-0.35),
+        },
+        CategorySpec {
+            name: "Lifestyle",
+            domain: "lifestyle",
+            feature: feat,
+            count: scaled(50, f),
+            skew: n().lean_old(0.18),
+        },
     ];
     let catalog = Catalog::generate(seed ^ 0xCAFB, &specs);
     AdPlatform::new(
@@ -198,24 +286,126 @@ pub fn build_google(seed: u64, scale: SimScale) -> AdPlatform {
     let n = SkewProfile::neutral;
     let specs = [
         // Affinity attributes (873 at paper scale).
-        CategorySpec { name: "Gamers", domain: "games", feature: attrs, count: scaled(120, f), skew: n().lean_male(0.55).lean_old(-0.1) },
-        CategorySpec { name: "Makeup & Cosmetics", domain: "beauty", feature: attrs, count: scaled(90, f), skew: n().lean_male(-0.6).lean_old(0.1) },
-        CategorySpec { name: "Autos & Vehicles", domain: "vehicles", feature: attrs, count: scaled(110, f), skew: n().lean_male(0.55).lean_old(0.15) },
-        CategorySpec { name: "Sports & Fitness", domain: "sports", feature: attrs, count: scaled(100, f), skew: n().lean_male(0.25) },
-        CategorySpec { name: "Food & Dining", domain: "food", feature: attrs, count: scaled(110, f), skew: n().lean_male(-0.2).lean_old(0.18) },
-        CategorySpec { name: "Crafts", domain: "crafts", feature: attrs, count: scaled(80, f), skew: n().lean_male(-0.45).lean_old(0.28) },
-        CategorySpec { name: "Computers & Electronics", domain: "tech", feature: attrs, count: scaled(100, f), skew: n().lean_male(0.45).lean_old(-0.05) },
-        CategorySpec { name: "Education", domain: "education", feature: attrs, count: scaled(60, f), skew: n().lean_old(-0.25) },
-        CategorySpec { name: "Lifestyles & Hobbies", domain: "lifestyle", feature: attrs, count: scaled(103, f), skew: n().lean_old(0.35) },
+        CategorySpec {
+            name: "Gamers",
+            domain: "games",
+            feature: attrs,
+            count: scaled(120, f),
+            skew: n().lean_male(0.55).lean_old(-0.1),
+        },
+        CategorySpec {
+            name: "Makeup & Cosmetics",
+            domain: "beauty",
+            feature: attrs,
+            count: scaled(90, f),
+            skew: n().lean_male(-0.6).lean_old(0.1),
+        },
+        CategorySpec {
+            name: "Autos & Vehicles",
+            domain: "vehicles",
+            feature: attrs,
+            count: scaled(110, f),
+            skew: n().lean_male(0.55).lean_old(0.15),
+        },
+        CategorySpec {
+            name: "Sports & Fitness",
+            domain: "sports",
+            feature: attrs,
+            count: scaled(100, f),
+            skew: n().lean_male(0.25),
+        },
+        CategorySpec {
+            name: "Food & Dining",
+            domain: "food",
+            feature: attrs,
+            count: scaled(110, f),
+            skew: n().lean_male(-0.2).lean_old(0.18),
+        },
+        CategorySpec {
+            name: "Crafts",
+            domain: "crafts",
+            feature: attrs,
+            count: scaled(80, f),
+            skew: n().lean_male(-0.45).lean_old(0.28),
+        },
+        CategorySpec {
+            name: "Computers & Electronics",
+            domain: "tech",
+            feature: attrs,
+            count: scaled(100, f),
+            skew: n().lean_male(0.45).lean_old(-0.05),
+        },
+        CategorySpec {
+            name: "Education",
+            domain: "education",
+            feature: attrs,
+            count: scaled(60, f),
+            skew: n().lean_old(-0.25),
+        },
+        CategorySpec {
+            name: "Lifestyles & Hobbies",
+            domain: "lifestyle",
+            feature: attrs,
+            count: scaled(103, f),
+            skew: n().lean_old(0.35),
+        },
         // Placement topics (2424 at paper scale).
-        CategorySpec { name: "Topics/Arts & Entertainment", domain: "media", feature: topics, count: scaled(300, f), skew: n().lean_old(0.15) },
-        CategorySpec { name: "Topics/Food & Drink", domain: "food", feature: topics, count: scaled(300, f), skew: n().lean_male(-0.15).lean_old(0.18) },
-        CategorySpec { name: "Topics/Computers", domain: "tech", feature: topics, count: scaled(324, f), skew: n().lean_male(0.4) },
-        CategorySpec { name: "Topics/Sports", domain: "sports", feature: topics, count: scaled(300, f), skew: n().lean_male(0.3).lean_old(0.07) },
-        CategorySpec { name: "Topics/Autos", domain: "vehicles", feature: topics, count: scaled(300, f), skew: n().lean_male(0.5).lean_old(0.18) },
-        CategorySpec { name: "Topics/Finance", domain: "finance", feature: topics, count: scaled(300, f), skew: n().lean_old(0.42) },
-        CategorySpec { name: "Topics/Hobbies & Leisure", domain: "crafts", feature: topics, count: scaled(250, f), skew: n().lean_male(-0.3).lean_old(0.32) },
-        CategorySpec { name: "Topics/Games", domain: "games", feature: topics, count: scaled(350, f), skew: n().lean_male(0.5).lean_old(-0.15) },
+        CategorySpec {
+            name: "Topics/Arts & Entertainment",
+            domain: "media",
+            feature: topics,
+            count: scaled(300, f),
+            skew: n().lean_old(0.15),
+        },
+        CategorySpec {
+            name: "Topics/Food & Drink",
+            domain: "food",
+            feature: topics,
+            count: scaled(300, f),
+            skew: n().lean_male(-0.15).lean_old(0.18),
+        },
+        CategorySpec {
+            name: "Topics/Computers",
+            domain: "tech",
+            feature: topics,
+            count: scaled(324, f),
+            skew: n().lean_male(0.4),
+        },
+        CategorySpec {
+            name: "Topics/Sports",
+            domain: "sports",
+            feature: topics,
+            count: scaled(300, f),
+            skew: n().lean_male(0.3).lean_old(0.07),
+        },
+        CategorySpec {
+            name: "Topics/Autos",
+            domain: "vehicles",
+            feature: topics,
+            count: scaled(300, f),
+            skew: n().lean_male(0.5).lean_old(0.18),
+        },
+        CategorySpec {
+            name: "Topics/Finance",
+            domain: "finance",
+            feature: topics,
+            count: scaled(300, f),
+            skew: n().lean_old(0.42),
+        },
+        CategorySpec {
+            name: "Topics/Hobbies & Leisure",
+            domain: "crafts",
+            feature: topics,
+            count: scaled(250, f),
+            skew: n().lean_male(-0.3).lean_old(0.32),
+        },
+        CategorySpec {
+            name: "Topics/Games",
+            domain: "games",
+            feature: topics,
+            count: scaled(350, f),
+            skew: n().lean_male(0.5).lean_old(-0.15),
+        },
     ];
     let catalog = Catalog::generate(seed ^ 0xCA60, &specs);
     AdPlatform::new(
@@ -250,15 +440,69 @@ pub fn build_linkedin(seed: u64, scale: SimScale) -> AdPlatform {
     let feat = FeatureId(0);
     let n = SkewProfile::neutral;
     let specs = [
-        CategorySpec { name: "Job Functions", domain: "jobs", feature: feat, count: scaled(90, f), skew: n().lean_male(0.25).lean_old(0.1) },
-        CategorySpec { name: "Industries", domain: "industries", feature: feat, count: scaled(80, f), skew: n().lean_male(0.3).lean_old(0.07) },
-        CategorySpec { name: "Job Seniorities", domain: "seniority", feature: feat, count: scaled(40, f), skew: n().lean_male(0.35).lean_old(0.5) },
-        CategorySpec { name: "Education", domain: "education", feature: feat, count: scaled(50, f), skew: n().lean_old(-0.15) },
-        CategorySpec { name: "Technology", domain: "tech", feature: feat, count: scaled(70, f), skew: n().lean_male(0.55).lean_old(-0.05) },
-        CategorySpec { name: "Corporate Finance", domain: "finance", feature: feat, count: scaled(60, f), skew: n().lean_male(0.18).lean_old(0.35) },
-        CategorySpec { name: "Member Traits", domain: "lifestyle", feature: feat, count: scaled(82, f), skew: n().lean_old(0.07) },
-        CategorySpec { name: "Interests", domain: "media", feature: feat, count: scaled(40, f), skew: n() },
-        CategorySpec { name: "Consumer Goods", domain: "shopping", feature: feat, count: scaled(40, f), skew: n().lean_male(-0.4) },
+        CategorySpec {
+            name: "Job Functions",
+            domain: "jobs",
+            feature: feat,
+            count: scaled(90, f),
+            skew: n().lean_male(0.25).lean_old(0.1),
+        },
+        CategorySpec {
+            name: "Industries",
+            domain: "industries",
+            feature: feat,
+            count: scaled(80, f),
+            skew: n().lean_male(0.3).lean_old(0.07),
+        },
+        CategorySpec {
+            name: "Job Seniorities",
+            domain: "seniority",
+            feature: feat,
+            count: scaled(40, f),
+            skew: n().lean_male(0.35).lean_old(0.5),
+        },
+        CategorySpec {
+            name: "Education",
+            domain: "education",
+            feature: feat,
+            count: scaled(50, f),
+            skew: n().lean_old(-0.15),
+        },
+        CategorySpec {
+            name: "Technology",
+            domain: "tech",
+            feature: feat,
+            count: scaled(70, f),
+            skew: n().lean_male(0.55).lean_old(-0.05),
+        },
+        CategorySpec {
+            name: "Corporate Finance",
+            domain: "finance",
+            feature: feat,
+            count: scaled(60, f),
+            skew: n().lean_male(0.18).lean_old(0.35),
+        },
+        CategorySpec {
+            name: "Member Traits",
+            domain: "lifestyle",
+            feature: feat,
+            count: scaled(82, f),
+            skew: n().lean_old(0.07),
+        },
+        CategorySpec {
+            name: "Interests",
+            domain: "media",
+            feature: feat,
+            count: scaled(40, f),
+            skew: n(),
+        },
+        CategorySpec {
+            name: "Consumer Goods",
+            domain: "shopping",
+            feature: feat,
+            count: scaled(40, f),
+            skew: n().lean_male(-0.4),
+        },
     ];
     let catalog = Catalog::generate(seed ^ 0xCA11, &specs);
     AdPlatform::new(
@@ -287,7 +531,10 @@ mod tests {
     fn test_scale_builds_all_interfaces() {
         let sim = Simulation::build(1, SimScale::Test);
         assert_eq!(sim.facebook.kind(), InterfaceKind::FacebookNormal);
-        assert_eq!(sim.facebook_restricted.kind(), InterfaceKind::FacebookRestricted);
+        assert_eq!(
+            sim.facebook_restricted.kind(),
+            InterfaceKind::FacebookRestricted
+        );
         assert_eq!(sim.google.kind(), InterfaceKind::GoogleDisplay);
         assert_eq!(sim.linkedin.kind(), InterfaceKind::LinkedIn);
         // Restricted shares Facebook's universe.
@@ -296,8 +543,8 @@ mod tests {
             sim.facebook.universe().n_users()
         );
         // Sanitisation ratio ≈ 393/667.
-        let ratio = sim.facebook_restricted.catalog().len() as f64
-            / sim.facebook.catalog().len() as f64;
+        let ratio =
+            sim.facebook_restricted.catalog().len() as f64 / sim.facebook.catalog().len() as f64;
         assert!((ratio - 393.0 / 667.0).abs() < 0.02, "ratio {ratio}");
     }
 
@@ -307,7 +554,9 @@ mod tests {
         let f = SimScale::Paper.catalog_factor();
         assert_eq!(f, 1.0);
         // Facebook: 667 total.
-        let fb: u32 = [100, 55, 70, 45, 55, 50, 50, 50, 45, 27, 40, 30, 50].iter().sum();
+        let fb: u32 = [100, 55, 70, 45, 55, 50, 50, 50, 45, 27, 40, 30, 50]
+            .iter()
+            .sum();
         assert_eq!(fb, 667);
         // Google: 873 attributes + 2424 topics.
         let ga: u32 = [120, 90, 110, 100, 110, 80, 100, 60, 103].iter().sum();
@@ -324,14 +573,15 @@ mod tests {
         let sim = Simulation::build(2, SimScale::Test);
         // LinkedIn's member base is male-skewed, Facebook's female-skewed.
         let male_frac = |p: &AdPlatform| {
-            p.universe().gender_audience(Gender::Male).len() as f64
-                / p.universe().n_users() as f64
+            p.universe().gender_audience(Gender::Male).len() as f64 / p.universe().n_users() as f64
         };
         assert!(male_frac(&sim.linkedin) > 0.53);
         assert!(male_frac(&sim.facebook) < 0.48);
         // Google/LinkedIn user bases skew older than Facebook's.
         let young_frac = |p: &AdPlatform| {
-            p.universe().age_audience(adcomp_population::AgeBucket::A18_24).len() as f64
+            p.universe()
+                .age_audience(adcomp_population::AgeBucket::A18_24)
+                .len() as f64
                 / p.universe().n_users() as f64
         };
         assert!(young_frac(&sim.google) < young_frac(&sim.facebook));
@@ -341,10 +591,7 @@ mod tests {
     fn default_objectives_work_everywhere() {
         let sim = Simulation::build(3, SimScale::Test);
         for p in sim.interfaces() {
-            let req = EstimateRequest::new(
-                TargetingSpec::everyone(),
-                p.config().default_objective,
-            );
+            let req = EstimateRequest::new(TargetingSpec::everyone(), p.config().default_objective);
             let est = p.reach_estimate(&req).unwrap();
             assert!(est.value > 0, "{} returned zero reach", p.label());
         }
@@ -362,10 +609,16 @@ mod tests {
             .value
         };
         let fb = total(&sim.facebook);
-        assert!((150_000_000..=300_000_000).contains(&fb), "facebook total {fb}");
+        assert!(
+            (150_000_000..=300_000_000).contains(&fb),
+            "facebook total {fb}"
+        );
         let go = total(&sim.google);
         assert!(go > 1_000_000_000, "google impressions total {go}");
         let li = total(&sim.linkedin);
-        assert!((100_000_000..=250_000_000).contains(&li), "linkedin total {li}");
+        assert!(
+            (100_000_000..=250_000_000).contains(&li),
+            "linkedin total {li}"
+        );
     }
 }

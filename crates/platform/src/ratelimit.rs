@@ -32,7 +32,12 @@ impl TokenBucket {
     pub fn new(rate: f64, burst: f64) -> Self {
         assert!(rate > 0.0, "rate must be positive");
         assert!(burst >= 1.0, "burst must allow at least one request");
-        TokenBucket { rate, burst, tokens: burst, last: Duration::ZERO }
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: Duration::ZERO,
+        }
     }
 
     /// Attempts to take one token at time `now` (monotonic, relative to an
@@ -140,7 +145,11 @@ mod tests {
 
     #[test]
     fn stats_total() {
-        let s = QueryStats { estimates: 5, validation_failures: 2, rate_limited: 1 };
+        let s = QueryStats {
+            estimates: 5,
+            validation_failures: 2,
+            rate_limited: 1,
+        };
         assert_eq!(s.total(), 8);
     }
 }

@@ -1,0 +1,91 @@
+//! Property tests for the token-bucket rate limiter: the `retry_after`
+//! hint must be *sound* (waiting it out always admits the next request)
+//! and the bucket must never admit more than `burst + rate·T` requests
+//! over any window of length `T` — the invariant the ethics section's
+//! query discipline depends on.
+
+use std::time::Duration;
+
+use adcomp_platform::TokenBucket;
+use proptest::prelude::*;
+
+/// A monotone request schedule: cumulative timestamps from millisecond
+/// gaps (gap 0 models a burst of back-to-back requests).
+fn arb_schedule() -> impl Strategy<Value = Vec<Duration>> {
+    proptest::collection::vec(0u64..400, 1..120).prop_map(|gaps| {
+        let mut now = Duration::ZERO;
+        gaps.iter()
+            .map(|g| {
+                now += Duration::from_millis(*g);
+                now
+            })
+            .collect()
+    })
+}
+
+fn arb_bucket() -> impl Strategy<Value = (f64, f64)> {
+    // rate in requests/second, burst in requests.
+    (0.5f64..50.0, 1.0f64..20.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whenever a request is denied, `retry_after` is a usable hint:
+    /// positive, at most one full token away, and a client that waits
+    /// exactly that long (plus a millisecond of slack for the
+    /// seconds-to-f64 conversion) is admitted.
+    #[test]
+    fn retry_after_is_sound((rate, burst) in arb_bucket(), schedule in arb_schedule()) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        for now in schedule {
+            if bucket.try_acquire(now) {
+                continue;
+            }
+            let wait = bucket.retry_after(now);
+            prop_assert!(wait > Duration::ZERO, "denied request must carry a wait");
+            prop_assert!(
+                wait <= Duration::from_secs_f64(1.0 / rate) + Duration::from_millis(1),
+                "one token can never be more than 1/rate away: {wait:?}"
+            );
+            // Probe on a clone so the main trajectory stays untouched.
+            let mut probe = bucket.clone();
+            prop_assert!(
+                probe.try_acquire(now + wait + Duration::from_millis(1)),
+                "waiting the advertised {wait:?} must admit the request"
+            );
+        }
+    }
+
+    /// A zero `retry_after` is a promise: the next request is admitted.
+    #[test]
+    fn zero_retry_after_means_admitted((rate, burst) in arb_bucket(), schedule in arb_schedule()) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        for now in schedule {
+            if bucket.retry_after(now) == Duration::ZERO {
+                let mut probe = bucket.clone();
+                prop_assert!(probe.try_acquire(now), "zero wait must mean admission");
+            }
+            let _ = bucket.try_acquire(now);
+        }
+    }
+
+    /// Over any schedule the number of admitted requests is bounded by
+    /// the initial burst allowance plus the tokens refilled across the
+    /// window — the bucket can never be talked into exceeding its rate.
+    #[test]
+    fn admitted_count_respects_rate_and_burst(
+        (rate, burst) in arb_bucket(),
+        schedule in arb_schedule(),
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let window = schedule.last().copied().unwrap_or(Duration::ZERO);
+        let admitted = schedule.iter().filter(|now| bucket.try_acquire(**now)).count();
+        let cap = burst + rate * window.as_secs_f64();
+        prop_assert!(
+            admitted as f64 <= cap + 1e-6,
+            "admitted {admitted} requests, cap is {cap:.3} (rate {rate}, burst {burst}, \
+             window {window:?})"
+        );
+    }
+}

@@ -2,9 +2,7 @@
 //! substrate is that two builds from the same seed are indistinguishable,
 //! and audiences survive serialisation byte-for-byte.
 
-use adcomp_platform::{
-    EstimateRequest, LookalikeConfig, SimScale, Simulation,
-};
+use adcomp_platform::{EstimateRequest, LookalikeConfig, SimScale, Simulation};
 use adcomp_targeting::{AttributeId, TargetingSpec};
 
 #[test]
@@ -79,8 +77,14 @@ fn lookalike_and_custom_audience_are_seed_stable() {
     let mb = b.facebook.match_customer_list(&hashes);
     assert_eq!(ma.audience, mb.audience);
     if ma.audience.len() >= adcomp_platform::MIN_SEED {
-        let la = a.facebook.lookalike(&ma.audience, &LookalikeConfig::default()).unwrap();
-        let lb = b.facebook.lookalike(&mb.audience, &LookalikeConfig::default()).unwrap();
+        let la = a
+            .facebook
+            .lookalike(&ma.audience, &LookalikeConfig::default())
+            .unwrap();
+        let lb = b
+            .facebook
+            .lookalike(&mb.audience, &LookalikeConfig::default())
+            .unwrap();
         assert_eq!(la, lb);
     }
 }
@@ -90,10 +94,14 @@ fn restricted_interface_audiences_match_parent() {
     let sim = Simulation::build(31340, SimScale::Test);
     let restricted = &sim.facebook_restricted;
     for id in restricted.catalog().ids() {
-        let parent_id = restricted.parent_id(id).expect("derived interface maps ids");
+        let parent_id = restricted
+            .parent_id(id)
+            .expect("derived interface maps ids");
         assert_eq!(
             restricted.attribute_audience_raw(id.0 as usize).unwrap(),
-            sim.facebook.attribute_audience_raw(parent_id.0 as usize).unwrap(),
+            sim.facebook
+                .attribute_audience_raw(parent_id.0 as usize)
+                .unwrap(),
             "restricted #{} vs parent #{}",
             id.0,
             parent_id.0

@@ -71,8 +71,12 @@ pub enum AgeBucket {
 
 impl AgeBucket {
     /// All buckets, youngest first.
-    pub const ALL: [AgeBucket; 4] =
-        [AgeBucket::A18_24, AgeBucket::A25_34, AgeBucket::A35_54, AgeBucket::A55Plus];
+    pub const ALL: [AgeBucket; 4] = [
+        AgeBucket::A18_24,
+        AgeBucket::A25_34,
+        AgeBucket::A35_54,
+        AgeBucket::A55Plus,
+    ];
 
     /// Stable dense index (0..4).
     pub fn index(self) -> usize {
@@ -134,7 +138,11 @@ impl Demographics {
     /// Inverse of [`Demographics::pack`].
     pub(crate) fn unpack(bits: u8) -> Demographics {
         Demographics {
-            gender: if bits & 1 == 0 { Gender::Male } else { Gender::Female },
+            gender: if bits & 1 == 0 {
+                Gender::Male
+            } else {
+                Gender::Female
+            },
             age: AgeBucket::from_index(((bits >> 1) & 0b11) as usize),
         }
     }
@@ -231,7 +239,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "age_weights must not all be zero")]
     fn zero_age_weights_rejected() {
-        let p = DemographicProfile { age_weights: [0.0; 4], ..DemographicProfile::balanced() };
+        let p = DemographicProfile {
+            age_weights: [0.0; 4],
+            ..DemographicProfile::balanced()
+        };
         let _ = p.age_cdf();
     }
 

@@ -176,7 +176,9 @@ mod tests {
 
     #[test]
     fn age_bias_selects_bucket() {
-        let m = AttributeModel::new(0).popularity(0.2).age_biases([2.0, 0.0, 0.0, -2.0]);
+        let m = AttributeModel::new(0)
+            .popularity(0.2)
+            .age_biases([2.0, 0.0, 0.0, -2.0]);
         let z = [0.0; LATENT_DIMS];
         let young = m.probability(&z, demo(Gender::Male, AgeBucket::A18_24));
         let mid = m.probability(&z, demo(Gender::Male, AgeBucket::A25_34));

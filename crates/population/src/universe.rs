@@ -89,7 +89,14 @@ impl Universe {
         let by_age = age_ids.map(Bitset::from_sorted_iter);
         let everyone = Bitset::from_sorted_iter(0..config.n_users);
 
-        Universe { config: config.clone(), demographics, latent, by_gender, by_age, everyone }
+        Universe {
+            config: config.clone(),
+            demographics,
+            latent,
+            by_gender,
+            by_age,
+            everyone,
+        }
     }
 
     /// Number of simulated users.
@@ -262,7 +269,10 @@ mod tests {
         let females = u.gender_audience(Gender::Female);
         assert_eq!(males.len() + females.len(), u.n_users() as u64);
         assert!(males.is_disjoint(females));
-        let age_total: u64 = AgeBucket::ALL.iter().map(|a| u.age_audience(*a).len()).sum();
+        let age_total: u64 = AgeBucket::ALL
+            .iter()
+            .map(|a| u.age_audience(*a).len())
+            .sum();
         assert_eq!(age_total, u.n_users() as u64);
         assert_eq!(u.everyone().len(), u.n_users() as u64);
     }
@@ -336,13 +346,19 @@ mod tests {
         let b = u.materialize(&AttributeModel::new(22).popularity(0.15).loading(0, 0.7));
         let rab = ratio(&a.and(&b));
         assert!(ratio(&a) > 1.1 && ratio(&b) > 1.1);
-        assert!(rab > ratio(&a) && rab > ratio(&b), "shared-axis amplification");
+        assert!(
+            rab > ratio(&a) && rab > ratio(&b),
+            "shared-axis amplification"
+        );
     }
 
     #[test]
     fn materialize_matches_sequential_reference() {
         let u = small(13);
-        let m = AttributeModel::new(77).popularity(0.3).gender_bias(-0.5).loading(4, 1.0);
+        let m = AttributeModel::new(77)
+            .popularity(0.3)
+            .gender_bias(-0.5)
+            .loading(4, 1.0);
         let parallel = u.materialize(&m);
         let sequential = Bitset::from_sorted_iter(u.materialize_range(&m, 0, u.n_users()));
         assert_eq!(parallel, sequential);

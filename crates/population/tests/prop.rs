@@ -14,12 +14,22 @@ fn arb_profile() -> impl Strategy<Value = DemographicProfile> {
         0.0f32..1.5,
     )
         .prop_map(|(male_fraction, age_weights, gender_signal, age_signal)| {
-            DemographicProfile { male_fraction, age_weights, gender_signal, age_signal }
+            DemographicProfile {
+                male_fraction,
+                age_weights,
+                gender_signal,
+                age_signal,
+            }
         })
 }
 
 fn universe(seed: u64, profile: DemographicProfile) -> Universe {
-    Universe::generate(&UniverseConfig { n_users: 6_000, seed, scale: 1.0, profile })
+    Universe::generate(&UniverseConfig {
+        n_users: 6_000,
+        seed,
+        scale: 1.0,
+        profile,
+    })
 }
 
 proptest! {

@@ -33,7 +33,9 @@ impl OrGroup {
     /// A group with a single attribute (the common case in the paper's
     /// compositions, which AND individual attributes).
     pub fn single(attribute: AttributeId) -> Self {
-        OrGroup { attributes: vec![attribute] }
+        OrGroup {
+            attributes: vec![attribute],
+        }
     }
 
     /// Sorts and dedupes the alternatives.
@@ -45,7 +47,9 @@ impl OrGroup {
 
 impl FromIterator<AttributeId> for OrGroup {
     fn from_iter<I: IntoIterator<Item = AttributeId>>(iter: I) -> Self {
-        OrGroup { attributes: iter.into_iter().collect() }
+        OrGroup {
+            attributes: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -95,7 +99,11 @@ impl DemographicSpec {
     pub fn intersect(&self, other: &DemographicSpec) -> Option<DemographicSpec> {
         let genders = intersect_option_lists(&self.genders, &other.genders)?;
         let ages = intersect_option_lists(&self.ages, &other.ages)?;
-        Some(DemographicSpec { genders, ages, location: self.location })
+        Some(DemographicSpec {
+            genders,
+            ages,
+            location: self.location,
+        })
     }
 }
 
@@ -228,8 +236,11 @@ impl std::fmt::Display for TargetingSpec {
             if group.attributes.len() == 1 {
                 write!(f, "#{}", group.attributes[0].0)?;
             } else {
-                let ids: Vec<String> =
-                    group.attributes.iter().map(|a| format!("#{}", a.0)).collect();
+                let ids: Vec<String> = group
+                    .attributes
+                    .iter()
+                    .map(|a| format!("#{}", a.0))
+                    .collect();
                 write!(f, "({})", ids.join(" ∨ "))?;
             }
         }
@@ -268,9 +279,13 @@ mod tests {
                 location: Location::UnitedStates,
             },
             include: vec![
-                OrGroup { attributes: vec![AttributeId(2), AttributeId(1), AttributeId(2)] },
+                OrGroup {
+                    attributes: vec![AttributeId(2), AttributeId(1), AttributeId(2)],
+                },
                 OrGroup { attributes: vec![] },
-                OrGroup { attributes: vec![AttributeId(1), AttributeId(2)] },
+                OrGroup {
+                    attributes: vec![AttributeId(1), AttributeId(2)],
+                },
             ],
             exclude: vec![AttributeId(9), AttributeId(9), AttributeId(4)],
         };
@@ -279,7 +294,10 @@ mod tests {
         assert_eq!(a.demographics.genders, None);
         assert_eq!(a.demographics.ages, Some(vec![AgeBucket::A25_34]));
         assert_eq!(a.include.len(), 1);
-        assert_eq!(a.include[0].attributes, vec![AttributeId(1), AttributeId(2)]);
+        assert_eq!(
+            a.include[0].attributes,
+            vec![AttributeId(1), AttributeId(2)]
+        );
         assert_eq!(a.exclude, vec![AttributeId(4), AttributeId(9)]);
     }
 
@@ -289,7 +307,10 @@ mod tests {
         let b = TargetingSpec::and_of([AttributeId(2)]);
         let ab = a.intersect(&b).unwrap();
         assert_eq!(ab.arity(), 2);
-        assert_eq!(ab, TargetingSpec::and_of([AttributeId(1), AttributeId(2)]).normalized());
+        assert_eq!(
+            ab,
+            TargetingSpec::and_of([AttributeId(1), AttributeId(2)]).normalized()
+        );
     }
 
     #[test]
@@ -304,9 +325,12 @@ mod tests {
 
     #[test]
     fn intersect_merges_age_constraints() {
-        let young =
-            TargetingSpec::builder().ages([AgeBucket::A18_24, AgeBucket::A25_34]).build();
-        let mid = TargetingSpec::builder().ages([AgeBucket::A25_34, AgeBucket::A35_54]).build();
+        let young = TargetingSpec::builder()
+            .ages([AgeBucket::A18_24, AgeBucket::A25_34])
+            .build();
+        let mid = TargetingSpec::builder()
+            .ages([AgeBucket::A25_34, AgeBucket::A35_54])
+            .build();
         let m = young.intersect(&mid).unwrap();
         assert_eq!(m.demographics.ages, Some(vec![AgeBucket::A25_34]));
     }
@@ -321,7 +345,9 @@ mod tests {
             },
             include: vec![
                 OrGroup::single(AttributeId(7)),
-                OrGroup { attributes: vec![AttributeId(1), AttributeId(2)] },
+                OrGroup {
+                    attributes: vec![AttributeId(1), AttributeId(2)],
+                },
             ],
             exclude: vec![AttributeId(9)],
         };
@@ -332,7 +358,9 @@ mod tests {
     #[test]
     fn referenced_attributes_covers_include_and_exclude() {
         let s = TargetingSpec {
-            include: vec![OrGroup { attributes: vec![AttributeId(1), AttributeId(2)] }],
+            include: vec![OrGroup {
+                attributes: vec![AttributeId(1), AttributeId(2)],
+            }],
             exclude: vec![AttributeId(3)],
             ..Default::default()
         };

@@ -66,7 +66,9 @@ impl SpecBuilder {
 
     /// Adds one singleton group per attribute: users matching ALL of them.
     pub fn all_of(mut self, attributes: impl IntoIterator<Item = AttributeId>) -> Self {
-        self.spec.include.extend(attributes.into_iter().map(OrGroup::single));
+        self.spec
+            .include
+            .extend(attributes.into_iter().map(OrGroup::single));
         self
     }
 
@@ -119,7 +121,9 @@ mod tests {
                 location: Location::UnitedStates,
             },
             include: vec![
-                OrGroup { attributes: vec![AttributeId(5), AttributeId(6)] },
+                OrGroup {
+                    attributes: vec![AttributeId(5), AttributeId(6)],
+                },
                 OrGroup::single(AttributeId(7)),
             ],
             exclude: vec![AttributeId(8)],
@@ -129,7 +133,9 @@ mod tests {
 
     #[test]
     fn all_of_adds_singletons() {
-        let s = TargetingSpec::builder().all_of([AttributeId(1), AttributeId(2)]).build();
+        let s = TargetingSpec::builder()
+            .all_of([AttributeId(1), AttributeId(2)])
+            .build();
         assert_eq!(s.arity(), 2);
         assert_eq!(s, TargetingSpec::and_of([AttributeId(1), AttributeId(2)]));
     }
@@ -139,7 +145,10 @@ mod tests {
         let s = TargetingSpec::builder()
             .any_of([AttributeId(2), AttributeId(1), AttributeId(2)])
             .build_normalized();
-        assert_eq!(s.include[0].attributes, vec![AttributeId(1), AttributeId(2)]);
+        assert_eq!(
+            s.include[0].attributes,
+            vec![AttributeId(1), AttributeId(2)]
+        );
     }
 
     #[test]

@@ -55,8 +55,9 @@ pub fn evaluate<R: AttributeResolver + ?Sized>(
     for group in &spec.include {
         let mut acc: Option<Bitset> = None;
         for &id in &group.attributes {
-            let audience =
-                resolver.attribute_audience(id).ok_or(EvalError::UnknownAttribute(id))?;
+            let audience = resolver
+                .attribute_audience(id)
+                .ok_or(EvalError::UnknownAttribute(id))?;
             acc = Some(match acc {
                 None => audience.clone(),
                 Some(cur) => cur.or(audience),
@@ -101,8 +102,9 @@ pub fn evaluate<R: AttributeResolver + ?Sized>(
 
     // Exclusions.
     for &id in &spec.exclude {
-        let excluded =
-            resolver.attribute_audience(id).ok_or(EvalError::UnknownAttribute(id))?;
+        let excluded = resolver
+            .attribute_audience(id)
+            .ok_or(EvalError::UnknownAttribute(id))?;
         audience = audience.and_not(excluded);
         if audience.is_empty() {
             break;
@@ -144,11 +146,16 @@ mod tests {
         let models = [
             AttributeModel::new(100).popularity(0.3),
             AttributeModel::new(101).popularity(0.2).gender_bias(1.0),
-            AttributeModel::new(102).popularity(0.25).age_biases([1.0, 0.3, -0.3, -1.0]),
+            AttributeModel::new(102)
+                .popularity(0.25)
+                .age_biases([1.0, 0.3, -0.3, -1.0]),
             AttributeModel::new(103).popularity(0.15).loading(3, 1.2),
         ];
         let audiences = models.iter().map(|m| universe.materialize(m)).collect();
-        TestResolver { universe, audiences }
+        TestResolver {
+            universe,
+            audiences,
+        }
     }
 
     /// Naive per-user reference evaluation.
@@ -168,7 +175,11 @@ mod tests {
                 }
             }
             for group in &spec.include {
-                if !group.attributes.iter().any(|a| r.audiences[a.0 as usize].contains(user)) {
+                if !group
+                    .attributes
+                    .iter()
+                    .any(|a| r.audiences[a.0 as usize].contains(user))
+                {
                     continue 'user;
                 }
             }
@@ -199,7 +210,10 @@ mod tests {
                 .any_of([AttributeId(0), AttributeId(2)])
                 .attribute(AttributeId(3))
                 .build(),
-            TargetingSpec::builder().gender(Gender::Female).attribute(AttributeId(1)).build(),
+            TargetingSpec::builder()
+                .gender(Gender::Female)
+                .attribute(AttributeId(1))
+                .build(),
             TargetingSpec::builder()
                 .ages([AgeBucket::A18_24, AgeBucket::A25_34])
                 .any_of([AttributeId(1), AttributeId(3)])
@@ -208,7 +222,11 @@ mod tests {
             TargetingSpec::builder().exclude([AttributeId(0)]).build(),
         ];
         for spec in &specs {
-            assert_eq!(evaluate(&r, spec).unwrap(), reference(&r, spec), "spec: {spec}");
+            assert_eq!(
+                evaluate(&r, spec).unwrap(),
+                reference(&r, spec),
+                "spec: {spec}"
+            );
         }
     }
 
@@ -216,9 +234,15 @@ mod tests {
     fn unknown_attribute_is_an_error() {
         let r = resolver();
         let spec = TargetingSpec::and_of([AttributeId(999)]);
-        assert_eq!(evaluate(&r, &spec), Err(EvalError::UnknownAttribute(AttributeId(999))));
+        assert_eq!(
+            evaluate(&r, &spec),
+            Err(EvalError::UnknownAttribute(AttributeId(999)))
+        );
         let spec = TargetingSpec::builder().exclude([AttributeId(999)]).build();
-        assert_eq!(evaluate(&r, &spec), Err(EvalError::UnknownAttribute(AttributeId(999))));
+        assert_eq!(
+            evaluate(&r, &spec),
+            Err(EvalError::UnknownAttribute(AttributeId(999)))
+        );
     }
 
     #[test]

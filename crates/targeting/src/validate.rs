@@ -79,7 +79,11 @@ impl Capabilities {
 
     /// Google Display profile: cross-feature AND only.
     pub fn cross_feature_only() -> Self {
-        Capabilities { same_feature_and: false, exclusions: false, ..Capabilities::permissive() }
+        Capabilities {
+            same_feature_and: false,
+            exclusions: false,
+            ..Capabilities::permissive()
+        }
     }
 }
 
@@ -131,7 +135,10 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "this interface does not allow targeting by age")
             }
             ValidationError::ExclusionsNotAllowed => {
-                write!(f, "this interface does not allow excluding attribute holders")
+                write!(
+                    f,
+                    "this interface does not allow excluding attribute holders"
+                )
             }
             ValidationError::SameFeatureAnd(feat) => write!(
                 f,
@@ -145,7 +152,10 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "{got} AND-groups exceed the interface limit of {limit}")
             }
             ValidationError::GroupTooLarge { got, limit } => {
-                write!(f, "an OR-group with {got} options exceeds the limit of {limit}")
+                write!(
+                    f,
+                    "an OR-group with {got} options exceeds the limit of {limit}"
+                )
             }
             ValidationError::EmptyGroup => write!(f, "empty OR-group"),
         }
@@ -198,7 +208,9 @@ pub fn validate(
             if !catalog.exists(id) {
                 return Err(ValidationError::UnknownAttribute(id));
             }
-            let feat = catalog.feature_of(id).ok_or(ValidationError::UnknownAttribute(id))?;
+            let feat = catalog
+                .feature_of(id)
+                .ok_or(ValidationError::UnknownAttribute(id))?;
             match feature {
                 None => feature = Some(feat),
                 Some(f) if f != feat && !caps.same_feature_and => {
@@ -288,7 +300,10 @@ mod tests {
             ValidationError::ExclusionsNotAllowed,
         );
         // Attribute composition itself is allowed.
-        ok(&TargetingSpec::and_of([AttributeId(1), AttributeId(2)]), &caps);
+        ok(
+            &TargetingSpec::and_of([AttributeId(1), AttributeId(2)]),
+            &caps,
+        );
     }
 
     #[test]
@@ -301,15 +316,22 @@ mod tests {
             ValidationError::SameFeatureAnd(FeatureId(0)),
         );
         // Cross-feature AND accepted.
-        ok(&TargetingSpec::and_of([AttributeId(1), AttributeId(60)]), &caps);
+        ok(
+            &TargetingSpec::and_of([AttributeId(1), AttributeId(60)]),
+            &caps,
+        );
         // Same-feature OR accepted (single group).
         ok(
-            &TargetingSpec::builder().any_of([AttributeId(1), AttributeId(2)]).build(),
+            &TargetingSpec::builder()
+                .any_of([AttributeId(1), AttributeId(2)])
+                .build(),
             &caps,
         );
         // Mixed-feature OR-group rejected.
         err(
-            &TargetingSpec::builder().any_of([AttributeId(1), AttributeId(60)]).build(),
+            &TargetingSpec::builder()
+                .any_of([AttributeId(1), AttributeId(60)])
+                .build(),
             &caps,
             ValidationError::MixedFeatureGroup,
         );
@@ -332,7 +354,11 @@ mod tests {
 
     #[test]
     fn structural_limits() {
-        let caps = Capabilities { max_groups: 2, max_group_size: 2, ..Capabilities::permissive() };
+        let caps = Capabilities {
+            max_groups: 2,
+            max_group_size: 2,
+            ..Capabilities::permissive()
+        };
         err(
             &TargetingSpec::and_of([AttributeId(1), AttributeId(2), AttributeId(3)]),
             &caps,
@@ -346,7 +372,10 @@ mod tests {
             ValidationError::GroupTooLarge { got: 3, limit: 2 },
         );
         err(
-            &TargetingSpec { include: vec![OrGroup { attributes: vec![] }], ..Default::default() },
+            &TargetingSpec {
+                include: vec![OrGroup { attributes: vec![] }],
+                ..Default::default()
+            },
             &Capabilities::permissive(),
             ValidationError::EmptyGroup,
         );

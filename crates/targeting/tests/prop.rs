@@ -47,7 +47,10 @@ fn fixture() -> &'static Fixture {
                 )
             })
             .collect();
-        Fixture { universe, audiences }
+        Fixture {
+            universe,
+            audiences,
+        }
     })
 }
 
@@ -103,7 +106,11 @@ fn reference(f: &Fixture, spec: &TargetingSpec) -> Bitset {
             }
         }
         for group in &spec.include {
-            if !group.attributes.iter().any(|a| f.audiences[a.0 as usize].contains(user)) {
+            if !group
+                .attributes
+                .iter()
+                .any(|a| f.audiences[a.0 as usize].contains(user))
+            {
                 continue 'user;
             }
         }

@@ -1,13 +1,28 @@
-//! Blocking client for the wire protocol.
+//! Blocking client for the wire protocol, hardened for long audits.
 //!
 //! The client plays the role of the paper's measurement scripts: a
-//! single connection issuing request/response pairs, with optional
-//! polite retry when the server answers `RateLimited`.
+//! single connection issuing request/response pairs against a platform
+//! that throttles, hiccups, and drops connections. Resilience is split
+//! across layers — this client owns the *transport*:
+//!
+//! * connect/read/write timeouts (no audit thread hangs forever);
+//! * automatic reconnect when the server drops the connection;
+//! * a [`RetryPolicy`] (exponential backoff, deterministic jitter,
+//!   server `retry_after` hints honoured) applied to transport failures
+//!   and rate-limit rejections;
+//! * a [`CircuitBreaker`] that stops hammering a dead endpoint after
+//!   consecutive transport failures, surfacing
+//!   [`ClientError::CircuitOpen`].
+//!
+//! Application-level failures (invalid targeting, transient platform
+//! errors) pass through untouched; the audit layer's `ResilientSource`
+//! decides whether to retry, skip, or abort those.
 
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
+use adcomp_platform::{CircuitBreaker, RetryPolicy};
 use adcomp_targeting::TargetingSpec;
 use parking_lot::Mutex;
 
@@ -18,7 +33,7 @@ use crate::message::{ErrorCode, Request, Response};
 /// Client-side failures.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Connection or framing problem.
+    /// Connection or framing problem (after exhausting retries).
     Transport(FrameError),
     /// Undecodable response.
     Codec(CodecError),
@@ -28,6 +43,13 @@ pub enum ClientError {
         code: ErrorCode,
         /// Detail message.
         message: String,
+        /// Server-advertised back-off (rate limiting).
+        retry_after: Option<Duration>,
+    },
+    /// The circuit breaker is open; the endpoint looks dead.
+    CircuitOpen {
+        /// Time until the breaker admits a probe.
+        retry_in: Duration,
     },
     /// Server answered with a response of the wrong kind.
     UnexpectedResponse,
@@ -38,7 +60,10 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Transport(e) => write!(f, "transport: {e}"),
             ClientError::Codec(e) => write!(f, "codec: {e}"),
-            ClientError::Server { code, message } => write!(f, "server {code:?}: {message}"),
+            ClientError::Server { code, message, .. } => write!(f, "server {code:?}: {message}"),
+            ClientError::CircuitOpen { retry_in } => {
+                write!(f, "circuit open; retry in {retry_in:?}")
+            }
             ClientError::UnexpectedResponse => write!(f, "unexpected response kind"),
         }
     }
@@ -55,6 +80,46 @@ impl From<FrameError> for ClientError {
 impl From<CodecError> for ClientError {
     fn from(e: CodecError) -> Self {
         ClientError::Codec(e)
+    }
+}
+
+/// Transport tuning for [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-read/write socket timeout (`None` = block forever).
+    pub io_timeout: Option<Duration>,
+    /// Retry schedule for transport failures and rate-limit rejections.
+    pub retry: RetryPolicy,
+    /// Consecutive transport failures before the circuit opens.
+    pub breaker_threshold: u32,
+    /// How long an open circuit rejects requests before probing.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::standard(0),
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config for tests: tiny timeouts and backoffs.
+    pub fn fast() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Some(Duration::from_secs(2)),
+            retry: RetryPolicy::fast(5),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(50),
+        }
     }
 }
 
@@ -84,12 +149,12 @@ pub struct InterfaceDescription {
 /// A blocking protocol client. Internally synchronised, so it can be
 /// shared behind an `Arc` by a multi-threaded audit.
 pub struct Client {
-    conn: Mutex<Conn>,
-    /// How many times to retry a rate-limited request before giving up
-    /// (sleeping [`Client::backoff`] between tries).
-    pub max_retries: u32,
-    /// Sleep between rate-limited retries.
-    pub backoff: Duration,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    conn: Mutex<Option<Conn>>,
+    breaker: Mutex<CircuitBreaker>,
+    /// Epoch for the breaker's injected clock.
+    epoch: Instant,
 }
 
 struct Conn {
@@ -98,36 +163,127 @@ struct Conn {
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with default transport tuning.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            conn: Mutex::new(Conn { reader: BufReader::new(stream), writer }),
-            max_retries: 5,
-            backoff: Duration::from_millis(50),
-        })
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit transport tuning.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> std::io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown);
+        let client = Client {
+            addrs,
+            config,
+            conn: Mutex::new(None),
+            breaker: Mutex::new(breaker),
+            epoch: Instant::now(),
+        };
+        // Fail fast on an unreachable endpoint, as `connect` always did.
+        let conn = client.open_conn()?;
+        *client.conn.lock() = Some(conn);
+        Ok(client)
+    }
+
+    /// The transport tuning in effect.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    fn open_conn(&self) -> std::io::Result<Conn> {
+        let mut last_err = None;
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(self.config.io_timeout)?;
+                    stream.set_write_timeout(self.config.io_timeout)?;
+                    let writer = stream.try_clone()?;
+                    return Ok(Conn {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("addrs is non-empty"))
+    }
+
+    /// One request/response exchange on the current connection,
+    /// reconnecting first if a previous failure tore it down.
+    fn exchange(&self, request: &Request) -> Result<Response, ClientError> {
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.open_conn().map_err(FrameError::Io)?);
+        }
+        let conn = guard.as_mut().expect("connection just ensured");
+        let result = (|| {
+            write_frame(&mut conn.writer, &to_bytes(request))?;
+            let payload = read_frame(&mut conn.reader)?;
+            Ok(from_bytes::<Response>(&payload)?)
+        })();
+        if matches!(result, Err(ClientError::Transport(_))) {
+            // Tear down so the next attempt reconnects.
+            *guard = None;
+        }
+        result
+    }
+
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
     }
 
     fn call(&self, request: &Request) -> Result<Response, ClientError> {
-        let mut attempt = 0;
+        let mut attempt: u32 = 0;
         loop {
-            let response = {
-                let mut conn = self.conn.lock();
-                write_frame(&mut conn.writer, &to_bytes(request))?;
-                let payload = read_frame(&mut conn.reader)?;
-                from_bytes::<Response>(&payload)?
-            };
-            match response {
-                Response::Error { code: ErrorCode::RateLimited, message }
-                    if attempt < self.max_retries =>
-                {
-                    attempt += 1;
-                    let _ = message;
-                    std::thread::sleep(self.backoff);
+            self.breaker
+                .lock()
+                .check(self.now())
+                .map_err(|retry_in| ClientError::CircuitOpen { retry_in })?;
+            match self.exchange(request) {
+                Ok(Response::Error {
+                    code: ErrorCode::RateLimited,
+                    message,
+                    retry_after,
+                }) => {
+                    // The endpoint is alive — a throttle is not a fault.
+                    self.breaker.lock().record_success();
+                    if self.config.retry.should_retry(attempt) {
+                        std::thread::sleep(self.config.retry.backoff(attempt, retry_after));
+                        attempt += 1;
+                    } else {
+                        return Ok(Response::Error {
+                            code: ErrorCode::RateLimited,
+                            message,
+                            retry_after,
+                        });
+                    }
                 }
-                other => return Ok(other),
+                Ok(response) => {
+                    self.breaker.lock().record_success();
+                    return Ok(response);
+                }
+                Err(ClientError::Transport(e)) => {
+                    self.breaker.lock().record_failure(self.now());
+                    if self.config.retry.should_retry(attempt) {
+                        std::thread::sleep(self.config.retry.backoff(attempt, None));
+                        attempt += 1;
+                    } else {
+                        return Err(ClientError::Transport(e));
+                    }
+                }
+                // Codec errors are bugs, not weather; don't retry.
+                Err(e) => return Err(e),
             }
         }
     }
@@ -152,7 +308,15 @@ impl Client {
                 same_feature_and,
                 impressions,
             }),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -161,7 +325,15 @@ impl Client {
     pub fn attribute_info(&self, id: u32) -> Result<(String, u16), ClientError> {
         match self.call(&Request::AttributeInfo { id })? {
             Response::AttributeInfo { name, feature } => Ok((name, feature)),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -170,7 +342,15 @@ impl Client {
     pub fn check(&self, spec: &TargetingSpec) -> Result<(), ClientError> {
         match self.call(&Request::Check { spec: spec.clone() })? {
             Response::Ok => Ok(()),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -179,7 +359,15 @@ impl Client {
     pub fn estimate(&self, spec: &TargetingSpec) -> Result<u64, ClientError> {
         match self.call(&Request::Estimate { spec: spec.clone() })? {
             Response::Estimate { value } => Ok(value),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -187,14 +375,18 @@ impl Client {
     /// Fetches one page of catalog metadata (`(name, feature)` pairs
     /// starting at id `start`); returns the entries and the next page's
     /// start id when more remain.
-    pub fn catalog_page(
-        &self,
-        start: u32,
-        limit: u32,
-    ) -> Result<CatalogPage, ClientError> {
+    pub fn catalog_page(&self, start: u32, limit: u32) -> Result<CatalogPage, ClientError> {
         match self.call(&Request::CatalogPage { start, limit })? {
             Response::CatalogPage { entries, next, .. } => Ok((entries, next)),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -202,10 +394,20 @@ impl Client {
     /// Fetches the server's query counters.
     pub fn stats(&self) -> Result<(u64, u64, u64), ClientError> {
         match self.call(&Request::Stats)? {
-            Response::Stats { estimates, validation_failures, rate_limited } => {
-                Ok((estimates, validation_failures, rate_limited))
-            }
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Stats {
+                estimates,
+                validation_failures,
+                rate_limited,
+            } => Ok((estimates, validation_failures, rate_limited)),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }

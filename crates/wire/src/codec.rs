@@ -130,7 +130,9 @@ impl WireDecode for String {
         }
         need(buf, len as usize)?;
         let (head, rest) = buf.split_at(len as usize);
-        let s = std::str::from_utf8(head).map_err(|_| CodecError::InvalidUtf8)?.to_string();
+        let s = std::str::from_utf8(head)
+            .map_err(|_| CodecError::InvalidUtf8)?
+            .to_string();
         *buf = rest;
         Ok(s)
     }
@@ -176,7 +178,10 @@ impl<T: WireDecode> WireDecode for Option<T> {
         match u8::decode(buf)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
-            tag => Err(CodecError::InvalidTag { what: "Option", tag }),
+            tag => Err(CodecError::InvalidTag {
+                what: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -193,7 +198,9 @@ pub fn from_bytes<T: WireDecode>(mut buf: &[u8]) -> Result<T, CodecError> {
     let value = T::decode(&mut buf)?;
     if !buf.is_empty() {
         // Trailing garbage indicates a framing bug or protocol mismatch.
-        return Err(CodecError::LengthOverflow { declared: buf.len() as u64 });
+        return Err(CodecError::LengthOverflow {
+            declared: buf.len() as u64,
+        });
     }
     Ok(value)
 }
@@ -239,18 +246,27 @@ mod tests {
         assert_eq!(from_bytes::<String>(&buf), Err(CodecError::UnexpectedEof));
         // Vec with a count but no elements.
         let bytes = to_bytes(&3u32);
-        assert_eq!(from_bytes::<Vec<u16>>(&bytes), Err(CodecError::UnexpectedEof));
+        assert_eq!(
+            from_bytes::<Vec<u16>>(&bytes),
+            Err(CodecError::UnexpectedEof)
+        );
     }
 
     #[test]
     fn invalid_tags_rejected() {
         assert!(matches!(
             from_bytes::<bool>(&[7]),
-            Err(CodecError::InvalidTag { what: "bool", tag: 7 })
+            Err(CodecError::InvalidTag {
+                what: "bool",
+                tag: 7
+            })
         ));
         assert!(matches!(
             from_bytes::<Option<u8>>(&[9]),
-            Err(CodecError::InvalidTag { what: "Option", tag: 9 })
+            Err(CodecError::InvalidTag {
+                what: "Option",
+                tag: 9
+            })
         ));
     }
 

@@ -31,7 +31,10 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "i/o error: {e}"),
             FrameError::Closed => write!(f, "connection closed"),
             FrameError::TooLarge { declared } => {
-                write!(f, "frame of {declared} bytes exceeds the {MAX_FRAME_BYTES} limit")
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds the {MAX_FRAME_BYTES} limit"
+                )
             }
         }
     }
@@ -47,7 +50,10 @@ impl From<std::io::Error> for FrameError {
 
 /// Writes one frame (length prefix + payload) and flushes.
 pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), FrameError> {
-    assert!(payload.len() as u64 <= MAX_FRAME_BYTES as u64, "oversized outgoing frame");
+    assert!(
+        payload.len() as u64 <= MAX_FRAME_BYTES as u64,
+        "oversized outgoing frame"
+    );
     writer.write_all(&(payload.len() as u32).to_be_bytes())?;
     writer.write_all(payload)?;
     writer.flush()?;
@@ -95,7 +101,10 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
         let mut cursor = Cursor::new(buf);
-        assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge { .. })));
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! * [`frame`] — u32-length-prefixed frames with a hard size cap;
 //! * [`message`] — the request/response protocol (describe, browse,
 //!   validate, estimate, stats);
-//! * [`server`] — expose any [`AdPlatform`](adcomp_platform::AdPlatform)
-//!   on a TCP socket, with optional token-bucket rate limiting;
-//! * [`client`] — blocking client with polite rate-limit retry.
+//! * [`server`] — expose any [`PlatformApi`](adcomp_platform::PlatformApi)
+//!   (a plain [`AdPlatform`](adcomp_platform::AdPlatform) or a
+//!   fault-injecting wrapper) on a TCP socket, with optional
+//!   token-bucket rate limiting and a connection-fault hook;
+//! * [`client`] — blocking client with timeouts, automatic reconnect,
+//!   retry with backoff, and a circuit breaker.
 //!
 //! # Loopback example
 //!
@@ -41,8 +44,10 @@ pub mod message;
 pub mod client;
 pub mod server;
 
-pub use client::{CatalogPage, Client, ClientError, InterfaceDescription};
+pub use client::{CatalogPage, Client, ClientConfig, ClientError, InterfaceDescription};
 pub use codec::{from_bytes, to_bytes, CodecError, WireDecode, WireEncode};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use message::{ErrorCode, Request, Response};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{
+    serve, ConnectionFault, ConnectionFaultHook, FaultPlanHook, ServerConfig, ServerHandle,
+};

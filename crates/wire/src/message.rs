@@ -5,6 +5,8 @@
 //! UIs: describe the interface, browse attributes, validate a targeting,
 //! and fetch the audience-size estimate for it.
 
+use std::time::Duration;
+
 use adcomp_population::{AgeBucket, Gender};
 use adcomp_targeting::{AttributeId, DemographicSpec, Location, OrGroup, TargetingSpec};
 
@@ -91,6 +93,8 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// For `RateLimited`: the server-advertised back-off.
+        retry_after: Option<Duration>,
     },
     /// A page of catalog metadata.
     CatalogPage {
@@ -149,7 +153,12 @@ impl ErrorCode {
             2 => ErrorCode::RateLimited,
             3 => ErrorCode::BadRequest,
             4 => ErrorCode::Internal,
-            tag => return Err(CodecError::InvalidTag { what: "ErrorCode", tag }),
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "ErrorCode",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -164,11 +173,17 @@ impl WireEncode for TargetingSpec {
             .as_ref()
             .map(|gs| gs.iter().map(|g| g.index() as u8).collect());
         genders.encode(buf);
-        let ages: Option<Vec<u8>> =
-            self.demographics.ages.as_ref().map(|a| a.iter().map(|b| b.index() as u8).collect());
+        let ages: Option<Vec<u8>> = self
+            .demographics
+            .ages
+            .as_ref()
+            .map(|a| a.iter().map(|b| b.index() as u8).collect());
         ages.encode(buf);
-        let include: Vec<Vec<u32>> =
-            self.include.iter().map(|g| g.attributes.iter().map(|a| a.0).collect()).collect();
+        let include: Vec<Vec<u32>> = self
+            .include
+            .iter()
+            .map(|g| g.attributes.iter().map(|a| a.0).collect())
+            .collect();
         include.encode(buf);
         let exclude: Vec<u32> = self.exclude.iter().map(|a| a.0).collect();
         exclude.encode(buf);
@@ -184,7 +199,10 @@ impl WireDecode for TargetingSpec {
                     .map(|i| match i {
                         0 => Ok(Gender::Male),
                         1 => Ok(Gender::Female),
-                        tag => Err(CodecError::InvalidTag { what: "Gender", tag }),
+                        tag => Err(CodecError::InvalidTag {
+                            what: "Gender",
+                            tag,
+                        }),
                     })
                     .collect::<Result<Vec<_>, _>>()
             })
@@ -197,7 +215,10 @@ impl WireDecode for TargetingSpec {
                         if (i as usize) < AgeBucket::ALL.len() {
                             Ok(AgeBucket::from_index(i as usize))
                         } else {
-                            Err(CodecError::InvalidTag { what: "AgeBucket", tag: i })
+                            Err(CodecError::InvalidTag {
+                                what: "AgeBucket",
+                                tag: i,
+                            })
                         }
                     })
                     .collect::<Result<Vec<_>, _>>()
@@ -206,10 +227,16 @@ impl WireDecode for TargetingSpec {
         let include: Vec<Vec<u32>> = Vec::decode(buf)?;
         let exclude: Vec<u32> = Vec::decode(buf)?;
         Ok(TargetingSpec {
-            demographics: DemographicSpec { genders, ages, location: Location::UnitedStates },
+            demographics: DemographicSpec {
+                genders,
+                ages,
+                location: Location::UnitedStates,
+            },
             include: include
                 .into_iter()
-                .map(|g| OrGroup { attributes: g.into_iter().map(AttributeId).collect() })
+                .map(|g| OrGroup {
+                    attributes: g.into_iter().map(AttributeId).collect(),
+                })
                 .collect(),
             exclude: exclude.into_iter().map(AttributeId).collect(),
         })
@@ -248,12 +275,26 @@ impl WireDecode for Request {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(match u8::decode(buf)? {
             0 => Request::Describe,
-            1 => Request::AttributeInfo { id: u32::decode(buf)? },
-            2 => Request::Check { spec: TargetingSpec::decode(buf)? },
-            3 => Request::Estimate { spec: TargetingSpec::decode(buf)? },
+            1 => Request::AttributeInfo {
+                id: u32::decode(buf)?,
+            },
+            2 => Request::Check {
+                spec: TargetingSpec::decode(buf)?,
+            },
+            3 => Request::Estimate {
+                spec: TargetingSpec::decode(buf)?,
+            },
             4 => Request::Stats,
-            5 => Request::CatalogPage { start: u32::decode(buf)?, limit: u32::decode(buf)? },
-            tag => return Err(CodecError::InvalidTag { what: "Request", tag }),
+            5 => Request::CatalogPage {
+                start: u32::decode(buf)?,
+                limit: u32::decode(buf)?,
+            },
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "Request",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -289,18 +330,32 @@ impl WireEncode for Response {
                 3u8.encode(buf);
                 value.encode(buf);
             }
-            Response::Stats { estimates, validation_failures, rate_limited } => {
+            Response::Stats {
+                estimates,
+                validation_failures,
+                rate_limited,
+            } => {
                 4u8.encode(buf);
                 estimates.encode(buf);
                 validation_failures.encode(buf);
                 rate_limited.encode(buf);
             }
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => {
                 5u8.encode(buf);
                 code.tag().encode(buf);
                 message.encode(buf);
+                // Carried as whole microseconds: plenty for back-off hints.
+                retry_after.map(|d| d.as_micros() as u64).encode(buf);
             }
-            Response::CatalogPage { start, entries, next } => {
+            Response::CatalogPage {
+                start,
+                entries,
+                next,
+            } => {
                 6u8.encode(buf);
                 start.encode(buf);
                 entries.encode(buf);
@@ -327,7 +382,9 @@ impl WireDecode for Response {
                 feature: u16::decode(buf)?,
             },
             2 => Response::Ok,
-            3 => Response::Estimate { value: u64::decode(buf)? },
+            3 => Response::Estimate {
+                value: u64::decode(buf)?,
+            },
             4 => Response::Stats {
                 estimates: u64::decode(buf)?,
                 validation_failures: u64::decode(buf)?,
@@ -336,13 +393,19 @@ impl WireDecode for Response {
             5 => Response::Error {
                 code: ErrorCode::from_tag(u8::decode(buf)?)?,
                 message: String::decode(buf)?,
+                retry_after: Option::<u64>::decode(buf)?.map(Duration::from_micros),
             },
             6 => Response::CatalogPage {
                 start: u32::decode(buf)?,
                 entries: Vec::decode(buf)?,
                 next: Option::decode(buf)?,
             },
-            tag => return Err(CodecError::InvalidTag { what: "Response", tag }),
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "Response",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -372,21 +435,35 @@ mod tests {
 
     #[test]
     fn catalog_page_roundtrips() {
-        roundtrip_req(Request::CatalogPage { start: 10, limit: 100 });
+        roundtrip_req(Request::CatalogPage {
+            start: 10,
+            limit: 100,
+        });
         roundtrip_resp(Response::CatalogPage {
             start: 10,
-            entries: vec![("Games — Racing games".into(), 0), ("Topics — Manga".into(), 1)],
+            entries: vec![
+                ("Games — Racing games".into(), 0),
+                ("Topics — Manga".into(), 1),
+            ],
             next: Some(12),
         });
-        roundtrip_resp(Response::CatalogPage { start: 0, entries: vec![], next: None });
+        roundtrip_resp(Response::CatalogPage {
+            start: 0,
+            entries: vec![],
+            next: None,
+        });
     }
 
     #[test]
     fn request_roundtrips() {
         roundtrip_req(Request::Describe);
         roundtrip_req(Request::AttributeInfo { id: 42 });
-        roundtrip_req(Request::Check { spec: sample_spec() });
-        roundtrip_req(Request::Estimate { spec: TargetingSpec::everyone() });
+        roundtrip_req(Request::Check {
+            spec: sample_spec(),
+        });
+        roundtrip_req(Request::Estimate {
+            spec: TargetingSpec::everyone(),
+        });
         roundtrip_req(Request::Stats);
     }
 
@@ -401,13 +478,26 @@ mod tests {
             same_feature_and: true,
             impressions: false,
         });
-        roundtrip_resp(Response::AttributeInfo { name: "Games — Racing games".into(), feature: 0 });
+        roundtrip_resp(Response::AttributeInfo {
+            name: "Games — Racing games".into(),
+            feature: 0,
+        });
         roundtrip_resp(Response::Ok);
         roundtrip_resp(Response::Estimate { value: 5_200_000 });
-        roundtrip_resp(Response::Stats { estimates: 1, validation_failures: 2, rate_limited: 3 });
+        roundtrip_resp(Response::Stats {
+            estimates: 1,
+            validation_failures: 2,
+            rate_limited: 3,
+        });
         roundtrip_resp(Response::Error {
             code: ErrorCode::RateLimited,
             message: "slow down".into(),
+            retry_after: Some(Duration::from_millis(250)),
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Internal,
+            message: "transient".into(),
+            retry_after: None,
         });
     }
 
@@ -430,7 +520,10 @@ mod tests {
         Vec::<u32>::new().encode(&mut buf);
         assert!(matches!(
             from_bytes::<TargetingSpec>(&buf),
-            Err(CodecError::InvalidTag { what: "Gender", tag: 9 })
+            Err(CodecError::InvalidTag {
+                what: "Gender",
+                tag: 9
+            })
         ));
     }
 
@@ -440,7 +533,10 @@ mod tests {
         assert!(from_bytes::<Response>(&[99]).is_err());
         assert!(matches!(
             ErrorCode::from_tag(200),
-            Err(CodecError::InvalidTag { what: "ErrorCode", tag: 200 })
+            Err(CodecError::InvalidTag {
+                what: "ErrorCode",
+                tag: 200
+            })
         ));
     }
 }

@@ -1,19 +1,29 @@
-//! Threaded TCP server exposing an [`AdPlatform`] over the wire protocol.
+//! Threaded TCP server exposing a platform over the wire protocol.
 //!
 //! One accept thread plus one thread per connection — the smoltcp-style
 //! synchronous event model is plenty for an audit workload of one or a
 //! few measurement clients. A shared token-bucket rate limiter models the
 //! query throttling real platforms apply (and that the paper's ethics
 //! section respected from the client side).
+//!
+//! The server takes any [`PlatformApi`] implementation, so the same
+//! transport can expose a plain [`AdPlatform`](adcomp_platform::AdPlatform)
+//! or a [`FaultyPlatform`](adcomp_platform::FaultyPlatform). For
+//! *transport-level* faults a [`ConnectionFaultHook`] in [`ServerConfig`]
+//! is consulted once per received frame (indexed by a global request
+//! counter) and may kill the connection — cleanly between frames, or
+//! mid-frame, leaving the client a torn partial payload. Dropped requests
+//! are never dispatched to the platform, so the platform's own fault and
+//! query counters stay deterministic whatever the transport does.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use adcomp_platform::{
-    AdPlatform, EstimateRequest, PlatformError, TokenBucket,
+    EstimateRequest, FaultKind, FaultPlan, PlatformApi, PlatformError, TokenBucket,
 };
 use adcomp_targeting::ValidationError;
 use parking_lot::Mutex;
@@ -22,19 +32,89 @@ use crate::codec::{from_bytes, to_bytes};
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::message::{ErrorCode, Request, Response};
 
-/// Server tuning.
+/// A transport-level fault decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnectionFault {
+    /// Close the connection instead of answering, at a frame boundary.
+    Drop,
+    /// Write a torn partial frame (length prefix promising more bytes
+    /// than follow), then close.
+    DropMidFrame,
+}
+
+/// Decides, per received request, whether to kill the connection.
+///
+/// `index` is a global counter across all connections, incremented once
+/// per frame successfully read — so a deterministic hook yields a
+/// deterministic fault sequence even across reconnects.
+pub trait ConnectionFaultHook: Send + Sync {
+    /// The fault (if any) for request number `index`.
+    fn fault_for(&self, index: u64) -> Option<ConnectionFault>;
+}
+
+/// Adapts a [`FaultPlan`]'s `Drop` rules into a [`ConnectionFaultHook`];
+/// platform-level rules in the same plan are ignored here (the
+/// [`FaultyPlatform`](adcomp_platform::FaultyPlatform) handles those).
 #[derive(Clone, Debug)]
+pub struct FaultPlanHook(pub FaultPlan);
+
+impl ConnectionFaultHook for FaultPlanHook {
+    fn fault_for(&self, index: u64) -> Option<ConnectionFault> {
+        match self.0.action_at(index) {
+            Some(FaultKind::Drop { mid_frame: true }) => Some(ConnectionFault::DropMidFrame),
+            Some(FaultKind::Drop { mid_frame: false }) => Some(ConnectionFault::Drop),
+            _ => None,
+        }
+    }
+}
+
+/// Server tuning.
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Requests per second admitted across all connections; `None`
     /// disables rate limiting.
     pub rate_limit: Option<f64>,
-    /// Burst capacity of the limiter.
+    /// Burst capacity of the limiter (ignored when `rate_limit` is
+    /// `None`; must be ≥ 1 otherwise).
     pub burst: f64,
+    /// Transport-fault injector, consulted once per received frame.
+    pub fault_hook: Option<Arc<dyn ConnectionFaultHook>>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { rate_limit: None, burst: 50.0 }
+        ServerConfig {
+            rate_limit: None,
+            burst: 50.0,
+            fault_hook: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Rate-limited config (requests/second with the given burst).
+    pub fn rate_limited(rate: f64, burst: f64) -> Self {
+        ServerConfig {
+            rate_limit: Some(rate),
+            burst,
+            fault_hook: None,
+        }
+    }
+
+    /// Attaches a connection-fault hook (builder style).
+    pub fn with_fault_hook(mut self, hook: Arc<dyn ConnectionFaultHook>) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("rate_limit", &self.rate_limit)
+            .field("burst", &self.burst)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
+            .finish()
     }
 }
 
@@ -78,16 +158,23 @@ impl Drop for ServerHandle {
 
 /// Starts serving `platform` on `addr` (e.g. `"127.0.0.1:0"`).
 pub fn serve(
-    platform: Arc<AdPlatform>,
+    platform: Arc<dyn PlatformApi>,
     addr: &str,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let limiter = config
-        .rate_limit
-        .map(|rate| Arc::new(Mutex::new((TokenBucket::new(rate, config.burst), Instant::now()))));
+    let limiter = config.rate_limit.map(|rate| {
+        Arc::new(Mutex::new((
+            TokenBucket::new(rate, config.burst),
+            Instant::now(),
+        )))
+    });
+    let fault_hook = config.fault_hook;
+    // One counter across all connections: reconnecting does not reset the
+    // fault schedule.
+    let request_counter = Arc::new(AtomicU64::new(0));
 
     let accept_shutdown = shutdown.clone();
     let accept_thread = std::thread::Builder::new()
@@ -100,6 +187,8 @@ pub fn serve(
                 let Ok(stream) = stream else { continue };
                 let platform = platform.clone();
                 let limiter = limiter.clone();
+                let fault_hook = fault_hook.clone();
+                let request_counter = request_counter.clone();
                 let conn_shutdown = accept_shutdown.clone();
                 // Workers are detached: joining them here would deadlock a
                 // shutdown while a client keeps its connection open (the
@@ -107,21 +196,34 @@ pub fn serve(
                 // client closes, on a transport error, or at the next
                 // request after shutdown.
                 std::thread::spawn(move || {
-                    let _ = handle_connection(stream, platform, limiter, conn_shutdown);
+                    let _ = handle_connection(
+                        stream,
+                        platform,
+                        limiter,
+                        fault_hook,
+                        request_counter,
+                        conn_shutdown,
+                    );
                 });
             }
         })
         .expect("spawn accept thread");
 
-    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
 }
 
 type SharedLimiter = Arc<Mutex<(TokenBucket, Instant)>>;
 
 fn handle_connection(
     stream: TcpStream,
-    platform: Arc<AdPlatform>,
+    platform: Arc<dyn PlatformApi>,
     limiter: Option<SharedLimiter>,
+    fault_hook: Option<Arc<dyn ConnectionFaultHook>>,
+    request_counter: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
 ) -> Result<(), FrameError> {
     stream.set_nodelay(true)?;
@@ -136,35 +238,53 @@ fn handle_connection(
             Err(FrameError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
+        if let Some(hook) = &fault_hook {
+            let index = request_counter.fetch_add(1, Ordering::SeqCst);
+            match hook.fault_for(index) {
+                Some(ConnectionFault::Drop) => return Ok(()),
+                Some(ConnectionFault::DropMidFrame) => {
+                    // Promise a frame, deliver half of it, hang up.
+                    writer.write_all(&64u32.to_be_bytes())?;
+                    writer.write_all(&[0u8; 16])?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                None => {}
+            }
+        }
         let response = match from_bytes::<Request>(&payload) {
-            Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+                retry_after: None,
+            },
             Ok(request) => {
                 if let Some(limiter) = &limiter {
                     let mut guard = limiter.lock();
                     let (bucket, epoch) = &mut *guard;
                     if !bucket.try_acquire(epoch.elapsed()) {
+                        let retry_after = bucket.retry_after(epoch.elapsed());
+                        drop(guard);
                         platform.note_rate_limited();
                         write_frame(
                             &mut writer,
                             &to_bytes(&Response::Error {
                                 code: ErrorCode::RateLimited,
-                                message: format!(
-                                    "retry after {:?}",
-                                    bucket.retry_after(epoch.elapsed())
-                                ),
+                                message: "query rate exceeded".into(),
+                                retry_after: Some(retry_after),
                             }),
                         )?;
                         continue;
                     }
                 }
-                handle_request(&platform, request)
+                handle_request(platform.as_ref(), request)
             }
         };
         write_frame(&mut writer, &to_bytes(&response))?;
     }
 }
 
-fn handle_request(platform: &AdPlatform, request: Request) -> Response {
+fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
     match request {
         Request::Describe => {
             let caps = &platform.config().capabilities;
@@ -188,6 +308,7 @@ fn handle_request(platform: &AdPlatform, request: Request) -> Response {
                 None => Response::Error {
                     code: ErrorCode::UnknownAttribute,
                     message: format!("attribute #{id} not in catalog"),
+                    retry_after: None,
                 },
             }
         }
@@ -218,7 +339,11 @@ fn handle_request(platform: &AdPlatform, request: Request) -> Response {
                 })
                 .collect();
             let next = (end < total).then_some(end);
-            Response::CatalogPage { start, entries, next }
+            Response::CatalogPage {
+                start,
+                entries,
+                next,
+            }
         }
         Request::Stats => {
             let s = platform.stats();
@@ -232,14 +357,19 @@ fn handle_request(platform: &AdPlatform, request: Request) -> Response {
 }
 
 fn platform_error_to_response(e: PlatformError) -> Response {
-    let code = match &e {
+    let (code, retry_after) = match &e {
         PlatformError::Validation(ValidationError::UnknownAttribute(_)) => {
-            ErrorCode::UnknownAttribute
+            (ErrorCode::UnknownAttribute, None)
         }
-        PlatformError::Validation(_) => ErrorCode::InvalidTargeting,
-        PlatformError::Eval(_) => ErrorCode::UnknownAttribute,
-        PlatformError::RateLimited { .. } => ErrorCode::RateLimited,
-        PlatformError::UnsupportedObjective(_) => ErrorCode::BadRequest,
+        PlatformError::Validation(_) => (ErrorCode::InvalidTargeting, None),
+        PlatformError::Eval(_) => (ErrorCode::UnknownAttribute, None),
+        PlatformError::RateLimited { retry_after } => (ErrorCode::RateLimited, Some(*retry_after)),
+        PlatformError::UnsupportedObjective(_) => (ErrorCode::BadRequest, None),
+        PlatformError::Transient(_) => (ErrorCode::Internal, None),
     };
-    Response::Error { code, message: e.to_string() }
+    Response::Error {
+        code,
+        message: e.to_string(),
+        retry_after,
+    }
 }

@@ -1,12 +1,14 @@
 //! End-to-end tests over a real TCP loopback: server, client, rate
-//! limiting, error mapping, and concurrent clients.
+//! limiting, fault injection, error mapping, and concurrent clients.
 
 use std::sync::Arc;
 
-use adcomp_platform::{SimScale, Simulation};
+use adcomp_platform::{FaultKind, FaultPlan, Schedule, SimScale, Simulation};
 use adcomp_population::Gender;
 use adcomp_targeting::{AttributeId, TargetingSpec};
-use adcomp_wire::{serve, Client, ClientError, ErrorCode, ServerConfig};
+use adcomp_wire::{
+    serve, Client, ClientConfig, ClientError, ErrorCode, FaultPlanHook, ServerConfig,
+};
 
 fn sim() -> &'static Simulation {
     use std::sync::OnceLock;
@@ -21,24 +23,36 @@ fn describe_matches_platform() {
     let desc = client.describe().unwrap();
     assert_eq!(desc.label, "Google");
     assert_eq!(desc.catalog_len as usize, sim().google.catalog().len());
-    assert!(!desc.same_feature_and, "google composes across features only");
+    assert!(
+        !desc.same_feature_and,
+        "google composes across features only"
+    );
     assert!(desc.impressions);
     handle.shutdown();
 }
 
 #[test]
 fn estimates_match_in_process_values() {
-    let handle = serve(sim().facebook.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim().facebook.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     let client = Client::connect(handle.addr()).unwrap();
     for spec in [
         TargetingSpec::everyone(),
         TargetingSpec::and_of([AttributeId(0)]),
-        TargetingSpec::builder().gender(Gender::Female).attribute(AttributeId(1)).build(),
+        TargetingSpec::builder()
+            .gender(Gender::Female)
+            .attribute(AttributeId(1))
+            .build(),
     ] {
         let remote = client.estimate(&spec).unwrap();
         let local = {
             use adcomp_platform::EstimateRequest;
-            sim().facebook
+            sim()
+                .facebook
                 .reach_estimate(&EstimateRequest::new(
                     spec.clone(),
                     sim().facebook.config().default_objective,
@@ -53,12 +67,23 @@ fn estimates_match_in_process_values() {
 
 #[test]
 fn attribute_info_and_unknown_ids() {
-    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim().linkedin.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     let client = Client::connect(handle.addr()).unwrap();
     let (name, _feature) = client.attribute_info(0).unwrap();
-    assert_eq!(name, sim().linkedin.catalog().get(AttributeId(0)).unwrap().name);
+    assert_eq!(
+        name,
+        sim().linkedin.catalog().get(AttributeId(0)).unwrap().name
+    );
     match client.attribute_info(99_999) {
-        Err(ClientError::Server { code: ErrorCode::UnknownAttribute, .. }) => {}
+        Err(ClientError::Server {
+            code: ErrorCode::UnknownAttribute,
+            ..
+        }) => {}
         other => panic!("expected UnknownAttribute, got {other:?}"),
     }
     handle.shutdown();
@@ -66,24 +91,39 @@ fn attribute_info_and_unknown_ids() {
 
 #[test]
 fn policy_violations_map_to_invalid_targeting() {
-    let handle =
-        serve(sim().facebook_restricted.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim().facebook_restricted.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     let client = Client::connect(handle.addr()).unwrap();
     let spec = TargetingSpec::builder().gender(Gender::Male).build();
     match client.check(&spec) {
-        Err(ClientError::Server { code: ErrorCode::InvalidTargeting, message }) => {
+        Err(ClientError::Server {
+            code: ErrorCode::InvalidTargeting,
+            message,
+            ..
+        }) => {
             assert!(message.contains("gender"), "message: {message}");
         }
         other => panic!("expected InvalidTargeting, got {other:?}"),
     }
     // Valid spec passes.
-    client.check(&TargetingSpec::and_of([AttributeId(0)])).unwrap();
+    client
+        .check(&TargetingSpec::and_of([AttributeId(0)]))
+        .unwrap();
     handle.shutdown();
 }
 
 #[test]
 fn stats_are_served() {
-    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim().linkedin.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     let client = Client::connect(handle.addr()).unwrap();
     let before = client.stats().unwrap();
     client.estimate(&TargetingSpec::everyone()).unwrap();
@@ -96,20 +136,28 @@ fn stats_are_served() {
 fn rate_limited_client_retries_transparently() {
     // 20 req/s with burst 2: a burst of requests trips the limiter, and
     // the client's retry loop absorbs it.
-    let config = ServerConfig { rate_limit: Some(20.0), burst: 2.0 };
+    let config = ServerConfig::rate_limited(20.0, 2.0);
     let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", config).unwrap();
     let client = Client::connect(handle.addr()).unwrap();
     for _ in 0..6 {
         client.estimate(&TargetingSpec::everyone()).unwrap();
     }
     let (_, _, rate_limited) = client.stats().unwrap();
-    assert!(rate_limited > 0, "the limiter must have fired at least once");
+    assert!(
+        rate_limited > 0,
+        "the limiter must have fired at least once"
+    );
     handle.shutdown();
 }
 
 #[test]
 fn concurrent_clients_get_consistent_answers() {
-    let handle = serve(sim().facebook.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim().facebook.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     let addr = handle.addr();
     let spec = TargetingSpec::and_of([AttributeId(2)]);
     let expected = {
@@ -121,7 +169,9 @@ fn concurrent_clients_get_consistent_answers() {
         let spec = spec.clone();
         threads.push(std::thread::spawn(move || {
             let c = Client::connect(addr).unwrap();
-            (0..20).map(|_| c.estimate(&spec).unwrap()).collect::<Vec<u64>>()
+            (0..20)
+                .map(|_| c.estimate(&spec).unwrap())
+                .collect::<Vec<u64>>()
         }));
     }
     for t in threads {
@@ -134,7 +184,12 @@ fn concurrent_clients_get_consistent_answers() {
 
 #[test]
 fn shared_client_across_threads() {
-    let handle = serve(sim().facebook.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim().facebook.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     let client = Arc::new(Client::connect(handle.addr()).unwrap());
     let spec = TargetingSpec::and_of([AttributeId(3)]);
     let expected = client.estimate(&spec).unwrap();
@@ -152,13 +207,19 @@ fn shared_client_across_threads() {
 
 #[test]
 fn server_survives_malformed_frames() {
-    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim().linkedin.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     // Send garbage bytes in a valid frame; the server should answer with
     // BadRequest rather than dropping the connection.
     use std::io::{Read, Write};
     let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
     let garbage = [0xFFu8, 0x01, 0x02];
-    raw.write_all(&(garbage.len() as u32).to_be_bytes()).unwrap();
+    raw.write_all(&(garbage.len() as u32).to_be_bytes())
+        .unwrap();
     raw.write_all(&garbage).unwrap();
     let mut len = [0u8; 4];
     raw.read_exact(&mut len).unwrap();
@@ -167,11 +228,126 @@ fn server_survives_malformed_frames() {
     let resp: adcomp_wire::Response = adcomp_wire::from_bytes(&payload).unwrap();
     assert!(matches!(
         resp,
-        adcomp_wire::Response::Error { code: ErrorCode::BadRequest, .. }
+        adcomp_wire::Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }
     ));
     // The same platform still serves real clients.
     let client = Client::connect(handle.addr()).unwrap();
     assert!(client.estimate(&TargetingSpec::everyone()).unwrap() > 0);
+    handle.shutdown();
+}
+
+#[test]
+fn client_reconnects_through_dropped_connections() {
+    // Every third request the server hangs up instead of answering; the
+    // client must reconnect and retry without the caller noticing.
+    let plan = FaultPlan::new(11).with(
+        FaultKind::Drop { mid_frame: false },
+        Schedule::EveryNth {
+            period: 3,
+            offset: 2,
+        },
+    );
+    let config = ServerConfig::default().with_fault_hook(Arc::new(FaultPlanHook(plan)));
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", config).unwrap();
+    let client = Client::connect_with(handle.addr(), ClientConfig::fast()).unwrap();
+    let clean = {
+        let plain = serve(
+            sim().linkedin.clone(),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let c = Client::connect(plain.addr()).unwrap();
+        let v = c.estimate(&TargetingSpec::everyone()).unwrap();
+        plain.shutdown();
+        v
+    };
+    for _ in 0..10 {
+        assert_eq!(client.estimate(&TargetingSpec::everyone()).unwrap(), clean);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn client_survives_a_mid_frame_drop() {
+    // One torn frame (length prefix promising more bytes than arrive)
+    // followed by a clean connection close.
+    let plan = FaultPlan::new(12).with(
+        FaultKind::Drop { mid_frame: true },
+        Schedule::Once { at: 1 },
+    );
+    let config = ServerConfig::default().with_fault_hook(Arc::new(FaultPlanHook(plan)));
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", config).unwrap();
+    let client = Client::connect_with(handle.addr(), ClientConfig::fast()).unwrap();
+    let first = client.estimate(&TargetingSpec::everyone()).unwrap();
+    let second = client.estimate(&TargetingSpec::everyone()).unwrap();
+    assert_eq!(first, second);
+    handle.shutdown();
+}
+
+#[test]
+fn circuit_breaker_opens_when_the_endpoint_dies() {
+    let handle = serve(
+        sim().linkedin.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let client = Client::connect_with(handle.addr(), ClientConfig::fast()).unwrap();
+    client.estimate(&TargetingSpec::everyone()).unwrap();
+    handle.shutdown();
+    // With the server gone, retries exhaust and the breaker trips
+    // (threshold 4 < the 6 attempts of one call) …
+    let first = client.estimate(&TargetingSpec::everyone());
+    assert!(
+        matches!(
+            first,
+            Err(ClientError::Transport(_)) | Err(ClientError::CircuitOpen { .. })
+        ),
+        "got {first:?}"
+    );
+    // … so an immediate follow-up is rejected without touching the wire.
+    match client.estimate(&TargetingSpec::everyone()) {
+        Err(ClientError::CircuitOpen { retry_in }) => assert!(retry_in > std::time::Duration::ZERO),
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+}
+
+#[test]
+fn rate_limit_responses_carry_a_structured_hint() {
+    // Drain the burst with a raw connection, then inspect the error the
+    // server sends (bypassing the client's transparent retry).
+    use std::io::{Read, Write};
+    let config = ServerConfig::rate_limited(5.0, 1.0);
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", config).unwrap();
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let payload = adcomp_wire::to_bytes(&adcomp_wire::Request::Stats);
+    let mut saw_hint = false;
+    for _ in 0..4 {
+        raw.write_all(&(payload.len() as u32).to_be_bytes())
+            .unwrap();
+        raw.write_all(&payload).unwrap();
+        let mut len = [0u8; 4];
+        raw.read_exact(&mut len).unwrap();
+        let mut buf = vec![0u8; u32::from_be_bytes(len) as usize];
+        raw.read_exact(&mut buf).unwrap();
+        if let adcomp_wire::Response::Error {
+            code, retry_after, ..
+        } = adcomp_wire::from_bytes::<adcomp_wire::Response>(&buf).unwrap()
+        {
+            assert_eq!(code, ErrorCode::RateLimited);
+            let hint = retry_after.expect("rate-limit errors must advertise a back-off");
+            assert!(hint > std::time::Duration::ZERO);
+            saw_hint = true;
+        }
+    }
+    assert!(
+        saw_hint,
+        "burst of 1 must trip the limiter within 4 requests"
+    );
     handle.shutdown();
 }
 

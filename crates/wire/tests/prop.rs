@@ -21,13 +21,17 @@ fn arb_spec() -> impl Strategy<Value = TargetingSpec> {
                         .collect()
                 }),
                 ages: ages.map(|a| {
-                    a.into_iter().map(|i| AgeBucket::from_index(i as usize)).collect()
+                    a.into_iter()
+                        .map(|i| AgeBucket::from_index(i as usize))
+                        .collect()
                 }),
                 location: Location::UnitedStates,
             },
             include: include
                 .into_iter()
-                .map(|g| OrGroup { attributes: g.into_iter().map(AttributeId).collect() })
+                .map(|g| OrGroup {
+                    attributes: g.into_iter().map(AttributeId).collect(),
+                })
                 .collect(),
             exclude: exclude.into_iter().map(AttributeId).collect(),
         })
@@ -77,8 +81,16 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 rate_limited,
             }
         ),
-        (arb_error_code(), any::<String>())
-            .prop_map(|(code, message)| Response::Error { code, message }),
+        (
+            arb_error_code(),
+            any::<String>(),
+            proptest::option::of(any::<u64>())
+        )
+            .prop_map(|(code, message, micros)| Response::Error {
+                code,
+                message,
+                retry_after: micros.map(std::time::Duration::from_micros),
+            }),
     ]
 }
 

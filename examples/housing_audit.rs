@@ -30,8 +30,10 @@ fn main() {
     let by_gender = TargetingSpec::builder().gender(Gender::Female).build();
     assert!(restricted.check(&by_gender).is_err());
     println!("gender targeting rejected: OK");
-    let with_exclusion =
-        TargetingSpec::builder().attribute(AttributeId(0)).exclude([AttributeId(1)]).build();
+    let with_exclusion = TargetingSpec::builder()
+        .attribute(AttributeId(0))
+        .exclude([AttributeId(1)])
+        .build();
     assert!(restricted.check(&with_exclusion).is_err());
     println!("exclusion targeting rejected: OK");
 
@@ -48,14 +50,19 @@ fn main() {
     let target = AuditTarget::for_platform(&sim.facebook_restricted, &sim);
     let male = SensitiveClass::Gender(Gender::Male);
     let survey = survey_individuals(&target).expect("survey");
-    let cfg = DiscoveryConfig { top_k: 50, ..DiscoveryConfig::default() };
+    let cfg = DiscoveryConfig {
+        top_k: 50,
+        ..DiscoveryConfig::default()
+    };
     let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
     let top = top_compositions(&target, &survey, &ranked, &cfg).expect("discovery");
 
     println!("\n== Most skewed 2-way compositions a housing advertiser could run ==");
     let mut shown = 0;
     for comp in &top {
-        let Some(ratio) = comp.ratio(&survey.base, male) else { continue };
+        let Some(ratio) = comp.ratio(&survey.base, male) else {
+            continue;
+        };
         if four_fifths_band(ratio) != SkewBand::Over {
             continue;
         }
@@ -74,7 +81,10 @@ fn main() {
             break;
         }
     }
-    assert!(shown > 0, "skewed compositions must exist on the sanitized interface");
+    assert!(
+        shown > 0,
+        "skewed compositions must exist on the sanitized interface"
+    );
 
     // 4. Compare with the skew of the individual options involved, using
     //    the most skewed discovered composition.
@@ -92,7 +102,10 @@ fn main() {
     for &id in &example.attrs {
         let individual = &survey.entries[id.0 as usize];
         let r = individual.ratio(&survey.base, male).unwrap();
-        println!("  {:<55} {r:.2}", restricted.catalog().get(id).unwrap().name);
+        println!(
+            "  {:<55} {r:.2}",
+            restricted.catalog().get(id).unwrap().name
+        );
     }
     println!(
         "\nConclusion: the sanitized interface still allows targeting {}x more",

@@ -39,9 +39,15 @@ fn main() {
         .expect("catalog has audiences")
         .clone();
 
-    println!("seed (customer list):       {:>8} users, male ratio {:>5.2}", seed.len(), ratio(&seed));
+    println!(
+        "seed (customer list):       {:>8} users, male ratio {:>5.2}",
+        seed.len(),
+        ratio(&seed)
+    );
 
-    let regular = fb.lookalike(&seed, &LookalikeConfig::default()).expect("lookalike");
+    let regular = fb
+        .lookalike(&seed, &LookalikeConfig::default())
+        .expect("lookalike");
     println!(
         "regular lookalike:          {:>8} users, male ratio {:>5.2}",
         regular.len(),
@@ -63,7 +69,10 @@ fn main() {
     println!("Outcome-level mitigation (core::mitigation::PreflightGate) would catch");
     println!("both audiences; feature-level adjustment catches neither.");
 
-    assert!(ratio(&regular) > 1.25, "regular lookalike should violate four-fifths");
+    assert!(
+        ratio(&regular) > 1.25,
+        "regular lookalike should violate four-fifths"
+    );
     assert!(ratio(&saa) > 1.25, "SAA should still violate four-fifths");
     assert!(ratio(&saa) <= ratio(&regular) + 1e-9);
 }

@@ -32,10 +32,13 @@ fn main() {
             let rb = ratio(&target, &base, TargetingSpec::and_of([ib]), male);
             let rab = ratio(&target, &base, TargetingSpec::and_of([ia, ib]), male);
             if let (Some(ra), Some(rb), Some(rab)) = (ra, rb, rab) {
-                if rab > ra.max(rb) && ra > 1.2 && rb > 1.2
-                    && best.is_none_or(|(.., prev)| rab > prev) {
-                        best = Some((ia, ib, ra, rb, rab));
-                    }
+                if rab > ra.max(rb)
+                    && ra > 1.2
+                    && rb > 1.2
+                    && best.is_none_or(|(.., prev)| rab > prev)
+                {
+                    best = Some((ia, ib, ra, rb, rab));
+                }
             }
         }
     }
@@ -44,7 +47,10 @@ fn main() {
     let name = |id: AttributeId| catalog.get(id).unwrap().name.clone();
     println!("Attribute A: {:<50} rep ratio (male) = {ra:.2}", name(ia));
     println!("Attribute B: {:<50} rep ratio (male) = {rb:.2}", name(ib));
-    println!("A AND B:     {:<50} rep ratio (male) = {rab:.2}", "(composition)");
+    println!(
+        "A AND B:     {:<50} rep ratio (male) = {rab:.2}",
+        "(composition)"
+    );
     println!();
     println!(
         "The composition is {:.1}x more skewed than the stronger component —",

@@ -12,8 +12,8 @@
 //! ```
 
 use discrimination_via_composition::audit::{
-    median_pairwise_overlap, rank_individuals, survey_individuals, top_compositions,
-    union_recall, AuditTarget, Direction, DiscoveryConfig, Selector, SensitiveClass,
+    median_pairwise_overlap, rank_individuals, survey_individuals, top_compositions, union_recall,
+    AuditTarget, Direction, DiscoveryConfig, Selector, SensitiveClass,
 };
 use discrimination_via_composition::platform::{SimScale, Simulation};
 use discrimination_via_composition::population::Gender;
@@ -27,7 +27,10 @@ fn main() {
 
     // Discover the most female-skewed compositions.
     let survey = survey_individuals(&target).expect("survey");
-    let cfg = DiscoveryConfig { top_k: 60, ..DiscoveryConfig::default() };
+    let cfg = DiscoveryConfig {
+        top_k: 60,
+        ..DiscoveryConfig::default()
+    };
     let ranked = rank_individuals(&survey, female, Direction::Toward, cfg.min_reach);
     let mut comps = top_compositions(&target, &survey, &ranked, &cfg).expect("discovery");
     comps.sort_by(|a, b| {
@@ -42,17 +45,25 @@ fn main() {
     let overlap = median_pairwise_overlap(&target, &specs, selector, 10)
         .expect("overlap queries")
         .unwrap_or(0.0);
-    println!("median pairwise overlap of top compositions: {:.1}%", overlap * 100.0);
+    println!(
+        "median pairwise overlap of top compositions: {:.1}%",
+        overlap * 100.0
+    );
 
     // Top-1 recall vs the top-10 union.
     let population = target
         .selector_estimate(&TargetingSpec::everyone(), selector)
         .expect("population");
-    let top1 = target.selector_estimate(&specs[0], selector).expect("top-1");
+    let top1 = target
+        .selector_estimate(&specs[0], selector)
+        .expect("top-1");
     let union = union_recall(&target, &specs, selector, specs.len()).expect("union");
 
     println!("female population:        {population:>14}");
-    println!("top-1 composition recall: {top1:>14} ({:.2}%)", pct(top1, population));
+    println!(
+        "top-1 composition recall: {top1:>14} ({:.2}%)",
+        pct(top1, population)
+    );
     println!(
         "top-10 union recall:      {:>14} ({:.2}%)  [{} queries]",
         union.recall,

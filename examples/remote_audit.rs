@@ -1,31 +1,38 @@
-//! Remote audit over the wire protocol.
+//! Remote audit over the wire protocol — including against a *hostile*
+//! transport.
 //!
 //! The paper's measurements went through the platforms' network APIs;
 //! this example does the same: it serves a simulated LinkedIn on a local
 //! TCP port, connects the audit pipeline through [`RemoteSource`], and
 //! verifies the remote audit returns byte-identical estimates to the
-//! in-process one.
+//! in-process one. It then re-runs a granularity probe through a server
+//! that injects transient errors, rate limits, and dropped connections —
+//! and survives a mid-probe "crash" by resuming from a checkpoint.
 //!
 //! ```text
 //! cargo run --release --example remote_audit
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use discrimination_via_composition::audit::{
     rank_individuals, survey_individuals, top_compositions, AuditTarget, Direction,
-    DiscoveryConfig, EstimateSource, SensitiveClass,
+    DiscoveryConfig, EstimateSource, GranularityProbe, ProbeCheckpoint, ResilienceConfig,
+    SensitiveClass,
 };
-use discrimination_via_composition::platform::{SimScale, Simulation};
+use discrimination_via_composition::platform::{
+    FaultKind, FaultPlan, FaultyPlatform, Schedule, SimScale, Simulation,
+};
 use discrimination_via_composition::population::Gender;
-use discrimination_via_composition::wire::{serve, ServerConfig};
+use discrimination_via_composition::wire::{serve, ClientConfig, FaultPlanHook, ServerConfig};
 use discrimination_via_composition::RemoteSource;
 
 fn main() {
     let sim = Simulation::build(2020, SimScale::Test);
 
     // Serve LinkedIn on a loopback socket with polite rate limiting.
-    let config = ServerConfig { rate_limit: Some(20_000.0), burst: 1_000.0 };
+    let config = ServerConfig::rate_limited(20_000.0, 1_000.0);
     let handle = serve(sim.linkedin.clone(), "127.0.0.1:0", config).expect("bind");
     println!("serving simulated LinkedIn on {}", handle.addr());
 
@@ -43,7 +50,10 @@ fn main() {
 
     let male = SensitiveClass::Gender(Gender::Male);
     let survey = survey_individuals(&target).expect("remote survey");
-    let cfg = DiscoveryConfig { top_k: 30, ..DiscoveryConfig::default() };
+    let cfg = DiscoveryConfig {
+        top_k: 30,
+        ..DiscoveryConfig::default()
+    };
     let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
     let top = top_compositions(&target, &survey, &ranked, &cfg).expect("remote discovery");
 
@@ -61,11 +71,92 @@ fn main() {
     // Cross-check: the same audit in-process gives identical estimates.
     let local = AuditTarget::for_platform(&sim.linkedin, &sim);
     let local_survey = survey_individuals(&local).expect("local survey");
-    assert_eq!(survey.base, local_survey.base, "base measurements must match");
+    assert_eq!(
+        survey.base, local_survey.base,
+        "base measurements must match"
+    );
     for (r, l) in survey.entries.iter().zip(&local_survey.entries) {
         assert_eq!(r.measurement, l.measurement, "attribute {:?}", r.attrs);
     }
-    println!("\nremote audit matches in-process audit on all {} attributes ✓", survey.entries.len());
+    println!(
+        "\nremote audit matches in-process audit on all {} attributes ✓",
+        survey.entries.len()
+    );
+    handle.shutdown();
 
+    // ── Part 2: the same probe against an unreliable platform. ──────────
+    //
+    // A deterministic fault plan makes the server reject every 29th call
+    // transiently, rate-limit every 37th (with a structured retry-after
+    // hint), and drop the TCP connection on every 47th request. The
+    // resilient client stack retries through all of it, and a checkpoint
+    // file turns a hard kill into a resume.
+    println!("\n--- fault injection ---");
+    let plan = FaultPlan::new(7)
+        .with(
+            FaultKind::Transient,
+            Schedule::EveryNth {
+                period: 29,
+                offset: 5,
+            },
+        )
+        .with(
+            FaultKind::RateLimit {
+                retry_after: Duration::from_millis(2),
+            },
+            Schedule::EveryNth {
+                period: 37,
+                offset: 11,
+            },
+        )
+        .with(
+            FaultKind::Drop { mid_frame: false },
+            Schedule::EveryNth {
+                period: 47,
+                offset: 3,
+            },
+        );
+    let faulty = Arc::new(FaultyPlatform::new(sim.linkedin.clone(), plan.clone()));
+    let config = ServerConfig::default().with_fault_hook(Arc::new(FaultPlanHook(plan)));
+    let handle = serve(faulty.clone(), "127.0.0.1:0", config).expect("bind");
+
+    let client = discrimination_via_composition::wire::Client::connect_with(
+        handle.addr(),
+        ClientConfig::fast(),
+    )
+    .expect("connect");
+    let remote = Arc::new(RemoteSource::new(client).expect("describe"));
+    let target = AuditTarget::direct(remote).with_resilience(ResilienceConfig::standard(2020));
+
+    let ckpt = std::env::temp_dir().join("remote_audit_probe.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let mut probe = GranularityProbe::new(2020, 120);
+    // Run the first half, checkpoint, then pretend the process died and
+    // resume from disk — answered queries are never re-issued.
+    let (report, answered) = match probe.run_checkpointed(&target, &ckpt, 25) {
+        Ok(report) => (report, probe.observations().len()),
+        Err(e) => {
+            println!("probe interrupted ({e}); resuming from {}", ckpt.display());
+            let mut resumed =
+                GranularityProbe::resume(ProbeCheckpoint::load(&ckpt).expect("checkpoint"));
+            let report = resumed
+                .run_checkpointed(&target, &ckpt, 25)
+                .expect("resumed probe");
+            (report, resumed.observations().len())
+        }
+    };
+    let injected = faulty.injected();
+    println!(
+        "granularity probe finished through {} injected faults \
+         ({} transient, {} rate-limited): consistent floors across {answered} observations ✓",
+        injected.total(),
+        injected.transient,
+        injected.rate_limited,
+    );
+    println!(
+        "max significant digits observed: {}",
+        report.max_significant_digits()
+    );
+    let _ = std::fs::remove_file(&ckpt);
     handle.shutdown();
 }

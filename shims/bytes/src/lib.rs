@@ -1,0 +1,113 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The wire codec only needs big-endian cursor reads over `&[u8]` and
+//! big-endian appends onto `Vec<u8>`; this shim provides exactly that
+//! [`Buf`]/[`BufMut`] subset. Reads past the end panic, as upstream's
+//! do — the codec guards every read with an explicit length check.
+
+#![forbid(unsafe_code)]
+
+/// Read side: a cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes, returning them.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_bytes(2).try_into().expect("2 bytes"))
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        let (head, rest) = self.split_at(n);
+        *self = rest;
+        head
+    }
+}
+
+/// Write side: appending big-endian integers and slices.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Owned immutable byte buffer (kept for API parity; rarely needed).
+pub type Bytes = Vec<u8>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16(0xABCD);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"xyz");
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16(), 0xABCD);
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cursor, b"xyz");
+    }
+
+    #[test]
+    fn big_endian_layout_matches_wire_format() {
+        let mut buf = Vec::new();
+        buf.put_u32(1);
+        assert_eq!(buf, [0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each registered benchmark closure a small fixed number of
+//! iterations and prints the mean wall-clock time. No statistical
+//! analysis, warm-up calibration, or HTML reports — enough to keep
+//! `cargo bench` compiling and producing comparable rough numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark; small because there is no calibration.
+const ITERS: u32 = 30;
+
+/// Opaque value sink preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. All variants behave
+/// identically here (setup always runs once per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over the fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+}
+
+/// Named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.runs == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.runs
+        };
+        println!(
+            "bench {}/{}: mean {:?} over {} iters",
+            self.name,
+            id.into(),
+            mean,
+            bencher.runs
+        );
+        self
+    }
+
+    /// Accepted for source compatibility; the shim's single-pass timer
+    /// has no sampling to configure.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (upstream flushes reports; nothing to do here).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.bench_function("iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; it maps
+//! directly onto `std::thread::scope` (stable since 1.63). The one
+//! semantic difference: a panicking child panics the parent at the end
+//! of the scope instead of surfacing as `Err`, which is equivalent for
+//! callers that `.expect()` the result (all of ours do).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Borrow-friendly handle passed to the scope closure.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope handle
+        /// (crossbeam's signature) so nested spawns keep working.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed, and
+    /// joins every spawned worker before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawns_join_and_borrow() {
+        let mut data = vec![0u32; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i as u32 * 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* — as no-op derive
+//! macros plus empty marker traits — so types can keep their derive
+//! annotations without pulling the real framework. Nothing in this
+//! workspace serialises through serde; the wire layer has a hand-rolled
+//! codec.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods; the no-op
+/// derive does not implement it, and no code here bounds on it).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait DeserializeMarker {}

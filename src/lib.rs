@@ -102,11 +102,40 @@ impl RemoteSource {
     }
 
     fn lock_features(&self) -> std::sync::MutexGuard<'_, HashMap<u32, Option<FeatureId>>> {
-        self.features.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.features
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     fn lock_names(&self) -> std::sync::MutexGuard<'_, HashMap<u32, String>> {
-        self.names.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.names
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Maps a wire-client failure onto the audit's error taxonomy, so the
+/// resilience layer in `adcomp-core` can classify remote failures
+/// exactly like local ones (rate limits stay retryable with their hint,
+/// policy rejections stay fatal).
+fn map_client_error(e: ClientError) -> SourceError {
+    use adcomp_wire::ErrorCode;
+    match e {
+        ClientError::Server {
+            code: ErrorCode::RateLimited,
+            retry_after,
+            ..
+        } => SourceError::RateLimited { retry_after },
+        ClientError::Server {
+            code: ErrorCode::Internal,
+            message,
+            ..
+        } => SourceError::Platform(adcomp_platform::PlatformError::Transient(message)),
+        ClientError::CircuitOpen { retry_in } => SourceError::CircuitOpen { retry_in },
+        ClientError::Server { code, message, .. } => {
+            SourceError::Rejected(format!("server {code:?}: {message}"))
+        }
+        other => SourceError::Transport(other.to_string()),
     }
 }
 
@@ -116,11 +145,11 @@ impl EstimateSource for RemoteSource {
     }
 
     fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
-        self.client.estimate(spec).map_err(|e| SourceError::Transport(e.to_string()))
+        self.client.estimate(spec).map_err(map_client_error)
     }
 
     fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
-        self.client.check(spec).map_err(|e| SourceError::Transport(e.to_string()))
+        self.client.check(spec).map_err(map_client_error)
     }
 
     fn catalog_len(&self) -> u32 {

@@ -7,9 +7,7 @@ use discrimination_via_composition::audit::experiments::distributions::{
 };
 use discrimination_via_composition::audit::experiments::table1::table1_cell;
 use discrimination_via_composition::audit::experiments::{ExperimentConfig, ExperimentContext};
-use discrimination_via_composition::audit::{
-    removal_sweep, Direction, Selector, SensitiveClass,
-};
+use discrimination_via_composition::audit::{removal_sweep, Direction, Selector, SensitiveClass};
 use discrimination_via_composition::platform::InterfaceKind;
 use discrimination_via_composition::population::{AgeBucket, Gender};
 use std::sync::OnceLock;
@@ -28,14 +26,23 @@ fn finding1_composition_amplifies_on_restricted_interface() {
     let rows =
         distributions_for(ctx(), InterfaceKind::FacebookRestricted, &[MALE], &[2, 3]).unwrap();
     let stat = |set: SetLabel, f: fn(&discrimination_via_composition::audit::BoxStats) -> f64| {
-        rows.iter().find(|r| r.set == set).map(|r| f(&r.stats)).unwrap()
+        rows.iter()
+            .find(|r| r.set == set)
+            .map(|r| f(&r.stats))
+            .unwrap()
     };
     let ind_p90 = stat(SetLabel::Individual, |b| b.p90);
     let top2_p90 = stat(SetLabel::Top(2), |b| b.p90);
     let top3_p90 = stat(SetLabel::Top(3), |b| b.p90);
-    assert!(ind_p90 > 1.25, "individuals already violate four-fifths at p90");
+    assert!(
+        ind_p90 > 1.25,
+        "individuals already violate four-fifths at p90"
+    );
     assert!(top2_p90 > ind_p90);
-    assert!(top3_p90 > top2_p90, "skew grows with arity: {top2_p90} -> {top3_p90}");
+    assert!(
+        top3_p90 > top2_p90,
+        "skew grows with arity: {top2_p90} -> {top3_p90}"
+    );
     let bot2_p10 = stat(SetLabel::Bottom(2), |b| b.p10);
     assert!(bot2_p10 < stat(SetLabel::Individual, |b| b.p10));
 }
@@ -65,12 +72,24 @@ fn finding3_random_pairs_add_modest_skew() {
     };
     let ind = spread(SetLabel::Individual);
     let random = spread(SetLabel::Random(2));
-    let top = rows.iter().find(|r| r.set == SetLabel::Top(2)).unwrap().stats.p90;
+    let top = rows
+        .iter()
+        .find(|r| r.set == SetLabel::Top(2))
+        .unwrap()
+        .stats
+        .p90;
     assert!(
         random > ind * 0.9,
         "random pairs should not be materially tighter than individuals: {random} vs {ind}"
     );
-    assert!(top > rows.iter().find(|r| r.set == SetLabel::Random(2)).unwrap().stats.p90);
+    assert!(
+        top > rows
+            .iter()
+            .find(|r| r.set == SetLabel::Random(2))
+            .unwrap()
+            .stats
+            .p90
+    );
 }
 
 #[test]
@@ -91,7 +110,10 @@ fn finding4_removal_is_insufficient() {
     .unwrap();
     let first = sweep.points.first().unwrap();
     let last = sweep.points.last().unwrap();
-    assert!(last.tail_ratio <= first.tail_ratio, "removal reduces the tail");
+    assert!(
+        last.tail_ratio <= first.tail_ratio,
+        "removal reduces the tail"
+    );
     assert!(sweep.still_violating_after_removal(), "but does not fix it");
 }
 

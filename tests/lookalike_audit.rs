@@ -47,9 +47,15 @@ fn skewed_seed() -> Bitset {
 fn regular_lookalike_amplifies_reach_while_keeping_skew() {
     let seed = skewed_seed();
     let seed_ratio = male_ratio(&seed);
-    assert!(seed_ratio > 1.5, "seed must be clearly skewed ({seed_ratio:.2})");
+    assert!(
+        seed_ratio > 1.5,
+        "seed must be clearly skewed ({seed_ratio:.2})"
+    );
 
-    let lal = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+    let lal = sim()
+        .facebook
+        .lookalike(&seed, &LookalikeConfig::default())
+        .unwrap();
     assert!(lal.len() >= seed.len() * 4, "expansion grows reach");
     let lal_ratio = male_ratio(&lal);
     assert!(
@@ -67,7 +73,10 @@ fn special_ad_audience_adjustment_is_insufficient() {
     // remains skewed: another instance of the paper's thesis that
     // feature-level mitigations miss outcome-level skew.
     let seed = skewed_seed();
-    let regular = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+    let regular = sim()
+        .facebook
+        .lookalike(&seed, &LookalikeConfig::default())
+        .unwrap();
     let saa = sim()
         .facebook
         .lookalike(&seed, &LookalikeConfig::special_ad_audience())
@@ -92,8 +101,14 @@ fn lookalike_of_balanced_seed_stays_balanced() {
     let u = sim().facebook.universe();
     let seed: Bitset = (0..u.n_users()).filter(|v| v % 37 == 0).collect();
     let seed_ratio = male_ratio(&seed);
-    assert!((0.8..=1.25).contains(&seed_ratio), "random seed is balanced");
-    let lal = sim().facebook.lookalike(&seed, &LookalikeConfig::default()).unwrap();
+    assert!(
+        (0.8..=1.25).contains(&seed_ratio),
+        "random seed is balanced"
+    );
+    let lal = sim()
+        .facebook
+        .lookalike(&seed, &LookalikeConfig::default())
+        .unwrap();
     let lal_ratio = male_ratio(&lal);
     assert!(
         (0.6..=1.6).contains(&lal_ratio),

@@ -29,7 +29,10 @@ fn preflight_gate_blocks_discovered_compositions_over_the_wire() {
     // An adversarial advertiser discovers skewed compositions…
     let male = SensitiveClass::Gender(Gender::Male);
     let survey = survey_individuals(&target).unwrap();
-    let cfg = DiscoveryConfig { top_k: 30, ..DiscoveryConfig::default() };
+    let cfg = DiscoveryConfig {
+        top_k: 30,
+        ..DiscoveryConfig::default()
+    };
     let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
     let top = top_compositions(&target, &survey, &ranked, &cfg).unwrap();
     assert!(!top.is_empty());
@@ -63,7 +66,10 @@ fn monitor_distinguishes_adversarial_from_honest_advertisers() {
     // Adversarial history: the top male-skewed compositions.
     let male = SensitiveClass::Gender(Gender::Male);
     let survey = survey_individuals(&target).unwrap();
-    let cfg = DiscoveryConfig { top_k: 20, ..DiscoveryConfig::default() };
+    let cfg = DiscoveryConfig {
+        top_k: 20,
+        ..DiscoveryConfig::default()
+    };
     let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
     let adversarial = top_compositions(&target, &survey, &ranked, &cfg).unwrap();
 
@@ -73,11 +79,16 @@ fn monitor_distinguishes_adversarial_from_honest_advertisers() {
         .iter()
         .filter(|e| {
             e.measurement.total >= 100_000
-                && e.ratio(&survey.base, male).is_some_and(|r| (0.9..=1.1).contains(&r))
+                && e.ratio(&survey.base, male)
+                    .is_some_and(|r| (0.9..=1.1).contains(&r))
         })
         .take(8)
         .collect();
-    assert!(honest.len() >= 3, "need near-parity attributes, got {}", honest.len());
+    assert!(
+        honest.len() >= 3,
+        "need near-parity attributes, got {}",
+        honest.len()
+    );
 
     let mut monitor = AdvertiserMonitor::new(0.3, 0.5, 3);
     for comp in adversarial.iter().take(8) {
@@ -88,7 +99,11 @@ fn monitor_distinguishes_adversarial_from_honest_advertisers() {
     }
 
     let skew = monitor.report("skewco").unwrap();
-    assert!(skew.flagged, "adversarial advertiser must be flagged: {:?}", skew.scores);
+    assert!(
+        skew.flagged,
+        "adversarial advertiser must be flagged: {:?}",
+        skew.scores
+    );
     let fair = monitor.report("fairco").unwrap();
     assert!(
         !fair.flagged,

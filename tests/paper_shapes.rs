@@ -37,9 +37,17 @@ fn linkedin_attributes_lean_male_facebook_lean_female() {
     // a female lean overall.
     let li = box_of(InterfaceKind::LinkedIn, MALE);
     let fb = box_of(InterfaceKind::FacebookNormal, MALE);
-    assert!(li.p90 > fb.p90, "LinkedIn p90 {} vs Facebook {}", li.p90, fb.p90);
+    assert!(
+        li.p90 > fb.p90,
+        "LinkedIn p90 {} vs Facebook {}",
+        li.p90,
+        fb.p90
+    );
     assert!(li.median > fb.median, "median lean ordering");
-    assert!(li.p90 > 1.5, "LinkedIn must have clearly male-skewed options");
+    assert!(
+        li.p90 > 1.5,
+        "LinkedIn must have clearly male-skewed options"
+    );
 }
 
 #[test]
@@ -116,12 +124,17 @@ fn individual_recalls_are_niche() {
     // §4.3: median individual recalls are a few percent of the sensitive
     // population.
     let survey = ctx().survey(InterfaceKind::FacebookNormal).unwrap();
-    let females = survey.base.class_count(SensitiveClass::Gender(Gender::Female));
+    let females = survey
+        .base
+        .class_count(SensitiveClass::Gender(Gender::Female));
     let mut recalls: Vec<f64> = survey
         .entries
         .iter()
         .filter(|e| e.measurement.total >= 10_000)
-        .map(|e| e.measurement.class_count(SensitiveClass::Gender(Gender::Female)) as f64)
+        .map(|e| {
+            e.measurement
+                .class_count(SensitiveClass::Gender(Gender::Female)) as f64
+        })
         .collect();
     recalls.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = recalls[recalls.len() / 2];

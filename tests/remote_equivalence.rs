@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use discrimination_via_composition::audit::{
-    measure_spec, rank_individuals, survey_individuals, top_compositions, AuditTarget,
-    Direction, DiscoveryConfig, EstimateSource, SensitiveClass,
+    measure_spec, rank_individuals, survey_individuals, top_compositions, AuditTarget, Direction,
+    DiscoveryConfig, EstimateSource, SensitiveClass,
 };
 use discrimination_via_composition::platform::{SimScale, Simulation};
 use discrimination_via_composition::population::Gender;
@@ -25,7 +25,14 @@ fn remote_audit_equals_in_process_audit() {
     assert_eq!(remote.catalog_len() as usize, sim.linkedin.catalog().len());
     assert_eq!(
         remote.attribute_name(AttributeId(3)),
-        Some(sim.linkedin.catalog().get(AttributeId(3)).unwrap().name.clone())
+        Some(
+            sim.linkedin
+                .catalog()
+                .get(AttributeId(3))
+                .unwrap()
+                .name
+                .clone()
+        )
     );
     assert!(remote.supports_demographics());
     assert!(remote.can_compose(AttributeId(0), AttributeId(1)));
@@ -44,7 +51,10 @@ fn remote_audit_equals_in_process_audit() {
     // Pipeline-level equivalence: discovery finds the same compositions
     // with the same measurements.
     let male = SensitiveClass::Gender(Gender::Male);
-    let cfg = DiscoveryConfig { top_k: 20, ..DiscoveryConfig::default() };
+    let cfg = DiscoveryConfig {
+        top_k: 20,
+        ..DiscoveryConfig::default()
+    };
     let remote_survey = survey_individuals(&remote_target).unwrap();
     let local_survey = survey_individuals(&local_target).unwrap();
     assert_eq!(remote_survey.base, local_survey.base);
@@ -81,15 +91,21 @@ fn prefetch_catalog_matches_per_id_fetches() {
 #[test]
 fn remote_source_respects_interface_policy() {
     let sim = Simulation::build(556, SimScale::Test);
-    let handle =
-        serve(sim.facebook_restricted.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve(
+        sim.facebook_restricted.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
     let remote = RemoteSource::connect(handle.addr()).unwrap();
     // Restricted interface: no demographics over the wire either.
     assert!(!remote.supports_demographics());
     let gendered = TargetingSpec::builder().gender(Gender::Male).build();
     assert!(remote.check(&gendered).is_err());
     assert!(remote.estimate(&gendered).is_err());
-    assert!(remote.estimate(&TargetingSpec::and_of([AttributeId(0)])).is_ok());
+    assert!(remote
+        .estimate(&TargetingSpec::and_of([AttributeId(0)]))
+        .is_ok());
     handle.shutdown();
 }
 

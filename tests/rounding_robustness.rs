@@ -24,9 +24,10 @@ fn exact_ratio(spec: &TargetingSpec, class: SensitiveClass) -> Option<f64> {
     let audience = fb.exact_audience(spec).unwrap();
     let u = fb.universe();
     let (class_set, complement_set) = match class {
-        SensitiveClass::Gender(g) => {
-            (u.gender_audience(g).clone(), u.gender_audience(g.other()).clone())
-        }
+        SensitiveClass::Gender(g) => (
+            u.gender_audience(g).clone(),
+            u.gender_audience(g.other()).clone(),
+        ),
         SensitiveClass::Age(a) => {
             let mut complement = adcomp_bitset_everyone(u);
             let class_set = u.age_audience(a).clone();
@@ -88,9 +89,10 @@ fn ratio_bounds_contain_exact_ratio() {
     for id in 0..40u32 {
         let spec = TargetingSpec::and_of([AttributeId(id)]);
         let m = measure_spec(&target, &spec).unwrap();
-        let (Some(bounds), Some(exact)) =
-            (ratio_bounds(&m, &base, male, &rounding), exact_ratio(&spec, male))
-        else {
+        let (Some(bounds), Some(exact)) = (
+            ratio_bounds(&m, &base, male, &rounding),
+            exact_ratio(&spec, male),
+        ) else {
             continue;
         };
         assert!(
@@ -119,7 +121,9 @@ fn least_skewed_values_preserve_conclusions() {
         if m.total < 100_000 {
             continue;
         }
-        let Some(point) = rep_ratio_of(&m, &base, male) else { continue };
+        let Some(point) = rep_ratio_of(&m, &base, male) else {
+            continue;
+        };
         if point < 2.0 {
             continue; // only strongly skewed attributes
         }
@@ -131,5 +135,8 @@ fn least_skewed_values_preserve_conclusions() {
         );
         strong += 1;
     }
-    assert!(strong >= 3, "need some strongly skewed attributes, got {strong}");
+    assert!(
+        strong >= 3,
+        "need some strongly skewed attributes, got {strong}"
+    );
 }
