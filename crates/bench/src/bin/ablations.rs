@@ -10,7 +10,7 @@
 //!    measures orders of magnitude more. How much of the true top-K does
 //!    greedy find, at what query cost?
 
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::{
     compose_and_measure, measure_spec, rank_individuals, rep_ratio, rep_ratio_of,
     survey_individuals, top_compositions, Direction, DiscoveryConfig, SensitiveClass,
@@ -24,12 +24,13 @@ fn main() {
     let ctx = context(cli);
     rounding_ablation(&ctx);
     greedy_ablation(&ctx);
+    finish("ablations");
 }
 
 /// Per-platform distribution of |rounded ratio − exact ratio| / exact.
 fn rounding_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
-    println!("== Ablation 1: ratio error from estimate rounding ==");
-    println!("(the audit sees only rounded estimates; ground truth from the simulator)");
+    say!("== Ablation 1: ratio error from estimate rounding ==");
+    say!("(the audit sees only rounded estimates; ground truth from the simulator)");
     let male = SensitiveClass::Gender(Gender::Male);
     let mut rows = Vec::new();
     for kind in adcomp_core::experiments::INTERFACE_ORDER {
@@ -71,7 +72,7 @@ fn rounding_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
             }
         }
         let stats = adcomp_core::BoxStats::from_samples(&errors).expect("non-empty");
-        println!(
+        say!(
             "{:<14} n={:<4} median-rel-err={:.4} p90={:.4} max={:.4}",
             platform.label(),
             stats.n,
@@ -97,7 +98,7 @@ fn rounding_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
 
 /// Greedy top-K quality vs an exhaustive pairwise crawl.
 fn greedy_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
-    println!("\n== Ablation 2: greedy discovery vs exhaustive crawl (LinkedIn, males) ==");
+    say!("\n== Ablation 2: greedy discovery vs exhaustive crawl (LinkedIn, males) ==");
     let kind = InterfaceKind::LinkedIn;
     let target = ctx.target(kind);
     let survey = timed("survey", || survey_individuals(&target)).expect("survey");
@@ -163,7 +164,7 @@ fn greedy_ablation(ctx: &adcomp_core::experiments::ExperimentContext) {
     let g_best = greedy.iter().map(&ratio_of).fold(0.0f64, f64::max);
     let e_best = exhaustive.iter().map(ratio_of).fold(0.0f64, f64::max);
     println!("best ratio: greedy {g_best:.2} vs exhaustive {e_best:.2}");
-    println!(
+    say!(
         "(the paper's method finds the same extreme compositions at ~{:.0}% of the query cost)",
         100.0 * greedy_queries as f64 / exhaustive_queries.max(1) as f64
     );

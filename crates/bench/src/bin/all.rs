@@ -4,7 +4,7 @@
 use std::fs;
 use std::path::Path;
 
-use adcomp_bench::{context, timed, Cli};
+use adcomp_bench::{context, finish, say, timed, Cli};
 use adcomp_core::experiments::distributions::{figure1, figure2, figure4, DistributionRow};
 use adcomp_core::experiments::examples::{table2, table3, ExampleRow};
 use adcomp_core::experiments::lookalike_exp::{lookalike_experiment, LookalikeRow};
@@ -18,7 +18,7 @@ use adcomp_platform::SimScale;
 fn write(dir: &Path, name: &str, contents: String) {
     let path = dir.join(name);
     fs::write(&path, contents).expect("write result file");
-    println!("wrote {}", path.display());
+    adcomp_obs::info!("wrote {}", path.display());
 }
 
 fn main() {
@@ -94,7 +94,8 @@ fn main() {
         )
         .methodology("§3 methodology probes", &m);
     write(dir, "report.md", report.render("paper-scale simulation"));
-    println!("all experiments complete");
+    say!("all experiments complete");
+    finish("all");
 }
 
 fn tsv_rows(rows: &[DistributionRow]) -> String {

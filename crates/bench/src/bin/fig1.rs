@@ -3,18 +3,18 @@
 //! Bottom 3-way for males, and the 2-way sets for ages 18–24.
 
 use adcomp_bench::plot::{render_log2, PlotRow};
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::distributions::{figure1, DistributionRow};
 
 fn main() {
     let ctx = context(Cli::parse());
     let rows = timed("figure 1", || figure1(&ctx)).expect("figure 1 drivers");
 
-    println!("Figure 1 — Facebook restricted interface");
-    println!("(paper: Individual p90/p10 male ≈ 1.84/0.50; Top 2-way p90 ≈ 8.98;");
-    println!(" Bottom 2-way p10 ≈ 0.10; Top 3-way p90 ≈ 19.77; Bottom 3-way p10 ≈ 0.11)\n");
+    say!("Figure 1 — Facebook restricted interface");
+    say!("(paper: Individual p90/p10 male ≈ 1.84/0.50; Top 2-way p90 ≈ 8.98;");
+    say!(" Bottom 2-way p10 ≈ 0.10; Top 3-way p90 ≈ 19.77; Bottom 3-way p10 ≈ 0.11)\n");
     for r in &rows {
-        println!(
+        say!(
             "{:<14} {:<8} n={:<5} p10={:<8.3} median={:<8.3} p90={:<8.3} violating={:.0}%",
             r.set.to_string(),
             r.class.to_string(),
@@ -34,11 +34,12 @@ fn main() {
             stats: r.stats,
         })
         .collect();
-    println!("\n{}", render_log2(&plots, 1.0 / 64.0, 64.0, 64));
+    say!("\n{}", render_log2(&plots, 1.0 / 64.0, 64.0, 64));
 
     print_block(
         "fig1.tsv",
         &DistributionRow::tsv_header(),
         rows.iter().map(|r| r.tsv()),
     );
+    finish("fig1");
 }

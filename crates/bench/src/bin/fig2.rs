@@ -2,23 +2,23 @@
 //! (males and ages 18–24; Individual / Random / Top / Bottom 2-way).
 
 use adcomp_bench::plot::{render_log2, PlotRow};
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::distributions::{figure2, DistributionRow};
 
 fn main() {
     let ctx = context(Cli::parse());
     let rows = timed("figure 2", || figure2(&ctx)).expect("figure 2 drivers");
 
-    println!("Figure 2 — individual and compositional skew across platforms");
-    println!("(paper: LinkedIn individual male p90 ≈ 2.09 vs Facebook ≈ 1.45;");
-    println!(" >90% of Top/Bottom 2-way outside the four-fifths band)\n");
+    say!("Figure 2 — individual and compositional skew across platforms");
+    say!("(paper: LinkedIn individual male p90 ≈ 2.09 vs Facebook ≈ 1.45;");
+    say!(" >90% of Top/Bottom 2-way outside the four-fifths band)\n");
     let mut last = String::new();
     for r in &rows {
         if r.target != last {
-            println!("--- {} ---", r.target);
+            say!("--- {} ---", r.target);
             last = r.target.clone();
         }
-        println!(
+        say!(
             "{:<14} {:<8} n={:<5} p10={:<8.3} median={:<8.3} p90={:<8.3} violating={:.0}%",
             r.set.to_string(),
             r.class.to_string(),
@@ -35,8 +35,8 @@ fn main() {
     let mut plots: Vec<PlotRow> = Vec::new();
     for r in &rows {
         if r.target != last && !plots.is_empty() {
-            println!("\n--- {last} ---");
-            print!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
+            say!("\n--- {last} ---");
+            say!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
             plots.clear();
         }
         last = r.target.clone();
@@ -46,8 +46,8 @@ fn main() {
         });
     }
     if !plots.is_empty() {
-        println!("\n--- {last} ---");
-        print!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
+        say!("\n--- {last} ---");
+        say!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
     }
 
     print_block(
@@ -55,4 +55,5 @@ fn main() {
         &DistributionRow::tsv_header(),
         rows.iter().map(|r| r.tsv()),
     );
+    finish("fig2");
 }

@@ -1,25 +1,25 @@
 //! Figure 3: effect of removing the most skewed individual targetings on
 //! the skew of Top/Bottom 2-way compositions (gender), per interface.
 
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::removal_exp::{figure3, sweeps_tsv};
 
 fn main() {
     let ctx = context(Cli::parse());
     let sweeps = timed("figure 3", || figure3(&ctx)).expect("figure 3 drivers");
 
-    println!("Figure 3 — removal of skewed individual targetings (males)");
-    println!("(paper: after removing the top 10th percentile on FB-restricted,");
-    println!(" the Top 2-way p90 was still ≈ 3.02 — outside the four-fifths band)\n");
+    say!("Figure 3 — removal of skewed individual targetings (males)");
+    say!("(paper: after removing the top 10th percentile on FB-restricted,");
+    say!(" the Top 2-way p90 was still ≈ 3.02 — outside the four-fifths band)\n");
     for s in &sweeps {
-        println!(
+        say!(
             "--- {} / {} / {} 2-way ---",
             s.target,
             s.class,
             s.direction.label()
         );
         for p in &s.points {
-            println!(
+            say!(
                 "  removed {:>4.0}% ({:>3} attrs): tail={:<8.3} extreme={:<8.3} n={}",
                 p.removed_percentile,
                 p.removed_count,
@@ -28,7 +28,7 @@ fn main() {
                 p.compositions
             );
         }
-        println!(
+        say!(
             "  still violating after removal: {}",
             s.still_violating_after_removal()
         );
@@ -37,4 +37,5 @@ fn main() {
     let mut lines = tsv.lines();
     let header = lines.next().unwrap_or_default().to_string();
     print_block("fig3.tsv", &header, lines.map(|l| l.to_string()));
+    finish("fig3");
 }

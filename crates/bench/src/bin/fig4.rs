@@ -2,21 +2,21 @@
 //! age ranges (25–34, 35–54, 55+) on all four interfaces.
 
 use adcomp_bench::plot::{render_log2, PlotRow};
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::distributions::{figure4, DistributionRow};
 
 fn main() {
     let ctx = context(Cli::parse());
     let rows = timed("figure 4", || figure4(&ctx)).expect("figure 4 drivers");
 
-    println!("Figure 4 — skew across age ranges, all interfaces\n");
+    say!("Figure 4 — skew across age ranges, all interfaces\n");
     let mut last = String::new();
     for r in &rows {
         if r.target != last {
-            println!("--- {} ---", r.target);
+            say!("--- {} ---", r.target);
             last = r.target.clone();
         }
-        println!(
+        say!(
             "{:<14} {:<8} n={:<5} p10={:<8.3} median={:<8.3} p90={:<8.3} violating={:.0}%",
             r.set.to_string(),
             r.class.to_string(),
@@ -33,8 +33,8 @@ fn main() {
     let mut plots: Vec<PlotRow> = Vec::new();
     for r in &rows {
         if r.target != last && !plots.is_empty() {
-            println!("\n--- {last} ---");
-            print!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
+            say!("\n--- {last} ---");
+            say!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
             plots.clear();
         }
         last = r.target.clone();
@@ -44,8 +44,8 @@ fn main() {
         });
     }
     if !plots.is_empty() {
-        println!("\n--- {last} ---");
-        print!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
+        say!("\n--- {last} ---");
+        say!("{}", render_log2(&plots, 1.0 / 64.0, 64.0, 56));
     }
 
     print_block(
@@ -53,4 +53,5 @@ fn main() {
         &DistributionRow::tsv_header(),
         rows.iter().map(|r| r.tsv()),
     );
+    finish("fig4");
 }

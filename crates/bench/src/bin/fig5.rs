@@ -1,23 +1,23 @@
 //! Figure 5 (appendix): recall distributions of skewed targetings across
 //! interfaces, genders and age ranges, with sensitive-population totals.
 
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::recall_exp::{figure5, RecallRow};
 
 fn main() {
     let ctx = context(Cli::parse());
     let rows = timed("figure 5", || figure5(&ctx)).expect("figure 5 drivers");
 
-    println!("Figure 5 — recalls of skewed targetings");
-    println!("(paper: median Top 2-way recalls 570K/1.9M/170K/46K across the four");
-    println!(" interfaces for females; pairs recall less than individuals)\n");
+    say!("Figure 5 — recalls of skewed targetings");
+    say!("(paper: median Top 2-way recalls 570K/1.9M/170K/46K across the four");
+    say!(" interfaces for females; pairs recall less than individuals)\n");
     let mut last = String::new();
     for r in &rows {
         if r.target != last {
-            println!("--- {} ---", r.target);
+            say!("--- {} ---", r.target);
             last = r.target.clone();
         }
-        println!(
+        say!(
             "{:<20} {:<8} {:<8} n={:<5} median-recall={}",
             r.set.to_string(),
             r.class.to_string(),
@@ -31,4 +31,5 @@ fn main() {
         &RecallRow::tsv_header(),
         rows.iter().map(|r| r.tsv()),
     );
+    finish("fig5");
 }

@@ -1,22 +1,22 @@
 //! Figure 6 (appendix): the removal sweep for the age ranges.
 
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::removal_exp::{figure6, sweeps_tsv};
 
 fn main() {
     let ctx = context(Cli::parse());
     let sweeps = timed("figure 6", || figure6(&ctx)).expect("figure 6 drivers");
 
-    println!("Figure 6 — removal of skewed individual targetings (age ranges)\n");
+    say!("Figure 6 — removal of skewed individual targetings (age ranges)\n");
     for s in &sweeps {
-        println!(
+        say!(
             "--- {} / {} / {} 2-way ---",
             s.target,
             s.class,
             s.direction.label()
         );
         for p in &s.points {
-            println!(
+            say!(
                 "  removed {:>4.0}% ({:>3} attrs): tail={:<8.3} extreme={:<8.3} n={}",
                 p.removed_percentile,
                 p.removed_count,
@@ -30,4 +30,5 @@ fn main() {
     let mut lines = tsv.lines();
     let header = lines.next().unwrap_or_default().to_string();
     print_block("fig6.tsv", &header, lines.map(|l| l.to_string()));
+    finish("fig6");
 }

@@ -1,7 +1,7 @@
 //! §3 methodology checks: estimate consistency (repeated queries) and
 //! granularity (significant-digit ladders, reporting floors).
 
-use adcomp_bench::{context, timed, Cli};
+use adcomp_bench::{context, finish, say, timed, Cli};
 use adcomp_core::experiments::methodology::{methodology, ProbeConfig};
 use adcomp_platform::SimScale;
 
@@ -15,14 +15,16 @@ fn main() {
     let rows =
         timed("methodology probes", || methodology(&ctx, &probe)).expect("methodology drivers");
 
-    println!("§3 methodology — size-estimate characterisation");
-    println!("(paper: all platforms consistent; FB 2 sig digits min 1000,");
-    println!(" Google 1→2 sig digits min 40, LinkedIn 2 sig digits min 300)\n");
+    say!("§3 methodology — size-estimate characterisation");
+    say!("(paper: all platforms consistent; FB 2 sig digits min 1000,");
+    say!(" Google 1→2 sig digits min 40, LinkedIn 2 sig digits min 300)\n");
     for r in &rows {
         println!("{}", r.summary());
-        println!(
+        say!(
             "  digits/decade: {:?}  zero-seen: {}",
-            r.granularity.digits_per_decade, r.granularity.saw_zero
+            r.granularity.digits_per_decade,
+            r.granularity.saw_zero
         );
     }
+    finish("methodology");
 }

@@ -1,0 +1,92 @@
+//! Measures the cost of the `adcomp-obs` instrumentation on the estimate
+//! hot path and records the verdict in `BENCH_obs_overhead.json`.
+//!
+//! The same workload — [`measure_spec`] over every catalog attribute,
+//! i.e. 7 estimate queries per spec through the full platform stack
+//! (validation, rounding, metrics, budget) — runs twice: once with
+//! recording on, once with the global kill switch off
+//! ([`adcomp_obs::set_enabled`]), which leaves only the relaxed
+//! load-and-branch the switch itself costs. Each mode takes the best of
+//! several rounds to shed scheduler noise. The budget is **<5 %**
+//! overhead; the binary exits non-zero beyond it, so CI can gate on it.
+
+use std::time::Instant;
+
+use adcomp_bench::{context, say, Cli};
+use adcomp_core::{measure_spec, AuditTarget};
+use adcomp_platform::InterfaceKind;
+use adcomp_targeting::{AttributeId, TargetingSpec};
+
+/// Timed rounds per mode (best-of).
+const ROUNDS: usize = 5;
+/// Catalog attributes per pass (keeps paper-scale runs tractable).
+const MAX_SPECS: usize = 200;
+/// Estimate queries issued by one `measure_spec` call (total + 2 genders
+/// + 4 ages).
+const QUERIES_PER_SPEC: u64 = 7;
+/// Overhead budget, in percent.
+const THRESHOLD_PCT: f64 = 5.0;
+
+fn workload(target: &AuditTarget, specs: &[TargetingSpec]) -> u64 {
+    let mut ops = 0u64;
+    for spec in specs {
+        let m = measure_spec(target, spec).expect("estimate");
+        std::hint::black_box(m.total);
+        ops += QUERIES_PER_SPEC;
+    }
+    ops
+}
+
+/// Best-of-`ROUNDS` ns per estimate query with recording `enabled`.
+fn measure_mode(target: &AuditTarget, specs: &[TargetingSpec], enabled: bool) -> (f64, u64) {
+    adcomp_obs::set_enabled(enabled);
+    workload(target, specs); // warm-up
+    let mut best = f64::INFINITY;
+    let mut ops = 0;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        ops = workload(target, specs);
+        let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+        best = best.min(ns);
+    }
+    (best, ops)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = context(cli);
+    let target = ctx.target(InterfaceKind::FacebookNormal);
+    let n = ctx.simulation.facebook.catalog().len().min(MAX_SPECS);
+    let specs: Vec<TargetingSpec> = (0..n as u32)
+        .map(|id| TargetingSpec::and_of([AttributeId(id)]))
+        .collect();
+
+    let (instrumented, ops) = measure_mode(&target, &specs, true);
+    let (baseline, _) = measure_mode(&target, &specs, false);
+    adcomp_obs::set_enabled(true);
+
+    let overhead_pct = if baseline > 0.0 {
+        (instrumented - baseline) / baseline * 100.0
+    } else {
+        0.0
+    };
+    let pass = overhead_pct < THRESHOLD_PCT;
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"ops_per_round\": {ops},\n  \
+         \"rounds\": {ROUNDS},\n  \"baseline_ns_per_op\": {baseline:.1},\n  \
+         \"instrumented_ns_per_op\": {instrumented:.1},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"threshold_pct\": {THRESHOLD_PCT:.1},\n  \"pass\": {pass}\n}}\n"
+    );
+    std::fs::write("BENCH_obs_overhead.json", &json).expect("write BENCH_obs_overhead.json");
+    say!("{json}");
+    adcomp_obs::info!(
+        "obs overhead: {overhead_pct:.2}% ({instrumented:.1} vs {baseline:.1} ns/query, \
+         budget {THRESHOLD_PCT}%)"
+    );
+    if !pass {
+        adcomp_obs::error!("instrumentation overhead exceeds the {THRESHOLD_PCT}% budget");
+        std::process::exit(1);
+    }
+}

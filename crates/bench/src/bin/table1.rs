@@ -2,22 +2,26 @@
 //! and Top-1 vs Top-10 (inclusion–exclusion) recall, per favoured
 //! population and interface.
 
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::table1::{table1, table1_tsv};
 
 fn main() {
     let ctx = context(Cli::parse());
     let cells = timed("table 1", || table1(&ctx)).expect("table 1 drivers");
 
-    println!("Table 1 — increasing recall across multiple skewed compositions");
-    println!("(paper: median overlaps 17–23% FB-r / 2–15% FB / ~0–14% LinkedIn;");
-    println!(" Top-10 recall far above Top-1, e.g. 6.1M vs 1.1M for FB-r females)\n");
-    println!(
+    say!("Table 1 — increasing recall across multiple skewed compositions");
+    say!("(paper: median overlaps 17–23% FB-r / 2–15% FB / ~0–14% LinkedIn;");
+    say!(" Top-10 recall far above Top-1, e.g. 6.1M vs 1.1M for FB-r females)\n");
+    say!(
         "{:<12} {:<14} {:>10} {:>18} {:>18}",
-        "favoured", "interface", "overlap", "top-1", "top-10"
+        "favoured",
+        "interface",
+        "overlap",
+        "top-1",
+        "top-10"
     );
     for c in &cells {
-        println!(
+        say!(
             "{:<12} {:<14} {:>10} {:>18} {:>18}",
             c.favoured.to_string(),
             c.target,
@@ -31,4 +35,5 @@ fn main() {
     let mut lines = tsv.lines();
     let header = lines.next().unwrap_or_default().to_string();
     print_block("table1.tsv", &header, lines.map(|l| l.to_string()));
+    finish("table1");
 }

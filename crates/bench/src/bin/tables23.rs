@@ -1,7 +1,7 @@
 //! Tables 2 and 3: illustrative Top 2-way compositions whose skew far
 //! exceeds either component's, per platform and gender/age.
 
-use adcomp_bench::{context, print_block, timed, Cli};
+use adcomp_bench::{context, finish, print_block, say, timed, Cli};
 use adcomp_core::experiments::examples::{table2, table3, ExampleRow};
 
 const PER_CELL: usize = 5;
@@ -11,12 +11,12 @@ fn main() {
     let t2 = timed("table 2", || table2(&ctx, PER_CELL)).expect("table 2 drivers");
     let t3 = timed("table 3", || table3(&ctx, PER_CELL)).expect("table 3 drivers");
 
-    println!("Tables 2 & 3 — illustrative amplifying compositions");
-    println!("(paper: e.g. Electrical engineering (3.71) ∧ Cars (2.18) → 12.43)\n");
+    say!("Tables 2 & 3 — illustrative amplifying compositions");
+    say!("(paper: e.g. Electrical engineering (3.71) ∧ Cars (2.18) → 12.43)\n");
     for (name, rows) in [("Table 2 (gender)", &t2), ("Table 3 (age)", &t3)] {
-        println!("--- {name} ---");
+        say!("--- {name} ---");
         for r in rows {
-            println!(
+            say!(
                 "{:<14} {:<8} {:<45} ∧ {:<45} {:>5.2} {:>5.2} → {:>6.2}",
                 r.target,
                 r.class.to_string(),
@@ -33,4 +33,5 @@ fn main() {
         ExampleRow::tsv_header(),
         t2.iter().chain(&t3).map(|r| r.tsv()),
     );
+    finish("tables23");
 }

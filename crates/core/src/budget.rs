@@ -9,10 +9,11 @@
 //! the query accounting reported alongside results is enforced, not just
 //! observed.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use adcomp_obs::metrics::{Counter, Gauge, Registry};
 use adcomp_targeting::{AttributeId, FeatureId, TargetingSpec};
 use parking_lot_lite::Mutex;
 
@@ -74,16 +75,26 @@ pub struct BudgetedSource {
     budget: QueryBudget,
     used: AtomicU64,
     last: Mutex<Option<Instant>>,
+    /// The low-budget warning fired (once per source).
+    warned: AtomicBool,
+    /// `adcomp_budget_remaining` — queries left before the cap (finite
+    /// caps only; the most recently active source wins the gauge).
+    remaining_gauge: Arc<Gauge>,
+    low_warnings: Arc<Counter>,
 }
 
 impl BudgetedSource {
     /// Wraps `inner` with `budget`.
     pub fn new(inner: Arc<dyn EstimateSource>, budget: QueryBudget) -> Self {
+        let reg = Registry::global();
         BudgetedSource {
             inner,
             budget,
             used: AtomicU64::new(0),
             last: Mutex::new(None),
+            warned: AtomicBool::new(false),
+            remaining_gauge: reg.gauge("adcomp_budget_remaining"),
+            low_warnings: reg.counter("adcomp_budget_low_warnings_total"),
         }
     }
 
@@ -97,15 +108,35 @@ impl BudgetedSource {
         self.budget.max_queries.saturating_sub(self.used())
     }
 
+    /// Whether the low-budget warning has fired for this source.
+    pub fn low_budget_warned(&self) -> bool {
+        self.warned.load(Ordering::Relaxed)
+    }
+
     fn admit(&self) -> Result<(), SourceError> {
         // Reserve a slot; undoing on failure is unnecessary because a
         // rejected query was still *attempted* load-wise.
         let spent = self.used.fetch_add(1, Ordering::Relaxed);
         if spent >= self.budget.max_queries {
+            self.remaining_gauge.set(0);
             return Err(SourceError::BudgetExhausted {
                 used: spent + 1,
                 cap: self.budget.max_queries,
             });
+        }
+        let cap = self.budget.max_queries;
+        if cap != u64::MAX {
+            let remaining = cap - (spent + 1).min(cap);
+            self.remaining_gauge
+                .set(remaining.min(i64::MAX as u64) as i64);
+            // Warn once when less than 10 % of a finite budget remains.
+            if remaining.saturating_mul(10) < cap && !self.warned.swap(true, Ordering::Relaxed) {
+                self.low_warnings.inc();
+                adcomp_obs::warn!(
+                    "query budget low: {remaining} of {cap} queries remain for {}",
+                    self.inner.label()
+                );
+            }
         }
         if !self.budget.min_interval.is_zero() {
             let mut last = self.last.lock();
@@ -231,6 +262,35 @@ mod tests {
             expected,
             "the survey's query count is predictable"
         );
+    }
+
+    #[test]
+    fn low_budget_warns_exactly_once() {
+        let counter = Registry::global().counter("adcomp_budget_low_warnings_total");
+        let before = counter.get();
+        let src = BudgetedSource::new(sim().linkedin.clone(), QueryBudget::capped(10));
+        let spec = TargetingSpec::everyone();
+        for _ in 0..9 {
+            src.estimate(&spec).unwrap();
+        }
+        assert!(
+            !src.low_budget_warned(),
+            "1 of 10 remaining is exactly 10 %, not below it"
+        );
+        src.estimate(&spec).unwrap();
+        assert!(src.low_budget_warned(), "0 of 10 remaining is low");
+        assert!(counter.get() > before, "the warning reached the registry");
+        // Draining the rest must not warn again (the flag is sticky).
+        let _ = src.estimate(&spec);
+        assert!(src.low_budget_warned());
+        // And the warning left a trace event behind.
+        let ring = adcomp_obs::trace::Tracer::global().ring_events();
+        assert!(ring.iter().any(|e| {
+            e.name == "log:warn"
+                && e.fields
+                    .iter()
+                    .any(|(k, v)| k == "message" && v.contains("query budget low"))
+        }));
     }
 
     #[test]

@@ -178,6 +178,7 @@ pub fn distributions_for(
 /// and (for gender) 3-way compositions.
 pub fn figure1(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceError> {
     use adcomp_population::{AgeBucket, Gender};
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:figure1");
     let mut rows = distributions_for(
         ctx,
         InterfaceKind::FacebookRestricted,
@@ -196,6 +197,7 @@ pub fn figure1(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceEr
 /// Figure 2: all four interfaces, males and ages 18–24, 2-way sets.
 pub fn figure2(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceError> {
     use adcomp_population::{AgeBucket, Gender};
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:figure2");
     let classes = [
         SensitiveClass::Gender(Gender::Male),
         SensitiveClass::Age(AgeBucket::A18_24),
@@ -210,6 +212,7 @@ pub fn figure2(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceEr
 /// Figure 4 (appendix): all four interfaces, the three older age ranges.
 pub fn figure4(ctx: &ExperimentContext) -> Result<Vec<DistributionRow>, SourceError> {
     use adcomp_population::AgeBucket;
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:figure4");
     let classes = [
         SensitiveClass::Age(AgeBucket::A25_34),
         SensitiveClass::Age(AgeBucket::A35_54),

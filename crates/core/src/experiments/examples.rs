@@ -103,6 +103,7 @@ pub fn examples_for(
 
 /// Table 2: gender examples (male and female) on every interface.
 pub fn table2(ctx: &ExperimentContext, per_cell: usize) -> Result<Vec<ExampleRow>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:table2");
     let mut rows = Vec::new();
     for kind in super::INTERFACE_ORDER {
         for gender in Gender::ALL {
@@ -119,6 +120,7 @@ pub fn table2(ctx: &ExperimentContext, per_cell: usize) -> Result<Vec<ExampleRow
 
 /// Table 3: age examples (18–24 and 55+) on every interface.
 pub fn table3(ctx: &ExperimentContext, per_cell: usize) -> Result<Vec<ExampleRow>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:table3");
     let mut rows = Vec::new();
     for kind in super::INTERFACE_ORDER {
         for age in [AgeBucket::A18_24, AgeBucket::A55Plus] {

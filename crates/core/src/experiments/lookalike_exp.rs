@@ -131,6 +131,7 @@ pub fn lookalike_experiment(
     ctx: &ExperimentContext,
     seeds_per_interface: usize,
 ) -> Result<Vec<LookalikeRow>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:lookalike");
     let mut rows = Vec::new();
     for kind in super::INTERFACE_ORDER {
         rows.extend(lookalike_for(ctx, kind, seeds_per_interface)?);

@@ -80,6 +80,7 @@ pub fn methodology(
     ctx: &ExperimentContext,
     cfg: &ProbeConfig,
 ) -> Result<Vec<MethodologyRow>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:methodology");
     let mut rows = Vec::new();
     for kind in super::INTERFACE_ORDER {
         let target = ctx.target(kind);

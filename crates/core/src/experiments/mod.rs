@@ -140,6 +140,10 @@ impl ExperimentContext {
         if let Some(s) = slot.get() {
             return Ok(s);
         }
+        let _span = adcomp_obs::trace::Tracer::global().span_with(
+            "discovery:survey",
+            &[("platform", kind.label().to_string())],
+        );
         let survey = survey_individuals(&self.target(kind))?;
         let _ = slot.set(survey);
         Ok(slot.get().expect("just set"))

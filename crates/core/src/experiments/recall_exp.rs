@@ -213,6 +213,7 @@ pub fn recall_for(
 
 /// Figure 5: every interface × every class.
 pub fn figure5(ctx: &ExperimentContext) -> Result<Vec<RecallRow>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:figure5");
     let mut rows = Vec::new();
     for kind in super::INTERFACE_ORDER {
         for class in SensitiveClass::ALL {

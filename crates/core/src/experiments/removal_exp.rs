@@ -38,6 +38,7 @@ pub fn sweep_all_interfaces(
 
 /// Figure 3: Top and Bottom 2-way sweeps for males.
 pub fn figure3(ctx: &ExperimentContext) -> Result<Vec<RemovalSweep>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:figure3");
     let male = SensitiveClass::Gender(Gender::Male);
     let mut out = sweep_all_interfaces(ctx, male, Direction::Toward)?;
     out.extend(sweep_all_interfaces(ctx, male, Direction::Against)?);
@@ -47,6 +48,7 @@ pub fn figure3(ctx: &ExperimentContext) -> Result<Vec<RemovalSweep>, SourceError
 /// Figure 6 (appendix): Top 2-way sweeps for the four age ranges plus the
 /// Bottom sweep for 55+ (the panels the paper shows).
 pub fn figure6(ctx: &ExperimentContext) -> Result<Vec<RemovalSweep>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:figure6");
     let mut out = Vec::new();
     for age in AgeBucket::ALL {
         out.extend(sweep_all_interfaces(

@@ -140,6 +140,7 @@ pub fn table1_cell(
 
 /// The full table: every favoured population × every supported interface.
 pub fn table1(ctx: &ExperimentContext) -> Result<Vec<Table1Cell>, SourceError> {
+    let _span = adcomp_obs::trace::Tracer::global().span("experiment:table1");
     let mut cells = Vec::new();
     for favoured in favoured_populations() {
         for kind in TABLE1_INTERFACES {

@@ -11,12 +11,28 @@
 use std::collections::HashSet;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
+use adcomp_obs::metrics::{Counter, Registry};
+use adcomp_obs::progress::ProgressReporter;
+use adcomp_obs::trace::Tracer;
 use adcomp_targeting::{AttributeId, TargetingSpec};
 use rand::{Rng, SeedableRng};
 
 use crate::discovery::AuditRng;
 use crate::source::{AuditTarget, SourceError};
+
+/// Sampling shortfalls reported by consistency probes.
+fn probe_warnings_total() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("adcomp_probe_warnings_total"))
+}
+
+/// Queries abandoned (resilience-layer skips) during granularity probes.
+fn probe_skipped_total() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("adcomp_probe_skipped_total"))
+}
 
 /// Result of the consistency probe.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +69,7 @@ pub fn consistency_probe(
     n_composed: usize,
     repeats: usize,
 ) -> Result<ConsistencyReport, SourceError> {
+    let _span = Tracer::global().span("probe:consistency");
     let mut rng = AuditRng::seed_from_u64(seed);
     let n = target.targeting.catalog_len();
     let mut specs = Vec::with_capacity(n_individual + n_composed);
@@ -78,6 +95,15 @@ pub fn consistency_probe(
         }
     }
     let warnings = (n_individual + n_composed).saturating_sub(specs.len());
+    if warnings > 0 {
+        probe_warnings_total().add(warnings as u64);
+        adcomp_obs::warn!(
+            "consistency probe sampled {} of {} requested specs \
+             (catalog ran out of distinct options)",
+            specs.len(),
+            n_individual + n_composed
+        );
+    }
     let mut inconsistent = Vec::new();
     for spec in &specs {
         let first = target.total_estimate(spec)?;
@@ -87,6 +113,13 @@ pub fn consistency_probe(
                 break;
             }
         }
+    }
+    if !inconsistent.is_empty() {
+        adcomp_obs::warn!(
+            "consistency probe found {} inconsistent spec(s): \
+             estimates may be noised",
+            inconsistent.len()
+        );
     }
     Ok(ConsistencyReport {
         specs: specs.len(),
@@ -347,6 +380,8 @@ impl GranularityProbe {
     /// the resilience layer ([`SourceError::Skipped`]) is counted and
     /// excluded from the ladder rather than aborting the probe.
     pub fn run(&mut self, target: &AuditTarget) -> Result<GranularityReport, SourceError> {
+        let _span = Tracer::global().span("probe:granularity");
+        let progress = ProgressReporter::new("granularity_probe", 1_000);
         while !self.completed() {
             let index = self.next_index;
             let Some(spec) = spec_at(target, self.seed, index) else {
@@ -358,9 +393,11 @@ impl GranularityProbe {
                 Ok(value) => {
                     self.observations.push(value);
                     self.next_index = index + 1;
+                    progress.tick();
                 }
                 Err(SourceError::Skipped { .. }) => {
                     self.skipped += 1;
+                    probe_skipped_total().inc();
                     self.next_index = index + 1;
                 }
                 // `next_index` still points at this spec: a resumed run
@@ -368,6 +405,7 @@ impl GranularityProbe {
                 Err(e) => return Err(e),
             }
         }
+        adcomp_obs::debug!("granularity_probe: {} queries answered", progress.done());
         Ok(self.report())
     }
 
@@ -381,6 +419,8 @@ impl GranularityProbe {
         every: usize,
     ) -> Result<GranularityReport, SourceError> {
         assert!(every > 0, "checkpoint interval must be positive");
+        let _span = Tracer::global().span("probe:granularity");
+        let progress = ProgressReporter::new("granularity_probe", 1_000);
         let mut since_save = 0usize;
         while !self.completed() {
             let index = self.next_index;
@@ -392,9 +432,11 @@ impl GranularityProbe {
                 Ok(value) => {
                     self.observations.push(value);
                     self.next_index = index + 1;
+                    progress.tick();
                 }
                 Err(SourceError::Skipped { .. }) => {
                     self.skipped += 1;
+                    probe_skipped_total().inc();
                     self.next_index = index + 1;
                 }
                 Err(e) => {
@@ -413,6 +455,7 @@ impl GranularityProbe {
         self.checkpoint()
             .save(path)
             .map_err(|e| SourceError::Transport(format!("checkpoint save: {e}")))?;
+        adcomp_obs::debug!("granularity_probe: {} queries answered", progress.done());
         Ok(self.report())
     }
 

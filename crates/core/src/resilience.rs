@@ -25,10 +25,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use adcomp_obs::metrics::{Counter, Registry};
 use adcomp_platform::{PlatformError, RetryPolicy};
 use adcomp_targeting::{AttributeId, FeatureId, TargetingSpec};
 
 use crate::source::{EstimateSource, SourceError};
+
+/// Metric label for the error that caused a retry.
+fn class_label(error: &SourceError) -> &'static str {
+    match error {
+        SourceError::Platform(PlatformError::Transient(_)) => "transient",
+        SourceError::Platform(PlatformError::RateLimited { .. })
+        | SourceError::RateLimited { .. } => "rate_limited",
+        SourceError::Transport(_) => "transport",
+        SourceError::CircuitOpen { .. } => "circuit_open",
+        _ => "other",
+    }
+}
 
 /// How a [`SourceError`] should be handled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,6 +150,8 @@ pub struct ResilientSource {
     recovered: AtomicU64,
     skipped: AtomicU64,
     skipped_specs: Mutex<Vec<(TargetingSpec, String)>>,
+    recovered_total: Arc<Counter>,
+    skipped_total: Arc<Counter>,
 }
 
 /// Same std-mutex shim `budget.rs` uses: one lock is not worth a dep.
@@ -157,6 +172,7 @@ impl<T> Mutex<T> {
 impl ResilientSource {
     /// Wraps `inner` with the given policy.
     pub fn new(inner: Arc<dyn EstimateSource>, config: ResilienceConfig) -> Self {
+        let reg = Registry::global();
         ResilientSource {
             inner,
             config,
@@ -164,6 +180,8 @@ impl ResilientSource {
             recovered: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
             skipped_specs: Mutex::new(Vec::new()),
+            recovered_total: reg.counter("adcomp_recovered_total"),
+            skipped_total: reg.counter("adcomp_skipped_total"),
         }
     }
 
@@ -192,6 +210,8 @@ impl ResilientSource {
             DegradationPolicy::SkipAndRecord => {
                 let reason = error.to_string();
                 self.skipped.fetch_add(1, Ordering::Relaxed);
+                self.skipped_total.inc();
+                adcomp_obs::warn!("skipping spec after exhausted retries: {reason}");
                 self.skipped_specs
                     .lock()
                     .push((spec.clone(), reason.clone()));
@@ -213,6 +233,7 @@ impl EstimateSource for ResilientSource {
                 Ok(value) => {
                     if attempt > 0 {
                         self.recovered.fetch_add(1, Ordering::Relaxed);
+                        self.recovered_total.inc();
                     }
                     return Ok(value);
                 }
@@ -221,6 +242,12 @@ impl EstimateSource for ResilientSource {
                     ErrorClass::Retryable { retry_after } => {
                         if self.config.retry.should_retry(attempt) {
                             self.retries.fetch_add(1, Ordering::Relaxed);
+                            Registry::global()
+                                .counter_with(
+                                    "adcomp_retries_total",
+                                    &[("class", class_label(&error))],
+                                )
+                                .inc();
                             std::thread::sleep(self.config.retry.backoff(attempt, retry_after));
                             attempt += 1;
                         } else {

@@ -1,0 +1,91 @@
+//! Observability for the audit pipeline: metrics, tracing, logging.
+//!
+//! A >80 000-query measurement campaign (the paper's §3–§4 workload) is
+//! only as trustworthy as the visibility into how its queries were
+//! actually issued: retries and rate-limit waits bias latency, skipped
+//! specs bias the sample, reconnects mark the flaky stretches. This
+//! crate makes all of that observable with **zero external
+//! dependencies** (consistent with the workspace's shims policy):
+//!
+//! * [`metrics`] — lock-cheap counters, gauges, and fixed-bucket
+//!   histograms behind a [`Registry`](metrics::Registry); Prometheus
+//!   text exposition and a human-readable summary;
+//! * [`trace`] — span-based structured tracing into a bounded ring plus
+//!   an optional JSONL sink for post-hoc campaign analysis;
+//! * [`log`] — a levelled facade replacing scattered
+//!   `println!`/`eprintln!`, so `--quiet` means quiet;
+//! * [`progress`] — an every-N-queries heartbeat with injected clock
+//!   (no wall-clock reads on the hot path);
+//! * [`report`] — the end-of-run report stitching the above together;
+//! * [`clock`] — the injected-time trait shared by all of it.
+//!
+//! Every layer of the workspace reports into the global registry and
+//! tracer; `adcomp-bench` binaries snapshot them next to their TSVs.
+//!
+//! # Overhead
+//!
+//! Hot-path updates are one relaxed atomic load (the
+//! [`enabled`]/[`set_enabled`] kill switch) plus one relaxed RMW. The
+//! `obs_overhead` binary in `adcomp-bench` measures the end-to-end cost
+//! on the estimate path and records it in `BENCH_obs_overhead.json`;
+//! the budget is <5 %.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod log;
+pub mod metrics;
+pub mod progress;
+pub mod report;
+pub mod trace;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{
+    duration_us_buckets, size_buckets, Counter, Gauge, Histogram, HistogramSummary, MetricKey,
+    Registry, Snapshot,
+};
+pub use progress::ProgressReporter;
+pub use report::RunReport;
+pub use trace::{EventKind, SpanGuard, TraceEvent, Tracer};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether instrumentation is recording (true by default).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Pauses or resumes all recording. Used by the overhead baseline; a
+/// paused run skips every counter add, histogram observe, and trace
+/// emit, leaving only the relaxed load + branch you cannot avoid.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Serialises tests that toggle or depend on the global kill switch.
+#[cfg(test)]
+pub(crate) fn test_enabled_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_switch_pauses_recording() {
+        let _guard = test_enabled_lock();
+        let c = Counter::new();
+        c.inc();
+        set_enabled(false);
+        c.inc();
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 2, "the paused increment was dropped");
+    }
+}

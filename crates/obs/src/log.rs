@@ -1,0 +1,133 @@
+//! A minimal levelled logging facade.
+//!
+//! Diagnostics across the workspace route through here instead of bare
+//! `println!`/`eprintln!`, so a `--quiet` run is actually quiet: the
+//! binaries set the level once ([`set_level`]) and every layer honours
+//! it. Lines go to stderr (stdout is reserved for machine-readable TSV
+//! blocks) and, at `Warn` and above, also into the global trace ring as
+//! events — a degraded campaign leaves its warnings in the JSONL record.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered: `Error` < `Warn` < `Info` < `Debug`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The run is broken.
+    Error = 0,
+    /// The run degraded (skipped specs, low budget, sampling shortfall).
+    Warn = 1,
+    /// Progress and phase diagnostics (the default).
+    Info = 2,
+    /// Per-query noise.
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the maximum level that gets printed.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Quiet mode: only `Error` and `Warn` reach stderr.
+pub fn set_quiet(quiet: bool) {
+    set_level(if quiet { Level::Warn } else { Level::Info });
+}
+
+/// Whether `level` would currently be printed.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Logs one line at `level`. Prefer the [`info!`](crate::info),
+/// [`warn!`](crate::warn), [`error!`](crate::error) and
+/// [`debug!`](crate::debug) macros.
+pub fn log(level: Level, message: &str) {
+    if enabled(level) {
+        eprintln!("[{}] {message}", level.tag());
+    }
+    if level <= Level::Warn {
+        crate::trace::Tracer::global().event(
+            match level {
+                Level::Error => "log:error",
+                _ => "log:warn",
+            },
+            &[("message", message.to_string())],
+        );
+    }
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, &format!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, &format!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, &format!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, &format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_gate() {
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_quiet(true);
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_quiet(false);
+        assert!(enabled(Level::Info));
+    }
+
+    #[test]
+    fn warnings_land_in_the_trace_ring() {
+        let _guard = crate::test_enabled_lock();
+        crate::warn!("degraded: {} specs skipped", 3);
+        let ring = crate::trace::Tracer::global().ring_events();
+        assert!(ring.iter().any(|e| {
+            e.name == "log:warn"
+                && e.fields
+                    .iter()
+                    .any(|(k, v)| k == "message" && v.contains("3 specs skipped"))
+        }));
+    }
+}

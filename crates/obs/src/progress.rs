@@ -1,0 +1,122 @@
+//! Periodic progress reporting for long query campaigns.
+//!
+//! The paper's granularity study alone is >80 000 queries; operators
+//! need a heartbeat without a wall-clock read per query. A
+//! [`ProgressReporter`] ticks on a relaxed atomic counter — the *only*
+//! work on the hot path — and consults its injected [`Clock`] just on
+//! the every-N boundary, where it logs a line (rate included) and drops
+//! a `progress` event into the trace ring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::log::{log, Level};
+use crate::trace::Tracer;
+
+/// Emits a progress line every `every` ticks.
+pub struct ProgressReporter {
+    label: String,
+    every: u64,
+    count: AtomicU64,
+    /// Clock time at the previous report (µs), for rate computation.
+    last_report_us: AtomicU64,
+    clock: Arc<dyn Clock>,
+}
+
+impl ProgressReporter {
+    /// A reporter labelled `label`, reporting every `every` ticks on the
+    /// wall clock.
+    ///
+    /// # Panics
+    /// Panics when `every` is zero.
+    pub fn new(label: &str, every: u64) -> Self {
+        ProgressReporter::with_clock(label, every, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A reporter with an injected clock (deterministic in tests).
+    pub fn with_clock(label: &str, every: u64, clock: Arc<dyn Clock>) -> Self {
+        assert!(every > 0, "progress interval must be positive");
+        ProgressReporter {
+            label: label.to_string(),
+            every,
+            count: AtomicU64::new(0),
+            last_report_us: AtomicU64::new(clock.now().as_micros() as u64),
+            clock,
+        }
+    }
+
+    /// Ticks are cheap: one relaxed `fetch_add` plus a modulo; the clock
+    /// is only read on a reporting boundary. Returns `true` when this
+    /// tick emitted a report.
+    pub fn tick(&self) -> bool {
+        let n = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.every) {
+            return false;
+        }
+        let now_us = self.clock.now().as_micros() as u64;
+        let prev_us = self.last_report_us.swap(now_us, Ordering::Relaxed);
+        let window = Duration::from_micros(now_us.saturating_sub(prev_us));
+        let rate = if window.is_zero() {
+            f64::INFINITY
+        } else {
+            self.every as f64 / window.as_secs_f64()
+        };
+        log(
+            Level::Info,
+            &format!("{}: {n} done ({rate:.0}/s over the last {})", self.label, {
+                let secs = window.as_secs_f64();
+                if secs >= 1.0 {
+                    format!("{secs:.1}s")
+                } else {
+                    format!("{:.0}ms", secs * 1e3)
+                }
+            }),
+        );
+        Tracer::global().event(
+            "progress",
+            &[
+                ("label", self.label.clone()),
+                ("done", n.to_string()),
+                ("rate_per_s", format!("{rate:.1}")),
+            ],
+        );
+        true
+    }
+
+    /// Ticks completed so far.
+    pub fn done(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn reports_exactly_on_the_boundary() {
+        let clock = Arc::new(ManualClock::new());
+        let p = ProgressReporter::with_clock("test", 5, clock.clone());
+        crate::log::set_level(Level::Error); // keep test output clean
+        let mut reports = 0;
+        for i in 0..23 {
+            clock.advance(Duration::from_millis(10));
+            if p.tick() {
+                reports += 1;
+                assert_eq!((i + 1) % 5, 0);
+            }
+        }
+        crate::log::set_level(Level::Info);
+        assert_eq!(reports, 4, "23 ticks at every=5 gives 4 reports");
+        assert_eq!(p.done(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = ProgressReporter::new("x", 0);
+    }
+}

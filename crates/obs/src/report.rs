@@ -1,0 +1,116 @@
+//! End-of-run reporting.
+//!
+//! A [`RunReport`] assembles everything an auditor should read before
+//! trusting a campaign's numbers: the metrics summary (retries absorbed,
+//! rate-limit waits, reconnects, faults injected), the phases the trace
+//! covered, and — front and centre — the degradations that would
+//! otherwise hide in return values: skipped specs, sampling-shortfall
+//! warnings, budget near-exhaustion.
+
+use crate::metrics::Registry;
+use crate::trace::Tracer;
+
+/// A human-readable end-of-run report builder.
+#[derive(Default)]
+pub struct RunReport {
+    title: String,
+    degradations: Vec<String>,
+    notes: Vec<String>,
+}
+
+impl RunReport {
+    /// A report titled `title` (e.g. the campaign or binary name).
+    pub fn new(title: &str) -> Self {
+        RunReport {
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Records a degradation (skipped spec, shortfall, low budget) that
+    /// must not go unnoticed. These render under a ⚠ header.
+    pub fn degradation(&mut self, what: impl Into<String>) -> &mut Self {
+        self.degradations.push(what.into());
+        self
+    }
+
+    /// Records a neutral note.
+    pub fn note(&mut self, what: impl Into<String>) -> &mut Self {
+        self.notes.push(what.into());
+        self
+    }
+
+    /// Whether any degradation was recorded.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// Renders the report against the global registry and tracer.
+    pub fn render(&self) -> String {
+        self.render_with(Registry::global(), Tracer::global())
+    }
+
+    /// Renders against explicit observability state (for tests).
+    pub fn render_with(&self, registry: &Registry, tracer: &Tracer) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "═══ run report: {} ═══", self.title);
+        if self.degradations.is_empty() {
+            let _ = writeln!(out, "no degradations recorded");
+        } else {
+            let _ = writeln!(
+                out,
+                "⚠ {} degradation(s) — treat results with care:",
+                self.degradations.len()
+            );
+            for d in &self.degradations {
+                let _ = writeln!(out, "  ⚠ {d}");
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  · {n}");
+        }
+        let spans = tracer.span_names();
+        if !spans.is_empty() {
+            let _ = writeln!(out, "── phases traced ──");
+            for s in &spans {
+                let _ = writeln!(out, "  {s}");
+            }
+        }
+        out.push_str(&registry.render_report());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_degradations_and_metrics() {
+        let registry = Registry::new();
+        registry.counter("report_test_total").add(4);
+        let tracer = Tracer::new(8);
+        {
+            let _s = tracer.span("phase:one");
+        }
+        let mut report = RunReport::new("unit");
+        report.degradation("2 specs skipped");
+        report.note("seed 2020");
+        assert!(report.degraded());
+        let text = report.render_with(&registry, &tracer);
+        assert!(text.contains("run report: unit"));
+        assert!(text.contains("⚠ 2 specs skipped"));
+        assert!(text.contains("· seed 2020"));
+        assert!(text.contains("phase:one"));
+        assert!(text.contains("report_test_total"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let registry = Registry::new();
+        let tracer = Tracer::new(8);
+        let text = RunReport::new("clean").render_with(&registry, &tracer);
+        assert!(text.contains("no degradations recorded"));
+    }
+}

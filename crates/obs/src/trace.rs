@@ -1,0 +1,387 @@
+//! Span-based structured tracing.
+//!
+//! A [`Tracer`] records [`TraceEvent`]s into a bounded in-memory ring
+//! (cheap, always on, oldest events evicted first) and, when a sink is
+//! installed, appends each event as one JSON object per line — the JSONL
+//! record a campaign is analysed from after the fact.
+//!
+//! Spans follow RAII: [`Tracer::span`] emits a `span_start` event and
+//! returns a [`SpanGuard`] that emits the matching `span_end` (with
+//! `duration_us`) when dropped. Nesting is by `parent` sequence number.
+//!
+//! The JSONL schema (documented in EXPERIMENTS.md) is:
+//!
+//! ```text
+//! {"seq":12,"ts_us":51234,"kind":"span_start","name":"experiment:table1","parent":3,"fields":{...}}
+//! {"seq":19,"ts_us":99120,"kind":"span_end","name":"experiment:table1","parent":3,"fields":{"duration_us":"47886"}}
+//! {"seq":20,"ts_us":99130,"kind":"event","name":"budget:low","fields":{"remaining":"12"}}
+//! ```
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::clock::{Clock, MonotonicClock};
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed.
+    SpanEnd,
+    /// A point event.
+    Event,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// One structured trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (also the span id of a `span_start`).
+    pub seq: u64,
+    /// Microseconds since the tracer's clock epoch.
+    pub ts_us: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Event or span name, `layer:what` by convention
+    /// (`experiment:table1`, `probe:granularity`, `budget:low`).
+    pub name: String,
+    /// Enclosing span's `seq`, when nested.
+    pub parent: Option<u64>,
+    /// Free-form string fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// The event as one JSON object (the JSONL line format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "{{\"seq\":{},\"ts_us\":{},\"kind\":\"{}\",\"name\":\"{}\"",
+            self.seq,
+            self.ts_us,
+            self.kind.as_str(),
+            escape(&self.name)
+        ));
+        if let Some(p) = self.parent {
+            out.push_str(&format!(",\"parent\":{p}"));
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Sink {
+    writer: Box<dyn std::io::Write + Send>,
+}
+
+/// Records trace events into a bounded ring and an optional JSONL sink.
+pub struct Tracer {
+    clock: Box<dyn Clock>,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    sink: Mutex<Option<Sink>>,
+}
+
+/// Default ring capacity: enough for every phase of a full campaign
+/// without ever growing.
+pub const DEFAULT_RING_CAPACITY: usize = 4_096;
+
+impl Tracer {
+    /// A tracer with the given ring capacity and clock.
+    pub fn with_clock(capacity: usize, clock: Box<dyn Clock>) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Tracer {
+            clock,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// A tracer on the wall clock.
+    pub fn new(capacity: usize) -> Self {
+        Tracer::with_clock(capacity, Box::new(MonotonicClock::new()))
+    }
+
+    /// The process-wide tracer (wall clock, default capacity).
+    pub fn global() -> &'static Tracer {
+        static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+        GLOBAL.get_or_init(|| Tracer::new(DEFAULT_RING_CAPACITY))
+    }
+
+    /// Streams every subsequent event to `path` as JSON lines
+    /// (truncating an existing file). Returns the previous sink's
+    /// presence for curiosity's sake.
+    pub fn install_jsonl(&self, path: &Path) -> std::io::Result<bool> {
+        let file = std::fs::File::create(path)?;
+        let old = self
+            .lock_sink()
+            .replace(Sink {
+                writer: Box::new(std::io::BufWriter::new(file)),
+            })
+            .is_some();
+        Ok(old)
+    }
+
+    /// Stops streaming to the JSONL sink, flushing it.
+    pub fn remove_sink(&self) {
+        if let Some(mut sink) = self.lock_sink().take() {
+            let _ = sink.writer.flush();
+        }
+    }
+
+    /// Flushes the JSONL sink without removing it.
+    pub fn flush(&self) {
+        if let Some(sink) = self.lock_sink().as_mut() {
+            let _ = sink.writer.flush();
+        }
+    }
+
+    fn lock_sink(&self) -> std::sync::MutexGuard<'_, Option<Sink>> {
+        self.sink
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lock_ring(&self) -> std::sync::MutexGuard<'_, VecDeque<TraceEvent>> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn emit(
+        &self,
+        kind: EventKind,
+        name: &str,
+        parent: Option<u64>,
+        fields: &[(&str, String)],
+    ) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if !crate::enabled() {
+            return seq;
+        }
+        let event = TraceEvent {
+            seq,
+            ts_us: self.clock.now().as_micros() as u64,
+            kind,
+            name: name.to_string(),
+            parent,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        if let Some(sink) = self.lock_sink().as_mut() {
+            let _ = writeln!(sink.writer, "{}", event.to_json());
+        }
+        let mut ring = self.lock_ring();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+        seq
+    }
+
+    /// Records a point event.
+    pub fn event(&self, name: &str, fields: &[(&str, String)]) {
+        self.emit(EventKind::Event, name, None, fields);
+    }
+
+    /// Opens a span; the returned guard closes it on drop.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.span_with(name, &[])
+    }
+
+    /// Opens a span with fields.
+    pub fn span_with(&self, name: &str, fields: &[(&str, String)]) -> SpanGuard<'_> {
+        let start = self.clock.now();
+        let seq = self.emit(EventKind::SpanStart, name, None, fields);
+        SpanGuard {
+            tracer: self,
+            name: name.to_string(),
+            seq,
+            start,
+        }
+    }
+
+    /// A copy of the ring's current contents, oldest first.
+    pub fn ring_events(&self) -> Vec<TraceEvent> {
+        self.lock_ring().iter().cloned().collect()
+    }
+
+    /// Span names seen in the ring (`span_start` events), oldest first,
+    /// deduplicated — "did the trace cover phase X?" in one call.
+    pub fn span_names(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut names = Vec::new();
+        for e in self.lock_ring().iter() {
+            if e.kind == EventKind::SpanStart && seen.insert(e.name.clone()) {
+                names.push(e.name.clone());
+            }
+        }
+        names
+    }
+}
+
+/// Closes its span (emitting `span_end` with `duration_us`) on drop.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    seq: u64,
+    start: std::time::Duration,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id (its `span_start` sequence number).
+    pub fn id(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let duration = self.tracer.clock.now().saturating_sub(self.start);
+        self.tracer.emit(
+            EventKind::SpanEnd,
+            &self.name,
+            Some(self.seq),
+            &[("duration_us", (duration.as_micros() as u64).to_string())],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn manual_tracer(capacity: usize) -> (Tracer, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        struct Shared(Arc<ManualClock>);
+        impl Clock for Shared {
+            fn now(&self) -> Duration {
+                self.0.now()
+            }
+        }
+        (
+            Tracer::with_clock(capacity, Box::new(Shared(clock.clone()))),
+            clock,
+        )
+    }
+
+    #[test]
+    fn spans_nest_and_report_duration() {
+        let (tracer, clock) = manual_tracer(16);
+        {
+            let _outer = tracer.span("outer");
+            clock.advance(Duration::from_micros(250));
+            tracer.event("ping", &[("k", "v".to_string())]);
+            clock.advance(Duration::from_micros(750));
+        }
+        let events = tracer.ring_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[1].kind, EventKind::Event);
+        assert_eq!(events[2].kind, EventKind::SpanEnd);
+        assert_eq!(events[2].parent, Some(events[0].seq));
+        assert_eq!(
+            events[2].fields,
+            vec![("duration_us".to_string(), "1000".to_string())]
+        );
+        assert_eq!(tracer.span_names(), vec!["outer".to_string()]);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let (tracer, _) = manual_tracer(3);
+        for i in 0..10 {
+            tracer.event(&format!("e{i}"), &[]);
+        }
+        let events = tracer.ring_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "e7", "oldest evicted first");
+        assert_eq!(events[2].name, "e9");
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_and_escaped() {
+        let e = TraceEvent {
+            seq: 7,
+            ts_us: 1234,
+            kind: EventKind::Event,
+            name: "with \"quotes\"\nand newline".to_string(),
+            parent: Some(3),
+            fields: vec![("path".to_string(), "a\\b".to_string())],
+        };
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            "{\"seq\":7,\"ts_us\":1234,\"kind\":\"event\",\
+             \"name\":\"with \\\"quotes\\\"\\nand newline\",\"parent\":3,\
+             \"fields\":{\"path\":\"a\\\\b\"}}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_receives_every_event() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("adcomp-obs-trace-{}.jsonl", std::process::id()));
+        let (tracer, _) = manual_tracer(8);
+        tracer.install_jsonl(&path).unwrap();
+        {
+            let _span = tracer.span("phase");
+            tracer.event("inside", &[]);
+        }
+        tracer.remove_sink();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"span_start\""));
+        assert!(lines[1].contains("\"name\":\"inside\""));
+        assert!(lines[2].contains("\"duration_us\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

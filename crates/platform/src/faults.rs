@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use adcomp_obs::metrics::{Counter, Registry};
 use adcomp_targeting::TargetingSpec;
 use parking_lot::Mutex;
 
@@ -210,16 +211,26 @@ pub struct FaultyPlatform {
     plan: FaultPlan,
     calls: AtomicU64,
     injected: Mutex<FaultStats>,
+    /// `adcomp_faults_injected_total{kind}` handles, one per platform-level
+    /// fault kind, resolved at construction.
+    injected_total: [Arc<Counter>; 5],
 }
+
+/// Index into [`FaultyPlatform::injected_total`] per fault kind.
+const FAULT_KINDS: [&str; 5] = ["transient", "rate_limit", "latency", "noise", "drift"];
 
 impl FaultyPlatform {
     /// Wraps `inner` behind `plan`.
     pub fn new(inner: Arc<AdPlatform>, plan: FaultPlan) -> Self {
+        let injected_total = FAULT_KINDS.map(|kind| {
+            Registry::global().counter_with("adcomp_faults_injected_total", &[("kind", kind)])
+        });
         FaultyPlatform {
             inner,
             plan,
             calls: AtomicU64::new(0),
             injected: Mutex::new(FaultStats::default()),
+            injected_total,
         }
     }
 
@@ -258,23 +269,27 @@ impl PlatformApi for FaultyPlatform {
         match self.plan.action_at(index) {
             Some(FaultKind::Transient) => {
                 self.injected.lock().transient += 1;
+                self.injected_total[0].inc();
                 Err(PlatformError::Transient(format!(
                     "injected transient fault at call #{index}"
                 )))
             }
             Some(FaultKind::RateLimit { retry_after }) => {
                 self.injected.lock().rate_limited += 1;
+                self.injected_total[1].inc();
                 self.inner.note_rate_limited();
                 Err(PlatformError::RateLimited { retry_after })
             }
             Some(FaultKind::Latency(delay)) => {
                 self.injected.lock().delayed += 1;
+                self.injected_total[2].inc();
                 std::thread::sleep(delay);
                 self.inner.reach_estimate(request)
             }
             Some(FaultKind::Noise { amplitude }) => {
                 let est = self.inner.reach_estimate(request)?;
                 self.injected.lock().perturbed += 1;
+                self.injected_total[3].inc();
                 let perturbed = est.value as f64 * self.plan.noise_factor(index, amplitude);
                 Ok(SizeEstimate {
                     value: self
@@ -287,6 +302,7 @@ impl PlatformApi for FaultyPlatform {
             Some(FaultKind::Drift { rate }) => {
                 let est = self.inner.reach_estimate(request)?;
                 self.injected.lock().perturbed += 1;
+                self.injected_total[4].inc();
                 let drifted = est.value as f64 * (1.0 + rate * index as f64);
                 Ok(SizeEstimate {
                     value: self

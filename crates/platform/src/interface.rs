@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adcomp_bitset::Bitset;
+use adcomp_obs::metrics::{size_buckets, Counter, Histogram, Registry};
 use adcomp_population::Universe;
 use adcomp_targeting::{
     evaluate, validate, AttributeId, AttributeResolver, Capabilities, EvalError, TargetingSpec,
@@ -139,6 +140,35 @@ impl From<EvalError> for PlatformError {
     }
 }
 
+/// Per-platform instrument handles, resolved once at construction so the
+/// estimate hot path never touches the registry mutex.
+struct PlatformMetrics {
+    estimates: Arc<Counter>,
+    validation_failures: Arc<Counter>,
+    rate_limited: Arc<Counter>,
+    rounding_applied: Arc<Counter>,
+    estimate_size: Arc<Histogram>,
+}
+
+impl PlatformMetrics {
+    fn for_kind(kind: InterfaceKind) -> Self {
+        let reg = Registry::global();
+        let labels: &[(&str, &str)] = &[("platform", kind.label())];
+        PlatformMetrics {
+            estimates: reg.counter_with("adcomp_platform_estimates_total", labels),
+            validation_failures: reg
+                .counter_with("adcomp_platform_validation_failures_total", labels),
+            rate_limited: reg.counter_with("adcomp_platform_rate_limited_total", labels),
+            rounding_applied: reg.counter_with("adcomp_platform_rounding_applied_total", labels),
+            estimate_size: reg.histogram_with(
+                "adcomp_platform_estimate_size",
+                labels,
+                size_buckets(),
+            ),
+        }
+    }
+}
+
 /// One simulated advertising platform interface.
 pub struct AdPlatform {
     config: PlatformConfig,
@@ -150,6 +180,7 @@ pub struct AdPlatform {
     /// parent interface.
     parent_ids: Option<Vec<AttributeId>>,
     stats: Mutex<QueryStats>,
+    metrics: PlatformMetrics,
 }
 
 impl AdPlatform {
@@ -167,6 +198,7 @@ impl AdPlatform {
             .map(|e| universe.materialize(&e.model))
             .collect();
         AdPlatform {
+            metrics: PlatformMetrics::for_kind(config.kind),
             config,
             universe,
             catalog,
@@ -202,6 +234,7 @@ impl AdPlatform {
             })
             .collect();
         AdPlatform {
+            metrics: PlatformMetrics::for_kind(config.kind),
             config,
             universe: parent.universe.clone(),
             catalog,
@@ -227,6 +260,7 @@ impl AdPlatform {
         }
         if let Err(e) = validate(&request.spec, &self.config.capabilities, &self.catalog) {
             self.stats.lock().validation_failures += 1;
+            self.metrics.validation_failures.inc();
             return Err(e.into());
         }
         let audience = evaluate(self, &request.spec)?;
@@ -235,8 +269,15 @@ impl AdPlatform {
             value *= request.frequency_cap.impressions_multiplier();
         }
         self.stats.lock().estimates += 1;
+        let raw = value.round() as u64;
+        let rounded = self.config.rounding.apply(raw);
+        self.metrics.estimates.inc();
+        self.metrics.estimate_size.observe(rounded);
+        if rounded != raw {
+            self.metrics.rounding_applied.inc();
+        }
         Ok(SizeEstimate {
-            value: self.config.rounding.apply(value.round() as u64),
+            value: rounded,
             kind: self.config.estimate_kind,
         })
     }
@@ -285,6 +326,7 @@ impl AdPlatform {
     /// Record a rate-limited request (called by the serving layer).
     pub fn note_rate_limited(&self) {
         self.stats.lock().rate_limited += 1;
+        self.metrics.rate_limited.inc();
     }
 
     // ------------------------------------------------------------------

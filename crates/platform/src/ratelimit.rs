@@ -6,9 +6,25 @@
 //! limiter (enforced by the wire service) and per-endpoint query counters
 //! that experiments report alongside their results.
 
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use adcomp_obs::metrics::{duration_us_buckets, Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
+
+/// Queries denied by the token bucket, process-wide.
+fn denied_total() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("adcomp_ratelimit_denied_total"))
+}
+
+/// Advertised back-off on denial (what a well-behaved client waits).
+fn wait_us() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        Registry::global().histogram("adcomp_ratelimit_wait_us", duration_us_buckets())
+    })
+}
 
 /// Token bucket with explicit time injection (deterministic in tests).
 #[derive(Clone, Debug)]
@@ -54,6 +70,8 @@ impl TokenBucket {
             self.tokens -= 1.0;
             true
         } else {
+            denied_total().inc();
+            wait_us().observe_duration(self.retry_after(now));
             false
         }
     }
@@ -141,6 +159,17 @@ mod tests {
         let mut b = TokenBucket::new(1.0, 1.0);
         let _ = b.try_acquire(at(100));
         let _ = b.try_acquire(at(50));
+    }
+
+    #[test]
+    fn denials_are_counted() {
+        let denied_before = denied_total().get();
+        let waits_before = wait_us().count();
+        let mut b = TokenBucket::new(10.0, 1.0);
+        assert!(b.try_acquire(at(0)));
+        assert!(!b.try_acquire(at(0)));
+        assert!(denied_total().get() > denied_before);
+        assert!(wait_us().count() > waits_before);
     }
 
     #[test]

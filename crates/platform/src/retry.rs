@@ -14,7 +14,27 @@
 //! arbitrary epoch, so every schedule is reproducible in tests without a
 //! clock.
 
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use adcomp_obs::metrics::{Counter, Registry};
+
+/// `adcomp_circuit_transitions_total{to}` — every breaker in the process
+/// reports into the same three counters (breakers are plentiful and
+/// short-lived; what matters operationally is how often the fleet trips).
+fn transitions_to(state: &'static str) -> &'static Counter {
+    static OPEN: OnceLock<Arc<Counter>> = OnceLock::new();
+    static HALF_OPEN: OnceLock<Arc<Counter>> = OnceLock::new();
+    static CLOSED: OnceLock<Arc<Counter>> = OnceLock::new();
+    let cell = match state {
+        "open" => &OPEN,
+        "half_open" => &HALF_OPEN,
+        _ => &CLOSED,
+    };
+    cell.get_or_init(|| {
+        Registry::global().counter_with("adcomp_circuit_transitions_total", &[("to", state)])
+    })
+}
 
 /// SplitMix64 — the same deterministic mixer the audit RNG seeds with.
 fn mix(seed: u64) -> u64 {
@@ -172,6 +192,7 @@ impl CircuitBreaker {
                     Err(self.cooldown)
                 } else {
                     self.probing = true;
+                    transitions_to("half_open").inc();
                     Ok(())
                 }
             }
@@ -182,7 +203,9 @@ impl CircuitBreaker {
     /// Records a successful request: closes the circuit.
     pub fn record_success(&mut self) {
         self.consecutive_failures = 0;
-        self.open_until = None;
+        if self.open_until.take().is_some() {
+            transitions_to("closed").inc();
+        }
         self.probing = false;
     }
 
@@ -194,6 +217,7 @@ impl CircuitBreaker {
         if self.probing || self.consecutive_failures >= self.threshold {
             self.open_until = Some(now + self.cooldown);
             self.probing = false;
+            transitions_to("open").inc();
         }
     }
 

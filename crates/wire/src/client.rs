@@ -20,8 +20,10 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use adcomp_obs::metrics::{duration_us_buckets, Counter, Histogram, Registry};
 use adcomp_platform::{CircuitBreaker, RetryPolicy};
 use adcomp_targeting::TargetingSpec;
 use parking_lot::Mutex;
@@ -146,6 +148,44 @@ pub struct InterfaceDescription {
     pub impressions: bool,
 }
 
+/// Transport instrument handles, resolved once per client.
+struct ClientMetrics {
+    /// Round-trip time of successful exchanges.
+    rtt_us: Arc<Histogram>,
+    /// Connections re-opened after a transport teardown (the initial
+    /// connect is not counted).
+    reconnects: Arc<Counter>,
+    /// Transport-level retries, by reason.
+    retries_rate_limited: Arc<Counter>,
+    retries_transport: Arc<Counter>,
+    /// Timed-out operations, by phase.
+    timeouts_connect: Arc<Counter>,
+    timeouts_io: Arc<Counter>,
+}
+
+impl ClientMetrics {
+    fn resolve() -> Self {
+        let reg = Registry::global();
+        ClientMetrics {
+            rtt_us: reg.histogram("adcomp_wire_rtt_us", duration_us_buckets()),
+            reconnects: reg.counter("adcomp_wire_reconnects_total"),
+            retries_rate_limited: reg
+                .counter_with("adcomp_wire_retries_total", &[("reason", "rate_limited")]),
+            retries_transport: reg
+                .counter_with("adcomp_wire_retries_total", &[("reason", "transport")]),
+            timeouts_connect: reg.counter_with("adcomp_wire_timeouts_total", &[("op", "connect")]),
+            timeouts_io: reg.counter_with("adcomp_wire_timeouts_total", &[("op", "io")]),
+        }
+    }
+}
+
+fn is_timeout(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
 /// A blocking protocol client. Internally synchronised, so it can be
 /// shared behind an `Arc` by a multi-threaded audit.
 pub struct Client {
@@ -155,6 +195,7 @@ pub struct Client {
     breaker: Mutex<CircuitBreaker>,
     /// Epoch for the breaker's injected clock.
     epoch: Instant,
+    metrics: ClientMetrics,
 }
 
 struct Conn {
@@ -187,6 +228,7 @@ impl Client {
             conn: Mutex::new(None),
             breaker: Mutex::new(breaker),
             epoch: Instant::now(),
+            metrics: ClientMetrics::resolve(),
         };
         // Fail fast on an unreachable endpoint, as `connect` always did.
         let conn = client.open_conn()?;
@@ -213,7 +255,12 @@ impl Client {
                         writer,
                     });
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => {
+                    if is_timeout(e.kind()) {
+                        self.metrics.timeouts_connect.inc();
+                    }
+                    last_err = Some(e);
+                }
             }
         }
         Err(last_err.expect("addrs is non-empty"))
@@ -225,16 +272,27 @@ impl Client {
         let mut guard = self.conn.lock();
         if guard.is_none() {
             *guard = Some(self.open_conn().map_err(FrameError::Io)?);
+            self.metrics.reconnects.inc();
         }
         let conn = guard.as_mut().expect("connection just ensured");
+        let started = Instant::now();
         let result = (|| {
             write_frame(&mut conn.writer, &to_bytes(request))?;
             let payload = read_frame(&mut conn.reader)?;
             Ok(from_bytes::<Response>(&payload)?)
         })();
-        if matches!(result, Err(ClientError::Transport(_))) {
-            // Tear down so the next attempt reconnects.
-            *guard = None;
+        match &result {
+            Ok(_) => self.metrics.rtt_us.observe_duration(started.elapsed()),
+            Err(ClientError::Transport(e)) => {
+                if let FrameError::Io(io) = e {
+                    if is_timeout(io.kind()) {
+                        self.metrics.timeouts_io.inc();
+                    }
+                }
+                // Tear down so the next attempt reconnects.
+                *guard = None;
+            }
+            Err(_) => {}
         }
         result
     }
@@ -259,6 +317,7 @@ impl Client {
                     // The endpoint is alive — a throttle is not a fault.
                     self.breaker.lock().record_success();
                     if self.config.retry.should_retry(attempt) {
+                        self.metrics.retries_rate_limited.inc();
                         std::thread::sleep(self.config.retry.backoff(attempt, retry_after));
                         attempt += 1;
                     } else {
@@ -276,6 +335,7 @@ impl Client {
                 Err(ClientError::Transport(e)) => {
                     self.breaker.lock().record_failure(self.now());
                     if self.config.retry.should_retry(attempt) {
+                        self.metrics.retries_transport.inc();
                         std::thread::sleep(self.config.retry.backoff(attempt, None));
                         attempt += 1;
                     } else {

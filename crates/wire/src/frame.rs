@@ -6,10 +6,29 @@
 //! classic framing pitfall.
 
 use std::io::{Read, Write};
+use std::sync::{Arc, OnceLock};
+
+use adcomp_obs::metrics::{Counter, Registry};
 
 /// Upper bound on a frame payload (1 MiB — far above any protocol
 /// message, far below trouble).
 pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// `(frames, bytes)` counters for one direction of the wire. Both client
+/// and server go through [`write_frame`]/[`read_frame`], so these count
+/// process-wide traffic ("out" = frames written, "in" = frames read).
+fn traffic(dir: &'static str) -> &'static (Arc<Counter>, Arc<Counter>) {
+    static IN: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    static OUT: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    let cell = if dir == "in" { &IN } else { &OUT };
+    cell.get_or_init(|| {
+        let reg = Registry::global();
+        (
+            reg.counter_with("adcomp_wire_frames_total", &[("dir", dir)]),
+            reg.counter_with("adcomp_wire_bytes_total", &[("dir", dir)]),
+        )
+    })
+}
 
 /// Framing failures.
 #[derive(Debug)]
@@ -57,6 +76,9 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), Frame
     writer.write_all(&(payload.len() as u32).to_be_bytes())?;
     writer.write_all(payload)?;
     writer.flush()?;
+    let (frames, bytes) = traffic("out");
+    frames.inc();
+    bytes.add(4 + payload.len() as u64);
     Ok(())
 }
 
@@ -75,6 +97,9 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
     }
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload)?;
+    let (frames, bytes) = traffic("in");
+    frames.inc();
+    bytes.add(4 + u64::from(len));
     Ok(payload)
 }
 

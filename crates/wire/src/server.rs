@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use adcomp_obs::metrics::{Counter, Registry};
 use adcomp_platform::{
     EstimateRequest, FaultKind, FaultPlan, PlatformApi, PlatformError, TokenBucket,
 };
@@ -218,6 +219,17 @@ pub fn serve(
 
 type SharedLimiter = Arc<Mutex<(TokenBucket, Instant)>>;
 
+/// `adcomp_wire_requests_total{kind}` — requests dispatched to the
+/// platform, by request kind.
+fn requests_total(kind: &'static str) -> Arc<Counter> {
+    Registry::global().counter_with("adcomp_wire_requests_total", &[("kind", kind)])
+}
+
+/// Connections killed by the transport fault hook.
+fn conn_drops_total() -> Arc<Counter> {
+    Registry::global().counter("adcomp_wire_conn_drops_total")
+}
+
 fn handle_connection(
     stream: TcpStream,
     platform: Arc<dyn PlatformApi>,
@@ -241,8 +253,12 @@ fn handle_connection(
         if let Some(hook) = &fault_hook {
             let index = request_counter.fetch_add(1, Ordering::SeqCst);
             match hook.fault_for(index) {
-                Some(ConnectionFault::Drop) => return Ok(()),
+                Some(ConnectionFault::Drop) => {
+                    conn_drops_total().inc();
+                    return Ok(());
+                }
                 Some(ConnectionFault::DropMidFrame) => {
+                    conn_drops_total().inc();
                     // Promise a frame, deliver half of it, hang up.
                     writer.write_all(&64u32.to_be_bytes())?;
                     writer.write_all(&[0u8; 16])?;
@@ -285,6 +301,15 @@ fn handle_connection(
 }
 
 fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
+    requests_total(match &request {
+        Request::Describe => "describe",
+        Request::AttributeInfo { .. } => "attribute_info",
+        Request::Check { .. } => "check",
+        Request::Estimate { .. } => "estimate",
+        Request::CatalogPage { .. } => "catalog_page",
+        Request::Stats => "stats",
+    })
+    .inc();
     match request {
         Request::Describe => {
             let caps = &platform.config().capabilities;

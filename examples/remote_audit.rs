@@ -9,12 +9,21 @@
 //! that injects transient errors, rate limits, and dropped connections —
 //! and survives a mid-probe "crash" by resuming from a checkpoint.
 //!
+//! The whole run is observable: a JSONL trace of every phase streams to
+//! `results/remote_audit_trace.jsonl`, the global metrics registry is
+//! dumped to `results/remote_audit_metrics.prom` (with the retry,
+//! rate-limit, and reconnect counters the fault plan must have moved),
+//! and an end-of-run report prints what degraded.
+//!
 //! ```text
 //! cargo run --release --example remote_audit
 //! ```
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
+
+use adcomp_obs::{Registry, RunReport, Tracer};
 
 use discrimination_via_composition::audit::{
     rank_individuals, survey_individuals, top_compositions, AuditTarget, Direction,
@@ -29,6 +38,13 @@ use discrimination_via_composition::wire::{serve, ClientConfig, FaultPlanHook, S
 use discrimination_via_composition::RemoteSource;
 
 fn main() {
+    // Stream the structured trace to disk for post-hoc analysis.
+    std::fs::create_dir_all("results").expect("results dir");
+    let trace_path = Path::new("results/remote_audit_trace.jsonl");
+    Tracer::global()
+        .install_jsonl(trace_path)
+        .expect("install trace sink");
+
     let sim = Simulation::build(2020, SimScale::Test);
 
     // Serve LinkedIn on a loopback socket with polite rate limiting.
@@ -49,13 +65,19 @@ fn main() {
     let target = AuditTarget::direct(remote);
 
     let male = SensitiveClass::Gender(Gender::Male);
-    let survey = survey_individuals(&target).expect("remote survey");
+    let survey = {
+        let _span = Tracer::global().span("remote:survey");
+        survey_individuals(&target).expect("remote survey")
+    };
     let cfg = DiscoveryConfig {
         top_k: 30,
         ..DiscoveryConfig::default()
     };
     let ranked = rank_individuals(&survey, male, Direction::Toward, cfg.min_reach);
-    let top = top_compositions(&target, &survey, &ranked, &cfg).expect("remote discovery");
+    let top = {
+        let _span = Tracer::global().span("remote:discovery");
+        top_compositions(&target, &survey, &ranked, &cfg).expect("remote discovery")
+    };
 
     println!("\ntop male-skewed compositions discovered over the wire:");
     for comp in top.iter().take(5) {
@@ -92,6 +114,7 @@ fn main() {
     // resilient client stack retries through all of it, and a checkpoint
     // file turns a hard kill into a resume.
     println!("\n--- fault injection ---");
+    let fault_span = Tracer::global().span("remote:fault_probe");
     let plan = FaultPlan::new(7)
         .with(
             FaultKind::Transient,
@@ -159,4 +182,60 @@ fn main() {
     );
     let _ = std::fs::remove_file(&ckpt);
     handle.shutdown();
+    drop(fault_span);
+
+    // ── Part 3: the observability record of everything above. ───────────
+    //
+    // The fault plan must have left its marks in the global registry:
+    // retries absorbed by the resilience layer, rate-limited calls the
+    // wire client waited out, and reconnects after dropped connections.
+    let registry = Registry::global();
+    let metrics_path = Path::new("results/remote_audit_metrics.prom");
+    std::fs::write(metrics_path, registry.render_prometheus()).expect("write metrics dump");
+
+    let snap = registry.snapshot();
+    let retries = snap.counter("adcomp_retries_total");
+    let rate_limited = snap.counter("adcomp_wire_retries_total");
+    let reconnects = snap.counter("adcomp_wire_reconnects_total");
+    assert!(
+        retries > 0,
+        "fault plan must have forced resilience retries"
+    );
+    assert!(
+        reconnects > 0,
+        "dropped connections must have forced reconnects"
+    );
+    println!(
+        "\nobservability: {retries} resilience retries, {rate_limited} wire retries, \
+         {reconnects} reconnects recorded"
+    );
+
+    Tracer::global().flush();
+    let trace = std::fs::read_to_string(trace_path).expect("read trace");
+    for phase in [
+        "remote:survey",
+        "remote:discovery",
+        "remote:fault_probe",
+        "probe:granularity",
+    ] {
+        assert!(
+            trace.contains(phase),
+            "JSONL trace must cover phase {phase}"
+        );
+    }
+    println!(
+        "trace: {} events across all phases → {}",
+        trace.lines().count(),
+        trace_path.display()
+    );
+    println!("metrics dump → {}", metrics_path.display());
+
+    let mut report = RunReport::new("remote_audit");
+    let skipped = snap.counter("adcomp_skipped_total");
+    if skipped > 0 {
+        report.degradation(format!("{skipped} spec(s) skipped after exhausted retries"));
+    }
+    report.note(format!("{} injected faults survived", injected.total()));
+    report.note(format!("trace: {}", trace_path.display()));
+    print!("\n{}", report.render());
 }
