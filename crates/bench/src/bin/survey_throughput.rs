@@ -1,0 +1,160 @@
+//! Measures audit survey throughput in three execution modes and records
+//! the verdict in `BENCH_survey_throughput.json`.
+//!
+//! The workload is [`survey_individuals`] — the base-population query
+//! plus one constrained estimate per catalog attribute, the opening move
+//! of every discovery experiment. It runs three ways:
+//!
+//! 1. **serial** — the plain in-process [`AuditTarget`], one query at a
+//!    time (the pre-engine baseline);
+//! 2. **pooled** — the same target with a 4-worker [`QueryEngine`]
+//!    attached, so the one survey batch fans out across threads;
+//! 3. **wire** — the pooled target pointed at a loopback wire server
+//!    through [`RemoteSource`], whose pipelined `estimate_batch` keeps a
+//!    window of tagged requests in flight per round-trip.
+//!
+//! All three modes must produce byte-identical surveys (asserted here,
+//! not just in the test suite). The budget is an in-process pooled
+//! speedup of **≥ 2×** at 4 workers; the binary exits non-zero below it,
+//! so CI can gate on it. The floor is only enforceable where the
+//! hardware can express parallelism: on a machine with fewer than two
+//! available threads no pool can beat serial, so the verdict records
+//! `floor_enforced: false` and passes (the numbers are still written).
+//! The wire mode is recorded for the report but not gated — loopback
+//! TCP cost is environment noise CI should not fail on.
+//!
+//! Also recorded: the per-query cost of cloning a `TargetingSpec`, i.e.
+//! the allocation that `EstimateRequest::borrowed` (`Cow`) now avoids on
+//! the platform hot path.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use adcomp_bench::{context, say, Cli};
+use adcomp_core::{
+    survey_individuals, AuditTarget, EngineConfig, IndividualSurvey, QueryEngine, QUERIES_PER_SPEC,
+};
+use adcomp_platform::InterfaceKind;
+use adcomp_targeting::{AttributeId, TargetingSpec};
+use adcomp_wire::{serve, ServerConfig};
+use discrimination_via_composition::RemoteSource;
+
+/// Timed passes per mode (best-of).
+const ROUNDS: usize = 5;
+/// Engine worker threads — the size the speedup floor is defined at.
+const WORKERS: usize = 4;
+/// Required in-process pooled speedup over serial.
+const THRESHOLD_SPEEDUP: f64 = 2.0;
+
+/// Best-of-`ROUNDS` wall seconds for one full survey, plus the survey
+/// itself (for cross-mode equality checks) and the query count.
+fn measure_mode(target: &AuditTarget) -> (f64, IndividualSurvey, u64) {
+    let survey = survey_individuals(target).expect("survey"); // warm-up
+    let ops = (survey.entries.len() as u64 + 1) * QUERIES_PER_SPEC as u64; // (attrs + base) × 7
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let pass = survey_individuals(target).expect("survey");
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(pass.entries, survey.entries, "survey must be stable");
+    }
+    (best, survey, ops)
+}
+
+/// Best-of-`ROUNDS` ns per `TargetingSpec::clone` — the allocation the
+/// `Cow`-borrowing `EstimateRequest` removes from each estimate query.
+fn clone_cost_ns(catalog_len: u32) -> f64 {
+    let specs: Vec<TargetingSpec> = (0..catalog_len)
+        .map(|id| TargetingSpec::and_of([AttributeId(id)]))
+        .collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for spec in &specs {
+            std::hint::black_box(spec.clone());
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / specs.len() as f64);
+    }
+    best
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = context(cli);
+    let serial_target = ctx.target(InterfaceKind::FacebookNormal);
+    let engine = Arc::new(QueryEngine::new(EngineConfig::with_workers(WORKERS)));
+    let pooled_target = serial_target.with_engine(engine.clone());
+
+    // The same platform behind a loopback wire server, queried through
+    // the pipelined client by the same engine.
+    let handle = serve(
+        ctx.simulation.facebook.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default().with_executors(WORKERS),
+    )
+    .expect("loopback server");
+    let remote = Arc::new(RemoteSource::connect(handle.addr()).expect("connect"));
+    let wire_target = AuditTarget::direct(remote).with_engine(engine);
+
+    let (serial_s, serial_survey, ops) = measure_mode(&serial_target);
+    let (pooled_s, pooled_survey, _) = measure_mode(&pooled_target);
+    let (wire_s, wire_survey, _) = measure_mode(&wire_target);
+    handle.shutdown();
+
+    assert_eq!(
+        serial_survey.entries, pooled_survey.entries,
+        "pooled survey must be bit-identical to serial"
+    );
+    assert_eq!(
+        serial_survey.entries, wire_survey.entries,
+        "wire survey must be bit-identical to serial"
+    );
+
+    let qps = |s: f64| ops as f64 / s;
+    let speedup_pooled = serial_s / pooled_s;
+    let speedup_wire = serial_s / wire_s;
+    let avoided_clone_ns = clone_cost_ns(serial_survey.entries.len() as u32);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let floor_enforced = hardware_threads >= 2;
+    let pass = !floor_enforced || speedup_pooled >= THRESHOLD_SPEEDUP;
+
+    let json = format!(
+        "{{\n  \"bench\": \"survey_throughput\",\n  \"queries_per_pass\": {ops},\n  \
+         \"rounds\": {ROUNDS},\n  \"workers\": {WORKERS},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"serial_s\": {serial_s:.4},\n  \"pooled_s\": {pooled_s:.4},\n  \
+         \"wire_pipelined_s\": {wire_s:.4},\n  \
+         \"serial_qps\": {:.0},\n  \"pooled_qps\": {:.0},\n  \
+         \"wire_pipelined_qps\": {:.0},\n  \
+         \"speedup_pooled\": {speedup_pooled:.2},\n  \
+         \"speedup_wire\": {speedup_wire:.2},\n  \
+         \"threshold_speedup\": {THRESHOLD_SPEEDUP:.1},\n  \
+         \"floor_enforced\": {floor_enforced},\n  \
+         \"avoided_clone_ns_per_query\": {avoided_clone_ns:.1},\n  \
+         \"pass\": {pass}\n}}\n",
+        qps(serial_s),
+        qps(pooled_s),
+        qps(wire_s),
+    );
+    std::fs::write("BENCH_survey_throughput.json", &json)
+        .expect("write BENCH_survey_throughput.json");
+    say!("{json}");
+    adcomp_obs::info!(
+        "survey throughput: pooled {speedup_pooled:.2}x, wire {speedup_wire:.2}x over serial \
+         ({ops} queries/pass, floor {THRESHOLD_SPEEDUP}x at {WORKERS} workers)"
+    );
+    if !floor_enforced {
+        adcomp_obs::warn!(
+            "only {hardware_threads} hardware thread(s) available; the {THRESHOLD_SPEEDUP}x \
+             speedup floor cannot be enforced on this machine"
+        );
+    }
+    if !pass {
+        adcomp_obs::error!(
+            "pooled speedup {speedup_pooled:.2}x is below the {THRESHOLD_SPEEDUP}x floor"
+        );
+        std::process::exit(1);
+    }
+}

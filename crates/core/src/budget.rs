@@ -15,27 +15,8 @@ use std::time::{Duration, Instant};
 
 use adcomp_obs::metrics::{Counter, Gauge, Registry};
 use adcomp_targeting::{AttributeId, FeatureId, TargetingSpec};
-use parking_lot_lite::Mutex;
 
 use crate::source::{EstimateSource, SourceError};
-
-/// Minimal mutex shim so this crate does not grow a dependency for one
-/// lock (std's poisoning is irrelevant here: we recover the inner value).
-mod parking_lot_lite {
-    pub struct Mutex<T>(std::sync::Mutex<T>);
-
-    impl<T> Mutex<T> {
-        pub fn new(value: T) -> Self {
-            Mutex(std::sync::Mutex::new(value))
-        }
-
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-        }
-    }
-}
 
 /// Budget parameters.
 #[derive(Clone, Copy, Debug)]
@@ -74,7 +55,12 @@ pub struct BudgetedSource {
     inner: Arc<dyn EstimateSource>,
     budget: QueryBudget,
     used: AtomicU64,
-    last: Mutex<Option<Instant>>,
+    /// Pacing epoch; `next_slot` is nanoseconds past this instant.
+    epoch: Instant,
+    /// Next free issue slot, reserved by CAS so concurrent callers each
+    /// get a distinct slot `min_interval` apart and sleep without holding
+    /// any lock.
+    next_slot: AtomicU64,
     /// The low-budget warning fired (once per source).
     warned: AtomicBool,
     /// `adcomp_budget_remaining` — queries left before the cap (finite
@@ -91,7 +77,8 @@ impl BudgetedSource {
             inner,
             budget,
             used: AtomicU64::new(0),
-            last: Mutex::new(None),
+            epoch: Instant::now(),
+            next_slot: AtomicU64::new(0),
             warned: AtomicBool::new(false),
             remaining_gauge: reg.gauge("adcomp_budget_remaining"),
             low_warnings: reg.counter("adcomp_budget_low_warnings_total"),
@@ -138,17 +125,38 @@ impl BudgetedSource {
                 );
             }
         }
-        if !self.budget.min_interval.is_zero() {
-            let mut last = self.last.lock();
-            if let Some(prev) = *last {
-                let elapsed = prev.elapsed();
-                if elapsed < self.budget.min_interval {
-                    std::thread::sleep(self.budget.min_interval - elapsed);
-                }
-            }
-            *last = Some(Instant::now());
-        }
+        self.pace();
         Ok(())
+    }
+
+    /// Reserves the next issue slot and sleeps until it arrives. Slots are
+    /// claimed with a CAS, so no lock is held while sleeping and
+    /// concurrent callers are paced `min_interval` apart rather than
+    /// serialised behind one another's naps.
+    fn pace(&self) {
+        let interval = self.budget.min_interval.as_nanos() as u64;
+        if interval == 0 {
+            return;
+        }
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        let mut cur = self.next_slot.load(Ordering::Relaxed);
+        let slot = loop {
+            // Idle time is not banked: a burst after a quiet stretch still
+            // spaces out from "now", matching the serial throttle.
+            let slot = cur.max(now);
+            match self.next_slot.compare_exchange_weak(
+                cur,
+                slot + interval,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break slot,
+                Err(actual) => cur = actual,
+            }
+        };
+        if slot > now {
+            std::thread::sleep(Duration::from_nanos(slot - now));
+        }
     }
 }
 
@@ -160,6 +168,41 @@ impl EstimateSource for BudgetedSource {
     fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
         self.admit()?;
         self.inner.estimate(spec)
+    }
+
+    fn estimate_batch(&self, specs: &[TargetingSpec]) -> Vec<Result<u64, SourceError>> {
+        if !self.budget.min_interval.is_zero() {
+            // Throttled budgets stay serial — spacing the queries out is
+            // the whole point, so there is nothing to batch.
+            return specs.iter().map(|s| self.estimate(s)).collect();
+        }
+        // Reserve every slot up front (one atomic reservation per query),
+        // so concurrent batches can never over-issue past the cap, then
+        // forward the admitted queries as one inner batch: each logical
+        // query is charged exactly once regardless of how the layers
+        // below fan it out.
+        let admitted: Vec<Result<(), SourceError>> = specs.iter().map(|_| self.admit()).collect();
+        if admitted.iter().all(|a| a.is_ok()) {
+            return self.inner.estimate_batch(specs);
+        }
+        let subset: Vec<TargetingSpec> = specs
+            .iter()
+            .zip(&admitted)
+            .filter(|(_, a)| a.is_ok())
+            .map(|(s, _)| s.clone())
+            .collect();
+        let mut answers = self.inner.estimate_batch(&subset).into_iter();
+        admitted
+            .into_iter()
+            .map(|a| match a {
+                Ok(()) => answers.next().expect("one answer per admitted query"),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    fn batch_window(&self) -> usize {
+        self.inner.batch_window()
     }
 
     fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
@@ -291,6 +334,75 @@ mod tests {
                     .iter()
                     .any(|(k, v)| k == "message" && v.contains("query budget low"))
         }));
+    }
+
+    #[test]
+    fn cap_is_exact_under_concurrency() {
+        // 8 threads race 200 queries against a cap of 100: exactly 100
+        // are admitted — the atomic reservation can never over-issue.
+        let src = Arc::new(BudgetedSource::new(
+            sim().linkedin.clone(),
+            QueryBudget::capped(100),
+        ));
+        let ok = Arc::new(AtomicU64::new(0));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let src = src.clone();
+                let ok = ok.clone();
+                s.spawn(move |_| {
+                    let spec = TargetingSpec::everyone();
+                    for _ in 0..25 {
+                        if src.estimate(&spec).is_ok() {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(ok.load(Ordering::Relaxed), 100);
+        assert_eq!(src.used(), 200, "every attempt is counted");
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn batches_charge_once_per_query_and_split_at_the_cap() {
+        let src = BudgetedSource::new(sim().linkedin.clone(), QueryBudget::capped(3));
+        let specs = vec![TargetingSpec::everyone(); 5];
+        let results = src.estimate_batch(&specs);
+        assert_eq!(results.len(), 5);
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 3);
+        assert!(matches!(
+            results[3],
+            Err(SourceError::BudgetExhausted { .. })
+        ));
+        assert_eq!(src.used(), 5, "rejected batch entries still count");
+    }
+
+    #[test]
+    fn concurrent_throttled_queries_are_spaced() {
+        // 4 threads each issue one query with a 10 ms interval: the slot
+        // reservation spaces them out, so the whole burst takes ≥ 30 ms.
+        let budget = QueryBudget {
+            max_queries: u64::MAX,
+            min_interval: Duration::from_millis(10),
+        };
+        let src = Arc::new(BudgetedSource::new(sim().linkedin.clone(), budget));
+        let start = Instant::now();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let src = src.clone();
+                s.spawn(move |_| {
+                    src.estimate(&TargetingSpec::everyone()).unwrap();
+                });
+            }
+        })
+        .unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "elapsed {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

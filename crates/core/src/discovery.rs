@@ -11,11 +11,12 @@
 //! restricted to composable pairs and the prefix is grown until enough
 //! composable combinations exist (footnote 9).
 
+use std::collections::HashMap;
+
 use adcomp_targeting::{AttributeId, TargetingSpec};
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{measure_spec, rep_ratio_of, SpecMeasurement};
+use crate::metrics::{measure_spec, measure_spec_batch, rep_ratio_of, SpecMeasurement};
 use crate::source::{AuditTarget, SensitiveClass, SourceError};
 
 /// Deterministic RNG used throughout the audit.
@@ -45,7 +46,7 @@ impl Direction {
 }
 
 /// A targeting together with its seven-estimate measurement.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MeasuredTargeting {
     /// The spec (targeting-interface ids).
     pub spec: TargetingSpec,
@@ -78,18 +79,28 @@ pub struct IndividualSurvey {
 /// plus 7 for the base population) — the audit's most query-hungry step,
 /// matching the paper's per-platform crawls.
 pub fn survey_individuals(target: &AuditTarget) -> Result<IndividualSurvey, SourceError> {
-    let base = measure_spec(target, &TargetingSpec::everyone())?;
-    let mut entries = Vec::with_capacity(target.targeting.catalog_len() as usize);
-    for raw in 0..target.targeting.catalog_len() {
-        let id = AttributeId(raw);
-        let spec = TargetingSpec::and_of([id]);
-        let measurement = measure_spec(target, &spec)?;
-        entries.push(MeasuredTargeting {
+    // One batch: the base population first, then every attribute — the
+    // exact query list (and order) of the old serial loop, so budget
+    // accounting is unchanged and an attached engine changes nothing but
+    // wall-clock.
+    let ids: Vec<AttributeId> = (0..target.targeting.catalog_len())
+        .map(AttributeId)
+        .collect();
+    let mut specs = Vec::with_capacity(ids.len() + 1);
+    specs.push(TargetingSpec::everyone());
+    specs.extend(ids.iter().map(|&id| TargetingSpec::and_of([id])));
+    let mut measurements = measure_spec_batch(target, &specs)?.into_iter();
+    let base = measurements.next().expect("base measurement");
+    let entries = ids
+        .into_iter()
+        .zip(specs.into_iter().skip(1))
+        .zip(measurements)
+        .map(|((id, spec), measurement)| MeasuredTargeting {
             spec,
             attrs: vec![id],
             measurement,
-        });
-    }
+        })
+        .collect();
     Ok(IndividualSurvey { entries, base })
 }
 
@@ -135,9 +146,12 @@ pub fn rank_individuals(
         .filter(|(_, e)| e.measurement.total >= min_reach)
         .filter_map(|(i, e)| e.ratio(&survey.base, class).map(|r| (i, r)))
         .collect();
+    // `total_cmp` instead of a panicking `partial_cmp`: a NaN ratio (it
+    // should not happen, but estimates come from outside) sorts to the
+    // extreme instead of aborting a multi-hour audit mid-run.
     ranked.sort_by(|a, b| match direction {
-        Direction::Toward => b.1.partial_cmp(&a.1).expect("ratios are finite"),
-        Direction::Against => a.1.partial_cmp(&b.1).expect("ratios are finite"),
+        Direction::Toward => b.1.total_cmp(&a.1),
+        Direction::Against => a.1.total_cmp(&b.1),
     });
     ranked.into_iter().map(|(i, _)| i).collect()
 }
@@ -156,25 +170,26 @@ pub fn compose_and_measure(
     })
 }
 
-/// All `arity`-subsets of `ids` whose members are pairwise composable on
-/// the target's interface.
-fn composable_subsets(
+/// Enumerates every `arity`-subset of `ids` whose members are pairwise
+/// composable on the target's interface, in lexicographic position
+/// order, without materializing them: `visit` sees each subset through a
+/// transient stack slice.
+fn visit_composable_subsets<F: FnMut(&[AttributeId])>(
     target: &AuditTarget,
     ids: &[AttributeId],
     arity: usize,
-) -> Vec<Vec<AttributeId>> {
-    let mut out = Vec::new();
-    let mut stack: Vec<AttributeId> = Vec::with_capacity(arity);
-    fn recurse(
+    visit: &mut F,
+) {
+    fn recurse<F: FnMut(&[AttributeId])>(
         target: &AuditTarget,
         ids: &[AttributeId],
         start: usize,
         arity: usize,
         stack: &mut Vec<AttributeId>,
-        out: &mut Vec<Vec<AttributeId>>,
+        visit: &mut F,
     ) {
         if stack.len() == arity {
-            out.push(stack.clone());
+            visit(stack);
             return;
         }
         for i in start..ids.len() {
@@ -184,12 +199,79 @@ fn composable_subsets(
                 .all(|&prev| target.targeting.can_compose(prev, candidate))
             {
                 stack.push(candidate);
-                recurse(target, ids, i + 1, arity, stack, out);
+                recurse(target, ids, i + 1, arity, stack, visit);
                 stack.pop();
             }
         }
     }
-    recurse(target, ids, 0, arity, &mut stack, &mut out);
+    let mut stack: Vec<AttributeId> = Vec::with_capacity(arity);
+    recurse(target, ids, 0, arity, &mut stack, visit);
+}
+
+/// Number of composable `arity`-subsets of `ids` (no allocation).
+fn count_composable_subsets(target: &AuditTarget, ids: &[AttributeId], arity: usize) -> usize {
+    let mut n = 0;
+    visit_composable_subsets(target, ids, arity, &mut |_| n += 1);
+    n
+}
+
+/// Samples `min(top_k, n)` composable subsets with output **identical**
+/// to materializing all `n`, running `[T]::shuffle` seeded with `seed`,
+/// and truncating to `top_k` — without ever materializing the full list.
+///
+/// The Fisher–Yates walk the shuffle performs over the virtual array of
+/// enumeration indices `0..n` is replayed sparsely: only entries still
+/// in motion live in a map (a swap inserts one and retires one, so the
+/// map tracks displacements, not the array), and only the `top_k`
+/// surviving subsets are materialized in a second enumeration pass.
+/// `n` is `count_composable_subsets` of the same arguments, passed in
+/// because every caller has already computed it.
+fn sample_composable_subsets(
+    target: &AuditTarget,
+    ids: &[AttributeId],
+    arity: usize,
+    top_k: usize,
+    seed: u64,
+    n: usize,
+) -> Vec<Vec<AttributeId>> {
+    if n == 0 || top_k == 0 {
+        return Vec::new();
+    }
+    let k = top_k.min(n);
+    let mut rng = AuditRng::seed_from_u64(seed);
+    // `displaced[p]` = value currently at virtual position `p`, when it
+    // differs from `p` and `p` is not yet finalized.
+    let mut displaced: HashMap<usize, usize> = HashMap::new();
+    // `selected[p]` = enumeration index that ends up at position `p`.
+    let mut selected: Vec<usize> = (0..k).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        let vi = displaced.get(&i).copied().unwrap_or(i);
+        let vj = displaced.get(&j).copied().unwrap_or(j);
+        displaced.insert(j, vi);
+        // Position `i` is final after this swap (later iterations only
+        // touch positions < i); record it if it survives the truncate.
+        displaced.remove(&i);
+        if i < k {
+            selected[i] = vj;
+        }
+    }
+    selected[0] = displaced.get(&0).copied().unwrap_or(0);
+    // Second pass: materialize exactly the chosen subsets, each into its
+    // final slot. A permutation never selects an index twice.
+    let wanted: HashMap<usize, usize> = selected
+        .iter()
+        .enumerate()
+        .map(|(pos, &index)| (index, pos))
+        .collect();
+    let mut out: Vec<Vec<AttributeId>> = vec![Vec::new(); k];
+    let mut counter = 0usize;
+    visit_composable_subsets(target, ids, arity, &mut |subset| {
+        if let Some(&pos) = wanted.get(&counter) {
+            out[pos] = subset.to_vec();
+        }
+        counter += 1;
+    });
     out
 }
 
@@ -205,30 +287,43 @@ pub fn top_compositions(
     cfg: &DiscoveryConfig,
 ) -> Result<Vec<MeasuredTargeting>, SourceError> {
     assert!(cfg.arity >= 2, "compositions need arity ≥ 2");
-    // Grow the prefix until enough composable combinations exist.
+    // Grow the prefix until enough composable combinations exist —
+    // counting only; nothing is materialized until after sampling.
     let mut m = cfg.arity;
-    let mut combos: Vec<Vec<AttributeId>> = Vec::new();
+    let mut prefix: Vec<AttributeId> = Vec::new();
+    let mut available = 0usize;
     while m <= ranked.len() {
-        let prefix: Vec<AttributeId> = ranked[..m]
+        prefix = ranked[..m]
             .iter()
             .map(|&i| survey.entries[i].attrs[0])
             .collect();
-        combos = composable_subsets(target, &prefix, cfg.arity);
-        if combos.len() >= cfg.top_k {
+        available = count_composable_subsets(target, &prefix, cfg.arity);
+        if available >= cfg.top_k {
             break;
         }
         m += 1;
     }
-    // Sample down to top_k (paper: 1 000 of the 1 035 pairs).
-    let mut rng = AuditRng::seed_from_u64(cfg.seed);
-    combos.shuffle(&mut rng);
-    combos.truncate(cfg.top_k);
+    // Sample down to top_k (paper: 1 000 of the 1 035 pairs) — same
+    // seed, same outputs as shuffling the materialized list, but memory
+    // stays O(top_k).
+    let combos =
+        sample_composable_subsets(target, &prefix, cfg.arity, cfg.top_k, cfg.seed, available);
 
+    // Measure as one batch (parallelized when the target has an engine;
+    // the same queries in the same order either way).
+    let specs: Vec<TargetingSpec> = combos
+        .iter()
+        .map(|attrs| TargetingSpec::and_of(attrs.iter().copied()))
+        .collect();
+    let measurements = measure_spec_batch(target, &specs)?;
     let mut out = Vec::with_capacity(combos.len());
-    for attrs in &combos {
-        let mt = compose_and_measure(target, attrs)?;
-        if mt.measurement.total >= cfg.min_reach {
-            out.push(mt);
+    for ((attrs, spec), measurement) in combos.into_iter().zip(specs).zip(measurements) {
+        if measurement.total >= cfg.min_reach {
+            out.push(MeasuredTargeting {
+                spec,
+                attrs,
+                measurement,
+            });
         }
     }
     Ok(out)
@@ -248,30 +343,53 @@ pub fn random_compositions(
     // Bounded attempts so a tiny/incomposable catalog cannot loop forever.
     let max_attempts = cfg.top_k * 50;
     let mut attempts = 0;
+    // Rounds of draw-then-measure. Candidate drawing consumes the RNG
+    // independently of measurement results, so measuring a round as one
+    // batch (instead of one spec at a time) leaves the RNG stream, the
+    // dedup set, and therefore the output bit-identical to the serial
+    // loop — while letting an attached engine parallelize each round.
     while out.len() < cfg.top_k && attempts < max_attempts {
-        attempts += 1;
-        let mut attrs: Vec<AttributeId> = Vec::with_capacity(cfg.arity);
-        while attrs.len() < cfg.arity {
-            let candidate = AttributeId(rng.gen_range(0..n));
-            if attrs
-                .iter()
-                .all(|&prev| target.targeting.can_compose(prev, candidate))
-            {
-                attrs.push(candidate);
-            } else {
-                break;
+        let needed = cfg.top_k - out.len();
+        let mut round: Vec<Vec<AttributeId>> = Vec::with_capacity(needed);
+        while round.len() < needed && attempts < max_attempts {
+            attempts += 1;
+            let mut attrs: Vec<AttributeId> = Vec::with_capacity(cfg.arity);
+            while attrs.len() < cfg.arity {
+                let candidate = AttributeId(rng.gen_range(0..n));
+                if attrs
+                    .iter()
+                    .all(|&prev| target.targeting.can_compose(prev, candidate))
+                {
+                    attrs.push(candidate);
+                } else {
+                    break;
+                }
             }
+            if attrs.len() != cfg.arity {
+                continue;
+            }
+            attrs.sort_unstable();
+            if !seen.insert(attrs.clone()) {
+                continue;
+            }
+            round.push(attrs);
         }
-        if attrs.len() != cfg.arity {
-            continue;
+        if round.is_empty() {
+            break;
         }
-        attrs.sort_unstable();
-        if !seen.insert(attrs.clone()) {
-            continue;
-        }
-        let mt = compose_and_measure(target, &attrs)?;
-        if mt.measurement.total >= cfg.min_reach {
-            out.push(mt);
+        let specs: Vec<TargetingSpec> = round
+            .iter()
+            .map(|attrs| TargetingSpec::and_of(attrs.iter().copied()))
+            .collect();
+        let measurements = measure_spec_batch(target, &specs)?;
+        for ((attrs, spec), measurement) in round.into_iter().zip(specs).zip(measurements) {
+            if measurement.total >= cfg.min_reach {
+                out.push(MeasuredTargeting {
+                    spec,
+                    attrs,
+                    measurement,
+                });
+            }
         }
     }
     Ok(out)
@@ -349,7 +467,7 @@ mod tests {
                 .iter()
                 .filter_map(|t| t.ratio(&survey.base, MALE))
                 .collect();
-            r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            r.sort_by(f64::total_cmp);
             r[r.len() / 2]
         };
         let individual_median = {
@@ -357,7 +475,7 @@ mod tests {
                 .iter()
                 .map(|&i| survey.entries[i].ratio(&survey.base, MALE).unwrap())
                 .collect();
-            r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            r.sort_by(f64::total_cmp);
             r[r.len() / 2]
         };
         assert!(
@@ -396,6 +514,33 @@ mod tests {
             assert!(seen.insert(t.attrs.clone()), "duplicate pair {:?}", t.attrs);
             assert!(t.measurement.total >= 10_000);
             assert!(target.targeting.check(&t.spec).is_ok());
+        }
+    }
+
+    #[test]
+    fn sampled_subsets_match_materialized_shuffle_exactly() {
+        // The O(top_k) sampler must replay `[T]::shuffle` + `truncate`
+        // bit-for-bit, for any top_k and arity.
+        use rand::seq::SliceRandom;
+        let target = AuditTarget::for_platform(&sim().google, sim());
+        let ids: Vec<AttributeId> = (0..12).map(AttributeId).collect();
+        for arity in [2usize, 3] {
+            for top_k in [1usize, 5, 64, 10_000] {
+                for seed in [0u64, 7, 0x5EED] {
+                    let mut all: Vec<Vec<AttributeId>> = Vec::new();
+                    visit_composable_subsets(&target, &ids, arity, &mut |s| all.push(s.to_vec()));
+                    let n = all.len();
+                    assert_eq!(n, count_composable_subsets(&target, &ids, arity));
+                    let mut rng = AuditRng::seed_from_u64(seed);
+                    all.shuffle(&mut rng);
+                    all.truncate(top_k);
+                    assert_eq!(
+                        sample_composable_subsets(&target, &ids, arity, top_k, seed, n),
+                        all,
+                        "arity {arity}, top_k {top_k}, seed {seed}"
+                    );
+                }
+            }
         }
     }
 

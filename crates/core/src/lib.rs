@@ -11,6 +11,9 @@
 //!   four-fifths rule, and rounding-robustness interval analysis;
 //! * [`discovery`] — the greedy search for the most skewed k-way
 //!   targeting compositions, plus random-composition baselines;
+//! * [`engine`] — the parallel query engine: a bounded worker pool
+//!   executing estimate batches in deterministic submission order, plus
+//!   opt-in estimate memoization;
 //! * [`union_estimate`] — audience overlap measurement and
 //!   inclusion–exclusion union-recall estimation (platforms cannot
 //!   express OR-of-ANDs directly);
@@ -54,6 +57,7 @@
 
 pub mod budget;
 pub mod discovery;
+pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod mitigation;
@@ -69,9 +73,11 @@ pub use discovery::{
     compose_and_measure, random_compositions, rank_individuals, survey_individuals,
     top_compositions, Direction, DiscoveryConfig, IndividualSurvey, MeasuredTargeting,
 };
+pub use engine::{EngineConfig, MemoCache, MemoizedSource, QueryEngine};
 pub use metrics::{
-    four_fifths_band, measure_spec, ratio_bounds, recall_of, rep_ratio, rep_ratio_of, RatioBounds,
-    SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
+    four_fifths_band, measure_spec, measure_spec_batch, ratio_bounds, recall_of, rep_ratio,
+    rep_ratio_of, RatioBounds, SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
+    QUERIES_PER_SPEC,
 };
 pub use mitigation::{
     AdvertiserMonitor, AdvertiserReport, PreflightConfig, PreflightGate, PreflightVerdict,

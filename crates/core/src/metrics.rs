@@ -107,6 +107,57 @@ pub fn measure_spec(
     })
 }
 
+/// Number of estimate queries one [`measure_spec`] issues (total + two
+/// genders + four ages).
+pub const QUERIES_PER_SPEC: usize = 7;
+
+/// Batch form of [`measure_spec`]: measures every spec with the same
+/// seven queries per spec, submitted as one batch so an attached
+/// [`QueryEngine`](crate::engine::QueryEngine) can execute them across
+/// its worker pool.
+///
+/// The query list — per spec: total, both genders, all four ages — is
+/// identical to what the serial loop issues, in the same order, so query
+/// accounting is unchanged and results are bit-identical on
+/// deterministic sources. On error, the first failure in submission
+/// order is returned, matching the error `measure_spec` would surface.
+pub fn measure_spec_batch(
+    target: &AuditTarget,
+    specs: &[TargetingSpec],
+) -> Result<Vec<SpecMeasurement>, SourceError> {
+    let mut queries: Vec<TargetingSpec> = Vec::with_capacity(specs.len() * QUERIES_PER_SPEC);
+    for spec in specs {
+        let translated = target.translate(spec);
+        queries.push(translated.as_ref().clone());
+        for g in Gender::ALL {
+            queries.push(SensitiveClass::Gender(g).constrain(&translated));
+        }
+        for a in AgeBucket::ALL {
+            queries.push(SensitiveClass::Age(a).constrain(&translated));
+        }
+    }
+    let mut results = target.run_measurement_batch(queries).into_iter();
+    let mut out = Vec::with_capacity(specs.len());
+    for _ in specs {
+        let mut next = || results.next().expect("one result per query");
+        let total = next()?;
+        let mut by_gender = [0u64; 2];
+        for g in Gender::ALL {
+            by_gender[g.index()] = next()?;
+        }
+        let mut by_age = [0u64; 4];
+        for a in AgeBucket::ALL {
+            by_age[a.index()] = next()?;
+        }
+        out.push(SpecMeasurement {
+            total,
+            by_gender,
+            by_age,
+        });
+    }
+    Ok(out)
+}
+
 /// Representation ratio from the four estimate counts (Equation 1).
 /// `None` when a denominator is zero (the paper's recall filter removes
 /// such niche targetings before ratios are interpreted).

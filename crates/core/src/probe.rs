@@ -105,12 +105,35 @@ pub fn consistency_probe(
         );
     }
     let mut inconsistent = Vec::new();
-    for spec in &specs {
-        let first = target.total_estimate(spec)?;
-        for _ in 1..repeats {
-            if target.total_estimate(spec)? != first {
-                inconsistent.push(spec.clone());
-                break;
+    if target.prefers_batching() {
+        // Batched: each spec's repeats go out as one submission. The
+        // verdict is identical to the serial loop (any differing repeat
+        // marks the spec inconsistent), but an inconsistent platform may
+        // see up to `repeats − 1` more queries per flagged spec than the
+        // early-breaking serial loop — acceptable, since flagging ends
+        // the audit of that platform anyway. Memoization must stay off
+        // here (a cache would make any platform look consistent); this
+        // probes whatever source the target carries, uncached unless the
+        // caller explicitly wrapped it.
+        for spec in &specs {
+            let queries = vec![target.translate(spec).into_owned(); repeats.max(1)];
+            let mut results = target.run_measurement_batch(queries).into_iter();
+            let first = results.next().expect("at least one repeat")?;
+            for result in results {
+                if result? != first {
+                    inconsistent.push(spec.clone());
+                    break;
+                }
+            }
+        }
+    } else {
+        for spec in &specs {
+            let first = target.total_estimate(spec)?;
+            for _ in 1..repeats {
+                if target.total_estimate(spec)? != first {
+                    inconsistent.push(spec.clone());
+                    break;
+                }
             }
         }
     }
@@ -382,6 +405,9 @@ impl GranularityProbe {
     pub fn run(&mut self, target: &AuditTarget) -> Result<GranularityReport, SourceError> {
         let _span = Tracer::global().span("probe:granularity");
         let progress = ProgressReporter::new("granularity_probe", 1_000);
+        if target.prefers_batching() {
+            return self.run_batched(target, &progress);
+        }
         while !self.completed() {
             let index = self.next_index;
             let Some(spec) = spec_at(target, self.seed, index) else {
@@ -403,6 +429,56 @@ impl GranularityProbe {
                 // `next_index` still points at this spec: a resumed run
                 // re-asks the unanswered query, and only that one.
                 Err(e) => return Err(e),
+            }
+        }
+        adcomp_obs::debug!("granularity_probe: {} queries answered", progress.done());
+        Ok(self.report())
+    }
+
+    /// Chunk of the indexed schedule submitted per batch when an engine
+    /// or natively batching source is attached. Bounds the memory of a
+    /// paper-scale (>80 000 query) probe.
+    const BATCH_CHUNK: u64 = 4_096;
+
+    /// Batched form of [`run`](GranularityProbe::run). The indexed spec
+    /// schedule makes this easy: observations land in index order, so
+    /// results are identical to the serial walk. On a hard error,
+    /// `next_index` points at the first unanswered index — the trade-off
+    /// versus the serial walk is that up to a chunk of already-issued
+    /// answers past the failure are discarded and re-asked on resume,
+    /// which is why [`run_checkpointed`](GranularityProbe::run_checkpointed)
+    /// (whose contract is exactly-once re-issue) stays serial.
+    fn run_batched(
+        &mut self,
+        target: &AuditTarget,
+        progress: &ProgressReporter,
+    ) -> Result<GranularityReport, SourceError> {
+        while !self.completed() {
+            let outstanding = self.queries as u64 - (self.observations.len() as u64 + self.skipped);
+            let mut indices = Vec::new();
+            let mut queries = Vec::new();
+            let mut index = self.next_index;
+            while (queries.len() as u64) < outstanding.min(Self::BATCH_CHUNK) {
+                if let Some(spec) = spec_at(target, self.seed, index) {
+                    indices.push(index);
+                    queries.push(target.translate(&spec).into_owned());
+                }
+                index += 1;
+            }
+            for (&index, result) in indices.iter().zip(target.run_measurement_batch(queries)) {
+                match result {
+                    Ok(value) => {
+                        self.observations.push(value);
+                        self.next_index = index + 1;
+                        progress.tick();
+                    }
+                    Err(SourceError::Skipped { .. }) => {
+                        self.skipped += 1;
+                        probe_skipped_total().inc();
+                        self.next_index = index + 1;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
         adcomp_obs::debug!("granularity_probe: {} queries answered", progress.done());

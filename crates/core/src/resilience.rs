@@ -204,6 +204,49 @@ impl ResilientSource {
         self.skipped_specs.lock().clone()
     }
 
+    /// Drives one query to its final outcome, starting from an already
+    /// observed first attempt — the shared engine behind both the serial
+    /// [`estimate`](EstimateSource::estimate) path and the batch path,
+    /// so a query's retry/degradation story is identical either way.
+    fn resolve(
+        &self,
+        spec: &TargetingSpec,
+        first: Result<u64, SourceError>,
+    ) -> Result<u64, SourceError> {
+        let mut attempt: u32 = 0;
+        let mut outcome = first;
+        loop {
+            match outcome {
+                Ok(value) => {
+                    if attempt > 0 {
+                        self.recovered.fetch_add(1, Ordering::Relaxed);
+                        self.recovered_total.inc();
+                    }
+                    return Ok(value);
+                }
+                Err(error) => match classify(&error) {
+                    ErrorClass::Fatal => return Err(error),
+                    ErrorClass::Retryable { retry_after } => {
+                        if self.config.retry.should_retry(attempt) {
+                            self.retries.fetch_add(1, Ordering::Relaxed);
+                            Registry::global()
+                                .counter_with(
+                                    "adcomp_retries_total",
+                                    &[("class", class_label(&error))],
+                                )
+                                .inc();
+                            std::thread::sleep(self.config.retry.backoff(attempt, retry_after));
+                            attempt += 1;
+                            outcome = self.inner.estimate(spec);
+                        } else {
+                            return Err(self.give_up(spec, error));
+                        }
+                    }
+                },
+            }
+        }
+    }
+
     fn give_up(&self, spec: &TargetingSpec, error: SourceError) -> SourceError {
         match self.config.degradation {
             DegradationPolicy::Abort => error,
@@ -227,36 +270,24 @@ impl EstimateSource for ResilientSource {
     }
 
     fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
-        let mut attempt: u32 = 0;
-        loop {
-            match self.inner.estimate(spec) {
-                Ok(value) => {
-                    if attempt > 0 {
-                        self.recovered.fetch_add(1, Ordering::Relaxed);
-                        self.recovered_total.inc();
-                    }
-                    return Ok(value);
-                }
-                Err(error) => match classify(&error) {
-                    ErrorClass::Fatal => return Err(error),
-                    ErrorClass::Retryable { retry_after } => {
-                        if self.config.retry.should_retry(attempt) {
-                            self.retries.fetch_add(1, Ordering::Relaxed);
-                            Registry::global()
-                                .counter_with(
-                                    "adcomp_retries_total",
-                                    &[("class", class_label(&error))],
-                                )
-                                .inc();
-                            std::thread::sleep(self.config.retry.backoff(attempt, retry_after));
-                            attempt += 1;
-                        } else {
-                            return Err(self.give_up(spec, error));
-                        }
-                    }
-                },
-            }
-        }
+        let first = self.inner.estimate(spec);
+        self.resolve(spec, first)
+    }
+
+    fn estimate_batch(&self, specs: &[TargetingSpec]) -> Vec<Result<u64, SourceError>> {
+        // One inner batch first (the fast path when nothing fails), then
+        // each failed slot walks the exact per-query retry/degradation
+        // path the serial estimate takes.
+        let first = self.inner.estimate_batch(specs);
+        specs
+            .iter()
+            .zip(first)
+            .map(|(spec, outcome)| self.resolve(spec, outcome))
+            .collect()
+    }
+
+    fn batch_window(&self) -> usize {
+        self.inner.batch_window()
     }
 
     fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
@@ -309,10 +340,8 @@ mod tests {
         }
 
         fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
-            let req = adcomp_platform::EstimateRequest::new(
-                spec.clone(),
-                self.0.config().default_objective,
-            );
+            let req =
+                adcomp_platform::EstimateRequest::borrowed(spec, self.0.config().default_objective);
             Ok(self.0.reach_estimate(&req)?.value)
         }
 

@@ -192,6 +192,22 @@ pub trait EstimateSource: Send + Sync {
     /// paper's settings.
     fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError>;
 
+    /// Estimates a batch of specs, returning one result per spec **in
+    /// order**. The default loops [`estimate`](EstimateSource::estimate)
+    /// serially; sources with a cheaper bulk path (the pipelined wire
+    /// client, the memo cache) override it. Semantics must match the
+    /// serial loop query-for-query.
+    fn estimate_batch(&self, specs: &[TargetingSpec]) -> Vec<Result<u64, SourceError>> {
+        specs.iter().map(|s| self.estimate(s)).collect()
+    }
+
+    /// Preferred `estimate_batch` size (1 = no native batching). The
+    /// [`QueryEngine`](crate::engine::QueryEngine) chunks its jobs to
+    /// this window so natively batching sources see full batches.
+    fn batch_window(&self) -> usize {
+        1
+    }
+
     /// Validates a spec without estimating.
     fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError>;
 
@@ -217,7 +233,7 @@ impl EstimateSource for AdPlatform {
     }
 
     fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
-        let req = EstimateRequest::new(spec.clone(), self.config().default_objective);
+        let req = EstimateRequest::borrowed(spec, self.config().default_objective);
         Ok(self.reach_estimate(&req)?.value)
     }
 
@@ -266,6 +282,8 @@ pub struct AuditTarget {
     /// Translation of targeting-interface attribute ids onto the
     /// measurement interface, when they differ.
     id_map: Option<Arc<Vec<AttributeId>>>,
+    /// Worker pool for batch execution; `None` keeps every path serial.
+    engine: Option<Arc<crate::engine::QueryEngine>>,
 }
 
 impl AuditTarget {
@@ -279,6 +297,7 @@ impl AuditTarget {
             targeting: source.clone(),
             measurement: source,
             id_map: None,
+            engine: None,
         }
     }
 
@@ -299,6 +318,7 @@ impl AuditTarget {
             targeting,
             measurement,
             id_map: Some(Arc::new(id_map)),
+            engine: None,
         }
     }
 
@@ -350,14 +370,88 @@ impl AuditTarget {
             targeting,
             measurement,
             id_map: self.id_map.clone(),
+            engine: self.engine.clone(),
+        }
+    }
+
+    /// The same target executing batch paths through a shared
+    /// [`QueryEngine`](crate::engine::QueryEngine) worker pool. Results
+    /// stay bit-identical to the serial path (estimates are pure and
+    /// assembled in submission order); only wall-clock changes.
+    pub fn with_engine(&self, engine: Arc<crate::engine::QueryEngine>) -> AuditTarget {
+        let mut target = self.clone();
+        target.engine = Some(engine);
+        target
+    }
+
+    /// The engine driving batch paths, when one is attached.
+    pub fn engine(&self) -> Option<&Arc<crate::engine::QueryEngine>> {
+        self.engine.as_ref()
+    }
+
+    /// The same target with an estimate memo cache
+    /// ([`MemoizedSource`](crate::engine::MemoizedSource)) around both
+    /// interfaces, holding up to `capacity` entries per interface.
+    ///
+    /// Opt-in only: memoization is sound for deterministic simulators but
+    /// changes query accounting and must stay off for consistency
+    /// probes (see the [`engine`](crate::engine) docs). Each interface
+    /// gets its own cache — attribute ids are interface-local, so a
+    /// shared cache could alias distinct audiences. A direct target
+    /// (measuring on the audited interface itself) keeps sharing one
+    /// wrapper, mirroring [`with_resilience`](AuditTarget::with_resilience).
+    pub fn with_memo(&self, capacity: usize) -> AuditTarget {
+        use crate::engine::{MemoCache, MemoizedSource};
+        let targeting: Arc<dyn EstimateSource> = Arc::new(MemoizedSource::new(
+            self.targeting.clone(),
+            Arc::new(MemoCache::new(capacity)),
+        ));
+        let measurement: Arc<dyn EstimateSource> =
+            if Arc::ptr_eq(&self.targeting, &self.measurement) {
+                targeting.clone()
+            } else {
+                Arc::new(MemoizedSource::new(
+                    self.measurement.clone(),
+                    Arc::new(MemoCache::new(capacity)),
+                ))
+            };
+        AuditTarget {
+            targeting,
+            measurement,
+            id_map: self.id_map.clone(),
+            engine: self.engine.clone(),
+        }
+    }
+
+    /// Whether batch submission buys anything on this target: an engine
+    /// is attached, or the measurement interface batches natively (the
+    /// pipelined wire client). Paths with order-sensitive serial
+    /// semantics (early-exit loops, exactly-once checkpoint resume) use
+    /// this to decide between the serial loop and batch submission.
+    pub fn prefers_batching(&self) -> bool {
+        self.engine.is_some() || self.measurement.batch_window() > 1
+    }
+
+    /// Runs a batch of already-translated specs against the measurement
+    /// interface: through the engine when one is attached, serially
+    /// otherwise. Either way the result vector lines up with `specs`.
+    pub fn run_measurement_batch(
+        &self,
+        specs: Vec<TargetingSpec>,
+    ) -> Vec<Result<u64, SourceError>> {
+        match &self.engine {
+            Some(engine) => engine.run_on(self.measurement.clone(), specs),
+            None => self.measurement.estimate_batch(&specs),
         }
     }
 
     /// Translates a spec from targeting-interface ids to
-    /// measurement-interface ids.
-    pub fn translate(&self, spec: &TargetingSpec) -> TargetingSpec {
+    /// measurement-interface ids. Direct targets (no id map — the common
+    /// case) borrow the input instead of cloning it, which keeps the
+    /// estimate hot path allocation-free up to the platform boundary.
+    pub fn translate<'a>(&self, spec: &'a TargetingSpec) -> std::borrow::Cow<'a, TargetingSpec> {
         match &self.id_map {
-            None => spec.clone(),
+            None => std::borrow::Cow::Borrowed(spec),
             Some(map) => {
                 let mut out = spec.clone();
                 for group in &mut out.include {
@@ -368,7 +462,7 @@ impl AuditTarget {
                 for id in &mut out.exclude {
                     *id = map[id.0 as usize];
                 }
-                out
+                std::borrow::Cow::Owned(out)
             }
         }
     }
@@ -502,7 +596,11 @@ mod tests {
         assert_eq!(got, expected);
         // Direct targets translate to themselves.
         let direct = AuditTarget::for_platform(&s.linkedin, &s);
-        assert_eq!(direct.translate(&spec), spec);
+        assert_eq!(*direct.translate(&spec), spec);
+        assert!(
+            matches!(direct.translate(&spec), std::borrow::Cow::Borrowed(_)),
+            "direct targets must not clone on translate"
+        );
     }
 
     #[test]

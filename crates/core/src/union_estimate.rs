@@ -119,8 +119,11 @@ pub fn union_recall(
     let mut queries = 0u64;
     for order in 1..=max_order {
         let sign: i128 = if order % 2 == 1 { 1 } else { -1 };
-        let mut order_total: i128 = 0;
-        // Iterate all `order`-subsets of 0..k.
+        // Collect every non-contradictory intersection of this order,
+        // then measure them as one batch — the same queries, in the same
+        // enumeration order, the serial loop issued one at a time; an
+        // attached engine spreads each order across its workers.
+        let mut order_queries: Vec<TargetingSpec> = Vec::new();
         let mut subset: Vec<usize> = (0..order).collect();
         loop {
             // Intersect the subset's specs.
@@ -136,12 +139,16 @@ pub fn union_recall(
                 }
             }
             if !contradictory {
-                order_total += target.selector_estimate(&spec, selector)? as i128;
-                queries += 1;
+                order_queries.push(selector.constrain(&target.translate(&spec)));
             }
             if !next_combination(&mut subset, k) {
                 break;
             }
+        }
+        queries += order_queries.len() as u64;
+        let mut order_total: i128 = 0;
+        for result in target.run_measurement_batch(order_queries) {
+            order_total += result? as i128;
         }
         acc += sign * order_total;
         partial_sums.push(acc);

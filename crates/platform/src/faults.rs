@@ -352,7 +352,7 @@ mod tests {
         SIM.get_or_init(|| Simulation::build(92, SimScale::Test))
     }
 
-    fn request() -> EstimateRequest {
+    fn request() -> EstimateRequest<'static> {
         EstimateRequest::new(
             TargetingSpec::everyone(),
             sim().linkedin.config().default_objective,

@@ -69,23 +69,40 @@ pub struct PlatformConfig {
 }
 
 /// A reach-estimate request, as assembled by the targeting UI.
+///
+/// The spec is a [`Cow`](std::borrow::Cow) so the audit's hot path can
+/// issue a request without cloning the `TargetingSpec` it already holds
+/// ([`EstimateRequest::borrowed`]); callers that own their spec use
+/// [`EstimateRequest::new`] as before.
 #[derive(Clone, Debug, PartialEq)]
-pub struct EstimateRequest {
+pub struct EstimateRequest<'a> {
     /// The targeting specification.
-    pub spec: TargetingSpec,
+    pub spec: std::borrow::Cow<'a, TargetingSpec>,
     /// Campaign objective.
     pub objective: Objective,
     /// Frequency capping (only meaningful on impression platforms).
     pub frequency_cap: FrequencyCap,
 }
 
-impl EstimateRequest {
-    /// Request with the given spec and the platform defaults the paper
-    /// uses (broadest objective chosen by the caller, most restrictive
-    /// frequency cap).
+impl EstimateRequest<'static> {
+    /// Request owning the given spec, with the platform defaults the
+    /// paper uses (broadest objective chosen by the caller, most
+    /// restrictive frequency cap).
     pub fn new(spec: TargetingSpec, objective: Objective) -> Self {
         EstimateRequest {
-            spec,
+            spec: std::borrow::Cow::Owned(spec),
+            objective,
+            frequency_cap: FrequencyCap::most_restrictive(),
+        }
+    }
+}
+
+impl<'a> EstimateRequest<'a> {
+    /// Request borrowing the caller's spec — no clone per query, which
+    /// matters when the audit issues hundreds of thousands of them.
+    pub fn borrowed(spec: &'a TargetingSpec, objective: Objective) -> Self {
+        EstimateRequest {
+            spec: std::borrow::Cow::Borrowed(spec),
             objective,
             frequency_cap: FrequencyCap::most_restrictive(),
         }

@@ -18,12 +18,13 @@
 //! errors) pass through untouched; the audit layer's `ResilientSource`
 //! decides whether to retry, skip, or abort those.
 
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use adcomp_obs::metrics::{duration_us_buckets, Counter, Histogram, Registry};
+use adcomp_obs::metrics::{duration_us_buckets, Counter, Gauge, Histogram, Registry};
 use adcomp_platform::{CircuitBreaker, RetryPolicy};
 use adcomp_targeting::TargetingSpec;
 use parking_lot::Mutex;
@@ -85,6 +86,16 @@ impl From<CodecError> for ClientError {
     }
 }
 
+/// Why a pipelined round stopped before every in-flight request was
+/// answered.
+enum RoundAbort {
+    /// The connection failed; unanswered requests are safe to re-issue.
+    Transport(FrameError),
+    /// Protocol violation (undecodable frame, untagged or unmatched
+    /// response); never retried.
+    Fatal(ClientError),
+}
+
 /// Transport tuning for [`Client`].
 #[derive(Clone, Debug)]
 pub struct ClientConfig {
@@ -98,6 +109,10 @@ pub struct ClientConfig {
     pub breaker_threshold: u32,
     /// How long an open circuit rejects requests before probing.
     pub breaker_cooldown: Duration,
+    /// Maximum tagged requests in flight on the connection during
+    /// [`Client::estimate_batch`] (clamped to at least 1). A window of 1
+    /// degenerates to request/response with per-frame correlation ids.
+    pub pipeline_window: usize,
 }
 
 impl Default for ClientConfig {
@@ -108,6 +123,7 @@ impl Default for ClientConfig {
             retry: RetryPolicy::standard(0),
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_secs(5),
+            pipeline_window: 32,
         }
     }
 }
@@ -121,6 +137,7 @@ impl ClientConfig {
             retry: RetryPolicy::fast(5),
             breaker_threshold: 4,
             breaker_cooldown: Duration::from_millis(50),
+            pipeline_window: 32,
         }
     }
 }
@@ -161,6 +178,8 @@ struct ClientMetrics {
     /// Timed-out operations, by phase.
     timeouts_connect: Arc<Counter>,
     timeouts_io: Arc<Counter>,
+    /// Tagged requests currently in flight during a pipelined batch.
+    pipeline_inflight: Arc<Gauge>,
 }
 
 impl ClientMetrics {
@@ -175,6 +194,7 @@ impl ClientMetrics {
                 .counter_with("adcomp_wire_retries_total", &[("reason", "transport")]),
             timeouts_connect: reg.counter_with("adcomp_wire_timeouts_total", &[("op", "connect")]),
             timeouts_io: reg.counter_with("adcomp_wire_timeouts_total", &[("op", "io")]),
+            pipeline_inflight: reg.gauge("adcomp_wire_pipeline_inflight"),
         }
     }
 }
@@ -429,6 +449,197 @@ impl Client {
                 retry_after,
             }),
             _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches estimates for a batch of specs by pipelining tagged
+    /// requests over the one connection: up to
+    /// [`ClientConfig::pipeline_window`] requests ride in flight at once
+    /// and the server's [`Response::Tagged`] answers — possibly out of
+    /// order — are matched back to their slot by correlation id, so a
+    /// batch costs about one round-trip per window instead of one per
+    /// query.
+    ///
+    /// Per-query server failures land in that query's slot. A transport
+    /// failure tears the connection down, reconnects, and re-issues only
+    /// the *unanswered* requests (under the retry policy), so answered
+    /// queries are never replayed; rate-limited entries are retried per
+    /// policy honouring the server's back-off hint. The connection lock
+    /// is held for the whole batch.
+    pub fn estimate_batch(&self, specs: &[TargetingSpec]) -> Vec<Result<u64, ClientError>> {
+        let mut results: Vec<Option<Result<u64, ClientError>>> =
+            (0..specs.len()).map(|_| None).collect();
+        let mut todo: Vec<usize> = (0..specs.len()).collect();
+        let mut rate_limit_attempt: u32 = 0;
+        let mut transport_attempt: u32 = 0;
+        let mut guard = self.conn.lock();
+        while !todo.is_empty() {
+            if let Err(retry_in) = self.breaker.lock().check(self.now()) {
+                for &slot in &todo {
+                    results[slot] = Some(Err(ClientError::CircuitOpen { retry_in }));
+                }
+                break;
+            }
+            if guard.is_none() {
+                match self.open_conn() {
+                    Ok(conn) => {
+                        *guard = Some(conn);
+                        self.metrics.reconnects.inc();
+                    }
+                    Err(e) => {
+                        self.breaker.lock().record_failure(self.now());
+                        if self.config.retry.should_retry(transport_attempt) {
+                            self.metrics.retries_transport.inc();
+                            std::thread::sleep(self.config.retry.backoff(transport_attempt, None));
+                            transport_attempt += 1;
+                            continue;
+                        }
+                        // Only the first unanswered slot carries the real
+                        // error (io::Error does not clone); the rest
+                        // report the connection as gone.
+                        let mut original = Some(FrameError::Io(e));
+                        for &slot in &todo {
+                            results[slot] = Some(Err(ClientError::Transport(
+                                original.take().unwrap_or(FrameError::Closed),
+                            )));
+                        }
+                        break;
+                    }
+                }
+            }
+            let conn = guard.as_mut().expect("connection just ensured");
+            match self.pipeline_round(conn, specs, &todo, &mut results) {
+                Ok(rate_limited) => {
+                    self.breaker.lock().record_success();
+                    transport_attempt = 0;
+                    if rate_limited.is_empty() {
+                        break;
+                    }
+                    if self.config.retry.should_retry(rate_limit_attempt) {
+                        self.metrics.retries_rate_limited.inc();
+                        let hint = rate_limited.iter().filter_map(|(_, h)| *h).max();
+                        std::thread::sleep(self.config.retry.backoff(rate_limit_attempt, hint));
+                        rate_limit_attempt += 1;
+                    } else {
+                        for (slot, retry_after) in rate_limited {
+                            results[slot] = Some(Err(ClientError::Server {
+                                code: ErrorCode::RateLimited,
+                                message: "query rate exceeded".into(),
+                                retry_after,
+                            }));
+                        }
+                        break;
+                    }
+                }
+                Err(RoundAbort::Transport(e)) => {
+                    if let FrameError::Io(io) = &e {
+                        if is_timeout(io.kind()) {
+                            self.metrics.timeouts_io.inc();
+                        }
+                    }
+                    // Tear down; the next iteration reconnects and
+                    // re-issues only what is still unanswered.
+                    *guard = None;
+                    self.breaker.lock().record_failure(self.now());
+                    todo.retain(|&slot| results[slot].is_none());
+                    if self.config.retry.should_retry(transport_attempt) {
+                        self.metrics.retries_transport.inc();
+                        std::thread::sleep(self.config.retry.backoff(transport_attempt, None));
+                        transport_attempt += 1;
+                    } else {
+                        let mut original = Some(e);
+                        for &slot in &todo {
+                            results[slot] = Some(Err(ClientError::Transport(
+                                original.take().unwrap_or(FrameError::Closed),
+                            )));
+                        }
+                        break;
+                    }
+                }
+                Err(RoundAbort::Fatal(e)) => {
+                    let mut original = Some(e);
+                    for &slot in &todo {
+                        if results[slot].is_none() {
+                            results[slot] = Some(Err(original
+                                .take()
+                                .unwrap_or(ClientError::UnexpectedResponse)));
+                        }
+                    }
+                    break;
+                }
+            }
+            todo.retain(|&slot| results[slot].is_none());
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(ClientError::UnexpectedResponse)))
+            .collect()
+    }
+
+    /// One sliding-window pass over `todo` on the current connection:
+    /// issues tagged estimates, keeps up to the configured window in
+    /// flight, and files answers into `results` as they arrive.
+    /// Rate-limited slots are returned with their back-off hints for the
+    /// caller's retry loop.
+    fn pipeline_round(
+        &self,
+        conn: &mut Conn,
+        specs: &[TargetingSpec],
+        todo: &[usize],
+        results: &mut [Option<Result<u64, ClientError>>],
+    ) -> Result<Vec<(usize, Option<Duration>)>, RoundAbort> {
+        let window = self.config.pipeline_window.max(1);
+        let mut rate_limited = Vec::new();
+        let mut in_flight: HashMap<u64, usize> = HashMap::new();
+        let mut queue = todo.iter().copied();
+        let mut next = queue.next();
+        loop {
+            while in_flight.len() < window {
+                let Some(slot) = next else { break };
+                let request = Request::Tagged {
+                    id: slot as u64,
+                    inner: Box::new(Request::Estimate {
+                        spec: specs[slot].clone(),
+                    }),
+                };
+                write_frame(&mut conn.writer, &to_bytes(&request))
+                    .map_err(RoundAbort::Transport)?;
+                in_flight.insert(slot as u64, slot);
+                next = queue.next();
+            }
+            self.metrics.pipeline_inflight.set(in_flight.len() as i64);
+            if in_flight.is_empty() {
+                return Ok(rate_limited);
+            }
+            let payload = read_frame(&mut conn.reader).map_err(RoundAbort::Transport)?;
+            let response = from_bytes::<Response>(&payload)
+                .map_err(|e| RoundAbort::Fatal(ClientError::Codec(e)))?;
+            let Response::Tagged { id, inner } = response else {
+                return Err(RoundAbort::Fatal(ClientError::UnexpectedResponse));
+            };
+            let Some(slot) = in_flight.remove(&id) else {
+                return Err(RoundAbort::Fatal(ClientError::UnexpectedResponse));
+            };
+            match *inner {
+                Response::Estimate { value } => results[slot] = Some(Ok(value)),
+                Response::Error {
+                    code: ErrorCode::RateLimited,
+                    retry_after,
+                    ..
+                } => rate_limited.push((slot, retry_after)),
+                Response::Error {
+                    code,
+                    message,
+                    retry_after,
+                } => {
+                    results[slot] = Some(Err(ClientError::Server {
+                        code,
+                        message,
+                        retry_after,
+                    }))
+                }
+                _ => results[slot] = Some(Err(ClientError::UnexpectedResponse)),
+            }
         }
     }
 

@@ -10,13 +10,21 @@
 //! * [`codec`] — length-checked binary encoding of every protocol type;
 //! * [`frame`] — u32-length-prefixed frames with a hard size cap;
 //! * [`message`] — the request/response protocol (describe, browse,
-//!   validate, estimate, stats);
+//!   validate, estimate, stats), plus correlation-id-tagged frames
+//!   ([`Request::Tagged`]/[`Response::Tagged`]) that let a client keep
+//!   several requests in flight on one connection and match the
+//!   possibly-out-of-order answers back by id (pipelining);
 //! * [`server`] — expose any [`PlatformApi`](adcomp_platform::PlatformApi)
 //!   (a plain [`AdPlatform`](adcomp_platform::AdPlatform) or a
 //!   fault-injecting wrapper) on a TCP socket, with optional
-//!   token-bucket rate limiting and a connection-fault hook;
+//!   token-bucket rate limiting and a connection-fault hook; tagged
+//!   requests are answered by a per-connection executor pool while
+//!   admission control (fault hook, rate limiter) stays on the read
+//!   thread in receive order, so fault plans remain deterministic;
 //! * [`client`] — blocking client with timeouts, automatic reconnect,
-//!   retry with backoff, and a circuit breaker.
+//!   retry with backoff, a circuit breaker, and pipelined
+//!   [`estimate_batch`](Client::estimate_batch) (a sliding window of
+//!   tagged requests; reconnects re-issue only unanswered queries).
 //!
 //! # Loopback example
 //!

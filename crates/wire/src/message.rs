@@ -42,6 +42,17 @@ pub enum Request {
         /// Maximum entries to return (server may cap).
         limit: u32,
     },
+    /// A correlation-id-tagged request: the client may have several of
+    /// these in flight on one connection (pipelining) and matches the
+    /// server's [`Response::Tagged`] answers — which may arrive out of
+    /// order — by id. Nesting `Tagged` inside `Tagged` is a protocol
+    /// error.
+    Tagged {
+        /// Correlation id, echoed verbatim in the response.
+        id: u64,
+        /// The request to answer.
+        inner: Box<Request>,
+    },
 }
 
 /// Server → client messages.
@@ -104,6 +115,13 @@ pub enum Response {
         entries: Vec<(String, u16)>,
         /// Id to request next, when more entries exist.
         next: Option<u32>,
+    },
+    /// Answer to a [`Request::Tagged`], carrying its correlation id.
+    Tagged {
+        /// The id of the request this answers.
+        id: u64,
+        /// The answer itself (never another `Tagged`).
+        inner: Box<Response>,
     },
 }
 
@@ -267,6 +285,11 @@ impl WireEncode for Request {
                 start.encode(buf);
                 limit.encode(buf);
             }
+            Request::Tagged { id, inner } => {
+                6u8.encode(buf);
+                id.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
 }
@@ -288,6 +311,10 @@ impl WireDecode for Request {
             5 => Request::CatalogPage {
                 start: u32::decode(buf)?,
                 limit: u32::decode(buf)?,
+            },
+            6 => Request::Tagged {
+                id: u64::decode(buf)?,
+                inner: Box::new(Request::decode(buf)?),
             },
             tag => {
                 return Err(CodecError::InvalidTag {
@@ -361,6 +388,11 @@ impl WireEncode for Response {
                 entries.encode(buf);
                 next.encode(buf);
             }
+            Response::Tagged { id, inner } => {
+                7u8.encode(buf);
+                id.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
 }
@@ -399,6 +431,10 @@ impl WireDecode for Response {
                 start: u32::decode(buf)?,
                 entries: Vec::decode(buf)?,
                 next: Option::decode(buf)?,
+            },
+            7 => Response::Tagged {
+                id: u64::decode(buf)?,
+                inner: Box::new(Response::decode(buf)?),
             },
             tag => {
                 return Err(CodecError::InvalidTag {
@@ -525,6 +561,28 @@ mod tests {
                 tag: 9
             })
         ));
+    }
+
+    #[test]
+    fn tagged_messages_roundtrip() {
+        roundtrip_req(Request::Tagged {
+            id: 0xDEAD_BEEF_0042,
+            inner: Box::new(Request::Estimate {
+                spec: sample_spec(),
+            }),
+        });
+        roundtrip_resp(Response::Tagged {
+            id: 7,
+            inner: Box::new(Response::Estimate { value: 1_000 }),
+        });
+        roundtrip_resp(Response::Tagged {
+            id: u64::MAX,
+            inner: Box::new(Response::Error {
+                code: ErrorCode::RateLimited,
+                message: "slow down".into(),
+                retry_after: Some(Duration::from_millis(1)),
+            }),
+        });
     }
 
     #[test]

@@ -80,6 +80,14 @@ pub struct ServerConfig {
     pub burst: f64,
     /// Transport-fault injector, consulted once per received frame.
     pub fault_hook: Option<Arc<dyn ConnectionFaultHook>>,
+    /// Executor threads per connection for pipelined
+    /// ([`Request::Tagged`]) requests. Fault hooks and rate limiting are
+    /// always applied on the read thread in receive order, so they stay
+    /// deterministic at any setting; with the default of 1 the platform
+    /// itself also sees requests in receive order, which keeps
+    /// platform-level fault plans deterministic too. Raise it only when
+    /// that ordering does not matter.
+    pub executors: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +96,7 @@ impl Default for ServerConfig {
             rate_limit: None,
             burst: 50.0,
             fault_hook: None,
+            executors: 1,
         }
     }
 }
@@ -98,13 +107,20 @@ impl ServerConfig {
         ServerConfig {
             rate_limit: Some(rate),
             burst,
-            fault_hook: None,
+            ..ServerConfig::default()
         }
     }
 
     /// Attaches a connection-fault hook (builder style).
     pub fn with_fault_hook(mut self, hook: Arc<dyn ConnectionFaultHook>) -> Self {
         self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Sets the per-connection executor count for pipelined requests
+    /// (builder style; clamped to at least 1).
+    pub fn with_executors(mut self, executors: usize) -> Self {
+        self.executors = executors.max(1);
         self
     }
 }
@@ -115,6 +131,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("rate_limit", &self.rate_limit)
             .field("burst", &self.burst)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
+            .field("executors", &self.executors)
             .finish()
     }
 }
@@ -173,6 +190,7 @@ pub fn serve(
         )))
     });
     let fault_hook = config.fault_hook;
+    let executors = config.executors.max(1);
     // One counter across all connections: reconnecting does not reset the
     // fault schedule.
     let request_counter = Arc::new(AtomicU64::new(0));
@@ -204,6 +222,7 @@ pub fn serve(
                         fault_hook,
                         request_counter,
                         conn_shutdown,
+                        executors,
                     );
                 });
             }
@@ -230,6 +249,67 @@ fn conn_drops_total() -> Arc<Counter> {
     Registry::global().counter("adcomp_wire_conn_drops_total")
 }
 
+/// Per-connection executor pool answering pipelined ([`Request::Tagged`])
+/// requests off the read thread. Responses go through a shared writer
+/// lock, so they interleave with read-thread writes frame-atomically but
+/// may leave in any order — the correlation id is what the client keys on.
+struct PipelinePool {
+    jobs: Option<crossbeam::channel::Sender<(u64, Request)>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PipelinePool {
+    fn start(
+        executors: usize,
+        platform: Arc<dyn PlatformApi>,
+        writer: Arc<Mutex<TcpStream>>,
+    ) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Request)>();
+        let workers = (0..executors.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let platform = platform.clone();
+                let writer = writer.clone();
+                std::thread::Builder::new()
+                    .name(format!("adcomp-wire-exec-{i}"))
+                    .spawn(move || {
+                        for (id, request) in rx.iter() {
+                            let inner = handle_request(platform.as_ref(), request);
+                            let frame = to_bytes(&Response::Tagged {
+                                id,
+                                inner: Box::new(inner),
+                            });
+                            // A failed write means the client is gone;
+                            // keep draining so shutdown stays clean.
+                            let _ = write_frame(&mut *writer.lock(), &frame);
+                        }
+                    })
+                    .expect("spawn pipeline executor")
+            })
+            .collect();
+        PipelinePool {
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    fn submit(&self, id: u64, request: Request) {
+        let _ = self
+            .jobs
+            .as_ref()
+            .expect("pool is running")
+            .send((id, request));
+    }
+
+    fn join(mut self) {
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     platform: Arc<dyn PlatformApi>,
@@ -237,20 +317,77 @@ fn handle_connection(
     fault_hook: Option<Arc<dyn ConnectionFaultHook>>,
     request_counter: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
+    executors: usize,
 ) -> Result<(), FrameError> {
     stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = BufReader::new(stream);
+    // Started on the first tagged request, so plain request/response
+    // connections never pay for extra threads.
+    let mut pipeline: Option<PipelinePool> = None;
+    let result = read_loop(
+        &mut reader,
+        &writer,
+        &platform,
+        &limiter,
+        &fault_hook,
+        &request_counter,
+        &shutdown,
+        executors,
+        &mut pipeline,
+    );
+    if let Some(pool) = pipeline {
+        // Drain in-flight work before the connection thread exits.
+        pool.join();
+    }
+    result
+}
+
+/// Checks the shared limiter for one request, in receive order on the
+/// read thread. Returns the rejection to send when the request is over
+/// the rate.
+fn rate_limit_check(
+    limiter: &Option<SharedLimiter>,
+    platform: &dyn PlatformApi,
+) -> Option<Response> {
+    let limiter = limiter.as_ref()?;
+    let mut guard = limiter.lock();
+    let (bucket, epoch) = &mut *guard;
+    if bucket.try_acquire(epoch.elapsed()) {
+        return None;
+    }
+    let retry_after = bucket.retry_after(epoch.elapsed());
+    drop(guard);
+    platform.note_rate_limited();
+    Some(Response::Error {
+        code: ErrorCode::RateLimited,
+        message: "query rate exceeded".into(),
+        retry_after: Some(retry_after),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+    platform: &Arc<dyn PlatformApi>,
+    limiter: &Option<SharedLimiter>,
+    fault_hook: &Option<Arc<dyn ConnectionFaultHook>>,
+    request_counter: &Arc<AtomicU64>,
+    shutdown: &Arc<AtomicBool>,
+    executors: usize,
+    pipeline: &mut Option<PipelinePool>,
+) -> Result<(), FrameError> {
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let payload = match read_frame(&mut reader) {
+        let payload = match read_frame(reader) {
             Ok(p) => p,
             Err(FrameError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
-        if let Some(hook) = &fault_hook {
+        if let Some(hook) = fault_hook {
             let index = request_counter.fetch_add(1, Ordering::SeqCst);
             match hook.fault_for(index) {
                 Some(ConnectionFault::Drop) => {
@@ -260,9 +397,10 @@ fn handle_connection(
                 Some(ConnectionFault::DropMidFrame) => {
                     conn_drops_total().inc();
                     // Promise a frame, deliver half of it, hang up.
-                    writer.write_all(&64u32.to_be_bytes())?;
-                    writer.write_all(&[0u8; 16])?;
-                    writer.flush()?;
+                    let mut w = writer.lock();
+                    w.write_all(&64u32.to_be_bytes())?;
+                    w.write_all(&[0u8; 16])?;
+                    w.flush()?;
                     return Ok(());
                 }
                 None => {}
@@ -274,29 +412,41 @@ fn handle_connection(
                 message: e.to_string(),
                 retry_after: None,
             },
-            Ok(request) => {
-                if let Some(limiter) = &limiter {
-                    let mut guard = limiter.lock();
-                    let (bucket, epoch) = &mut *guard;
-                    if !bucket.try_acquire(epoch.elapsed()) {
-                        let retry_after = bucket.retry_after(epoch.elapsed());
-                        drop(guard);
-                        platform.note_rate_limited();
-                        write_frame(
-                            &mut writer,
-                            &to_bytes(&Response::Error {
-                                code: ErrorCode::RateLimited,
-                                message: "query rate exceeded".into(),
-                                retry_after: Some(retry_after),
-                            }),
-                        )?;
+            Ok(Request::Tagged { id, inner }) => {
+                // Pipelined request: admission control (fault hook above,
+                // rate limiter here) runs on the read thread in receive
+                // order — determinism is independent of the executor
+                // count — and only admitted platform work is dispatched.
+                let rejection = if matches!(*inner, Request::Tagged { .. }) {
+                    Some(Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: "nested Tagged request".into(),
+                        retry_after: None,
+                    })
+                } else {
+                    rate_limit_check(limiter, platform.as_ref())
+                };
+                match rejection {
+                    Some(error) => Response::Tagged {
+                        id,
+                        inner: Box::new(error),
+                    },
+                    None => {
+                        pipeline
+                            .get_or_insert_with(|| {
+                                PipelinePool::start(executors, platform.clone(), writer.clone())
+                            })
+                            .submit(id, *inner);
                         continue;
                     }
                 }
-                handle_request(platform.as_ref(), request)
             }
+            Ok(request) => match rate_limit_check(limiter, platform.as_ref()) {
+                Some(error) => error,
+                None => handle_request(platform.as_ref(), request),
+            },
         };
-        write_frame(&mut writer, &to_bytes(&response))?;
+        write_frame(&mut *writer.lock(), &to_bytes(&response))?;
     }
 }
 
@@ -308,6 +458,7 @@ fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
         Request::Estimate { .. } => "estimate",
         Request::CatalogPage { .. } => "catalog_page",
         Request::Stats => "stats",
+        Request::Tagged { .. } => "tagged",
     })
     .inc();
     match request {
@@ -378,6 +529,13 @@ fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
                 rate_limited: s.rate_limited,
             }
         }
+        // The read loop unwraps tagging before dispatch; reaching this
+        // arm means a nested Tagged slipped through.
+        Request::Tagged { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "nested Tagged request".into(),
+            retry_after: None,
+        },
     }
 }
 

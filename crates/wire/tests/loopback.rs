@@ -384,3 +384,123 @@ fn catalog_pagination_covers_the_whole_catalog() {
     assert_eq!(next, None);
     handle.shutdown();
 }
+
+#[test]
+fn pipelined_batch_matches_serial_estimates() {
+    let handle = serve(
+        sim().facebook.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default().with_executors(4),
+    )
+    .unwrap();
+    let client = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            pipeline_window: 8,
+            ..ClientConfig::fast()
+        },
+    )
+    .unwrap();
+    let specs: Vec<TargetingSpec> = (0..20)
+        .map(|i| TargetingSpec::and_of([AttributeId(i)]))
+        .collect();
+    let serial: Vec<u64> = specs.iter().map(|s| client.estimate(s).unwrap()).collect();
+    let batched = client.estimate_batch(&specs);
+    for (i, (serial, batched)) in serial.iter().zip(&batched).enumerate() {
+        assert_eq!(
+            batched.as_ref().unwrap(),
+            serial,
+            "spec {i} differs under pipelining"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_batch_carries_per_query_errors() {
+    let handle = serve(
+        sim().facebook.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let client = Client::connect_with(handle.addr(), ClientConfig::fast()).unwrap();
+    let bogus = TargetingSpec::and_of([AttributeId(999_999)]);
+    let specs = vec![
+        TargetingSpec::everyone(),
+        bogus,
+        TargetingSpec::and_of([AttributeId(0)]),
+    ];
+    let results = client.estimate_batch(&specs);
+    assert!(results[0].is_ok());
+    assert!(
+        matches!(
+            results[1],
+            Err(ClientError::Server {
+                code: ErrorCode::UnknownAttribute,
+                ..
+            })
+        ),
+        "got {:?}",
+        results[1]
+    );
+    assert!(results[2].is_ok(), "a bad spec must not poison its batch");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_batch_rides_out_rate_limiting() {
+    // A tight limiter: the batch trips it, the client backs off per the
+    // server's hint, and — given enough retry budget — every query still
+    // completes.
+    let handle = serve(
+        sim().linkedin.clone(),
+        "127.0.0.1:0",
+        ServerConfig::rate_limited(1_000.0, 3.0),
+    )
+    .unwrap();
+    let client = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            retry: adcomp_platform::RetryPolicy::fast(30),
+            ..ClientConfig::fast()
+        },
+    )
+    .unwrap();
+    let specs = vec![TargetingSpec::everyone(); 12];
+    let results = client.estimate_batch(&specs);
+    let first = results[0].as_ref().unwrap();
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap(), first);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_batch_reconnects_and_reissues_only_unanswered() {
+    // Kill the connection mid-batch; the client reconnects and re-issues
+    // the unanswered tail, so every slot ends up filled and correct.
+    let plan = FaultPlan::new(31).with(
+        FaultKind::Drop { mid_frame: false },
+        Schedule::Once { at: 5 },
+    );
+    let config = ServerConfig::default().with_fault_hook(Arc::new(FaultPlanHook(plan)));
+    let handle = serve(sim().linkedin.clone(), "127.0.0.1:0", config).unwrap();
+    let client = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            pipeline_window: 4,
+            ..ClientConfig::fast()
+        },
+    )
+    .unwrap();
+    let specs: Vec<TargetingSpec> = (0..10)
+        .map(|i| TargetingSpec::and_of([AttributeId(i)]))
+        .collect();
+    let results = client.estimate_batch(&specs);
+    for (i, r) in results.iter().enumerate() {
+        let clean = client.estimate(&specs[i]).unwrap();
+        assert_eq!(r.as_ref().unwrap(), &clean, "slot {i}");
+    }
+    handle.shutdown();
+}

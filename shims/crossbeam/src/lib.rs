@@ -1,10 +1,17 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` is used by this workspace; it maps
-//! directly onto `std::thread::scope` (stable since 1.63). The one
-//! semantic difference: a panicking child panics the parent at the end
-//! of the scope instead of surfacing as `Err`, which is equivalent for
-//! callers that `.expect()` the result (all of ours do).
+//! This workspace uses `crossbeam::thread::scope` (maps directly onto
+//! `std::thread::scope`, stable since 1.63) and `crossbeam::channel`
+//! (multi-producer **multi-consumer** channels, which std's `mpsc` does
+//! not provide — its `Receiver` is neither `Clone` nor `Sync`). The
+//! channel here is a straightforward `Mutex<VecDeque>` + two `Condvar`s;
+//! it favours predictability over raw throughput, which is fine for the
+//! coarse work-distribution this workspace does (each message carries a
+//! chunk of estimate queries, not a single cheap op).
+//!
+//! Semantic differences from real crossbeam, none observable to our
+//! callers: `thread::scope` panics the parent on child panic instead of
+//! returning `Err` (all callers `.expect()`), and `select!` is absent.
 
 #![forbid(unsafe_code)]
 
@@ -39,8 +46,251 @@ pub mod thread {
     }
 }
 
+/// Multi-producer multi-consumer channels (the crossbeam-channel subset
+/// this workspace uses).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Carries the unsent message back, like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty (senders still connected).
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Capacity bound (`None` = unbounded).
+        cap: Option<usize>,
+        /// Signalled when the queue gains a message or loses all senders.
+        not_empty: Condvar,
+        /// Signalled when the queue loses a message or loses all
+        /// receivers (wakes bounded senders).
+        not_full: Condvar,
+    }
+
+    /// The sending half; clonable across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clonable across threads (mpmc — each message
+    /// is delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel; `send` blocks while `cap` messages are
+    /// queued. `cap = 0` is treated as 1 (this shim has no rendezvous
+    /// mode; no caller relies on one).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is queued (bounded channels may wait
+        /// for room). Fails only when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let shared = &self.shared;
+            let mut state = shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match shared.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = shared
+                            .not_full
+                            .wait(state)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails once the channel is
+        /// empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &self.shared;
+            let mut state = shared.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &self.shared;
+            let mut state = shared.lock();
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued (racy by nature; for gauges).
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty (racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Blocked receivers must wake to observe disconnection.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Blocked senders must wake to observe disconnection.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel;
+
     #[test]
     fn scoped_spawns_join_and_borrow() {
         let mut data = vec![0u32; 8];
@@ -51,5 +301,79 @@ mod tests {
         })
         .unwrap();
         assert_eq!(data, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn unbounded_fifo_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn disconnection_is_observable_on_both_ends() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(channel::SendError(9)));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // A third send must block until the consumer drains one slot.
+        let handle = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            tx.send(4).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let drained: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        handle.join().unwrap();
+        assert_eq!(drained, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_each_message_once() {
+        let (tx, rx) = channel::bounded(4);
+        let total: u64 = std::thread::scope(|s| {
+            for p in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut sums = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                sums.push(s.spawn(move || rx.iter().map(|_| 1u64).sum::<u64>()));
+            }
+            drop(rx);
+            sums.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 400, "each message consumed exactly once");
     }
 }

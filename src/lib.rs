@@ -148,6 +148,21 @@ impl EstimateSource for RemoteSource {
         self.client.estimate(spec).map_err(map_client_error)
     }
 
+    fn estimate_batch(&self, specs: &[TargetingSpec]) -> Vec<Result<u64, SourceError>> {
+        // Pipelined: the client keeps a window of tagged requests in
+        // flight on the one connection instead of paying a round-trip
+        // per query.
+        self.client
+            .estimate_batch(specs)
+            .into_iter()
+            .map(|r| r.map_err(map_client_error))
+            .collect()
+    }
+
+    fn batch_window(&self) -> usize {
+        self.client.config().pipeline_window.max(1)
+    }
+
     fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
         self.client.check(spec).map_err(map_client_error)
     }
