@@ -1,0 +1,121 @@
+//! Measures run-store write and replay throughput and records the
+//! numbers in `BENCH_store_throughput.json`.
+//!
+//! Three rates, all over realistic records (encoded `TargetingSpec` +
+//! estimate payloads, the store's production workload):
+//!
+//! * **append, fsync-per-record** — every append is durable before the
+//!   next query is issued (the paranoid multi-day-audit setting);
+//! * **append, batched group-commit** — the default
+//!   [`SyncPolicy::Batched`] durability, one fsync per 64 records;
+//! * **replay** — cold-opening the store, which scans and checksums the
+//!   whole WAL to rebuild the snapshot index (what a resumed or
+//!   replayed experiment pays at startup).
+//!
+//! The batched/fsync ratio is the price of per-record durability; the
+//! binary only fails if the store loses or corrupts records, never on
+//! speed, so CI stays robust to noisy runners.
+
+use std::time::Instant;
+
+use adcomp_bench::{say, Cli};
+use adcomp_core::recording::{encode_estimate, normalized_spec_key, KIND_ESTIMATE};
+use adcomp_store::{RunStore, SyncPolicy, WalOptions};
+use adcomp_targeting::{AttributeId, TargetingSpec};
+
+/// Records per timed append run (kept modest so the fsync-per-record
+/// mode finishes quickly even on slow disks).
+const BATCHED_RECORDS: u32 = 50_000;
+const FSYNC_RECORDS: u32 = 2_000;
+
+fn spec_for(i: u32) -> TargetingSpec {
+    // Two-attribute AND compositions over a synthetic catalog: the spec
+    // shape discovery actually records.
+    TargetingSpec::and_of([AttributeId(i % 997), AttributeId(997 + i / 997)]).normalized()
+}
+
+/// Appends `n` estimate records under `sync`, returning records/sec.
+fn append_run(dir: &std::path::Path, sync: SyncPolicy, n: u32) -> f64 {
+    let store = RunStore::open_with(
+        dir,
+        WalOptions {
+            sync,
+            ..WalOptions::default()
+        },
+    )
+    .expect("open store");
+    let start = Instant::now();
+    for i in 0..n {
+        let spec = spec_for(i);
+        let key = normalized_spec_key("bench", &spec);
+        let payload = encode_estimate(&spec, u64::from(i) * 10);
+        store.append(KIND_ESTIMATE, key, &payload).expect("append");
+    }
+    store.sync().expect("final sync");
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Cold-opens the store and returns (records/sec recovered, records).
+fn replay_run(dir: &std::path::Path) -> (f64, u64) {
+    let start = Instant::now();
+    let store = RunStore::open(dir).expect("reopen store");
+    let recovered = store.stats().recovered;
+    let secs = start.elapsed().as_secs_f64();
+    (recovered as f64 / secs, recovered)
+}
+
+fn main() {
+    let _cli = Cli::parse();
+    let dir = std::env::temp_dir().join(format!("adcomp-bench-store-{}", std::process::id()));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let fsync_rate = append_run(&dir, SyncPolicy::EveryRecord, FSYNC_RECORDS);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let batched_rate = append_run(&dir, SyncPolicy::Batched(64), BATCHED_RECORDS);
+
+    let (replay_rate, recovered) = replay_run(&dir);
+
+    // Correctness gate: replay must see every unique key with the right
+    // value (appends with duplicate keys are latest-wins in the index).
+    let store = RunStore::open(&dir).expect("verify store");
+    let mut pass = recovered == u64::from(BATCHED_RECORDS);
+    for i in (0..BATCHED_RECORDS).step_by(977) {
+        let spec = spec_for(i);
+        let key = normalized_spec_key("bench", &spec);
+        match store.get(key) {
+            Some((KIND_ESTIMATE, payload)) => {
+                let (decoded, value) =
+                    adcomp_core::recording::decode_estimate(&payload).expect("decode");
+                if decoded != spec || value != u64::from(i) * 10 {
+                    pass = false;
+                }
+            }
+            _ => pass = false,
+        }
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let durability_cost = batched_rate / fsync_rate.max(1.0);
+    let json = format!(
+        "{{\n  \"bench\": \"store_throughput\",\n  \
+         \"append_fsync_per_record\": {{ \"records\": {FSYNC_RECORDS}, \"records_per_sec\": {fsync_rate:.0} }},\n  \
+         \"append_batched_64\": {{ \"records\": {BATCHED_RECORDS}, \"records_per_sec\": {batched_rate:.0} }},\n  \
+         \"replay\": {{ \"records\": {recovered}, \"records_per_sec\": {replay_rate:.0} }},\n  \
+         \"batched_over_fsync\": {durability_cost:.1},\n  \"pass\": {pass}\n}}\n"
+    );
+    std::fs::write("BENCH_store_throughput.json", &json)
+        .expect("write BENCH_store_throughput.json");
+    say!("{json}");
+    adcomp_obs::info!(
+        "store throughput: append {batched_rate:.0}/s batched, {fsync_rate:.0}/s fsync-per-record \
+         ({durability_cost:.1}x), replay {replay_rate:.0}/s over {recovered} records"
+    );
+    if !pass {
+        adcomp_obs::error!("store lost or corrupted records during the throughput run");
+        std::process::exit(1);
+    }
+}

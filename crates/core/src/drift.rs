@@ -1,0 +1,507 @@
+//! Longitudinal drift analysis between two recorded audit runs.
+//!
+//! The paper's audits are snapshots; real platforms move. Given two
+//! [`RunStore`](adcomp_store::RunStore) epochs of the *same* audit
+//! (same seeds, same spec schedule), this module answers the
+//! longitudinal question entirely offline, from the recordings:
+//!
+//! * which specs' rounded estimates changed, and by how much;
+//! * whether the platform's estimate *granularity* ladder moved (a
+//!   rounding-policy change would silently re-scale every downstream
+//!   metric);
+//! * and — the finding that matters — which `(spec, class)`
+//!   representation ratios crossed a four-fifths threshold
+//!   ([`FOUR_FIFTHS_LOW`]/[`FOUR_FIFTHS_HIGH`]): an audience that was
+//!   compliant in epoch one and discriminatory in epoch two, or vice
+//!   versa.
+//!
+//! Findings render through [`RunReport`](adcomp_obs::RunReport) — band
+//! crossings as degradations, everything else as notes — and are
+//! counted on `adcomp_drift_findings_total`.
+
+use std::collections::BTreeMap;
+
+use adcomp_obs::{Registry, RunReport, Tracer};
+use adcomp_store::SnapshotIndex;
+use adcomp_targeting::TargetingSpec;
+
+use crate::metrics::{four_fifths_band, rep_ratio_of, SkewBand, SpecMeasurement};
+use crate::probe::{granularity_from_observations, GranularityReport};
+use crate::recording::{each_estimate_in, labels_in, meta_in};
+use crate::source::SensitiveClass;
+
+/// One spec whose rounded estimate differs between epochs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftFinding {
+    /// Interface the estimate was recorded on.
+    pub label: String,
+    /// The (normalized) spec.
+    pub spec: TargetingSpec,
+    /// Epoch-one estimate.
+    pub before: u64,
+    /// Epoch-two estimate.
+    pub after: u64,
+}
+
+impl DriftFinding {
+    /// Signed absolute change.
+    pub fn delta(&self) -> i64 {
+        self.after as i64 - self.before as i64
+    }
+
+    /// Relative change against the epoch-one estimate (1.0 when the
+    /// spec grew from zero).
+    pub fn relative(&self) -> f64 {
+        if self.before == 0 {
+            if self.after == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            self.delta() as f64 / self.before as f64
+        }
+    }
+}
+
+/// A `(spec, class)` representation ratio that moved between epochs.
+/// The interesting ones [cross](RatioMove::crossed) a four-fifths
+/// threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatioMove {
+    /// Interface the ratio was measured on.
+    pub label: String,
+    /// The audited (normalized) spec.
+    pub spec: TargetingSpec,
+    /// The sensitive class.
+    pub class: SensitiveClass,
+    /// Epoch-one representation ratio.
+    pub before: f64,
+    /// Epoch-two representation ratio.
+    pub after: f64,
+}
+
+impl RatioMove {
+    /// Which four-fifths band each epoch's ratio falls in.
+    pub fn bands(&self) -> (SkewBand, SkewBand) {
+        (four_fifths_band(self.before), four_fifths_band(self.after))
+    }
+
+    /// Whether the move crosses a four-fifths threshold — the audience
+    /// changed compliance class between epochs.
+    pub fn crossed(&self) -> bool {
+        let (b, a) = self.bands();
+        b != a
+    }
+}
+
+/// Granularity ladders of one interface in both epochs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GranularityDrift {
+    /// Interface label.
+    pub label: String,
+    /// Epoch-one ladder.
+    pub before: GranularityReport,
+    /// Epoch-two ladder.
+    pub after: GranularityReport,
+}
+
+impl GranularityDrift {
+    /// Whether the rounding behaviour changed shape (significant-digit
+    /// ladder or reporting floor — not merely which values happened to
+    /// be observed).
+    pub fn changed(&self) -> bool {
+        self.before.digits_per_decade != self.after.digits_per_decade
+            || self.before.min_nonzero != self.after.min_nonzero
+    }
+}
+
+/// Everything that moved between two recorded epochs of one audit.
+#[derive(Clone, Debug, Default)]
+pub struct DriftReport {
+    /// Interfaces recorded in both epochs (drift is computed on these).
+    pub labels: Vec<String>,
+    /// Specs recorded in both epochs, across all common interfaces.
+    pub common_specs: usize,
+    /// Specs only epoch one recorded (schedule divergence).
+    pub only_before: usize,
+    /// Specs only epoch two recorded.
+    pub only_after: usize,
+    /// Common specs whose rounded estimate changed, sorted by descending
+    /// relative change.
+    pub estimate_drifts: Vec<DriftFinding>,
+    /// Per-interface granularity ladders, both epochs.
+    pub granularity: Vec<GranularityDrift>,
+    /// Representation-ratio moves that cross a four-fifths threshold.
+    pub ratio_moves: Vec<RatioMove>,
+    /// `(spec, class)` ratios compared (denominator for `ratio_moves`).
+    pub ratios_compared: usize,
+}
+
+impl DriftReport {
+    /// Number of findings an auditor must look at: threshold crossings,
+    /// granularity-shape changes, and schedule divergence.
+    pub fn findings(&self) -> usize {
+        self.ratio_moves.iter().filter(|m| m.crossed()).count()
+            + self.granularity.iter().filter(|g| g.changed()).count()
+            + usize::from(self.only_before > 0 || self.only_after > 0)
+    }
+
+    /// Whether the two epochs are estimate-for-estimate identical.
+    pub fn identical(&self) -> bool {
+        self.estimate_drifts.is_empty() && self.only_before == 0 && self.only_after == 0
+    }
+
+    /// Renders the report through [`RunReport`]: threshold crossings and
+    /// granularity changes as degradations, estimate movement as notes.
+    pub fn render(&self, title: &str) -> String {
+        let mut report = RunReport::new(title);
+        report.note(format!(
+            "interfaces compared: {} ({})",
+            self.labels.len(),
+            self.labels.join(", ")
+        ));
+        report.note(format!(
+            "specs: {} common, {} only-before, {} only-after",
+            self.common_specs, self.only_before, self.only_after
+        ));
+        if self.only_before > 0 || self.only_after > 0 {
+            report.degradation(format!(
+                "epochs disagree on the spec schedule ({} / {} unmatched specs) — \
+                 drift below covers only the common part",
+                self.only_before, self.only_after
+            ));
+        }
+        report.note(format!(
+            "estimates changed: {} of {} common specs",
+            self.estimate_drifts.len(),
+            self.common_specs
+        ));
+        for finding in self.estimate_drifts.iter().take(10) {
+            report.note(format!(
+                "  {}: `{}` {} → {} ({:+.1}%)",
+                finding.label,
+                finding.spec,
+                finding.before,
+                finding.after,
+                finding.relative() * 100.0
+            ));
+        }
+        if self.estimate_drifts.len() > 10 {
+            report.note(format!(
+                "  … and {} more (sorted by relative change)",
+                self.estimate_drifts.len() - 10
+            ));
+        }
+        for g in &self.granularity {
+            if g.changed() {
+                report.degradation(format!(
+                    "{}: estimate granularity changed (digits/decade {:?} → {:?}, \
+                     floor {:?} → {:?}) — downstream ratios are not comparable as-is",
+                    g.label,
+                    g.before.digits_per_decade,
+                    g.after.digits_per_decade,
+                    g.before.min_nonzero,
+                    g.after.min_nonzero
+                ));
+            }
+        }
+        report.note(format!(
+            "representation ratios compared: {}",
+            self.ratios_compared
+        ));
+        for m in &self.ratio_moves {
+            let (before_band, after_band) = m.bands();
+            report.degradation(format!(
+                "{}: `{}` for {} crossed four-fifths: {:.3} ({:?}) → {:.3} ({:?})",
+                m.label,
+                m.spec,
+                m.class.label(),
+                m.before,
+                before_band,
+                m.after,
+                after_band
+            ));
+        }
+        report.render()
+    }
+}
+
+/// Recorded estimates of one interface, keyed by canonical spec bytes
+/// (deterministic order for diffing).
+fn estimates_of(index: &SnapshotIndex, label: &str) -> BTreeMap<Vec<u8>, (TargetingSpec, u64)> {
+    let mut map = BTreeMap::new();
+    each_estimate_in(index, label, |spec, value| {
+        map.insert(crate::recording::encode_spec(&spec), (spec, value));
+    });
+    map
+}
+
+/// Assembles a [`SpecMeasurement`] purely from recorded estimates: the
+/// base spec plus its six demographically-constrained variants must all
+/// have been recorded (they are, for any spec the original run measured
+/// through [`measure_spec`](crate::metrics::measure_spec)).
+fn measurement_of(
+    estimates: &BTreeMap<Vec<u8>, (TargetingSpec, u64)>,
+    spec: &TargetingSpec,
+) -> Option<SpecMeasurement> {
+    let value = |s: &TargetingSpec| -> Option<u64> {
+        estimates
+            .get(&crate::recording::encode_spec(&s.normalized()))
+            .map(|(_, v)| *v)
+    };
+    let total = value(spec)?;
+    let mut by_gender = [0u64; 2];
+    let mut by_age = [0u64; 4];
+    for class in SensitiveClass::ALL {
+        let v = value(&class.constrain(spec))?;
+        match class {
+            SensitiveClass::Gender(g) => by_gender[g.index()] = v,
+            SensitiveClass::Age(a) => by_age[a.index()] = v,
+        }
+    }
+    Some(SpecMeasurement {
+        total,
+        by_gender,
+        by_age,
+    })
+}
+
+/// Diffs two recorded epochs of the same audit, entirely offline.
+///
+/// Both snapshots usually come from [`RunStore::snapshot`]
+/// (adcomp_store::RunStore::snapshot) on two different store
+/// directories. Interfaces present in only one epoch are skipped (they
+/// have nothing to be compared against); for the rest, estimates,
+/// granularity ladders, and representation ratios are diffed as
+/// documented on [`DriftReport`].
+pub fn drift_between(before: &SnapshotIndex, after: &SnapshotIndex) -> DriftReport {
+    let tracer = Tracer::global();
+    let _span = tracer.span("drift:diff");
+    let labels_before = labels_in(before);
+    let labels_after = labels_in(after);
+    let labels: Vec<String> = labels_before
+        .iter()
+        .filter(|l| labels_after.contains(l))
+        .cloned()
+        .collect();
+
+    let mut report = DriftReport {
+        labels: labels.clone(),
+        ..DriftReport::default()
+    };
+
+    for label in &labels {
+        let est_before = estimates_of(before, label);
+        let est_after = estimates_of(after, label);
+
+        for (key, (spec, value_before)) in &est_before {
+            match est_after.get(key) {
+                None => report.only_before += 1,
+                Some((_, value_after)) => {
+                    report.common_specs += 1;
+                    if value_after != value_before {
+                        report.estimate_drifts.push(DriftFinding {
+                            label: label.clone(),
+                            spec: spec.clone(),
+                            before: *value_before,
+                            after: *value_after,
+                        });
+                    }
+                }
+            }
+        }
+        report.only_after += est_after
+            .keys()
+            .filter(|k| !est_before.contains_key(*k))
+            .count();
+
+        report.granularity.push(GranularityDrift {
+            label: label.clone(),
+            before: granularity_from_observations(est_before.values().map(|(_, v)| *v)),
+            after: granularity_from_observations(est_after.values().map(|(_, v)| *v)),
+        });
+
+        // Representation-ratio drift needs demographic slices; only
+        // measurement-capable interfaces recorded them.
+        let supports = matches!(
+            meta_in(before, label),
+            Ok(Some(meta)) if meta.supports_demographics
+        );
+        if !supports {
+            continue;
+        }
+        let everyone = TargetingSpec::everyone();
+        let (base_before, base_after) = match (
+            measurement_of(&est_before, &everyone),
+            measurement_of(&est_after, &everyone),
+        ) {
+            (Some(b), Some(a)) => (b, a),
+            _ => continue, // run never measured the baseline audience
+        };
+        for (key, (spec, _)) in &est_before {
+            if !est_after.contains_key(key)
+                || *spec == everyone
+                || spec.demographics.genders.is_some()
+                || spec.demographics.ages.is_some()
+            {
+                continue; // constrained variants are slices, not audiences
+            }
+            let (m_before, m_after) = match (
+                measurement_of(&est_before, spec),
+                measurement_of(&est_after, spec),
+            ) {
+                (Some(b), Some(a)) => (b, a),
+                _ => continue, // not a fully measured audience
+            };
+            for class in SensitiveClass::ALL {
+                let (Some(r_before), Some(r_after)) = (
+                    rep_ratio_of(&m_before, &base_before, class),
+                    rep_ratio_of(&m_after, &base_after, class),
+                ) else {
+                    continue;
+                };
+                report.ratios_compared += 1;
+                let movement = RatioMove {
+                    label: label.clone(),
+                    spec: spec.clone(),
+                    class,
+                    before: r_before,
+                    after: r_after,
+                };
+                if movement.crossed() {
+                    report.ratio_moves.push(movement);
+                }
+            }
+        }
+    }
+
+    report.estimate_drifts.sort_by(|a, b| {
+        b.relative()
+            .abs()
+            .partial_cmp(&a.relative().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.spec.to_string().cmp(&b.spec.to_string()))
+    });
+
+    Registry::global()
+        .counter("adcomp_drift_findings_total")
+        .add(report.findings() as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recording::{encode_estimate, record_meta, spec_key, InterfaceMeta, KIND_ESTIMATE};
+    use adcomp_store::RunStore;
+    use adcomp_targeting::AttributeId;
+
+    const LABEL: &str = "TestIface";
+
+    fn meta() -> InterfaceMeta {
+        InterfaceMeta {
+            label: LABEL.into(),
+            supports_demographics: true,
+            same_feature_and: false,
+            names: vec!["a0".into(), "a1".into()],
+            features: vec![0, 1],
+        }
+    }
+
+    fn record(store: &RunStore, spec: &TargetingSpec, value: u64) {
+        let normalized = spec.normalized();
+        store
+            .append(
+                KIND_ESTIMATE,
+                spec_key(LABEL, &normalized),
+                &encode_estimate(&normalized, value),
+            )
+            .unwrap();
+    }
+
+    /// Records a fully measured audience: total + all six class slices.
+    fn record_measured(store: &RunStore, spec: &TargetingSpec, m: &SpecMeasurement) {
+        record(store, spec, m.total);
+        for class in SensitiveClass::ALL {
+            record(store, &class.constrain(spec), m.class_count(class));
+        }
+    }
+
+    fn epoch(tag: &str, skewed_female: u64) -> SnapshotIndex {
+        let dir = std::env::temp_dir().join(format!("adcomp-drift-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).unwrap();
+        record_meta(&store, &meta()).unwrap();
+        let everyone = TargetingSpec::everyone();
+        record_measured(
+            &store,
+            &everyone,
+            &SpecMeasurement {
+                total: 1000,
+                by_gender: [500, 500],
+                by_age: [250, 250, 250, 250],
+            },
+        );
+        let audience = TargetingSpec::and_of([AttributeId(0)]);
+        record_measured(
+            &store,
+            &audience,
+            &SpecMeasurement {
+                total: 100,
+                by_gender: [100 - skewed_female, skewed_female],
+                by_age: [25, 25, 25, 25],
+            },
+        );
+        let snap = store.snapshot();
+        std::fs::remove_dir_all(&dir).ok();
+        snap
+    }
+
+    #[test]
+    fn identical_epochs_report_no_drift() {
+        let a = epoch("ident-a", 50);
+        let b = epoch("ident-b", 50);
+        let report = drift_between(&a, &b);
+        assert!(report.identical(), "{report:?}");
+        assert_eq!(report.findings(), 0);
+        assert!(report.ratios_compared > 0, "ratios were actually compared");
+        let text = report.render("drift test");
+        assert!(text.contains("no degradations recorded"), "{text}");
+    }
+
+    #[test]
+    fn four_fifths_crossing_is_flagged() {
+        // Female share of the audience drops 50% → 30%: the female
+        // representation ratio goes 1.0 → 0.6, crossing FOUR_FIFTHS_LOW.
+        let a = epoch("cross-a", 50);
+        let b = epoch("cross-b", 30);
+        let report = drift_between(&a, &b);
+        assert!(!report.identical());
+        assert!(
+            report.ratio_moves.iter().any(|m| m.class
+                == SensitiveClass::Gender(adcomp_population::Gender::Female)
+                && m.crossed()),
+            "{report:?}"
+        );
+        let text = report.render("drift test");
+        assert!(text.contains("crossed four-fifths"), "{text}");
+        assert!(report.findings() > 0);
+    }
+
+    #[test]
+    fn schedule_divergence_is_counted() {
+        let a = epoch("sched-a", 50);
+        let dir = std::env::temp_dir().join(format!("adcomp-drift-sched-b-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).unwrap();
+        record_meta(&store, &meta()).unwrap();
+        record(&store, &TargetingSpec::and_of([AttributeId(1)]), 7);
+        let b = store.snapshot();
+        std::fs::remove_dir_all(&dir).ok();
+        let report = drift_between(&a, &b);
+        assert_eq!(report.common_specs, 0);
+        assert!(report.only_before > 0 && report.only_after > 0);
+        assert!(report.findings() > 0);
+    }
+}

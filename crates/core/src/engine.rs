@@ -382,6 +382,25 @@ impl MemoizedSource {
     pub fn cache(&self) -> &Arc<MemoCache> {
         &self.cache
     }
+
+    /// Seeds the cache with every estimate a
+    /// [`RunStore`](adcomp_store::RunStore) recorded for this source's
+    /// interface (matched by label), returning how many entries were
+    /// loaded. A warm audit can then start from a previous run's
+    /// answers: recorded specs hit the cache instead of the platform.
+    ///
+    /// Recorded specs are stored normalized — exactly the form
+    /// [`MemoCache`] keys on — so the preload is a straight insert.
+    pub fn preload_from_replay(&self, store: &adcomp_store::RunStore) -> usize {
+        let label = self.inner.label();
+        let index = store.snapshot();
+        let mut loaded = 0usize;
+        crate::recording::each_estimate_in(&index, &label, |spec, value| {
+            self.cache.insert(spec, value);
+            loaded += 1;
+        });
+        loaded
+    }
 }
 
 impl EstimateSource for MemoizedSource {
@@ -536,36 +555,37 @@ mod tests {
         });
     }
 
+    struct CountingSource(Arc<dyn EstimateSource>, AtomicU64);
+    impl EstimateSource for CountingSource {
+        fn label(&self) -> String {
+            self.0.label()
+        }
+        fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+            self.1.fetch_add(1, Ordering::Relaxed);
+            self.0.estimate(spec)
+        }
+        fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
+            self.0.check(spec)
+        }
+        fn catalog_len(&self) -> u32 {
+            self.0.catalog_len()
+        }
+        fn attribute_name(&self, id: AttributeId) -> Option<String> {
+            self.0.attribute_name(id)
+        }
+        fn attribute_feature(&self, id: AttributeId) -> Option<adcomp_targeting::FeatureId> {
+            self.0.attribute_feature(id)
+        }
+        fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
+            self.0.can_compose(a, b)
+        }
+        fn supports_demographics(&self) -> bool {
+            self.0.supports_demographics()
+        }
+    }
+
     #[test]
     fn memo_cache_dedupes_and_reports_hit_ratio() {
-        struct CountingSource(Arc<dyn EstimateSource>, AtomicU64);
-        impl EstimateSource for CountingSource {
-            fn label(&self) -> String {
-                self.0.label()
-            }
-            fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
-                self.1.fetch_add(1, Ordering::Relaxed);
-                self.0.estimate(spec)
-            }
-            fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
-                self.0.check(spec)
-            }
-            fn catalog_len(&self) -> u32 {
-                self.0.catalog_len()
-            }
-            fn attribute_name(&self, id: AttributeId) -> Option<String> {
-                self.0.attribute_name(id)
-            }
-            fn attribute_feature(&self, id: AttributeId) -> Option<adcomp_targeting::FeatureId> {
-                self.0.attribute_feature(id)
-            }
-            fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
-                self.0.can_compose(a, b)
-            }
-            fn supports_demographics(&self) -> bool {
-                self.0.supports_demographics()
-            }
-        }
         let counting = Arc::new(CountingSource(sim().linkedin.clone(), AtomicU64::new(0)));
         let issued = || counting.1.load(Ordering::Relaxed);
         let memo = MemoizedSource::new(counting.clone(), Arc::new(MemoCache::new(256)));
@@ -602,5 +622,41 @@ mod tests {
         let plain = crate::discovery::survey_individuals(&direct).unwrap();
         let memo = crate::discovery::survey_individuals(&cached).unwrap();
         assert_eq!(plain.entries, memo.entries);
+    }
+
+    #[test]
+    fn preload_from_replay_serves_recorded_specs_without_queries() {
+        use crate::source::RecordingSource;
+        let dir =
+            std::env::temp_dir().join(format!("adcomp-engine-preload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(adcomp_store::RunStore::open(&dir).unwrap());
+        // Epoch one: record a handful of answered queries.
+        let recorder = RecordingSource::new(sim().linkedin.clone(), store.clone()).unwrap();
+        let batch = specs(12);
+        let recorded: Vec<u64> = batch
+            .iter()
+            .map(|s| recorder.estimate(s).unwrap())
+            .collect();
+        // Epoch two: a cold cache warmed purely from the store.
+        let counting = Arc::new(CountingSource(sim().linkedin.clone(), AtomicU64::new(0)));
+        let memo = MemoizedSource::new(counting.clone(), Arc::new(MemoCache::new(256)));
+        let loaded = memo.preload_from_replay(&store);
+        assert!(loaded >= 12, "all recorded estimates load, got {loaded}");
+        let hits_before = memo.cache().hits();
+        for (spec, expected) in batch.iter().zip(&recorded) {
+            assert_eq!(memo.estimate(spec).unwrap(), *expected);
+        }
+        assert_eq!(
+            counting.1.load(Ordering::Relaxed),
+            0,
+            "every preloaded spec must hit the cache, not the platform"
+        );
+        assert_eq!(
+            memo.cache().hits() - hits_before,
+            batch.len() as u64,
+            "hit-rate accounting reflects the preload"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -25,9 +25,10 @@ pub mod removal_exp;
 pub mod report;
 pub mod table1;
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use adcomp_platform::{InterfaceKind, SimScale, Simulation};
+use adcomp_store::RunStore;
 
 use crate::discovery::{survey_individuals, DiscoveryConfig, IndividualSurvey};
 use crate::resilience::ResilienceConfig;
@@ -83,6 +84,18 @@ impl ExperimentConfig {
     }
 }
 
+/// How an [`ExperimentContext`] interacts with a [`RunStore`].
+enum StoreMode {
+    /// Live sources, nothing persisted.
+    None,
+    /// Live sources with every answered estimate recorded; re-runs
+    /// against the same store replay answered queries from disk.
+    Record(Arc<RunStore>),
+    /// Pure replay: targets are reconstructed from the store and the
+    /// platform layer is never queried.
+    Replay(Arc<RunStore>),
+}
+
 /// Owns the simulation and caches per-interface surveys.
 pub struct ExperimentContext {
     /// The simulated platforms.
@@ -90,6 +103,7 @@ pub struct ExperimentContext {
     /// Global configuration.
     pub config: ExperimentConfig,
     surveys: [OnceLock<IndividualSurvey>; 4],
+    store: StoreMode,
 }
 
 /// The paper's presentation order of interfaces.
@@ -114,22 +128,65 @@ impl ExperimentContext {
             simulation: Simulation::build(config.seed, config.scale),
             config,
             surveys: Default::default(),
+            store: StoreMode::None,
         }
+    }
+
+    /// Like [`new`](ExperimentContext::new), but every audit target is
+    /// wrapped in a [`RecordingSource`](crate::source::RecordingSource)
+    /// writing into `store`. Recording wraps *outermost* (outside
+    /// resilience), so the store holds final post-resilience answers —
+    /// and because recorded answers are replayed from the store before
+    /// any live query, killing and re-running an experiment against the
+    /// same store resumes it with zero re-issued platform queries.
+    pub fn recorded(config: ExperimentConfig, store: Arc<RunStore>) -> ExperimentContext {
+        let mut ctx = ExperimentContext::new(config);
+        ctx.store = StoreMode::Record(store);
+        ctx
+    }
+
+    /// A context whose targets replay `store` with the platform layer
+    /// fully detached: [`target`](ExperimentContext::target) returns
+    /// [`AuditTarget::from_replay`] targets, and any estimate the
+    /// recorded run never answered fails loudly as a replay miss.
+    /// `config` must match the recorded run for the drivers to ask the
+    /// same questions (spec schedules are derived from its seeds).
+    pub fn replayed(config: ExperimentConfig, store: Arc<RunStore>) -> ExperimentContext {
+        let mut ctx = ExperimentContext::new(config);
+        ctx.store = StoreMode::Replay(store);
+        ctx
     }
 
     /// The audit target for an interface (restricted measures via its
     /// parent automatically).
     pub fn target(&self, kind: InterfaceKind) -> AuditTarget {
+        if let StoreMode::Replay(store) = &self.store {
+            return AuditTarget::from_replay(store, kind.label())
+                .expect("interface was recorded in the replayed run store");
+        }
         let platform = match kind {
             InterfaceKind::FacebookNormal => &self.simulation.facebook,
             InterfaceKind::FacebookRestricted => &self.simulation.facebook_restricted,
             InterfaceKind::GoogleDisplay => &self.simulation.google,
             InterfaceKind::LinkedIn => &self.simulation.linkedin,
         };
-        let target = AuditTarget::for_platform(platform, &self.simulation);
-        match self.config.resilience {
-            Some(config) => target.with_resilience(config),
-            None => target,
+        let mut target = AuditTarget::for_platform(platform, &self.simulation);
+        if let Some(config) = self.config.resilience {
+            target = target.with_resilience(config);
+        }
+        if let StoreMode::Record(store) = &self.store {
+            target = target
+                .with_recording(store.clone())
+                .expect("run store accepts interface metadata");
+        }
+        target
+    }
+
+    /// The run store this context records into or replays from, if any.
+    pub fn store(&self) -> Option<&Arc<RunStore>> {
+        match &self.store {
+            StoreMode::None => None,
+            StoreMode::Record(store) | StoreMode::Replay(store) => Some(store),
         }
     }
 

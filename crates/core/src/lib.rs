@@ -57,11 +57,13 @@
 
 pub mod budget;
 pub mod discovery;
+pub mod drift;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod mitigation;
 pub mod probe;
+pub mod recording;
 pub mod removal;
 pub mod resilience;
 pub mod source;
@@ -73,6 +75,7 @@ pub use discovery::{
     compose_and_measure, random_compositions, rank_individuals, survey_individuals,
     top_compositions, Direction, DiscoveryConfig, IndividualSurvey, MeasuredTargeting,
 };
+pub use drift::{drift_between, DriftFinding, DriftReport, RatioMove};
 pub use engine::{EngineConfig, MemoCache, MemoizedSource, QueryEngine};
 pub use metrics::{
     four_fifths_band, measure_spec, measure_spec_batch, ratio_bounds, recall_of, rep_ratio,
@@ -86,10 +89,14 @@ pub use probe::{
     consistency_probe, granularity_from_observations, granularity_probe, significant_digits,
     ConsistencyReport, GranularityProbe, GranularityReport, ProbeCheckpoint,
 };
+pub use recording::{InterfaceMeta, TargetLayout};
 pub use removal::{removal_sweep, RemovalPoint, RemovalSweep};
 pub use resilience::{
     classify, DegradationPolicy, ErrorClass, ResilienceConfig, ResilienceStats, ResilientSource,
 };
-pub use source::{AuditTarget, EstimateSource, Selector, SensitiveClass, SourceError};
+pub use source::{
+    AuditTarget, EstimateSource, RecordingSource, ReplaySource, Selector, SensitiveClass,
+    SourceError,
+};
 pub use stats::{fraction_outside, median, percentile, BoxStats};
 pub use union_estimate::{median_pairwise_overlap, pairwise_overlap, union_recall, UnionEstimate};

@@ -9,7 +9,7 @@
 //! the audit's guard against obfuscated (noised) estimates.
 
 use std::collections::HashSet;
-use std::io::Write as _;
+use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
@@ -271,30 +271,61 @@ pub struct ProbeCheckpoint {
 const CHECKPOINT_HEADER: &str = "adcomp-granularity-checkpoint v1";
 
 impl ProbeCheckpoint {
-    /// Writes the checkpoint to `path` (atomic rename over a `.tmp`).
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-            writeln!(f, "{CHECKPOINT_HEADER}")?;
-            writeln!(f, "seed {}", self.seed)?;
-            writeln!(f, "queries {}", self.queries)?;
-            writeln!(f, "next_index {}", self.next_index)?;
-            writeln!(f, "skipped {}", self.skipped)?;
-            writeln!(f, "observations {}", self.observations.len())?;
-            for v in &self.observations {
-                writeln!(f, "{v}")?;
-            }
-            f.flush()?;
+    /// The checkpoint's serialized form (the same text format `save`
+    /// writes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        let _ = writeln!(out, "{CHECKPOINT_HEADER}");
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "queries {}", self.queries);
+        let _ = writeln!(out, "next_index {}", self.next_index);
+        let _ = writeln!(out, "skipped {}", self.skipped);
+        let _ = writeln!(out, "observations {}", self.observations.len());
+        for v in &self.observations {
+            let _ = writeln!(out, "{v}");
         }
-        std::fs::rename(&tmp, path)
+        out.into_bytes()
+    }
+
+    /// Writes the checkpoint to `path` via
+    /// [`write_atomic`](adcomp_store::write_atomic): unique temp
+    /// sibling, `fsync`, atomic rename, directory `fsync`. The old
+    /// rename-only path left a window where a crash could persist an
+    /// empty or partial checkpoint; this one can't.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        adcomp_store::write_atomic(path, &self.to_bytes())
+    }
+
+    /// Saves the checkpoint into a [`RunStore`](adcomp_store::RunStore)
+    /// slot named `name` — the durable home any experiment driver can
+    /// use instead of a loose file (one store holds the run's estimates
+    /// *and* its progress).
+    pub fn save_to_store(&self, store: &adcomp_store::RunStore, name: &str) -> std::io::Result<()> {
+        crate::recording::save_checkpoint(store, name, &self.to_bytes())
+    }
+
+    /// Loads the latest checkpoint saved under `name`, if any.
+    pub fn load_from_store(
+        store: &adcomp_store::RunStore,
+        name: &str,
+    ) -> std::io::Result<Option<ProbeCheckpoint>> {
+        match crate::recording::load_checkpoint(store, name) {
+            Some(bytes) => ProbeCheckpoint::from_bytes(&bytes).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Reads a checkpoint back from `path`.
     pub fn load(path: &Path) -> std::io::Result<ProbeCheckpoint> {
+        ProbeCheckpoint::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Parses the serialized form produced by
+    /// [`to_bytes`](ProbeCheckpoint::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<ProbeCheckpoint> {
         use std::io::{Error, ErrorKind};
         let bad = |what: &str| Error::new(ErrorKind::InvalidData, format!("checkpoint: {what}"));
-        let text = std::fs::read_to_string(path)?;
+        let text = std::str::from_utf8(bytes).map_err(|_| bad("not utf-8"))?;
         let mut lines = text.lines();
         if lines.next() != Some(CHECKPOINT_HEADER) {
             return Err(bad("bad header"));

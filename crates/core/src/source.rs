@@ -504,6 +504,369 @@ impl std::fmt::Debug for AuditTarget {
     }
 }
 
+/// Wraps a live interface so every successful estimate is persisted to
+/// a [`RunStore`] as it is answered — and answered *from the store*
+/// when already recorded.
+///
+/// The store lookup happens first, which is what generalizes
+/// checkpoint-style resumability to every deterministic experiment
+/// driver: re-running a killed experiment against the same store
+/// replays all previously answered queries from disk with **zero**
+/// re-issued platform queries, and only the unanswered tail reaches the
+/// inner source. Recording should therefore wrap *outermost* — outside
+/// resilience — so replay hits skip the retry machinery and recorded
+/// values are the final post-resilience answers.
+///
+/// The same caveat as memoization applies: under recording, a repeated
+/// spec returns the recorded value, so consistency probes must run
+/// against the bare interface.
+pub struct RecordingSource {
+    inner: Arc<dyn EstimateSource>,
+    store: Arc<adcomp_store::RunStore>,
+    label: String,
+    replay_hits: Arc<adcomp_obs::Counter>,
+}
+
+impl RecordingSource {
+    /// Wraps `inner`, capturing and persisting its interface metadata so
+    /// a later [`ReplaySource`] can stand in for it. No estimate queries
+    /// are issued.
+    pub fn new(
+        inner: Arc<dyn EstimateSource>,
+        store: Arc<adcomp_store::RunStore>,
+    ) -> std::io::Result<RecordingSource> {
+        let meta = crate::recording::InterfaceMeta::capture(inner.as_ref());
+        crate::recording::record_meta(&store, &meta)?;
+        Ok(RecordingSource {
+            label: meta.label,
+            inner,
+            store,
+            replay_hits: adcomp_obs::Registry::global().counter("adcomp_store_replay_hits_total"),
+        })
+    }
+
+    /// The store this source records into.
+    pub fn store(&self) -> &Arc<adcomp_store::RunStore> {
+        &self.store
+    }
+
+    fn lookup(&self, key: u64) -> Option<u64> {
+        match self.store.get(key) {
+            Some((crate::recording::KIND_ESTIMATE, payload)) => {
+                crate::recording::decode_estimate(&payload)
+                    .ok()
+                    .map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    fn record(&self, normalized: &TargetingSpec, key: u64, value: u64) -> Result<(), SourceError> {
+        self.store
+            .append(
+                crate::recording::KIND_ESTIMATE,
+                key,
+                &crate::recording::encode_estimate(normalized, value),
+            )
+            .map_err(|e| SourceError::Transport(format!("run store append: {e}")))
+    }
+}
+
+impl EstimateSource for RecordingSource {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+        let normalized = spec.normalized();
+        let key = crate::recording::normalized_spec_key(&self.label, &normalized);
+        if let Some(value) = self.lookup(key) {
+            self.replay_hits.inc();
+            return Ok(value);
+        }
+        let value = self.inner.estimate(spec)?;
+        self.record(&normalized, key, value)?;
+        Ok(value)
+    }
+
+    fn estimate_batch(&self, specs: &[TargetingSpec]) -> Vec<Result<u64, SourceError>> {
+        use std::collections::HashMap;
+        let normalized: Vec<TargetingSpec> = specs.iter().map(|s| s.normalized()).collect();
+        let keys: Vec<u64> = normalized
+            .iter()
+            .map(|n| crate::recording::normalized_spec_key(&self.label, n))
+            .collect();
+        let mut results: Vec<Option<Result<u64, SourceError>>> = vec![None; specs.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        let mut first_seen: HashMap<u64, usize> = HashMap::new();
+        let mut follower_of: Vec<Option<usize>> = vec![None; specs.len()];
+        for i in 0..specs.len() {
+            if let Some(value) = self.lookup(keys[i]) {
+                self.replay_hits.inc();
+                results[i] = Some(Ok(value));
+            } else if let Some(&leader) = first_seen.get(&keys[i]) {
+                // Intra-batch duplicate: issue once, copy the answer.
+                follower_of[i] = Some(leader);
+            } else {
+                first_seen.insert(keys[i], i);
+                missing.push(i);
+            }
+        }
+        if !missing.is_empty() {
+            let queries: Vec<TargetingSpec> = missing.iter().map(|&i| specs[i].clone()).collect();
+            let answers = self.inner.estimate_batch(&queries);
+            for (&i, answer) in missing.iter().zip(answers) {
+                results[i] = Some(match answer {
+                    Ok(value) => self.record(&normalized[i], keys[i], value).map(|()| value),
+                    Err(e) => Err(e),
+                });
+            }
+        }
+        for i in 0..specs.len() {
+            if let Some(leader) = follower_of[i] {
+                results[i] = results[leader].clone();
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot answered"))
+            .collect()
+    }
+
+    fn batch_window(&self) -> usize {
+        self.inner.batch_window()
+    }
+
+    fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
+        self.inner.check(spec)
+    }
+
+    fn catalog_len(&self) -> u32 {
+        self.inner.catalog_len()
+    }
+
+    fn attribute_name(&self, id: AttributeId) -> Option<String> {
+        self.inner.attribute_name(id)
+    }
+
+    fn attribute_feature(&self, id: AttributeId) -> Option<FeatureId> {
+        self.inner.attribute_feature(id)
+    }
+
+    fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
+        self.inner.can_compose(a, b)
+    }
+
+    fn supports_demographics(&self) -> bool {
+        self.inner.supports_demographics()
+    }
+}
+
+/// Replays a recorded run with the platform layer fully detached: every
+/// trait method is answered from the store's snapshot and the recorded
+/// [`InterfaceMeta`](crate::recording::InterfaceMeta) — no live source,
+/// no network, no simulator.
+///
+/// An estimate the run never recorded is a *replay miss* and surfaces
+/// as [`SourceError::Rejected`] (retrying an immutable recording cannot
+/// help). A complete recorded run therefore reproduces the original
+/// experiment bit-for-bit; an incomplete one fails loudly instead of
+/// silently inventing numbers.
+pub struct ReplaySource {
+    index: Arc<adcomp_store::SnapshotIndex>,
+    meta: crate::recording::InterfaceMeta,
+    replay_hits: Arc<adcomp_obs::Counter>,
+}
+
+impl ReplaySource {
+    /// Builds a replay of the interface `label` from a store's current
+    /// snapshot. Fails if the run never recorded that interface's
+    /// metadata.
+    pub fn from_store(
+        store: &adcomp_store::RunStore,
+        label: &str,
+    ) -> std::io::Result<ReplaySource> {
+        ReplaySource::from_index(Arc::new(store.snapshot()), label)
+    }
+
+    /// Builds a replay from an already-materialized snapshot (shared by
+    /// several replay sources of the same run).
+    pub fn from_index(
+        index: Arc<adcomp_store::SnapshotIndex>,
+        label: &str,
+    ) -> std::io::Result<ReplaySource> {
+        let meta = crate::recording::meta_in(&index, label)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("run store has no interface metadata for {label:?}"),
+            )
+        })?;
+        Ok(ReplaySource {
+            index,
+            meta,
+            replay_hits: adcomp_obs::Registry::global().counter("adcomp_store_replay_hits_total"),
+        })
+    }
+
+    /// The recorded interface metadata backing this replay.
+    pub fn meta(&self) -> &crate::recording::InterfaceMeta {
+        &self.meta
+    }
+
+    /// Every `(spec, value)` estimate recorded for this interface, in
+    /// deterministic key order.
+    pub fn recorded_estimates(&self) -> Vec<(TargetingSpec, u64)> {
+        let mut out = Vec::new();
+        crate::recording::each_estimate_in(&self.index, &self.meta.label, |spec, value| {
+            out.push((spec, value));
+        });
+        out
+    }
+}
+
+impl EstimateSource for ReplaySource {
+    fn label(&self) -> String {
+        self.meta.label.clone()
+    }
+
+    fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+        let key = crate::recording::spec_key(&self.meta.label, spec);
+        match crate::recording::estimate_in(&self.index, key) {
+            Some(value) => {
+                self.replay_hits.inc();
+                Ok(value)
+            }
+            None => Err(SourceError::Rejected(format!(
+                "replay miss: no recorded estimate for `{spec}` on {}",
+                self.meta.label
+            ))),
+        }
+    }
+
+    fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
+        let n = self.meta.catalog_len();
+        for id in spec.referenced_attributes() {
+            if id.0 >= n {
+                return Err(SourceError::Rejected(format!(
+                    "unknown attribute #{} (catalog has {n})",
+                    id.0
+                )));
+            }
+        }
+        let demographics = &spec.demographics;
+        if (demographics.genders.is_some() || demographics.ages.is_some())
+            && !self.meta.supports_demographics
+        {
+            return Err(SourceError::Rejected(
+                "interface does not support demographic targeting".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn catalog_len(&self) -> u32 {
+        self.meta.catalog_len()
+    }
+
+    fn attribute_name(&self, id: AttributeId) -> Option<String> {
+        match self.meta.names.get(id.0 as usize) {
+            Some(name) if !name.is_empty() => Some(name.clone()),
+            _ => None,
+        }
+    }
+
+    fn attribute_feature(&self, id: AttributeId) -> Option<FeatureId> {
+        self.meta.feature(id)
+    }
+
+    fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
+        self.meta.can_compose(a, b)
+    }
+
+    fn supports_demographics(&self) -> bool {
+        self.meta.supports_demographics
+    }
+}
+
+impl AuditTarget {
+    /// The same target with a [`RecordingSource`] around both
+    /// interfaces, all writing into one shared run store. Also persists
+    /// the target's layout (labels and id translation) so
+    /// [`AuditTarget::from_replay`] can reconstruct it. A direct target
+    /// keeps sharing one wrapper, mirroring
+    /// [`with_resilience`](AuditTarget::with_resilience).
+    ///
+    /// Apply this *last* (outside resilience/memo), so the store records
+    /// final answers and replay hits bypass the whole live stack.
+    pub fn with_recording(
+        &self,
+        store: Arc<adcomp_store::RunStore>,
+    ) -> std::io::Result<AuditTarget> {
+        let targeting: Arc<dyn EstimateSource> =
+            Arc::new(RecordingSource::new(self.targeting.clone(), store.clone())?);
+        let measurement: Arc<dyn EstimateSource> =
+            if Arc::ptr_eq(&self.targeting, &self.measurement) {
+                targeting.clone()
+            } else {
+                Arc::new(RecordingSource::new(
+                    self.measurement.clone(),
+                    store.clone(),
+                )?)
+            };
+        let layout = crate::recording::TargetLayout {
+            targeting: self.targeting.label(),
+            measurement: self.measurement.label(),
+            id_map: self.id_map.as_ref().map(|m| m.as_ref().clone()),
+        };
+        crate::recording::record_layout(&store, &layout)?;
+        Ok(AuditTarget {
+            targeting,
+            measurement,
+            id_map: self.id_map.clone(),
+            engine: self.engine.clone(),
+        })
+    }
+
+    /// Reconstructs a recorded audit target as a pure replay: both
+    /// interfaces become [`ReplaySource`]s over the store's snapshot,
+    /// with the recorded id translation. `targeting_label` names the
+    /// audited interface (as [`AuditTarget::label`] reported it when
+    /// recording).
+    pub fn from_replay(
+        store: &adcomp_store::RunStore,
+        targeting_label: &str,
+    ) -> std::io::Result<AuditTarget> {
+        AuditTarget::from_replay_index(Arc::new(store.snapshot()), targeting_label)
+    }
+
+    /// [`AuditTarget::from_replay`] over an already-materialized
+    /// snapshot, so several targets of one run share the index.
+    pub fn from_replay_index(
+        index: Arc<adcomp_store::SnapshotIndex>,
+        targeting_label: &str,
+    ) -> std::io::Result<AuditTarget> {
+        let layout = crate::recording::layout_in(&index, targeting_label)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("run store has no audit target recorded under {targeting_label:?}"),
+            )
+        })?;
+        let targeting: Arc<dyn EstimateSource> =
+            Arc::new(ReplaySource::from_index(index.clone(), &layout.targeting)?);
+        let measurement: Arc<dyn EstimateSource> = if layout.measurement == layout.targeting {
+            targeting.clone()
+        } else {
+            Arc::new(ReplaySource::from_index(index, &layout.measurement)?)
+        };
+        Ok(AuditTarget {
+            targeting,
+            measurement,
+            id_map: layout.id_map.map(Arc::new),
+            engine: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

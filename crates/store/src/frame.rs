@@ -1,0 +1,259 @@
+//! Self-validating record frames.
+//!
+//! On-disk layout of one frame (all integers big-endian):
+//!
+//! ```text
+//! ┌─────────┬────────┬─────────┬─────────────┬──────────┐
+//! │ len u32 │ kind u8│ key u64 │ payload …   │ crc u32  │
+//! └─────────┴────────┴─────────┴─────────────┴──────────┘
+//!   len = 1 + 8 + payload.len()      crc over kind‥payload
+//! ```
+//!
+//! A frame is accepted only when the declared length fits the remaining
+//! bytes **and** the checksum matches; anything else reads as a torn
+//! tail. The CRC is CRC-32 (IEEE, reflected), table-driven, computed at
+//! compile time — no dependencies.
+
+use std::io::{self, Read, Write};
+
+/// Header bytes preceding the payload: length prefix + kind + key.
+pub const FRAME_HEADER: usize = 4 + 1 + 8;
+/// Trailing checksum bytes.
+pub const FRAME_TRAILER: usize = 4;
+/// Sanity cap on a single record's payload (64 MiB); a declared length
+/// beyond it reads as corruption rather than an allocation request.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// One durable record: a kind tag, a caller-computed content-hash key,
+/// and an opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Record type tag (domain-defined; the store never interprets it).
+    pub kind: u8,
+    /// Content-hash key (domain-defined, e.g. a stable hash of the
+    /// normalized targeting spec).
+    pub key: u64,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// A record from parts.
+    pub fn new(kind: u8, key: u64, payload: Vec<u8>) -> Record {
+        Record { kind, key, payload }
+    }
+
+    /// Bytes this record occupies on disk.
+    pub fn frame_len(&self) -> usize {
+        FRAME_HEADER + self.payload.len() + FRAME_TRAILER
+    }
+
+    /// Writes the record's frame to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let len = (1 + 8 + self.payload.len()) as u32;
+        w.write_all(&len.to_be_bytes())?;
+        w.write_all(&[self.kind])?;
+        w.write_all(&self.key.to_be_bytes())?;
+        w.write_all(&self.payload)?;
+        let mut crc = Crc32::new();
+        crc.update(&[self.kind]);
+        crc.update(&self.key.to_be_bytes());
+        crc.update(&self.payload);
+        w.write_all(&crc.finish().to_be_bytes())
+    }
+
+    /// Reads one frame. `Ok(None)` = clean end of input (zero bytes
+    /// left); `Err(e)` with [`io::ErrorKind::UnexpectedEof`] /
+    /// [`io::ErrorKind::InvalidData`] = torn or corrupt frame.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Record>> {
+        let mut len_buf = [0u8; 4];
+        match read_exact_or_eof(r, &mut len_buf)? {
+            ReadOutcome::CleanEof => return Ok(None),
+            ReadOutcome::Torn => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn frame length",
+                ))
+            }
+            ReadOutcome::Full => {}
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if !(1 + 8..=1 + 8 + MAX_PAYLOAD).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible frame length {len}"),
+            ));
+        }
+        let mut body = vec![0u8; len + FRAME_TRAILER];
+        r.read_exact(&mut body)
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "torn frame body"))?;
+        let (content, trailer) = body.split_at(len);
+        let stored = u32::from_be_bytes(trailer.try_into().expect("4 trailer bytes"));
+        if crc32(content) != stored {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame checksum mismatch",
+            ));
+        }
+        let kind = content[0];
+        let key = u64::from_be_bytes(content[1..9].try_into().expect("8 key bytes"));
+        Ok(Some(Record {
+            kind,
+            key,
+            payload: content[9..].to_vec(),
+        }))
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    CleanEof,
+    Torn,
+}
+
+/// Fills `buf` completely, distinguishing "no bytes at all" (clean EOF)
+/// from "some but not enough" (torn write).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 if filled == 0 => return Ok(ReadOutcome::CleanEof),
+            0 => return Ok(ReadOutcome::Torn),
+            n => filled += n,
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// CRC-32 (IEEE 802.3, reflected), table computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 state.
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ CRC_TABLE[((self.0 ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The final checksum.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let r = Record::new(3, 0xDEAD_BEEF_CAFE_F00D, vec![1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), r.frame_len());
+        let mut cursor = buf.as_slice();
+        let back = Record::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, r);
+        assert!(
+            Record::read_from(&mut cursor).unwrap().is_none(),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let r = Record::new(0, 0, Vec::new());
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        let back = Record::read_from(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_not_misread() {
+        let r = Record::new(1, 42, vec![9; 100]);
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        // Every strict prefix must read as torn, never as a record.
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            let err = Record::read_from(&mut cursor).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_bit_fails_checksum() {
+        let r = Record::new(1, 42, vec![7; 32]);
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        for idx in [4usize, 5, 12, 20, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[idx] ^= 0x01;
+            let err = Record::read_from(&mut bad.as_slice()).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                ),
+                "flip at {idx} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_length_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        let err = Record::read_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}
