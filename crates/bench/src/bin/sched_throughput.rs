@@ -1,0 +1,140 @@
+//! Measures distributed-scheduler throughput at 1, 2 and 4 wire
+//! endpoints and records the verdict in `BENCH_sched_throughput.json`.
+//!
+//! The workload is [`survey_individuals`] with the measurement side
+//! sharded by [`AuditTarget::with_scheduler_cfg`] across N loopback
+//! wire servers, every server wrapping the **same** simulated LinkedIn.
+//! All endpoint counts must produce surveys byte-identical to the
+//! in-process serial run (asserted here, not just in the test suite) —
+//! the scheduler's determinism guarantee is half the point of the
+//! bench.
+//!
+//! The budget is a **≥ 1.2×** speedup of 4 endpoints over 1; the binary
+//! exits non-zero below it so CI can gate on it. The floor is only
+//! enforceable where the hardware can express parallelism: with fewer
+//! than two available threads the endpoints serialize anyway, so the
+//! verdict records `floor_enforced: false` and passes (the numbers are
+//! still written).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adcomp_bench::{say, Cli};
+use adcomp_core::{
+    survey_individuals, AuditTarget, EstimateSource, IndividualSurvey, SchedulerConfig,
+};
+use adcomp_platform::Simulation;
+use adcomp_wire::{serve, ServerConfig, ServerHandle};
+use discrimination_via_composition::RemoteSource;
+
+/// Timed passes per endpoint count (best-of).
+const ROUNDS: usize = 3;
+/// Required speedup of 4 endpoints over 1.
+const THRESHOLD_SPEEDUP: f64 = 1.2;
+
+/// `n` wire servers over one platform plus their connected clients.
+fn spawn_endpoints(
+    sim: &Simulation,
+    n: usize,
+) -> (Vec<ServerHandle>, Vec<Arc<dyn EstimateSource>>) {
+    let mut handles = Vec::with_capacity(n);
+    let mut endpoints = Vec::with_capacity(n);
+    for _ in 0..n {
+        let handle = serve(
+            sim.linkedin.clone(),
+            "127.0.0.1:0",
+            ServerConfig::default().with_executors(2),
+        )
+        .expect("loopback server");
+        let remote = Arc::new(RemoteSource::connect(handle.addr()).expect("connect"));
+        handles.push(handle);
+        endpoints.push(remote as Arc<dyn EstimateSource>);
+    }
+    (handles, endpoints)
+}
+
+/// Best-of-`ROUNDS` wall seconds for one full survey through an
+/// `n`-endpoint scheduler, plus the survey for equality checks.
+fn measure(sim: &Simulation, n: usize) -> (f64, IndividualSurvey) {
+    let (handles, endpoints) = spawn_endpoints(sim, n);
+    let cfg = SchedulerConfig {
+        unit_size: 8,
+        lease_ttl: Duration::from_secs(5),
+        ..SchedulerConfig::default()
+    };
+    let target =
+        AuditTarget::for_platform(&sim.linkedin, sim).with_scheduler_cfg(endpoints, cfg, None);
+    let survey = survey_individuals(&target).expect("survey"); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let pass = survey_individuals(&target).expect("survey");
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(pass.entries, survey.entries, "survey must be stable");
+    }
+    for handle in handles {
+        handle.shutdown();
+    }
+    (best, survey)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let sim = Simulation::build(cli.seed, cli.scale);
+
+    // In-process serial reference: the bytes every endpoint count must
+    // reproduce.
+    let serial =
+        survey_individuals(&AuditTarget::for_platform(&sim.linkedin, &sim)).expect("serial survey");
+    let queries = serial.entries.len() as u64 + 1;
+
+    let (s1, survey1) = measure(&sim, 1);
+    let (s2, survey2) = measure(&sim, 2);
+    let (s4, survey4) = measure(&sim, 4);
+    for (n, survey) in [(1usize, &survey1), (2, &survey2), (4, &survey4)] {
+        assert_eq!(
+            survey.entries, serial.entries,
+            "{n}-endpoint survey must be byte-identical to the serial run"
+        );
+        assert_eq!(survey.base, serial.base);
+    }
+
+    let speedup_2 = s1 / s2;
+    let speedup_4 = s1 / s4;
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let floor_enforced = hardware_threads >= 2;
+    let pass = !floor_enforced || speedup_4 >= THRESHOLD_SPEEDUP;
+
+    let json = format!(
+        "{{\n  \"bench\": \"sched_throughput\",\n  \"queries_per_pass\": {queries},\n  \
+         \"rounds\": {ROUNDS},\n  \"hardware_threads\": {hardware_threads},\n  \
+         \"endpoints_1_s\": {s1:.4},\n  \"endpoints_2_s\": {s2:.4},\n  \
+         \"endpoints_4_s\": {s4:.4},\n  \
+         \"speedup_2_endpoints\": {speedup_2:.2},\n  \
+         \"speedup_4_endpoints\": {speedup_4:.2},\n  \
+         \"threshold_speedup\": {THRESHOLD_SPEEDUP:.1},\n  \
+         \"byte_identical\": true,\n  \
+         \"floor_enforced\": {floor_enforced},\n  \"pass\": {pass}\n}}\n"
+    );
+    std::fs::write("BENCH_sched_throughput.json", &json)
+        .expect("write BENCH_sched_throughput.json");
+    say!("{json}");
+    adcomp_obs::info!(
+        "scheduler throughput: {speedup_2:.2}x at 2 endpoints, {speedup_4:.2}x at 4 \
+         ({queries} queries/pass, floor {THRESHOLD_SPEEDUP}x at 4 endpoints)"
+    );
+    if !floor_enforced {
+        adcomp_obs::warn!(
+            "only {hardware_threads} hardware thread(s) available; the {THRESHOLD_SPEEDUP}x \
+             scaling floor cannot be enforced on this machine"
+        );
+    }
+    if !pass {
+        adcomp_obs::error!(
+            "4-endpoint speedup {speedup_4:.2}x is below the {THRESHOLD_SPEEDUP}x floor"
+        );
+        std::process::exit(1);
+    }
+}

@@ -329,6 +329,28 @@ pub fn top_compositions(
     Ok(out)
 }
 
+/// Draws per [`draw_unit_rng`] stream: candidate attempt `a` draws from
+/// stream `a / DRAW_UNIT`, so the random-composition schedule is a pure
+/// function of `(seed, attempt index)` — a distributed run shards
+/// attempts into units and every shard reproduces its slice of the
+/// schedule locally, no matter which endpoint serves which unit.
+pub const DRAW_UNIT: usize = 64;
+
+/// splitmix64 finalizer — decorrelates the per-unit seeds derived from
+/// one base seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The RNG stream for candidate-draw unit `unit` of the
+/// [`random_compositions`] schedule seeded with `seed`.
+pub fn draw_unit_rng(seed: u64, unit: u64) -> AuditRng {
+    AuditRng::seed_from_u64(splitmix64((seed ^ 0x52A4D).wrapping_add(unit)))
+}
+
 /// Random `arity`-way compositions over the whole catalog (the paper's
 /// "Random 2-way" set): distinct, composable, measured; reach-filtered.
 pub fn random_compositions(
@@ -337,21 +359,25 @@ pub fn random_compositions(
 ) -> Result<Vec<MeasuredTargeting>, SourceError> {
     let n = target.targeting.catalog_len();
     assert!(n as usize >= cfg.arity, "catalog smaller than arity");
-    let mut rng = AuditRng::seed_from_u64(cfg.seed ^ 0x52A4D);
+    let mut rng = draw_unit_rng(cfg.seed, 0);
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(cfg.top_k);
     // Bounded attempts so a tiny/incomposable catalog cannot loop forever.
     let max_attempts = cfg.top_k * 50;
     let mut attempts = 0;
-    // Rounds of draw-then-measure. Candidate drawing consumes the RNG
-    // independently of measurement results, so measuring a round as one
-    // batch (instead of one spec at a time) leaves the RNG stream, the
-    // dedup set, and therefore the output bit-identical to the serial
-    // loop — while letting an attached engine parallelize each round.
+    // Rounds of draw-then-measure. Candidate drawing consumes per-unit
+    // RNG streams (see [`draw_unit_rng`]) advanced purely by the attempt
+    // counter — never by measurement results — so measuring a round as
+    // one batch (or sharding it across endpoints) leaves the candidate
+    // schedule, the dedup set, and therefore the output bit-identical to
+    // the serial single-endpoint loop.
     while out.len() < cfg.top_k && attempts < max_attempts {
         let needed = cfg.top_k - out.len();
         let mut round: Vec<Vec<AttributeId>> = Vec::with_capacity(needed);
         while round.len() < needed && attempts < max_attempts {
+            if attempts > 0 && attempts % DRAW_UNIT == 0 {
+                rng = draw_unit_rng(cfg.seed, (attempts / DRAW_UNIT) as u64);
+            }
             attempts += 1;
             let mut attrs: Vec<AttributeId> = Vec::with_capacity(cfg.arity);
             while attrs.len() < cfg.arity {
@@ -515,6 +541,30 @@ mod tests {
             assert!(t.measurement.total >= 10_000);
             assert!(target.targeting.check(&t.spec).is_ok());
         }
+    }
+
+    #[test]
+    fn draw_unit_streams_deterministic_and_decorrelated() {
+        // Same (seed, unit) → identical stream: a shard can reproduce
+        // its slice of the candidate schedule in isolation.
+        let draws = |seed: u64, unit: u64| -> Vec<u32> {
+            let mut rng = draw_unit_rng(seed, unit);
+            (0..16).map(|_| rng.gen_range(0..1_000_000)).collect()
+        };
+        assert_eq!(draws(7, 3), draws(7, 3));
+        // Different units (and different seeds) diverge.
+        assert_ne!(draws(7, 3), draws(7, 4));
+        assert_ne!(draws(7, 3), draws(8, 3));
+        // Consecutive base seeds must not alias consecutive units.
+        assert_ne!(draws(7, 1), draws(8, 0));
+    }
+
+    #[test]
+    fn random_compositions_deterministic_across_runs() {
+        let target = AuditTarget::for_platform(&sim().facebook, sim());
+        let a = random_compositions(&target, &cfg(50)).unwrap();
+        let b = random_compositions(&target, &cfg(50)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

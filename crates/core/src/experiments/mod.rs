@@ -31,8 +31,9 @@ use adcomp_platform::{InterfaceKind, SimScale, Simulation};
 use adcomp_store::RunStore;
 
 use crate::discovery::{survey_individuals, DiscoveryConfig, IndividualSurvey};
+use crate::distributed::{SchedulerConfig, StoreJournal};
 use crate::resilience::ResilienceConfig;
-use crate::source::{AuditTarget, SourceError};
+use crate::source::{AuditTarget, EstimateSource, SourceError};
 
 /// Experiment-wide configuration.
 #[derive(Clone, Copy, Debug)]
@@ -96,6 +97,15 @@ enum StoreMode {
     Replay(Arc<RunStore>),
 }
 
+/// Builds the replica endpoint set a distributed context schedules a
+/// *measurement* interface's queries across. Called once per
+/// [`target`](ExperimentContext::target) with the measurement-side
+/// interface (the restricted Facebook interface measures via its
+/// parent, so it asks for `FacebookNormal` replicas); every returned
+/// source must report that interface's label.
+pub type EndpointSetFactory =
+    Arc<dyn Fn(InterfaceKind) -> Vec<Arc<dyn EstimateSource>> + Send + Sync>;
+
 /// Owns the simulation and caches per-interface surveys.
 pub struct ExperimentContext {
     /// The simulated platforms.
@@ -104,6 +114,7 @@ pub struct ExperimentContext {
     pub config: ExperimentConfig,
     surveys: [OnceLock<IndividualSurvey>; 4],
     store: StoreMode,
+    sched: Option<(EndpointSetFactory, SchedulerConfig)>,
 }
 
 /// The paper's presentation order of interfaces.
@@ -129,7 +140,41 @@ impl ExperimentContext {
             config,
             surveys: Default::default(),
             store: StoreMode::None,
+            sched: None,
         }
+    }
+
+    /// Like [`new`](ExperimentContext::new), but every target measures
+    /// through a distributed scheduler
+    /// ([`AuditTarget::with_scheduler`]) over the replica endpoints
+    /// `factory` builds per measurement interface. Every experiment
+    /// driver then runs distributed without changes — results stay
+    /// bit-identical to the single-endpoint serial run.
+    pub fn distributed(
+        config: ExperimentConfig,
+        factory: EndpointSetFactory,
+        sched: SchedulerConfig,
+    ) -> ExperimentContext {
+        let mut ctx = ExperimentContext::new(config);
+        ctx.sched = Some((factory, sched));
+        ctx
+    }
+
+    /// [`distributed`](ExperimentContext::distributed) +
+    /// [`recorded`](ExperimentContext::recorded): scheduled queries are
+    /// recorded into `store` (outermost, so answered queries replay
+    /// from disk on resume and are never re-issued to any endpoint) and
+    /// the scheduler journals its unit grants/completions into the same
+    /// store as the coordinator's durable job state.
+    pub fn distributed_recorded(
+        config: ExperimentConfig,
+        store: Arc<RunStore>,
+        factory: EndpointSetFactory,
+        sched: SchedulerConfig,
+    ) -> ExperimentContext {
+        let mut ctx = ExperimentContext::distributed(config, factory, sched);
+        ctx.store = StoreMode::Record(store);
+        ctx
     }
 
     /// Like [`new`](ExperimentContext::new), but every audit target is
@@ -171,6 +216,22 @@ impl ExperimentContext {
             InterfaceKind::LinkedIn => &self.simulation.linkedin,
         };
         let mut target = AuditTarget::for_platform(platform, &self.simulation);
+        if let Some((factory, sched_cfg)) = &self.sched {
+            // The restricted interface measures via its parent, so the
+            // fleet must replicate the measurement-side interface.
+            let measurement_kind = match kind {
+                InterfaceKind::FacebookRestricted => InterfaceKind::FacebookNormal,
+                other => other,
+            };
+            let journal: Option<Arc<dyn adcomp_sched::UnitJournal>> = match &self.store {
+                StoreMode::Record(store) => {
+                    Some(Arc::new(StoreJournal::new(store.clone(), kind.label())))
+                }
+                _ => None,
+            };
+            target =
+                target.with_scheduler_cfg(factory(measurement_kind), sched_cfg.clone(), journal);
+        }
         if let Some(config) = self.config.resilience {
             target = target.with_resilience(config);
         }

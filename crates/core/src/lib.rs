@@ -57,6 +57,7 @@
 
 pub mod budget;
 pub mod discovery;
+pub mod distributed;
 pub mod drift;
 pub mod engine;
 pub mod experiments;
@@ -75,6 +76,7 @@ pub use discovery::{
     compose_and_measure, random_compositions, rank_individuals, survey_individuals,
     top_compositions, Direction, DiscoveryConfig, IndividualSurvey, MeasuredTargeting,
 };
+pub use distributed::{sched_events_in, ScheduledSource, SchedulerConfig, StoreJournal};
 pub use drift::{drift_between, DriftFinding, DriftReport, RatioMove};
 pub use engine::{EngineConfig, MemoCache, MemoizedSource, QueryEngine};
 pub use metrics::{
@@ -89,7 +91,7 @@ pub use probe::{
     consistency_probe, granularity_from_observations, granularity_probe, significant_digits,
     ConsistencyReport, GranularityProbe, GranularityReport, ProbeCheckpoint,
 };
-pub use recording::{InterfaceMeta, TargetLayout};
+pub use recording::{InterfaceMeta, SchedEvent, TargetLayout};
 pub use removal::{removal_sweep, RemovalPoint, RemovalSweep};
 pub use resilience::{
     classify, DegradationPolicy, ErrorClass, ResilienceConfig, ResilienceStats, ResilientSource,

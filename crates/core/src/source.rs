@@ -423,6 +423,47 @@ impl AuditTarget {
         }
     }
 
+    /// The same target measuring through a distributed scheduler over
+    /// replica `endpoints` (each typically a wire client fronting a
+    /// platform replica), with default
+    /// [`SchedulerConfig`](crate::distributed::SchedulerConfig). The
+    /// targeting interface stays local — catalog metadata, spec checks,
+    /// and composition rules don't need the fleet — while every
+    /// estimate is sharded across the endpoints and merged in
+    /// submission order, bit-identical to a single-endpoint serial run.
+    pub fn with_scheduler(&self, endpoints: Vec<Arc<dyn EstimateSource>>) -> AuditTarget {
+        self.with_scheduler_cfg(
+            endpoints,
+            crate::distributed::SchedulerConfig::default(),
+            None,
+        )
+    }
+
+    /// [`with_scheduler`](AuditTarget::with_scheduler) with explicit
+    /// tuning and an optional durable job journal (see
+    /// [`StoreJournal`](crate::distributed::StoreJournal)).
+    pub fn with_scheduler_cfg(
+        &self,
+        endpoints: Vec<Arc<dyn EstimateSource>>,
+        cfg: crate::distributed::SchedulerConfig,
+        journal: Option<Arc<dyn adcomp_sched::UnitJournal>>,
+    ) -> AuditTarget {
+        let scheduled = crate::distributed::ScheduledSource::new(endpoints, cfg, journal);
+        assert_eq!(
+            scheduled.label(),
+            self.measurement.label(),
+            "scheduler endpoints must replicate the measurement interface"
+        );
+        AuditTarget {
+            targeting: self.targeting.clone(),
+            measurement: Arc::new(scheduled),
+            id_map: self.id_map.clone(),
+            // The scheduler is its own worker pool; layering the engine on
+            // top would chunk batches before they reach the shard queue.
+            engine: None,
+        }
+    }
+
     /// Whether batch submission buys anything on this target: an engine
     /// is attached, or the measurement interface batches natively (the
     /// pipelined wire client). Paths with order-sensitive serial

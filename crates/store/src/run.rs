@@ -97,6 +97,22 @@ impl RunStore {
         }
     }
 
+    /// Visits every record of `kind` in ascending key order.
+    pub fn for_each_kind(&self, kind: u8, mut f: impl FnMut(u64, &[u8])) {
+        let inner = self.lock();
+        for (key, k, payload) in inner.index.iter() {
+            if k == kind {
+                f(key, payload);
+            }
+        }
+    }
+
+    /// Number of recorded keys holding a record of `kind`.
+    pub fn count_kind(&self, kind: u8) -> usize {
+        let inner = self.lock();
+        inner.index.iter().filter(|(_, k, _)| *k == kind).count()
+    }
+
     /// Forces appended records to stable storage.
     pub fn sync(&self) -> io::Result<()> {
         self.lock().wal.sync()

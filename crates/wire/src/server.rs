@@ -20,7 +20,7 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use adcomp_obs::metrics::{Counter, Registry};
 use adcomp_platform::{
@@ -88,6 +88,10 @@ pub struct ServerConfig {
     /// platform-level fault plans deterministic too. Raise it only when
     /// that ordering does not matter.
     pub executors: usize,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight frames
+    /// (read but not yet answered) to finish before force-closing
+    /// connections.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +101,7 @@ impl Default for ServerConfig {
             burst: 50.0,
             fault_hook: None,
             executors: 1,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -123,6 +128,12 @@ impl ServerConfig {
         self.executors = executors.max(1);
         self
     }
+
+    /// Sets the shutdown drain window (builder style).
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -132,15 +143,55 @@ impl std::fmt::Debug for ServerConfig {
             .field("burst", &self.burst)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
             .field("executors", &self.executors)
+            .field("drain_timeout", &self.drain_timeout)
             .finish()
     }
 }
+
+/// Per-connection count of frames read off the socket but not yet
+/// answered (or dropped by the fault hook). Shutdown drains on this.
+struct ConnTracker {
+    in_flight: AtomicU64,
+}
+
+/// RAII accounting for one read frame: created right after `read_frame`
+/// succeeds, dropped once its response is written (the executor side for
+/// pipelined requests) or the frame is otherwise disposed of.
+struct WorkToken {
+    tracker: Arc<ConnTracker>,
+}
+
+impl WorkToken {
+    fn new(tracker: &Arc<ConnTracker>) -> WorkToken {
+        tracker.in_flight.fetch_add(1, Ordering::AcqRel);
+        WorkToken {
+            tracker: tracker.clone(),
+        }
+    }
+}
+
+impl Drop for WorkToken {
+    fn drop(&mut self) {
+        self.tracker.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A live connection as the shutdown path sees it.
+struct ConnReg {
+    stream: TcpStream,
+    tracker: Arc<ConnTracker>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+type ConnRegistry = Arc<Mutex<Vec<ConnReg>>>;
 
 /// Handle to a running server; shutting down joins all threads.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: ConnRegistry,
+    drain_timeout: Duration,
 }
 
 impl ServerHandle {
@@ -149,12 +200,40 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, closes the listener, and joins the accept thread.
-    /// In-flight connections finish their current request and close.
+    /// Stops accepting and **drains**: every frame already read off a
+    /// socket gets its response written (up to the configured
+    /// [`drain_timeout`](ServerConfig::drain_timeout)) before
+    /// connections are closed and their threads joined. No new frames
+    /// are read once the signal lands, so a pipelining client can
+    /// distinguish a draining endpoint (all admitted requests answered)
+    /// from a killed one (responses lost mid-window).
     pub fn shutdown(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
         self.signal_shutdown();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock());
+        // Wait for read-but-unanswered frames; the pipeline executors
+        // keep writing responses while the read threads idle.
+        let deadline = Instant::now() + self.drain_timeout;
+        for conn in &conns {
+            while conn.tracker.in_flight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Now actively close: this unblocks read threads parked in
+        // `read_frame` on clients that never hang up.
+        for conn in &conns {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for mut conn in conns {
+            if let Some(h) = conn.handle.take() {
+                let _ = h.join();
+            }
         }
     }
 
@@ -167,9 +246,8 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            self.signal_shutdown();
-            let _ = t.join();
+        if self.accept_thread.is_some() {
+            self.shutdown_now();
         }
     }
 }
@@ -194,8 +272,10 @@ pub fn serve(
     // One counter across all connections: reconnecting does not reset the
     // fault schedule.
     let request_counter = Arc::new(AtomicU64::new(0));
+    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
 
     let accept_shutdown = shutdown.clone();
+    let accept_conns = conns.clone();
     let accept_thread = std::thread::Builder::new()
         .name("adcomp-wire-accept".into())
         .spawn(move || {
@@ -204,17 +284,24 @@ pub fn serve(
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                let Ok(reg_stream) = stream.try_clone() else {
+                    continue;
+                };
                 let platform = platform.clone();
                 let limiter = limiter.clone();
                 let fault_hook = fault_hook.clone();
                 let request_counter = request_counter.clone();
                 let conn_shutdown = accept_shutdown.clone();
-                // Workers are detached: joining them here would deadlock a
-                // shutdown while a client keeps its connection open (the
-                // worker blocks in read_frame). A worker exits when its
-                // client closes, on a transport error, or at the next
-                // request after shutdown.
-                std::thread::spawn(move || {
+                let tracker = Arc::new(ConnTracker {
+                    in_flight: AtomicU64::new(0),
+                });
+                let conn_tracker = tracker.clone();
+                // Connection threads are not joined here (that would
+                // deadlock a shutdown while a client keeps its connection
+                // open — the thread blocks in read_frame); the registry
+                // keeps their handles so shutdown can drain in-flight
+                // frames, close the sockets, and then join.
+                let handle = std::thread::spawn(move || {
                     let _ = handle_connection(
                         stream,
                         platform,
@@ -223,7 +310,13 @@ pub fn serve(
                         request_counter,
                         conn_shutdown,
                         executors,
+                        conn_tracker,
                     );
+                });
+                accept_conns.lock().push(ConnReg {
+                    stream: reg_stream,
+                    tracker,
+                    handle: Some(handle),
                 });
             }
         })
@@ -233,6 +326,8 @@ pub fn serve(
         addr,
         shutdown,
         accept_thread: Some(accept_thread),
+        conns,
+        drain_timeout: config.drain_timeout,
     })
 }
 
@@ -254,7 +349,7 @@ fn conn_drops_total() -> Arc<Counter> {
 /// lock, so they interleave with read-thread writes frame-atomically but
 /// may leave in any order — the correlation id is what the client keys on.
 struct PipelinePool {
-    jobs: Option<crossbeam::channel::Sender<(u64, Request)>>,
+    jobs: Option<crossbeam::channel::Sender<(u64, Request, WorkToken)>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -264,7 +359,7 @@ impl PipelinePool {
         platform: Arc<dyn PlatformApi>,
         writer: Arc<Mutex<TcpStream>>,
     ) -> Self {
-        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Request)>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Request, WorkToken)>();
         let workers = (0..executors.max(1))
             .map(|i| {
                 let rx = rx.clone();
@@ -273,7 +368,7 @@ impl PipelinePool {
                 std::thread::Builder::new()
                     .name(format!("adcomp-wire-exec-{i}"))
                     .spawn(move || {
-                        for (id, request) in rx.iter() {
+                        for (id, request, token) in rx.iter() {
                             let inner = handle_request(platform.as_ref(), request);
                             let frame = to_bytes(&Response::Tagged {
                                 id,
@@ -282,6 +377,9 @@ impl PipelinePool {
                             // A failed write means the client is gone;
                             // keep draining so shutdown stays clean.
                             let _ = write_frame(&mut *writer.lock(), &frame);
+                            // The frame counts as in-flight until its
+                            // response hits the socket.
+                            drop(token);
                         }
                     })
                     .expect("spawn pipeline executor")
@@ -293,12 +391,12 @@ impl PipelinePool {
         }
     }
 
-    fn submit(&self, id: u64, request: Request) {
+    fn submit(&self, id: u64, request: Request, token: WorkToken) {
         let _ = self
             .jobs
             .as_ref()
             .expect("pool is running")
-            .send((id, request));
+            .send((id, request, token));
     }
 
     fn join(mut self) {
@@ -318,6 +416,7 @@ fn handle_connection(
     request_counter: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
     executors: usize,
+    tracker: Arc<ConnTracker>,
 ) -> Result<(), FrameError> {
     stream.set_nodelay(true)?;
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
@@ -335,6 +434,7 @@ fn handle_connection(
         &shutdown,
         executors,
         &mut pipeline,
+        &tracker,
     );
     if let Some(pool) = pipeline {
         // Drain in-flight work before the connection thread exits.
@@ -377,6 +477,7 @@ fn read_loop(
     shutdown: &Arc<AtomicBool>,
     executors: usize,
     pipeline: &mut Option<PipelinePool>,
+    tracker: &Arc<ConnTracker>,
 ) -> Result<(), FrameError> {
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -387,6 +488,10 @@ fn read_loop(
             Err(FrameError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
+        // From here until its response is on the socket (or the fault
+        // hook disposes of it) this frame is in-flight for drain
+        // accounting.
+        let token = WorkToken::new(tracker);
         if let Some(hook) = fault_hook {
             let index = request_counter.fetch_add(1, Ordering::SeqCst);
             match hook.fault_for(index) {
@@ -436,7 +541,7 @@ fn read_loop(
                             .get_or_insert_with(|| {
                                 PipelinePool::start(executors, platform.clone(), writer.clone())
                             })
-                            .submit(id, *inner);
+                            .submit(id, *inner, token);
                         continue;
                     }
                 }
@@ -447,6 +552,8 @@ fn read_loop(
             },
         };
         write_frame(&mut *writer.lock(), &to_bytes(&response))?;
+        // Answered inline on the read thread: retire the frame.
+        drop(token);
     }
 }
 

@@ -476,6 +476,98 @@ fn pipelined_batch_rides_out_rate_limiting() {
     handle.shutdown();
 }
 
+/// A platform whose estimates take `delay` each — long enough for a
+/// shutdown to land while frames are admitted but unanswered.
+struct SlowPlatform {
+    inner: Arc<adcomp_platform::AdPlatform>,
+    delay: std::time::Duration,
+}
+
+impl adcomp_platform::PlatformApi for SlowPlatform {
+    fn config(&self) -> &adcomp_platform::PlatformConfig {
+        self.inner.config()
+    }
+
+    fn catalog(&self) -> &adcomp_platform::Catalog {
+        self.inner.catalog()
+    }
+
+    fn reach_estimate(
+        &self,
+        request: &adcomp_platform::EstimateRequest,
+    ) -> Result<adcomp_platform::SizeEstimate, adcomp_platform::PlatformError> {
+        std::thread::sleep(self.delay);
+        self.inner.reach_estimate(request)
+    }
+
+    fn check(&self, spec: &TargetingSpec) -> Result<(), adcomp_platform::PlatformError> {
+        adcomp_platform::AdPlatform::check(&self.inner, spec)
+    }
+
+    fn stats(&self) -> adcomp_platform::QueryStats {
+        self.inner.stats()
+    }
+
+    fn note_rate_limited(&self) {
+        adcomp_platform::PlatformApi::note_rate_limited(self.inner.as_ref())
+    }
+}
+
+#[test]
+fn shutdown_drains_in_flight_pipelined_frames() {
+    // 16 pipelined estimates at 30ms each over 2 executors ≈ 240ms of
+    // server-side work. Shutdown lands mid-flight and must hold the
+    // connection open until every admitted frame is answered — before
+    // graceful drain, the active close could cut off queued responses.
+    let slow = Arc::new(SlowPlatform {
+        inner: sim().linkedin.clone(),
+        delay: std::time::Duration::from_millis(30),
+    });
+    let handle = serve(
+        slow,
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_executors(2)
+            .with_drain_timeout(std::time::Duration::from_secs(30)),
+    )
+    .unwrap();
+    let expected = {
+        use adcomp_platform::EstimateRequest;
+        let p = &sim().linkedin;
+        p.reach_estimate(&EstimateRequest::new(
+            TargetingSpec::everyone(),
+            p.config().default_objective,
+        ))
+        .unwrap()
+        .value
+    };
+    let client = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            pipeline_window: 16,
+            io_timeout: Some(std::time::Duration::from_secs(30)),
+            ..ClientConfig::fast()
+        },
+    )
+    .unwrap();
+    let batch = std::thread::spawn(move || {
+        let specs = vec![TargetingSpec::everyone(); 16];
+        client.estimate_batch(&specs)
+    });
+    // Let the window land server-side so frames are read and queued.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    handle.shutdown();
+    let results = batch.join().unwrap();
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("drained shutdown answers every frame"),
+            &expected,
+            "slot {i}"
+        );
+    }
+}
+
 #[test]
 fn pipelined_batch_reconnects_and_reissues_only_unanswered() {
     // Kill the connection mid-batch; the client reconnects and re-issues

@@ -1,0 +1,163 @@
+//! Spawning a *fleet* of wire endpoints over one simulation, so the
+//! distributed scheduler ([`adcomp_core::ScheduledSource`]) has real
+//! replicas to shard across: every replica is a full wire server
+//! ([`adcomp_wire::serve`]) wrapping the **same** `Arc<AdPlatform>`,
+//! queried through its own [`RemoteSource`] connection.
+//!
+//! Because all replicas of an interface share one platform instance,
+//! any replica answers any query identically — which is exactly the
+//! property the scheduler's determinism guarantee rests on. The fleet
+//! is what the paper's audits would look like against a load-balanced
+//! ads API: many HTTP frontends, one backing estimate service.
+//!
+//! Used by the scheduler equivalence test, the `fleet_audit` example
+//! and the `sched_throughput` bench; see EXPERIMENTS.md ("Distributed
+//! audits") for the topology.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use adcomp_core::experiments::EndpointSetFactory;
+use adcomp_core::EstimateSource;
+use adcomp_platform::{InterfaceKind, Simulation};
+use adcomp_wire::{serve, ClientConfig, ServerConfig, ServerHandle};
+
+use crate::RemoteSource;
+
+/// The interfaces a fleet replicates, in a fixed internal order.
+const FLEET_INTERFACES: [InterfaceKind; 4] = [
+    InterfaceKind::FacebookNormal,
+    InterfaceKind::FacebookRestricted,
+    InterfaceKind::GoogleDisplay,
+    InterfaceKind::LinkedIn,
+];
+
+fn iface_index(kind: InterfaceKind) -> usize {
+    FLEET_INTERFACES
+        .iter()
+        .position(|k| *k == kind)
+        .expect("known interface")
+}
+
+/// `replicas` wire servers per interface plus one connected
+/// [`RemoteSource`] client per server.
+///
+/// Handles are droppable mid-run: [`kill`](Fleet::kill) shuts a single
+/// replica down while audits are in flight, which is how the failover
+/// tests exercise lease expiry and requeue. Dropping the fleet drains
+/// and joins every remaining server.
+pub struct Fleet {
+    replicas: usize,
+    handles: Mutex<Vec<Option<ServerHandle>>>,
+    sources: Vec<Arc<RemoteSource>>,
+}
+
+impl Fleet {
+    /// Launches `replicas` default-configured servers per interface.
+    pub fn launch(sim: &Simulation, replicas: usize) -> std::io::Result<Fleet> {
+        Fleet::launch_with(
+            sim,
+            replicas,
+            |_, _| ServerConfig::default(),
+            |_, _| ClientConfig::fast(),
+        )
+    }
+
+    /// Launches with per-replica server and client configs (attach a
+    /// fault hook to one replica, stretch another's socket timeout so a
+    /// kill exercises lease expiry instead of fail-fast requeue, …).
+    pub fn launch_with(
+        sim: &Simulation,
+        replicas: usize,
+        mut server_config: impl FnMut(InterfaceKind, usize) -> ServerConfig,
+        mut client_config: impl FnMut(InterfaceKind, usize) -> ClientConfig,
+    ) -> std::io::Result<Fleet> {
+        assert!(replicas > 0, "a fleet needs at least one replica");
+        let mut handles = Vec::with_capacity(4 * replicas);
+        let mut sources = Vec::with_capacity(4 * replicas);
+        for kind in FLEET_INTERFACES {
+            let platform = match kind {
+                InterfaceKind::FacebookNormal => &sim.facebook,
+                InterfaceKind::FacebookRestricted => &sim.facebook_restricted,
+                InterfaceKind::GoogleDisplay => &sim.google,
+                InterfaceKind::LinkedIn => &sim.linkedin,
+            };
+            for replica in 0..replicas {
+                let handle = serve(
+                    platform.clone(),
+                    "127.0.0.1:0",
+                    server_config(kind, replica),
+                )?;
+                let client =
+                    adcomp_wire::Client::connect_with(handle.addr(), client_config(kind, replica))?;
+                let source = RemoteSource::new(client).map_err(std::io::Error::other)?;
+                handles.push(Some(handle));
+                sources.push(Arc::new(source));
+            }
+        }
+        Ok(Fleet {
+            replicas,
+            handles: Mutex::new(handles),
+            sources,
+        })
+    }
+
+    /// Replicas per interface.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The connected endpoint set for one interface, in replica order —
+    /// the shape [`EndpointSetFactory`] wants.
+    pub fn endpoints(&self, kind: InterfaceKind) -> Vec<Arc<dyn EstimateSource>> {
+        let base = iface_index(kind) * self.replicas;
+        self.sources[base..base + self.replicas]
+            .iter()
+            .map(|s| s.clone() as Arc<dyn EstimateSource>)
+            .collect()
+    }
+
+    /// One replica's client, for direct inspection in tests.
+    pub fn source(&self, kind: InterfaceKind, replica: usize) -> Arc<RemoteSource> {
+        assert!(replica < self.replicas);
+        self.sources[iface_index(kind) * self.replicas + replica].clone()
+    }
+
+    /// An [`EndpointSetFactory`] serving this fleet's endpoint sets, for
+    /// [`ExperimentContext::distributed`](adcomp_core::experiments::ExperimentContext::distributed).
+    pub fn factory(fleet: &Arc<Fleet>) -> EndpointSetFactory {
+        let fleet = fleet.clone();
+        Arc::new(move |kind| fleet.endpoints(kind))
+    }
+
+    /// Shuts one replica's server down **while audits may be running**.
+    /// Its client starts failing with transport errors, the scheduler
+    /// marks the endpoint unhealthy and requeues its leased units onto
+    /// the survivors. Idempotent: killing a dead replica is a no-op.
+    pub fn kill(&self, kind: InterfaceKind, replica: usize) {
+        assert!(replica < self.replicas);
+        let handle = self.lock_handles()[iface_index(kind) * self.replicas + replica].take();
+        if let Some(handle) = handle {
+            handle.shutdown();
+        }
+    }
+
+    /// Drains and joins every still-running server.
+    pub fn shutdown(&self) {
+        let handles: Vec<_> = self.lock_handles().iter_mut().map(|h| h.take()).collect();
+        for handle in handles.into_iter().flatten() {
+            handle.shutdown();
+        }
+    }
+
+    fn lock_handles(&self) -> MutexGuard<'_, Vec<Option<ServerHandle>>> {
+        self.handles
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
