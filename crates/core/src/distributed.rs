@@ -30,8 +30,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use adcomp_sched::{
-    run_pool, Grant, LeaseConfig, PoolConfig, PoolEndpoint, UnitJournal, UnitQueue, UnitReport,
-    UnitRunner,
+    into_inner_recovering, lock_recovering, run_pool, Grant, LeaseConfig, PoolConfig, PoolEndpoint,
+    UnitJournal, UnitQueue, UnitReport, UnitRunner,
 };
 use adcomp_store::RunStore;
 use adcomp_targeting::{AttributeId, FeatureId, TargetingSpec};
@@ -304,7 +304,10 @@ impl UnitRunner for BatchRunner<'_> {
                 }
             }
         }
-        self.buffers.lock().unwrap().insert(grant.lease, buffered);
+        // Poison-recovering: a contained worker panic must not cascade
+        // into every other replica's worker (the lease ledger makes the
+        // buffered state requeue-safe).
+        lock_recovering(&self.buffers).insert(grant.lease, buffered);
         UnitReport {
             answered,
             endpoint_failed,
@@ -312,8 +315,8 @@ impl UnitRunner for BatchRunner<'_> {
     }
 
     fn commit(&self, _endpoint: &str, grant: &Grant) {
-        if let Some(vals) = self.buffers.lock().unwrap().remove(&grant.lease) {
-            let mut merged = self.merged.lock().unwrap();
+        if let Some(vals) = lock_recovering(&self.buffers).remove(&grant.lease) {
+            let mut merged = lock_recovering(&self.merged);
             for (slot, result) in vals {
                 debug_assert!(merged[slot].is_none(), "slot {slot} merged twice");
                 merged[slot] = Some(result);
@@ -322,7 +325,7 @@ impl UnitRunner for BatchRunner<'_> {
     }
 
     fn discard(&self, _endpoint: &str, grant: &Grant) {
-        self.buffers.lock().unwrap().remove(&grant.lease);
+        lock_recovering(&self.buffers).remove(&grant.lease);
     }
 }
 
@@ -356,7 +359,7 @@ impl EstimateSource for ScheduledSource {
             merged: Mutex::new(vec![None; specs.len()]),
         };
         run_pool(&queue, &pool_endpoints, &runner, &pool_cfg, &clock);
-        let merged = runner.merged.into_inner().unwrap();
+        let merged = into_inner_recovering(runner.merged);
         merged
             .into_iter()
             .map(|slot| {

@@ -60,6 +60,7 @@ pub mod discovery;
 pub mod distributed;
 pub mod drift;
 pub mod engine;
+pub mod epoch;
 pub mod experiments;
 pub mod metrics;
 pub mod mitigation;
@@ -79,6 +80,7 @@ pub use discovery::{
 pub use distributed::{sched_events_in, ScheduledSource, SchedulerConfig, StoreJournal};
 pub use drift::{drift_between, DriftFinding, DriftReport, RatioMove};
 pub use engine::{EngineConfig, MemoCache, MemoizedSource, QueryEngine};
+pub use epoch::{epoch_digest, run_epoch, EpochOutcome, EpochPlan};
 pub use metrics::{
     four_fifths_band, measure_spec, measure_spec_batch, ratio_bounds, recall_of, rep_ratio,
     rep_ratio_of, RatioBounds, SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
@@ -91,14 +93,14 @@ pub use probe::{
     consistency_probe, granularity_from_observations, granularity_probe, significant_digits,
     ConsistencyReport, GranularityProbe, GranularityReport, ProbeCheckpoint,
 };
-pub use recording::{InterfaceMeta, SchedEvent, TargetLayout};
+pub use recording::{EpochEvent, InterfaceMeta, SchedEvent, TargetLayout};
 pub use removal::{removal_sweep, RemovalPoint, RemovalSweep};
 pub use resilience::{
     classify, DegradationPolicy, ErrorClass, ResilienceConfig, ResilienceStats, ResilientSource,
 };
 pub use source::{
-    AuditTarget, EstimateSource, RecordingSource, ReplaySource, Selector, SensitiveClass,
-    SourceError,
+    ApiSource, AuditTarget, EstimateSource, RecordingSource, ReplaySource, Selector,
+    SensitiveClass, SourceError,
 };
 pub use stats::{fraction_outside, median, percentile, BoxStats};
 pub use union_estimate::{median_pairwise_overlap, pairwise_overlap, union_recall, UnionEstimate};

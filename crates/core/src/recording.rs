@@ -45,6 +45,10 @@ pub const KIND_CHECKPOINT: u8 = 4;
 /// Record kind: a scheduler unit lifecycle event (grant, completion,
 /// requeue, failure) — the distributed coordinator's audit trail.
 pub const KIND_SCHED_UNIT: u8 = 5;
+/// Record kind: an audit-epoch lifecycle event (started, completed,
+/// drift checked, alert raised, degraded) — the continuous-audit
+/// daemon's crash-recovery journal.
+pub const KIND_EPOCH: u8 = 6;
 
 /// FNV-1a 64 — stable across runs, platforms, and Rust versions
 /// (`DefaultHasher` guarantees none of that).
@@ -100,6 +104,18 @@ pub fn checkpoint_key(name: &str) -> u64 {
 /// trail survives in the store's latest-wins keyed view.
 pub fn sched_event_key(scope: &str, seq: u64) -> u64 {
     salted(b"sched", scope, &seq.to_be_bytes())
+}
+
+/// Key of an epoch lifecycle event in daemon scope `scope`, keyed per
+/// `(epoch, stage)` so the store's latest-wins view makes every stage
+/// idempotent across restarts: re-journaling "alert raised for epoch 3"
+/// after a crash *overwrites* the first record instead of raising a
+/// second alert.
+pub fn epoch_event_key(scope: &str, epoch: u64, stage: u8) -> u64 {
+    let mut rest = [0u8; 9];
+    rest[..8].copy_from_slice(&epoch.to_be_bytes());
+    rest[8] = stage;
+    salted(b"epoch", scope, &rest)
 }
 
 fn bad(what: &str) -> io::Error {
@@ -679,6 +695,170 @@ impl SchedEvent {
     }
 }
 
+/// One audit-epoch lifecycle event, as journaled under [`KIND_EPOCH`].
+///
+/// The continuous-audit daemon journals these with
+/// [`SyncPolicy::EveryRecord`](adcomp_store::SyncPolicy) durability, so
+/// a `kill -9` at any point leaves an unambiguous record of how far the
+/// epoch got: a `Started` without a matching `Completed` means "resume
+/// this epoch's survey" (the answered queries replay from the epoch's
+/// own recording store), a `Completed` without a `DriftChecked` means
+/// "re-run the drift diff", and an `AlertRaised` is idempotent thanks
+/// to [`epoch_event_key`]'s per-stage keying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochEvent {
+    /// Epoch began (attempt is 1-based and bumps on per-epoch retry).
+    Started {
+        /// Epoch number (0-based).
+        epoch: u64,
+        /// Supervision attempt for this epoch.
+        attempt: u32,
+    },
+    /// Epoch's survey finished and its snapshot is durable.
+    Completed {
+        /// Epoch number.
+        epoch: u64,
+        /// FNV-1a digest over the epoch's key-ordered estimates —
+        /// byte-identity across runs is checked on this.
+        digest: u64,
+        /// Estimate records in the epoch store.
+        estimates: u64,
+    },
+    /// Drift versus the previous epoch was computed and acted on.
+    DriftChecked {
+        /// Epoch number (the *later* epoch of the pair).
+        epoch: u64,
+        /// Total drift findings.
+        findings: u32,
+        /// Four-fifths threshold crossings among them.
+        crossings: u32,
+    },
+    /// A four-fifths crossing alert was raised for this epoch.
+    AlertRaised {
+        /// Epoch number.
+        epoch: u64,
+        /// Crossings that triggered the alert.
+        crossings: u32,
+        /// Human-readable alert line.
+        detail: String,
+    },
+    /// The epoch ran degraded (an endpoint was down, survivors carried
+    /// the work).
+    Degraded {
+        /// Epoch number.
+        epoch: u64,
+        /// What degraded.
+        detail: String,
+    },
+}
+
+impl EpochEvent {
+    /// The epoch this event belongs to.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            EpochEvent::Started { epoch, .. }
+            | EpochEvent::Completed { epoch, .. }
+            | EpochEvent::DriftChecked { epoch, .. }
+            | EpochEvent::AlertRaised { epoch, .. }
+            | EpochEvent::Degraded { epoch, .. } => *epoch,
+        }
+    }
+
+    /// The stage tag used in [`epoch_event_key`].
+    pub fn stage(&self) -> u8 {
+        match self {
+            EpochEvent::Started { .. } => 1,
+            EpochEvent::Completed { .. } => 2,
+            EpochEvent::DriftChecked { .. } => 3,
+            EpochEvent::AlertRaised { .. } => 4,
+            EpochEvent::Degraded { .. } => 5,
+        }
+    }
+
+    /// Byte encoding for a [`KIND_EPOCH`] payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            EpochEvent::Started { epoch, attempt } => {
+                buf.push(1);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                put_u32(&mut buf, *attempt);
+            }
+            EpochEvent::Completed {
+                epoch,
+                digest,
+                estimates,
+            } => {
+                buf.push(2);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                buf.extend_from_slice(&digest.to_be_bytes());
+                buf.extend_from_slice(&estimates.to_be_bytes());
+            }
+            EpochEvent::DriftChecked {
+                epoch,
+                findings,
+                crossings,
+            } => {
+                buf.push(3);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                put_u32(&mut buf, *findings);
+                put_u32(&mut buf, *crossings);
+            }
+            EpochEvent::AlertRaised {
+                epoch,
+                crossings,
+                detail,
+            } => {
+                buf.push(4);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                put_u32(&mut buf, *crossings);
+                put_str(&mut buf, detail);
+            }
+            EpochEvent::Degraded { epoch, detail } => {
+                buf.push(5);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                put_str(&mut buf, detail);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a [`KIND_EPOCH`] payload.
+    pub fn decode(bytes: &[u8]) -> io::Result<EpochEvent> {
+        let mut r = Reader::new(bytes);
+        let event = match r.u8()? {
+            1 => EpochEvent::Started {
+                epoch: r.u64()?,
+                attempt: r.u32()?,
+            },
+            2 => EpochEvent::Completed {
+                epoch: r.u64()?,
+                digest: r.u64()?,
+                estimates: r.u64()?,
+            },
+            3 => EpochEvent::DriftChecked {
+                epoch: r.u64()?,
+                findings: r.u32()?,
+                crossings: r.u32()?,
+            },
+            4 => EpochEvent::AlertRaised {
+                epoch: r.u64()?,
+                crossings: r.u32()?,
+                detail: r.str()?,
+            },
+            5 => EpochEvent::Degraded {
+                epoch: r.u64()?,
+                detail: r.str()?,
+            },
+            k => return Err(bad(&format!("unknown epoch event {k}"))),
+        };
+        if !r.done() {
+            return Err(bad("trailing bytes in epoch event"));
+        }
+        Ok(event)
+    }
+}
+
 /// A [`RunStore`] shared across the audit stack.
 pub type SharedStore = Arc<RunStore>;
 
@@ -822,5 +1002,74 @@ mod tests {
         assert_eq!(load_checkpoint(&store, "table1").unwrap(), b"progress v2");
         assert!(load_checkpoint(&store, "other").is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_events_roundtrip() {
+        let events = [
+            EpochEvent::Started {
+                epoch: 3,
+                attempt: 2,
+            },
+            EpochEvent::Completed {
+                epoch: 3,
+                digest: 0xDEAD_BEEF_CAFE_F00D,
+                estimates: 1_234,
+            },
+            EpochEvent::DriftChecked {
+                epoch: 3,
+                findings: 7,
+                crossings: 2,
+            },
+            EpochEvent::AlertRaised {
+                epoch: 3,
+                crossings: 2,
+                detail: "LinkedIn: 2 four-fifths crossing(s) vs epoch 2".into(),
+            },
+            EpochEvent::Degraded {
+                epoch: 3,
+                detail: "replica-1 unhealthy; survivors carried 40 slots".into(),
+            },
+        ];
+        for e in &events {
+            assert_eq!(&EpochEvent::decode(&e.encode()).unwrap(), e);
+            assert_eq!(e.epoch(), 3);
+        }
+        // Trailing bytes and unknown tags must fail loudly.
+        let mut bytes = events[0].encode();
+        bytes.push(0);
+        assert!(EpochEvent::decode(&bytes).is_err());
+        assert!(EpochEvent::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn epoch_event_keys_separate_stages_and_scopes() {
+        let e = EpochEvent::Started {
+            epoch: 1,
+            attempt: 1,
+        };
+        let c = EpochEvent::Completed {
+            epoch: 1,
+            digest: 0,
+            estimates: 0,
+        };
+        // Same (scope, epoch, stage) collides — that is the idempotence
+        // mechanism; different stages, epochs, or scopes never do.
+        assert_eq!(
+            epoch_event_key("daemon", 1, e.stage()),
+            epoch_event_key("daemon", 1, e.stage())
+        );
+        assert_ne!(
+            epoch_event_key("daemon", 1, e.stage()),
+            epoch_event_key("daemon", 1, c.stage())
+        );
+        assert_ne!(
+            epoch_event_key("daemon", 1, e.stage()),
+            epoch_event_key("daemon", 2, e.stage())
+        );
+        assert_ne!(
+            epoch_event_key("daemon", 1, e.stage()),
+            epoch_event_key("other", 1, e.stage())
+        );
     }
 }

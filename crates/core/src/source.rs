@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use adcomp_platform::{AdPlatform, EstimateRequest, PlatformError};
+use adcomp_platform::{AdPlatform, EstimateRequest, PlatformApi, PlatformError};
 use adcomp_population::{AgeBucket, Gender};
 use adcomp_targeting::{AttributeId, FeatureId, TargetingSpec};
 
@@ -269,6 +269,59 @@ impl EstimateSource for AdPlatform {
 
     fn supports_demographics(&self) -> bool {
         self.config().capabilities.gender_targeting && self.config().capabilities.age_targeting
+    }
+}
+
+/// An [`EstimateSource`] over any [`PlatformApi`] — the in-process
+/// counterpart of the wire client's remote source. This is what lets a
+/// [`FaultyPlatform`](adcomp_platform::FaultyPlatform) (which implements
+/// the serving-side trait, not this one) be audited directly: the
+/// continuous-audit daemon's simulated provider wraps each epoch's
+/// fault-injected platform in one of these.
+pub struct ApiSource(pub Arc<dyn PlatformApi>);
+
+impl EstimateSource for ApiSource {
+    fn label(&self) -> String {
+        self.0.label().to_string()
+    }
+
+    fn estimate(&self, spec: &TargetingSpec) -> Result<u64, SourceError> {
+        let req = EstimateRequest::borrowed(spec, self.0.config().default_objective);
+        Ok(self.0.reach_estimate(&req)?.value)
+    }
+
+    fn check(&self, spec: &TargetingSpec) -> Result<(), SourceError> {
+        self.0.check(spec).map_err(Into::into)
+    }
+
+    fn catalog_len(&self) -> u32 {
+        self.0.catalog().len() as u32
+    }
+
+    fn attribute_name(&self, id: AttributeId) -> Option<String> {
+        self.0.catalog().get(id).map(|e| e.name.clone())
+    }
+
+    fn attribute_feature(&self, id: AttributeId) -> Option<FeatureId> {
+        self.0.catalog().get(id).map(|e| e.feature)
+    }
+
+    fn can_compose(&self, a: AttributeId, b: AttributeId) -> bool {
+        if a == b {
+            return false;
+        }
+        if self.0.config().capabilities.same_feature_and {
+            true
+        } else {
+            match (self.attribute_feature(a), self.attribute_feature(b)) {
+                (Some(fa), Some(fb)) => fa != fb,
+                _ => false,
+            }
+        }
+    }
+
+    fn supports_demographics(&self) -> bool {
+        self.0.config().capabilities.gender_targeting && self.0.config().capabilities.age_targeting
     }
 }
 

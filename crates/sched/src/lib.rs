@@ -27,10 +27,12 @@
 
 pub mod health;
 pub mod journal;
+pub mod lock;
 pub mod pool;
 pub mod queue;
 
 pub use health::{EndpointHealth, PoolConfig};
 pub use journal::{NullJournal, UnitJournal};
+pub use lock::{into_inner_recovering, lock_recovering};
 pub use pool::{run_pool, PoolEndpoint, UnitReport, UnitRunner};
 pub use queue::{Completion, Grant, LeaseConfig, SlotCensus, UnitQueue};

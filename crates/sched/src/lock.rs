@@ -1,0 +1,62 @@
+//! Poison-recovering mutex access for coordinator state.
+//!
+//! A panicking worker must not take the whole audit down with it: the
+//! lease ledger is what makes scheduler state requeue-safe (an
+//! interrupted unit's slots are re-granted and re-run), so the data a
+//! poisoned lock guards is always either committed-and-consistent or
+//! about to be discarded. Recovering the guard is therefore sound — but
+//! it must never be *silent*, so every recovery is counted in
+//! `adcomp_sched_lock_poisoned` and logged.
+
+use std::sync::{Mutex, MutexGuard};
+
+use adcomp_obs::metrics::Registry;
+
+/// Counts one poison recovery and warns.
+fn note_poisoned() {
+    Registry::global()
+        .counter("adcomp_sched_lock_poisoned")
+        .inc();
+    adcomp_obs::warn!("recovered a poisoned scheduler lock (a worker panicked mid-update)");
+}
+
+/// Locks `mutex`, recovering (and counting) a poisoned guard instead of
+/// cascading the panic into every thread that touches shared state.
+pub fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        note_poisoned();
+        // One count per poisoning event, not per subsequent lock.
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// Consumes `mutex`, recovering (and counting) poison on the way out.
+pub fn into_inner_recovering<T>(mutex: Mutex<T>) -> T {
+    mutex.into_inner().unwrap_or_else(|poisoned| {
+        note_poisoned();
+        poisoned.into_inner()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_lock_recovers_and_counts() {
+        let counter = Registry::global().counter("adcomp_sched_lock_poisoned");
+        let before = counter.get();
+        let m = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        *lock_recovering(&m) += 1;
+        assert_eq!(counter.get(), before + 1, "recovery must be counted");
+        assert!(!m.is_poisoned(), "recovery clears the poison flag");
+        assert_eq!(into_inner_recovering(m), 8);
+        assert_eq!(counter.get(), before + 1, "one count per poisoning event");
+    }
+}

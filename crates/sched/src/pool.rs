@@ -9,10 +9,12 @@
 //! and another endpoint re-ran the unit) discards it. That ordering is
 //! what makes a killed or hung endpoint unable to double-write a slot.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
 use adcomp_obs::clock::Clock;
+use adcomp_obs::metrics::Registry;
 
 use crate::health::{EndpointHealth, PoolConfig};
 use crate::queue::{Completion, Grant, UnitQueue};
@@ -113,7 +115,30 @@ fn worker_loop(
             return;
         };
         let _inflight = ep.health.track_inflight();
-        let report = runner.run(&ep.label, &grant, &|| queue.heartbeat(grant.lease).is_ok());
+        // A panicking runner must not unwind through the scoped pool and
+        // abort the whole audit: contain it, requeue the unit (empty
+        // `answered` returns every slot as a remnant), and charge the
+        // endpoint. Runner state stays consistent because buffered
+        // results are keyed by lease and discarded below.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            runner.run(&ep.label, &grant, &|| queue.heartbeat(grant.lease).is_ok())
+        }));
+        let report = match run {
+            Ok(report) => report,
+            Err(_) => {
+                Registry::global()
+                    .counter("adcomp_sched_worker_panics_total")
+                    .inc();
+                adcomp_obs::warn!(
+                    "worker {worker} panicked running unit {}; requeueing its slots",
+                    grant.unit
+                );
+                UnitReport {
+                    answered: Vec::new(),
+                    endpoint_failed: true,
+                }
+            }
+        };
         match queue.complete(grant.lease, &report.answered) {
             Completion::Accepted { .. } => {
                 runner.commit(&ep.label, &grant);
@@ -138,6 +163,7 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lock::lock_recovering;
     use crate::queue::LeaseConfig;
     use adcomp_obs::clock::MonotonicClock;
     use std::collections::HashMap;
@@ -191,7 +217,7 @@ mod tests {
                 .iter()
                 .map(|&s| (s, (s as u64) * (s as u64)))
                 .collect();
-            self.buffers.lock().unwrap().insert(grant.lease, vals);
+            lock_recovering(&self.buffers).insert(grant.lease, vals);
             UnitReport {
                 answered: grant.slots.clone(),
                 endpoint_failed: false,
@@ -199,8 +225,8 @@ mod tests {
         }
 
         fn commit(&self, _endpoint: &str, grant: &Grant) {
-            if let Some(vals) = self.buffers.lock().unwrap().remove(&grant.lease) {
-                let mut out = self.out.lock().unwrap();
+            if let Some(vals) = lock_recovering(&self.buffers).remove(&grant.lease) {
+                let mut out = lock_recovering(&self.out);
                 for (slot, v) in vals {
                     let prev = out.insert(slot, v);
                     assert!(prev.is_none(), "slot {slot} committed twice");
@@ -209,7 +235,7 @@ mod tests {
         }
 
         fn discard(&self, _endpoint: &str, grant: &Grant) {
-            self.buffers.lock().unwrap().remove(&grant.lease);
+            lock_recovering(&self.buffers).remove(&grant.lease);
         }
     }
 
@@ -235,7 +261,7 @@ mod tests {
         run_pool(&q, &eps, &runner, &pool_cfg(), &clock);
         assert!(q.is_drained());
         assert_eq!(q.census().done, 100);
-        let out = runner.out.lock().unwrap();
+        let out = lock_recovering(&runner.out);
         assert_eq!(out.len(), 100);
         for s in 0..100usize {
             assert_eq!(out[&s], (s as u64) * (s as u64));
@@ -254,9 +280,77 @@ mod tests {
         let runner = SquareRunner::flaky("ep-flaky", 6);
         run_pool(&q, &eps, &runner, &pool_cfg(), &clock);
         assert_eq!(q.census().done, 40);
-        assert_eq!(runner.out.lock().unwrap().len(), 40);
+        assert_eq!(lock_recovering(&runner.out).len(), 40);
         let (ok, failed) = eps[0].health().totals();
         assert_eq!(failed, 6, "every budgeted failure recorded");
         assert_eq!(ok, 10, "all ten units eventually completed");
+    }
+
+    /// Runner that panics *while holding its buffer lock* for its first
+    /// `budget` units — the worst case the poison-recovery path exists
+    /// for: the panic is contained, the lock recovered, the unit
+    /// requeued, and the run still completes with every slot correct.
+    struct PanickingRunner {
+        inner: SquareRunner,
+        budget: AtomicUsize,
+    }
+
+    impl UnitRunner for PanickingRunner {
+        fn run(&self, endpoint: &str, grant: &Grant, heartbeat: &dyn Fn() -> bool) -> UnitReport {
+            let panic_now = self
+                .budget
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+            if panic_now {
+                let _guard = self.inner.buffers.lock().unwrap_or_else(|p| p.into_inner());
+                panic!("simulated worker crash mid-update");
+            }
+            self.inner.run(endpoint, grant, heartbeat)
+        }
+
+        fn commit(&self, endpoint: &str, grant: &Grant) {
+            self.inner.commit(endpoint, grant);
+        }
+
+        fn discard(&self, endpoint: &str, grant: &Grant) {
+            self.inner.discard(endpoint, grant);
+        }
+    }
+
+    #[test]
+    fn panicking_worker_is_contained_and_counted() {
+        let reg = adcomp_obs::metrics::Registry::global();
+        let panics = reg.counter("adcomp_sched_worker_panics_total");
+        let poisoned = reg.counter("adcomp_sched_lock_poisoned");
+        let (panics_before, poisoned_before) = (panics.get(), poisoned.get());
+
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let q = UnitQueue::new(LeaseConfig::default(), Arc::clone(&clock), None);
+        q.seed_slots(60, 5);
+        let eps = vec![
+            PoolEndpoint::new("ep-a", &pool_cfg()),
+            PoolEndpoint::new("ep-b", &pool_cfg()),
+        ];
+        let runner = PanickingRunner {
+            inner: SquareRunner::new(),
+            budget: AtomicUsize::new(3),
+        };
+        run_pool(&q, &eps, &runner, &pool_cfg(), &clock);
+
+        assert_eq!(q.census().done, 60, "panicked units must be re-run");
+        let out = lock_recovering(&runner.inner.out);
+        assert_eq!(out.len(), 60);
+        for s in 0..60usize {
+            assert_eq!(out[&s], (s as u64) * (s as u64));
+        }
+        assert_eq!(
+            panics.get(),
+            panics_before + 3,
+            "every contained panic is counted"
+        );
+        assert!(
+            poisoned.get() > poisoned_before,
+            "the poisoned buffer lock must be recovered through the counting path"
+        );
     }
 }

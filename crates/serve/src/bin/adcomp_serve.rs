@@ -1,0 +1,74 @@
+//! The continuous-audit daemon binary.
+//!
+//! ```text
+//! adcomp_serve <config-file>
+//! ```
+//!
+//! Loads the config, builds the simulated world it names, serves the
+//! status endpoint (if `status_addr` is set), and runs epochs until the
+//! configured budget is exhausted. The config file is re-read between
+//! epochs; see `crates/serve/README.md` for the format.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use adcomp_obs::MonotonicClock;
+use adcomp_serve::{Daemon, SimProvider, StatusService};
+use adcomp_wire::{serve_service, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(config_path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: adcomp_serve <config-file>");
+        return ExitCode::FAILURE;
+    };
+
+    let (config, _) = match adcomp_serve::ServeConfig::load(&config_path) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("adcomp_serve: {config_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let provider = Arc::new(SimProvider::from_config(&config));
+    let label = config.interface.label().to_string();
+    let status_addr = config.status_addr.clone();
+
+    let mut daemon =
+        match Daemon::open_reloadable(&config_path, provider, Arc::new(MonotonicClock::new())) {
+            Ok(daemon) => daemon,
+            Err(e) => {
+                eprintln!("adcomp_serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    let status_server = if status_addr.is_empty() {
+        None
+    } else {
+        let service = Arc::new(StatusService::new(daemon.status(), label));
+        match serve_service(service, &status_addr, ServerConfig::default()) {
+            Ok(handle) => {
+                eprintln!("adcomp_serve: status on {}", handle.addr());
+                Some(handle)
+            }
+            Err(e) => {
+                eprintln!("adcomp_serve: status endpoint failed to bind: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let outcome = daemon.run();
+    println!("{}", daemon.report().render());
+    if let Some(handle) = status_server {
+        handle.shutdown();
+    }
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("adcomp_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Supervised continuous-audit daemon for the composition-audit
+//! pipeline.
+//!
+//! The paper's audits are one-shot; a deployed auditor runs forever.
+//! This crate turns one audit into a *service*: a supervisor loop
+//! ([`Daemon`]) that runs recurring epochs on a configurable schedule,
+//! journals every lifecycle step durably (so `kill -9` at any point
+//! resumes mid-epoch without re-issuing a single answered query),
+//! diffs consecutive epochs with the drift analyzer, and raises
+//! exactly one alert per epoch whose representation ratios cross a
+//! four-fifths threshold — before or after a crash.
+//!
+//! * [`config`] — `key = value` config file, reloadable between epochs
+//!   (operational fields only; identity changes are rejected);
+//! * [`provider`] — where epochs get their endpoints; the provider
+//!   outlives daemon incarnations, like a real platform does;
+//! * [`journal`] — the durable lifecycle journal and its recovery scan;
+//! * [`daemon`] — the supervisor: scheduling, per-epoch retry with
+//!   capped backoff, degraded mode on dead endpoints, drift + alerts;
+//! * [`status`] — a [`WireService`](adcomp_wire::WireService) serving
+//!   health over the audit wire protocol;
+//! * [`chaos`] — the deterministic kill/restart harness proving
+//!   byte-identical convergence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod config;
+pub mod daemon;
+pub mod journal;
+pub mod provider;
+pub mod status;
+
+pub use chaos::{run_chaos, run_clean, ChaosOutcome, ChaosPlan, ChaosProvider, KillPoint};
+pub use config::ServeConfig;
+pub use daemon::{Daemon, FaultInjector, FaultPoint, Tick, CHAOS_KILL};
+pub use journal::{EpochJournal, Resume};
+pub use provider::{SimProvider, SourceProvider};
+pub use status::{DaemonStatus, StatusService};

@@ -1,0 +1,117 @@
+//! The daemon's wire-visible status endpoint.
+//!
+//! [`StatusService`] implements [`WireService`] and answers
+//! [`Request::Status`] with a one-line health summary; everything else
+//! is a `BadRequest` — the daemon is not a platform, and pretending to
+//! be one would let an audit accidentally query its own supervisor.
+//! It rides [`serve_service`](adcomp_wire::serve_service), so it gets
+//! the wire server's draining shutdown for free.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use adcomp_wire::{ErrorCode, Request, Response, WireService};
+
+/// Counters the daemon publishes and the status endpoint reads.
+///
+/// Shared as an `Arc`: the daemon owns the writes, any number of
+/// status servers (or tests) read.
+#[derive(Debug, Default)]
+pub struct DaemonStatus {
+    /// Epochs fully completed (survey + drift stage).
+    pub epochs: AtomicU64,
+    /// Four-fifths crossing alerts raised.
+    pub alerts: AtomicU64,
+    /// Epochs that ran degraded (an endpoint was down).
+    pub degraded: AtomicU64,
+    /// Times a daemon picked up an existing journal.
+    pub resumes: AtomicU64,
+    /// Config reloads applied.
+    pub reloads: AtomicU64,
+    /// False once the daemon is failing epochs or has stopped.
+    pub healthy: AtomicBool,
+    /// Digest of the last completed epoch.
+    pub last_digest: AtomicU64,
+}
+
+impl DaemonStatus {
+    /// Fresh, healthy status.
+    pub fn new() -> Arc<DaemonStatus> {
+        let status = DaemonStatus::default();
+        status.healthy.store(true, Ordering::Release);
+        Arc::new(status)
+    }
+
+    /// The one-line summary served over the wire.
+    pub fn line(&self, label: &str) -> String {
+        format!(
+            "serve {label}: epochs={} alerts={} degraded={} resumes={} reloads={} last_digest={:016x}",
+            self.epochs.load(Ordering::Acquire),
+            self.alerts.load(Ordering::Acquire),
+            self.degraded.load(Ordering::Acquire),
+            self.resumes.load(Ordering::Acquire),
+            self.reloads.load(Ordering::Acquire),
+            self.last_digest.load(Ordering::Acquire),
+        )
+    }
+}
+
+/// [`WireService`] answering status probes for a running daemon.
+pub struct StatusService {
+    status: Arc<DaemonStatus>,
+    label: String,
+}
+
+impl StatusService {
+    /// A service reading `status`, reporting as `label`.
+    pub fn new(status: Arc<DaemonStatus>, label: impl Into<String>) -> StatusService {
+        StatusService {
+            status,
+            label: label.into(),
+        }
+    }
+}
+
+impl WireService for StatusService {
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Status => Response::StatusReport {
+                healthy: self.status.healthy.load(Ordering::Acquire),
+                body: self.status.line(&self.label),
+            },
+            _ => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "the audit daemon answers status probes only".into(),
+                retry_after: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_line_reflects_counters() {
+        let status = DaemonStatus::new();
+        status.epochs.store(3, Ordering::Release);
+        status.alerts.store(1, Ordering::Release);
+        let line = status.line("LinkedIn");
+        assert!(line.contains("epochs=3"), "{line}");
+        assert!(line.contains("alerts=1"), "{line}");
+
+        let service = StatusService::new(status.clone(), "LinkedIn");
+        match service.handle(Request::Status) {
+            Response::StatusReport { healthy, body } => {
+                assert!(healthy);
+                assert_eq!(body, line);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match service.handle(Request::Stats) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -662,6 +662,24 @@ impl Client {
         }
     }
 
+    /// Fetches the service's status report (health flag plus a
+    /// human-readable body).
+    pub fn status(&self) -> Result<(bool, String), ClientError> {
+        match self.call(&Request::Status)? {
+            Response::StatusReport { healthy, body } => Ok((healthy, body)),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
     /// Fetches the server's query counters.
     pub fn stats(&self) -> Result<(u64, u64, u64), ClientError> {
         match self.call(&Request::Stats)? {

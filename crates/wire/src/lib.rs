@@ -57,5 +57,6 @@ pub use codec::{from_bytes, to_bytes, CodecError, WireDecode, WireEncode};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use message::{ErrorCode, Request, Response};
 pub use server::{
-    serve, ConnectionFault, ConnectionFaultHook, FaultPlanHook, ServerConfig, ServerHandle,
+    serve, serve_service, ConnectionFault, ConnectionFaultHook, FaultPlanHook, PlatformService,
+    ServerConfig, ServerHandle, WireService,
 };

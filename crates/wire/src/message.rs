@@ -53,6 +53,10 @@ pub enum Request {
         /// The request to answer.
         inner: Box<Request>,
     },
+    /// Service status: health plus a human-readable body (used by the
+    /// continuous-audit daemon's status endpoint; a plain platform
+    /// server answers healthy with its label).
+    Status,
 }
 
 /// Server → client messages.
@@ -122,6 +126,13 @@ pub enum Response {
         id: u64,
         /// The answer itself (never another `Tagged`).
         inner: Box<Response>,
+    },
+    /// Answer to [`Request::Status`].
+    StatusReport {
+        /// Whether the service considers itself healthy.
+        healthy: bool,
+        /// Human-readable status body (epoch counters, uptime, …).
+        body: String,
     },
 }
 
@@ -290,6 +301,7 @@ impl WireEncode for Request {
                 id.encode(buf);
                 inner.encode(buf);
             }
+            Request::Status => 7u8.encode(buf),
         }
     }
 }
@@ -316,6 +328,7 @@ impl WireDecode for Request {
                 id: u64::decode(buf)?,
                 inner: Box::new(Request::decode(buf)?),
             },
+            7 => Request::Status,
             tag => {
                 return Err(CodecError::InvalidTag {
                     what: "Request",
@@ -393,6 +406,11 @@ impl WireEncode for Response {
                 id.encode(buf);
                 inner.encode(buf);
             }
+            Response::StatusReport { healthy, body } => {
+                8u8.encode(buf);
+                healthy.encode(buf);
+                body.encode(buf);
+            }
         }
     }
 }
@@ -435,6 +453,10 @@ impl WireDecode for Response {
             7 => Response::Tagged {
                 id: u64::decode(buf)?,
                 inner: Box::new(Response::decode(buf)?),
+            },
+            8 => Response::StatusReport {
+                healthy: bool::decode(buf)?,
+                body: String::decode(buf)?,
             },
             tag => {
                 return Err(CodecError::InvalidTag {
@@ -501,6 +523,7 @@ mod tests {
             spec: TargetingSpec::everyone(),
         });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Status);
     }
 
     #[test]
@@ -534,6 +557,14 @@ mod tests {
             code: ErrorCode::Internal,
             message: "transient".into(),
             retry_after: None,
+        });
+        roundtrip_resp(Response::StatusReport {
+            healthy: true,
+            body: "epoch 3/10 · 0 alerts".into(),
+        });
+        roundtrip_resp(Response::StatusReport {
+            healthy: false,
+            body: String::new(),
         });
     }
 

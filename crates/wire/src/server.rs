@@ -6,9 +6,14 @@
 //! query throttling real platforms apply (and that the paper's ethics
 //! section respected from the client side).
 //!
-//! The server takes any [`PlatformApi`] implementation, so the same
-//! transport can expose a plain [`AdPlatform`](adcomp_platform::AdPlatform)
-//! or a [`FaultyPlatform`](adcomp_platform::FaultyPlatform). For
+//! The server dispatches to a [`WireService`] — any request handler.
+//! [`serve`] wraps a [`PlatformApi`] in the standard [`PlatformService`]
+//! so the same transport can expose a plain
+//! [`AdPlatform`](adcomp_platform::AdPlatform) or a
+//! [`FaultyPlatform`](adcomp_platform::FaultyPlatform), while
+//! [`serve_service`] lets non-platform services (the continuous-audit
+//! daemon's status endpoint) ride the same frames, rate limiting, and
+//! drain path. For
 //! *transport-level* faults a [`ConnectionFaultHook`] in [`ServerConfig`]
 //! is consulted once per received frame (indexed by a global request
 //! counter) and may kill the connection — cleanly between frames, or
@@ -32,6 +37,37 @@ use parking_lot::Mutex;
 use crate::codec::{from_bytes, to_bytes};
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::message::{ErrorCode, Request, Response};
+
+/// A request handler behind the wire transport.
+///
+/// The server owns framing, fault injection, rate limiting, pipelining
+/// and the shutdown drain; the service only turns one [`Request`] into
+/// one [`Response`]. [`PlatformService`] is the standard implementation
+/// over a [`PlatformApi`]; the continuous-audit daemon serves its
+/// status endpoint through its own implementation.
+pub trait WireService: Send + Sync {
+    /// Answers one request. Must not block indefinitely.
+    fn handle(&self, request: Request) -> Response;
+
+    /// Called when the transport rejects a request for rate (so the
+    /// service can keep its own throttling counters).
+    fn note_rate_limited(&self) {}
+}
+
+/// The standard [`WireService`]: dispatches the full platform protocol
+/// (describe/check/estimate/catalog/stats) to a [`PlatformApi`] and
+/// answers [`Request::Status`] as healthy with the platform label.
+pub struct PlatformService(pub Arc<dyn PlatformApi>);
+
+impl WireService for PlatformService {
+    fn handle(&self, request: Request) -> Response {
+        handle_request(self.0.as_ref(), request)
+    }
+
+    fn note_rate_limited(&self) {
+        self.0.note_rate_limited();
+    }
+}
 
 /// A transport-level fault decision for one request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -225,6 +261,22 @@ impl ServerHandle {
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
+        // A timed-out drain abandons frames a client already sent; that
+        // must never pass silently — the client sees lost responses.
+        let abandoned: u64 = conns
+            .iter()
+            .map(|c| c.tracker.in_flight.load(Ordering::Acquire))
+            .sum();
+        if abandoned > 0 {
+            Registry::global()
+                .counter("adcomp_wire_drain_abandoned")
+                .add(abandoned);
+            adcomp_obs::warn!(
+                "wire shutdown drain timed out after {:?}: abandoning {abandoned} in-flight \
+                 frame(s)",
+                self.drain_timeout
+            );
+        }
         // Now actively close: this unblocks read threads parked in
         // `read_frame` on clients that never hang up.
         for conn in &conns {
@@ -252,9 +304,19 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts serving `platform` on `addr` (e.g. `"127.0.0.1:0"`).
+/// Starts serving `platform` on `addr` (e.g. `"127.0.0.1:0"`) through
+/// the standard [`PlatformService`].
 pub fn serve(
     platform: Arc<dyn PlatformApi>,
+    addr: &str,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    serve_service(Arc::new(PlatformService(platform)), addr, config)
+}
+
+/// Starts serving an arbitrary [`WireService`] on `addr`.
+pub fn serve_service(
+    service: Arc<dyn WireService>,
     addr: &str,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
@@ -287,7 +349,7 @@ pub fn serve(
                 let Ok(reg_stream) = stream.try_clone() else {
                     continue;
                 };
-                let platform = platform.clone();
+                let service = service.clone();
                 let limiter = limiter.clone();
                 let fault_hook = fault_hook.clone();
                 let request_counter = request_counter.clone();
@@ -304,7 +366,7 @@ pub fn serve(
                 let handle = std::thread::spawn(move || {
                     let _ = handle_connection(
                         stream,
-                        platform,
+                        service,
                         limiter,
                         fault_hook,
                         request_counter,
@@ -356,20 +418,20 @@ struct PipelinePool {
 impl PipelinePool {
     fn start(
         executors: usize,
-        platform: Arc<dyn PlatformApi>,
+        service: Arc<dyn WireService>,
         writer: Arc<Mutex<TcpStream>>,
     ) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded::<(u64, Request, WorkToken)>();
         let workers = (0..executors.max(1))
             .map(|i| {
                 let rx = rx.clone();
-                let platform = platform.clone();
+                let service = service.clone();
                 let writer = writer.clone();
                 std::thread::Builder::new()
                     .name(format!("adcomp-wire-exec-{i}"))
                     .spawn(move || {
                         for (id, request, token) in rx.iter() {
-                            let inner = handle_request(platform.as_ref(), request);
+                            let inner = service.handle(request);
                             let frame = to_bytes(&Response::Tagged {
                                 id,
                                 inner: Box::new(inner),
@@ -410,7 +472,7 @@ impl PipelinePool {
 #[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
-    platform: Arc<dyn PlatformApi>,
+    service: Arc<dyn WireService>,
     limiter: Option<SharedLimiter>,
     fault_hook: Option<Arc<dyn ConnectionFaultHook>>,
     request_counter: Arc<AtomicU64>,
@@ -427,7 +489,7 @@ fn handle_connection(
     let result = read_loop(
         &mut reader,
         &writer,
-        &platform,
+        &service,
         &limiter,
         &fault_hook,
         &request_counter,
@@ -448,7 +510,7 @@ fn handle_connection(
 /// the rate.
 fn rate_limit_check(
     limiter: &Option<SharedLimiter>,
-    platform: &dyn PlatformApi,
+    service: &dyn WireService,
 ) -> Option<Response> {
     let limiter = limiter.as_ref()?;
     let mut guard = limiter.lock();
@@ -458,7 +520,7 @@ fn rate_limit_check(
     }
     let retry_after = bucket.retry_after(epoch.elapsed());
     drop(guard);
-    platform.note_rate_limited();
+    service.note_rate_limited();
     Some(Response::Error {
         code: ErrorCode::RateLimited,
         message: "query rate exceeded".into(),
@@ -470,7 +532,7 @@ fn rate_limit_check(
 fn read_loop(
     reader: &mut BufReader<TcpStream>,
     writer: &Arc<Mutex<TcpStream>>,
-    platform: &Arc<dyn PlatformApi>,
+    service: &Arc<dyn WireService>,
     limiter: &Option<SharedLimiter>,
     fault_hook: &Option<Arc<dyn ConnectionFaultHook>>,
     request_counter: &Arc<AtomicU64>,
@@ -529,7 +591,7 @@ fn read_loop(
                         retry_after: None,
                     })
                 } else {
-                    rate_limit_check(limiter, platform.as_ref())
+                    rate_limit_check(limiter, service.as_ref())
                 };
                 match rejection {
                     Some(error) => Response::Tagged {
@@ -539,16 +601,16 @@ fn read_loop(
                     None => {
                         pipeline
                             .get_or_insert_with(|| {
-                                PipelinePool::start(executors, platform.clone(), writer.clone())
+                                PipelinePool::start(executors, service.clone(), writer.clone())
                             })
                             .submit(id, *inner, token);
                         continue;
                     }
                 }
             }
-            Ok(request) => match rate_limit_check(limiter, platform.as_ref()) {
+            Ok(request) => match rate_limit_check(limiter, service.as_ref()) {
                 Some(error) => error,
-                None => handle_request(platform.as_ref(), request),
+                None => service.handle(request),
             },
         };
         write_frame(&mut *writer.lock(), &to_bytes(&response))?;
@@ -565,6 +627,7 @@ fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
         Request::Estimate { .. } => "estimate",
         Request::CatalogPage { .. } => "catalog_page",
         Request::Stats => "stats",
+        Request::Status => "status",
         Request::Tagged { .. } => "tagged",
     })
     .inc();
@@ -636,6 +699,11 @@ fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
                 rate_limited: s.rate_limited,
             }
         }
+        // A platform endpoint is healthy iff it is answering at all.
+        Request::Status => Response::StatusReport {
+            healthy: true,
+            body: format!("platform {} serving", platform.label()),
+        },
         // The read loop unwraps tagging before dispatch; reaching this
         // arm means a nested Tagged slipped through.
         Request::Tagged { .. } => Response::Error {

@@ -7,7 +7,8 @@ use adcomp_platform::{FaultKind, FaultPlan, Schedule, SimScale, Simulation};
 use adcomp_population::Gender;
 use adcomp_targeting::{AttributeId, TargetingSpec};
 use adcomp_wire::{
-    serve, Client, ClientConfig, ClientError, ErrorCode, FaultPlanHook, ServerConfig,
+    serve, serve_service, Client, ClientConfig, ClientError, ErrorCode, FaultPlanHook, Request,
+    Response, ServerConfig, WireService,
 };
 
 fn sim() -> &'static Simulation {
@@ -566,6 +567,97 @@ fn shutdown_drains_in_flight_pipelined_frames() {
             "slot {i}"
         );
     }
+}
+
+#[test]
+fn status_endpoint_reports_platform_health() {
+    let handle = serve(
+        sim().linkedin.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let client = Client::connect_with(handle.addr(), ClientConfig::fast()).unwrap();
+    let (healthy, body) = client.status().unwrap();
+    assert!(healthy, "a serving platform reports healthy");
+    assert!(body.contains("LinkedIn"), "status body names the platform");
+    handle.shutdown();
+}
+
+#[test]
+fn custom_service_rides_the_wire_transport() {
+    // A non-platform service (like the continuous-audit daemon's status
+    // endpoint) answers through the same frames and drain path.
+    struct Fixed;
+    impl WireService for Fixed {
+        fn handle(&self, request: Request) -> Response {
+            match request {
+                Request::Status => Response::StatusReport {
+                    healthy: false,
+                    body: "degraded: replica 2 down".into(),
+                },
+                _ => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "status only".into(),
+                    retry_after: None,
+                },
+            }
+        }
+    }
+    let handle = serve_service(Arc::new(Fixed), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect_with(handle.addr(), ClientConfig::fast()).unwrap();
+    let (healthy, body) = client.status().unwrap();
+    assert!(!healthy);
+    assert_eq!(body, "degraded: replica 2 down");
+    let err = client.stats().unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn expired_drain_is_surfaced_not_silent() {
+    // Admitted frames that cannot be answered inside the drain window
+    // must be counted, not dropped on the floor. 8 pipelined estimates
+    // at 200ms each against a 20ms drain window guarantees leftovers.
+    let abandoned = adcomp_obs::metrics::Registry::global().counter("adcomp_wire_drain_abandoned");
+    let before = abandoned.get();
+    let slow = Arc::new(SlowPlatform {
+        inner: sim().linkedin.clone(),
+        delay: std::time::Duration::from_millis(200),
+    });
+    let handle = serve(
+        slow,
+        "127.0.0.1:0",
+        ServerConfig::default().with_drain_timeout(std::time::Duration::from_millis(20)),
+    )
+    .unwrap();
+    let client = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            pipeline_window: 8,
+            retry: adcomp_platform::RetryPolicy::none(),
+            ..ClientConfig::fast()
+        },
+    )
+    .unwrap();
+    let batch = std::thread::spawn(move || {
+        let specs = vec![TargetingSpec::everyone(); 8];
+        client.estimate_batch(&specs)
+    });
+    // Let the window land server-side so frames are read and queued.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    handle.shutdown();
+    let _ = batch.join().unwrap();
+    assert!(
+        abandoned.get() > before,
+        "an expired drain must increment adcomp_wire_drain_abandoned"
+    );
 }
 
 #[test]

@@ -16,6 +16,7 @@ pub use adcomp_core as audit;
 pub use adcomp_platform as platform;
 pub use adcomp_population as population;
 pub use adcomp_sched as sched;
+pub use adcomp_serve as serve;
 pub use adcomp_store as store;
 pub use adcomp_targeting as targeting;
 pub use adcomp_wire as wire;
