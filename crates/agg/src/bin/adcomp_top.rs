@@ -1,0 +1,78 @@
+//! Live terminal dashboard over a fleet aggregator (or any process
+//! answering `Request::Metrics`).
+//!
+//! ```text
+//! adcomp_top --scrape 127.0.0.1:7171 [--interval-ms 1000] [--frames N]
+//! ```
+//!
+//! Scrapes the target's Prometheus text over the audit wire protocol,
+//! folds it through [`Dashboard`], and redraws. `--frames N` renders N
+//! frames then exits (CI and demos); the default runs until killed.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adcomp_agg::Dashboard;
+use adcomp_obs::MonotonicClock;
+use adcomp_wire::Client;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: adcomp_top --scrape ADDR [--interval-ms MS] [--frames N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut frames: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scrape" => addr = it.next().cloned(),
+            "--interval-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => interval = Duration::from_millis(ms),
+                None => return usage(),
+            },
+            "--frames" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => frames = Some(n),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+    let client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("adcomp_top: cannot reach {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut dashboard = Dashboard::new(Arc::new(MonotonicClock::new()));
+    let mut rendered = 0u64;
+    loop {
+        match client.metrics() {
+            Ok(text) => {
+                let frame = dashboard.observe(&text);
+                // Clear and redraw only on a tty-ish endless run; with
+                // --frames the frames just append (pipeable output).
+                if frames.is_none() {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{frame}");
+            }
+            Err(e) => eprintln!("adcomp_top: scrape failed: {e}"),
+        }
+        rendered += 1;
+        if let Some(n) = frames {
+            if rendered >= n {
+                return ExitCode::SUCCESS;
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -1,0 +1,191 @@
+//! Measures the fleet-telemetry pipeline and records the verdict in
+//! `BENCH_telemetry.json`.
+//!
+//! Two questions, both CI-gated:
+//!
+//! 1. **Push overhead** — the estimate hot path ([`measure_spec`] over
+//!    the catalog) runs once with the kill switch off and once with
+//!    telemetry fully on *and* a [`TelemetryPusher`] exporting a metric
+//!    frame to a live aggregator every few specs. The pusher hands
+//!    frames to a bounded queue and a background thread; the budget for
+//!    everything together is **<5 %** over the kill-switch baseline.
+//! 2. **Ingest throughput** — how many captured metric frames per
+//!    second one [`Aggregator`] merges, both called directly and pushed
+//!    through the wire service. Reported, not gated (it is hardware
+//!    dependent); the JSON records it so regressions are visible in CI
+//!    artifact diffs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adcomp_agg::{AggService, Aggregator, MetricsFrame, PusherConfig, Telemetry, TelemetryPusher};
+use adcomp_bench::{context, say, Cli};
+use adcomp_core::{measure_spec, AuditTarget};
+use adcomp_obs::Registry;
+use adcomp_platform::InterfaceKind;
+use adcomp_serve::{status_frame, DaemonStatus};
+use adcomp_targeting::{AttributeId, TargetingSpec};
+use adcomp_wire::{serve_service, ServerConfig};
+
+/// Workload passes per timed round — lengthens each round so the
+/// best-of comparison is not dominated by scheduler jitter at small
+/// scales.
+const PASSES_PER_ROUND: usize = 4;
+/// Timed rounds per mode (best-of).
+const ROUNDS: usize = 9;
+/// Catalog attributes per pass.
+const MAX_SPECS: usize = 200;
+/// Estimate queries issued by one `measure_spec` call.
+const QUERIES_PER_SPEC: u64 = 7;
+/// Push-overhead budget, in percent.
+const THRESHOLD_PCT: f64 = 5.0;
+/// Status-frame exports per workload pass in push mode — the daemon
+/// pushes one [`status_frame`] per epoch, and one pass over the specs
+/// is the bench's epoch; matching production cadence.
+const PUSHES_PER_PASS: usize = 1;
+/// Frames merged when timing aggregator ingest.
+const INGEST_FRAMES: u64 = 2_000;
+
+fn workload(
+    target: &AuditTarget,
+    specs: &[TargetingSpec],
+    pusher: Option<(&TelemetryPusher, &DaemonStatus)>,
+) -> u64 {
+    let mut ops = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        let m = measure_spec(target, spec).expect("estimate");
+        std::hint::black_box(m.total);
+        ops += QUERIES_PER_SPEC;
+        if let Some((pusher, status)) = pusher {
+            if i % (specs.len() / PUSHES_PER_PASS).max(1) == 0 {
+                status
+                    .epochs
+                    .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                pusher.push(Telemetry::Metrics(status_frame(status)));
+            }
+        }
+    }
+    ops
+}
+
+/// One timed round — `PASSES_PER_ROUND` workload passes. Rounds for
+/// the two modes are interleaved by the caller so slow load drift on
+/// the host hits both equally.
+fn timed_round(
+    target: &AuditTarget,
+    specs: &[TargetingSpec],
+    enabled: bool,
+    pusher: Option<(&TelemetryPusher, &DaemonStatus)>,
+) -> (f64, u64) {
+    adcomp_obs::set_enabled(enabled);
+    let start = Instant::now();
+    let mut ops = 0;
+    for _ in 0..PASSES_PER_ROUND {
+        ops += workload(target, specs, pusher);
+    }
+    (start.elapsed().as_nanos() as f64 / ops as f64, ops)
+}
+
+/// Frames per second the aggregator merges, direct and over the wire.
+fn ingest_throughput(frame: &Telemetry) -> (f64, f64) {
+    // Direct: the merge cost alone.
+    let agg = Aggregator::new();
+    let start = Instant::now();
+    for seq in 0..INGEST_FRAMES {
+        agg.ingest("bench-direct", seq + 1, frame.clone());
+    }
+    let direct = INGEST_FRAMES as f64 / start.elapsed().as_secs_f64();
+
+    // Wire: decode + merge behind the TCP service, one client, one
+    // connection — the shape a daemon's pusher produces.
+    let agg = Arc::new(Aggregator::new());
+    let handle = serve_service(
+        Arc::new(AggService::new(agg.clone())),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind aggregator");
+    let client = adcomp_wire::Client::connect(handle.addr()).expect("connect");
+    let payload = adcomp_wire::to_bytes(frame);
+    let start = Instant::now();
+    for seq in 0..INGEST_FRAMES {
+        client
+            .telemetry_push("bench-wire", seq + 1, payload.clone())
+            .expect("push");
+    }
+    let wire = INGEST_FRAMES as f64 / start.elapsed().as_secs_f64();
+    handle.shutdown();
+    (direct, wire)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = context(cli);
+    let target = ctx.target(InterfaceKind::FacebookNormal);
+    let n = ctx.simulation.facebook.catalog().len().min(MAX_SPECS);
+    let specs: Vec<TargetingSpec> = (0..n as u32)
+        .map(|id| TargetingSpec::and_of([AttributeId(id)]))
+        .collect();
+
+    // A live aggregator for the push mode to export into.
+    let agg = Arc::new(Aggregator::new());
+    let handle = serve_service(
+        Arc::new(AggService::new(agg.clone())),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind aggregator");
+    let pusher = TelemetryPusher::start(PusherConfig::new(handle.addr().to_string(), "bench-push"));
+
+    let status = DaemonStatus::new();
+    let push = Some((&pusher, status.as_ref()));
+    // Warm-up: one untimed round per mode (caches, pusher connection).
+    timed_round(&target, &specs, false, None);
+    timed_round(&target, &specs, true, push);
+    let (mut baseline, mut pushed) = (f64::INFINITY, f64::INFINITY);
+    let mut ops = 0;
+    for _ in 0..ROUNDS {
+        let (ns, _) = timed_round(&target, &specs, false, None);
+        baseline = baseline.min(ns);
+        let (ns, o) = timed_round(&target, &specs, true, push);
+        pushed = pushed.min(ns);
+        ops = o;
+    }
+    adcomp_obs::set_enabled(true);
+    pusher.flush(Duration::from_secs(5));
+    let frames_pushed = agg.pushes_total();
+    drop(pusher);
+    handle.shutdown();
+
+    let overhead_pct = if baseline > 0.0 {
+        (pushed - baseline) / baseline * 100.0
+    } else {
+        0.0
+    };
+    let pass = overhead_pct < THRESHOLD_PCT;
+
+    // Ingest throughput on a frame the size the workload produced.
+    let frame = Telemetry::Metrics(MetricsFrame::capture(Registry::global()));
+    let (ingest_direct, ingest_wire) = ingest_throughput(&frame);
+
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \"ops_per_round\": {ops},\n  \
+         \"rounds\": {ROUNDS},\n  \"baseline_ns_per_op\": {baseline:.1},\n  \
+         \"push_ns_per_op\": {pushed:.1},\n  \
+         \"push_overhead_pct\": {overhead_pct:.2},\n  \
+         \"threshold_pct\": {THRESHOLD_PCT:.1},\n  \
+         \"frames_pushed\": {frames_pushed},\n  \
+         \"ingest_direct_frames_per_sec\": {ingest_direct:.0},\n  \
+         \"ingest_wire_frames_per_sec\": {ingest_wire:.0},\n  \"pass\": {pass}\n}}\n"
+    );
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    say!("{json}");
+    adcomp_obs::info!(
+        "telemetry push overhead: {overhead_pct:.2}% ({pushed:.1} vs {baseline:.1} ns/query, \
+         budget {THRESHOLD_PCT}%); ingest {ingest_direct:.0}/s direct, {ingest_wire:.0}/s wire"
+    );
+    if !pass {
+        adcomp_obs::error!("telemetry push overhead exceeds the {THRESHOLD_PCT}% budget");
+        std::process::exit(1);
+    }
+}

@@ -246,6 +246,13 @@ struct BatchRunner<'a> {
     /// accepts the completion.
     buffers: Mutex<std::collections::HashMap<u64, LeaseBuffer>>,
     merged: Mutex<Vec<Option<Result<u64, SourceError>>>>,
+    /// The caller's ambient trace context, captured on the coordinating
+    /// thread so worker threads continue the same span tree (`None`
+    /// when tracing is disabled — workers then add zero overhead).
+    trace: Option<adcomp_obs::TraceContext>,
+    /// When the batch entered the queue; workers report their
+    /// queue-wait as a point event relative to this instant.
+    batch_start: std::time::Instant,
 }
 
 impl BatchRunner<'_> {
@@ -263,6 +270,27 @@ impl BatchRunner<'_> {
 
 impl UnitRunner for BatchRunner<'_> {
     fn run(&self, endpoint: &str, grant: &Grant, heartbeat: &dyn Fn() -> bool) -> UnitReport {
+        // Adopt the coordinator's trace on this worker thread, so wire
+        // client spans opened below nest under the caller's span tree.
+        let _ctx = self.trace.map(|c| c.enter());
+        let _lease_span = self.trace.map(|_| {
+            let tracer = adcomp_obs::Tracer::global();
+            tracer.event(
+                "sched:queue_wait",
+                &[(
+                    "duration_us",
+                    self.batch_start.elapsed().as_micros().to_string(),
+                )],
+            );
+            tracer.span_with(
+                "sched:lease",
+                &[
+                    ("endpoint", endpoint.to_string()),
+                    ("unit", grant.unit.to_string()),
+                    ("attempt", grant.attempt.to_string()),
+                ],
+            )
+        });
         let source = self.resolve(endpoint);
         let mut answered = Vec::with_capacity(grant.slots.len());
         let mut buffered = Vec::with_capacity(grant.slots.len());
@@ -357,6 +385,8 @@ impl EstimateSource for ScheduledSource {
             endpoints: &self.endpoints,
             buffers: Mutex::new(std::collections::HashMap::new()),
             merged: Mutex::new(vec![None; specs.len()]),
+            trace: adcomp_obs::current_context(),
+            batch_start: std::time::Instant::now(),
         };
         run_pool(&queue, &pool_endpoints, &runner, &pool_cfg, &clock);
         let merged = into_inner_recovering(runner.merged);

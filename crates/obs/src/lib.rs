@@ -11,7 +11,12 @@
 //!   histograms behind a [`Registry`](metrics::Registry); Prometheus
 //!   text exposition and a human-readable summary;
 //! * [`trace`] — span-based structured tracing into a bounded ring plus
-//!   an optional JSONL sink for post-hoc campaign analysis;
+//!   an optional JSONL sink for post-hoc campaign analysis; spans carry
+//!   a [`TraceContext`] that propagates across threads and (via
+//!   adcomp-wire) processes;
+//! * [`attribution`] — folds a trace's span tree into a
+//!   [`LatencyAttribution`] report: which layer (queue, lease, wire,
+//!   platform) the end-to-end latency went to;
 //! * [`log`] — a levelled facade replacing scattered
 //!   `println!`/`eprintln!`, so `--quiet` means quiet;
 //! * [`progress`] — an every-N-queries heartbeat with injected clock
@@ -33,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod clock;
 pub mod log;
 pub mod metrics;
@@ -42,14 +48,17 @@ pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use attribution::{latency_attribution, LatencyAttribution};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{
-    duration_us_buckets, size_buckets, Counter, Gauge, Histogram, HistogramSummary, MetricKey,
-    Registry, Snapshot,
+    duration_us_buckets, size_buckets, Counter, Gauge, Histogram, HistogramData, HistogramSummary,
+    MetricKey, Registry, Snapshot,
 };
 pub use progress::ProgressReporter;
 pub use report::RunReport;
-pub use trace::{EventKind, SpanGuard, TraceEvent, Tracer};
+pub use trace::{
+    current_context, ContextGuard, EventKind, SpanGuard, TraceContext, TraceEvent, Tracer,
+};
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 

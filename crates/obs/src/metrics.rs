@@ -100,12 +100,22 @@ pub fn size_buckets() -> Vec<u64> {
 /// quantile (the usual Prometheus-style approximation).
 #[derive(Debug)]
 pub struct Histogram {
-    /// Inclusive upper bounds, strictly increasing; an implicit +Inf
-    /// bucket follows.
+    /// Inclusive upper bounds, strictly increasing; an explicit +Inf
+    /// bucket follows as the last entry of `buckets`.
     bounds: Vec<u64>,
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    /// Observations that overflowed the top finite bound into +Inf.
+    saturated: AtomicU64,
+}
+
+/// The process-wide count of histogram observations that landed in a
+/// +Inf bucket — a saturated histogram's percentiles are clipped to its
+/// top bound, so a nonzero value here means some bounds need widening.
+fn histogram_saturated_total() -> &'static Counter {
+    static TOTAL: OnceLock<Arc<Counter>> = OnceLock::new();
+    TOTAL.get_or_init(|| Registry::global().counter("adcomp_obs_histogram_saturated_total"))
 }
 
 impl Histogram {
@@ -125,15 +135,22 @@ impl Histogram {
             buckets,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            saturated: AtomicU64::new(0),
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Values above the top finite bound land
+    /// in the +Inf bucket and count as saturated (here and in the global
+    /// `adcomp_obs_histogram_saturated_total` counter).
     pub fn observe(&self, value: u64) {
         if !crate::enabled() {
             return;
         }
         let idx = self.bounds.partition_point(|&b| b < value);
+        if idx == self.bounds.len() {
+            self.saturated.fetch_add(1, Ordering::Relaxed);
+            histogram_saturated_total().inc();
+        }
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
@@ -152,6 +169,27 @@ impl Histogram {
     /// Sum of all observations.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Observations that overflowed the top finite bound.
+    pub fn saturated(&self) -> u64 {
+        self.saturated.load(Ordering::Relaxed)
+    }
+
+    /// A plain-data copy of this histogram, mergeable with copies of
+    /// identically-bounded histograms from other processes.
+    pub fn data(&self) -> HistogramData {
+        HistogramData {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            saturated: self.saturated(),
+        }
     }
 
     /// The upper bound of the bucket containing quantile `q` in `[0, 1]`
@@ -191,6 +229,77 @@ impl Histogram {
     }
 }
 
+/// A histogram's full state as plain data: the unit of histogram
+/// aggregation across a fleet. Two `HistogramData` with identical
+/// bounds merge bucketwise; mismatched bounds refuse to merge (the
+/// caller keeps them as separate per-source series instead).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Inclusive upper bounds, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts; `bounds.len() + 1` entries,
+    /// the last being the +Inf bucket.
+    pub buckets: Vec<u64>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Observations that overflowed into +Inf.
+    pub saturated: u64,
+}
+
+impl HistogramData {
+    /// Adds `other` into `self` bucketwise. Returns `false` (leaving
+    /// `self` untouched) when the bucket layouts differ.
+    pub fn merge(&mut self, other: &HistogramData) -> bool {
+        if self.bounds != other.bounds || self.buckets.len() != other.buckets.len() {
+            return false;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.saturated += other.saturated;
+        true
+    }
+
+    /// The upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (`None` when empty; the last finite bound when the quantile lands
+    /// in the +Inf bucket), mirroring [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => *self.bounds.last().expect("non-empty bounds"),
+                });
+            }
+        }
+        Some(*self.bounds.last().expect("non-empty bounds"))
+    }
+
+    /// Per-bucket cumulative counts paired with their upper bounds
+    /// (`None` = +Inf), for Prometheus exposition.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                acc += b;
+                (self.bounds.get(i).copied(), acc)
+            })
+            .collect()
+    }
+}
+
 /// A metric name plus its label pairs, e.g.
 /// `("adcomp_retries_total", [("class", "transient")])`.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -202,7 +311,8 @@ pub struct MetricKey {
 }
 
 impl MetricKey {
-    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+    /// A key with sorted labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
         let mut labels: Vec<(String, String)> = labels
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -214,7 +324,8 @@ impl MetricKey {
         }
     }
 
-    fn render(&self) -> String {
+    /// `name{label="v",...}` in Prometheus series syntax.
+    pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
         }
@@ -226,7 +337,9 @@ impl MetricKey {
         format!("{}{{{}}}", self.name, labels.join(","))
     }
 
-    fn render_with(&self, extra: (&str, &str)) -> String {
+    /// [`render`](MetricKey::render) with one extra label appended
+    /// (`le` for buckets, `source` for fleet aggregation).
+    pub fn render_with(&self, extra: (&str, &str)) -> String {
         let mut labels: Vec<String> = self
             .labels
             .iter()
@@ -388,6 +501,19 @@ impl Registry {
         self.instruments
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Full [`HistogramData`] for every histogram — the mergeable form
+    /// a telemetry pusher ships to an aggregator (the [`Snapshot`]
+    /// summary keeps only quantiles, which do not merge).
+    pub fn export_histograms(&self) -> Vec<(MetricKey, HistogramData)> {
+        let map = self.lock();
+        map.iter()
+            .filter_map(|(key, inst)| match inst {
+                Instrument::Histogram(h) => Some((key.clone(), h.data())),
+                _ => None,
+            })
+            .collect()
     }
 
     /// A point-in-time copy of every instrument.
@@ -590,5 +716,88 @@ mod tests {
         for bounds in [duration_us_buckets(), size_buckets()] {
             assert!(bounds.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn saturation_at_the_boundary() {
+        let h = Histogram::with_bounds(vec![10, 100]);
+        let global_before = histogram_saturated_total().get();
+        h.observe(100); // exactly the top bound: last finite bucket
+        assert_eq!(h.saturated(), 0, "top bound is inclusive");
+        h.observe(101); // one past: +Inf, saturated
+        h.observe(u64::MAX);
+        assert_eq!(h.saturated(), 2);
+        assert_eq!(h.count(), 3);
+        let data = h.data();
+        assert_eq!(data.buckets, vec![0, 1, 2], "+Inf bucket holds overflow");
+        assert!(
+            histogram_saturated_total().get() >= global_before + 2,
+            "global saturation counter advanced"
+        );
+        let text = {
+            let r = Registry::new();
+            let rh = r.histogram("sat_us", vec![10, 100]);
+            rh.observe(101);
+            r.render_prometheus()
+        };
+        assert!(text.contains("sat_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("sat_us_bucket{le=\"100\"} 0"));
+    }
+
+    #[test]
+    fn histogram_data_merges_bucketwise() {
+        let a = Histogram::with_bounds(vec![10, 100]);
+        let b = Histogram::with_bounds(vec![10, 100]);
+        a.observe(5);
+        a.observe(50);
+        b.observe(50);
+        b.observe(500);
+        let mut merged = a.data();
+        assert!(merged.merge(&b.data()));
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 605);
+        assert_eq!(merged.buckets, vec![1, 2, 1]);
+        assert_eq!(merged.saturated, 1);
+        assert_eq!(merged.quantile(0.5), Some(100));
+        // Mismatched bounds refuse to merge and leave self untouched.
+        let other = Histogram::with_bounds(vec![1, 2]).data();
+        let before = merged.clone();
+        assert!(!merged.merge(&other));
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn registry_concurrent_register_and_render_is_race_free() {
+        let r = std::sync::Arc::new(Registry::new());
+        let threads = 8;
+        let iters = 200;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..iters {
+                        let class = ["a", "b", "c", "d"][i % 4];
+                        r.counter_with("stress_total", &[("class", class)]).inc();
+                        r.gauge("stress_gauge").set(t as i64);
+                        r.histogram_with("stress_us", &[("class", class)], vec![10, 100])
+                            .observe((i as u64) % 150);
+                        if i % 16 == 0 {
+                            let _ = r.render_prometheus();
+                            let _ = r.snapshot();
+                            let _ = r.export_histograms();
+                        }
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("stress_total"),
+            (threads * iters) as u64,
+            "duplicate-name registration resolved to the same instrument"
+        );
+        assert_eq!(snap.counters.len(), 4, "one series per label value");
+        let total: u64 = r.export_histograms().iter().map(|(_, d)| d.count).sum();
+        assert_eq!(total, (threads * iters) as u64);
     }
 }

@@ -29,11 +29,14 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use adcomp_agg::{MetricsFrame, Telemetry, TelemetryPusher};
 use adcomp_core::recording::{fnv1a, EpochEvent};
 use adcomp_core::{drift_between, run_epoch, EpochPlan, ResilienceConfig, SchedulerConfig};
+use adcomp_obs::metrics::MetricKey;
 use adcomp_obs::{Clock, Registry, RunReport};
 use adcomp_store::{RunStore, SyncPolicy, WalOptions};
 
+use crate::alert::{AlertSink, DriftAlert};
 use crate::config::ServeConfig;
 use crate::journal::{EpochJournal, Resume};
 use crate::provider::SourceProvider;
@@ -114,6 +117,8 @@ pub struct Daemon {
     journal: EpochJournal,
     clock: Arc<dyn Clock>,
     injector: Option<Arc<dyn FaultInjector>>,
+    alert_sinks: Vec<Arc<dyn AlertSink>>,
+    telemetry: Option<Arc<TelemetryPusher>>,
     status: Arc<DaemonStatus>,
     report: RunReport,
     resume: Option<Resume>,
@@ -188,6 +193,8 @@ impl Daemon {
             journal,
             clock,
             injector: None,
+            alert_sinks: Vec::new(),
+            telemetry: None,
             status,
             report,
             resume,
@@ -199,6 +206,24 @@ impl Daemon {
     /// Installs a chaos fault injector (see [`crate::chaos`]).
     pub fn with_injector(mut self, injector: Arc<dyn FaultInjector>) -> Daemon {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Adds a drift-alert sink (see [`crate::alert`]). Delivery is
+    /// at-least-once: an alert journaled by a previous incarnation but
+    /// possibly not delivered is re-delivered when its drift stage is
+    /// resumed, so sinks must dedup (the fleet aggregator does, by
+    /// `(source, epoch)`).
+    pub fn with_alert_sink(mut self, sink: Arc<dyn AlertSink>) -> Daemon {
+        self.alert_sinks.push(sink);
+        self
+    }
+
+    /// Installs a fleet telemetry pusher: after every completed epoch
+    /// the daemon pushes a [`MetricsFrame`] of its own status counters
+    /// (never blocking — the pusher's queue drops on overflow).
+    pub fn with_telemetry(mut self, pusher: Arc<TelemetryPusher>) -> Daemon {
+        self.telemetry = Some(pusher);
         self
     }
 
@@ -261,6 +286,10 @@ impl Daemon {
         }
 
         let epoch = self.next_epoch;
+        // The epoch's root span: survey (sched → wire → platform) and
+        // drift work nests under it, so one epoch is one span tree.
+        let _span =
+            adcomp_obs::Tracer::global().span_with("serve:epoch", &[("epoch", epoch.to_string())]);
         let resume = self.resume.take();
         let resumed = resume.is_some();
         let (digest, estimates) = match resume {
@@ -285,6 +314,7 @@ impl Daemon {
             "epoch {epoch}: {estimates} estimates, digest {digest:016x}{}",
             if resumed { " (resumed)" } else { "" }
         ));
+        self.push_telemetry();
         Ok(Tick::Completed {
             epoch,
             digest,
@@ -357,6 +387,17 @@ impl Daemon {
                 self.status.reloads.fetch_add(1, Ordering::AcqRel);
             }
         }
+    }
+
+    /// Pushes this daemon's status counters as one metric frame. Built
+    /// from [`DaemonStatus`] rather than the global registry: several
+    /// daemons in one process share the registry, but each owns its
+    /// status — so per-source fleet series stay per-daemon.
+    fn push_telemetry(&self) {
+        let Some(pusher) = &self.telemetry else {
+            return;
+        };
+        pusher.push(Telemetry::Metrics(status_frame(&self.status)));
     }
 
     fn epoch_store(&self, epoch: u64) -> io::Result<Arc<RunStore>> {
@@ -458,12 +499,12 @@ impl Daemon {
             let findings = drift.findings() as u32;
             let mut alerted = false;
             if crossings > 0 {
+                let detail = format!(
+                    "epoch {epoch}: {crossings} four-fifths crossing(s) vs epoch {} \
+                     across {findings} drift finding(s); digest {digest:016x}",
+                    epoch - 1
+                );
                 if self.journal.event(epoch, STAGE_ALERT).is_none() {
-                    let detail = format!(
-                        "epoch {epoch}: {crossings} four-fifths crossing(s) vs epoch {} \
-                         across {findings} drift finding(s); digest {digest:016x}",
-                        epoch - 1
-                    );
                     // Alert before DriftChecked: a kill between the two
                     // re-runs this stage, finds the alert journaled, and
                     // does not raise it again.
@@ -479,6 +520,19 @@ impl Daemon {
                     self.report.degradation(detail.clone());
                     adcomp_obs::warn!("serve: ALERT {detail}");
                 }
+                // Fan out on fresh raises AND on resumed drift stages
+                // (the journal record may not have left the process
+                // before a kill): at-least-once delivery, deduplicated
+                // downstream. The detail is a pure function of the
+                // epoch's data, so a re-delivery is byte-identical.
+                let alert = DriftAlert {
+                    epoch,
+                    crossings,
+                    detail,
+                };
+                for sink in &self.alert_sinks {
+                    sink.deliver(&alert);
+                }
                 alerted = true;
             }
             (findings, crossings, alerted)
@@ -490,5 +544,40 @@ impl Daemon {
             crossings,
         })?;
         Ok(alerted)
+    }
+}
+
+/// One daemon's status counters as a pushable metric frame (the
+/// per-source state behind the fleet's `adcomp_serve_*` series).
+pub fn status_frame(status: &DaemonStatus) -> MetricsFrame {
+    let counter = |name: &str, value: u64| (MetricKey::new(name, &[]), value);
+    MetricsFrame {
+        counters: vec![
+            counter(
+                "adcomp_serve_epochs_total",
+                status.epochs.load(Ordering::Acquire),
+            ),
+            counter(
+                "adcomp_serve_alerts_total",
+                status.alerts.load(Ordering::Acquire),
+            ),
+            counter(
+                "adcomp_serve_degraded_epochs_total",
+                status.degraded.load(Ordering::Acquire),
+            ),
+            counter(
+                "adcomp_serve_resumes_total",
+                status.resumes.load(Ordering::Acquire),
+            ),
+            counter(
+                "adcomp_serve_reloads_total",
+                status.reloads.load(Ordering::Acquire),
+            ),
+        ],
+        gauges: vec![(
+            MetricKey::new("adcomp_serve_healthy", &[]),
+            status.healthy.load(Ordering::Acquire) as i64,
+        )],
+        histograms: Vec::new(),
     }
 }

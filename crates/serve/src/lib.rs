@@ -10,6 +10,10 @@
 //! exactly one alert per epoch whose representation ratios cross a
 //! four-fifths threshold — before or after a crash.
 //!
+//! * [`alert`] — drift-alert fan-out: the [`AlertSink`] trait with a
+//!   JSONL journal sink and a fleet-aggregator push sink (delivery is
+//!   at-least-once across crashes; the aggregator dedups to
+//!   exactly-once);
 //! * [`config`] — `key = value` config file, reloadable between epochs
 //!   (operational fields only; identity changes are rejected);
 //! * [`provider`] — where epochs get their endpoints; the provider
@@ -25,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod chaos;
 pub mod config;
 pub mod daemon;
@@ -32,9 +37,10 @@ pub mod journal;
 pub mod provider;
 pub mod status;
 
+pub use alert::{AlertSink, DriftAlert, JournalAlertSink, PushAlertSink};
 pub use chaos::{run_chaos, run_clean, ChaosOutcome, ChaosPlan, ChaosProvider, KillPoint};
 pub use config::ServeConfig;
-pub use daemon::{Daemon, FaultInjector, FaultPoint, Tick, CHAOS_KILL};
+pub use daemon::{status_frame, Daemon, FaultInjector, FaultPoint, Tick, CHAOS_KILL};
 pub use journal::{EpochJournal, Resume};
 pub use provider::{SimProvider, SourceProvider};
 pub use status::{DaemonStatus, StatusService};

@@ -1,15 +1,19 @@
 //! The daemon's wire-visible status endpoint.
 //!
 //! [`StatusService`] implements [`WireService`] and answers
-//! [`Request::Status`] with a one-line health summary; everything else
-//! is a `BadRequest` — the daemon is not a platform, and pretending to
-//! be one would let an audit accidentally query its own supervisor.
-//! It rides [`serve_service`](adcomp_wire::serve_service), so it gets
-//! the wire server's draining shutdown for free.
+//! [`Request::Status`] with a one-line health summary and
+//! [`Request::Metrics`] with the process's full Prometheus registry
+//! text — the pull-based fallback scrape for when the push pipeline to
+//! the fleet aggregator is down. Everything else is a `BadRequest` —
+//! the daemon is not a platform, and pretending to be one would let an
+//! audit accidentally query its own supervisor. It rides
+//! [`serve_service`](adcomp_wire::serve_service), so it gets the wire
+//! server's draining shutdown for free.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use adcomp_obs::Registry;
 use adcomp_wire::{ErrorCode, Request, Response, WireService};
 
 /// Counters the daemon publishes and the status endpoint reads.
@@ -79,6 +83,11 @@ impl WireService for StatusService {
                 healthy: self.status.healthy.load(Ordering::Acquire),
                 body: self.status.line(&self.label),
             },
+            // Fallback scrape: the full process registry, pull-based,
+            // for when pushes to the aggregator are not flowing.
+            Request::Metrics => Response::MetricsText {
+                text: Registry::global().render_prometheus(),
+            },
             _ => Response::Error {
                 code: ErrorCode::BadRequest,
                 message: "the audit daemon answers status probes only".into(),
@@ -111,6 +120,20 @@ mod tests {
         }
         match service.handle(Request::Stats) {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_scrape_serves_the_full_registry() {
+        adcomp_obs::Registry::global()
+            .counter("adcomp_serve_status_scrape_probe")
+            .inc();
+        let service = StatusService::new(DaemonStatus::new(), "LinkedIn");
+        match service.handle(Request::Metrics) {
+            Response::MetricsText { text } => {
+                assert!(text.contains("adcomp_serve_status_scrape_probe"), "{text}");
+            }
             other => panic!("unexpected response {other:?}"),
         }
     }

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adcomp_obs::metrics::{duration_us_buckets, Counter, Gauge, Histogram, Registry};
+use adcomp_obs::trace::{current_context, TraceContext, Tracer};
 use adcomp_platform::{CircuitBreaker, RetryPolicy};
 use adcomp_targeting::TargetingSpec;
 use parking_lot::Mutex;
@@ -328,7 +329,10 @@ impl Client {
                 .lock()
                 .check(self.now())
                 .map_err(|retry_in| ClientError::CircuitOpen { retry_in })?;
-            match self.exchange(request) {
+            // Unwrap Traced before classifying: a rate-limit answer to a
+            // traced request must still hit the retry arm below (each
+            // unwrap records that attempt's server time in the trace).
+            match self.exchange(request).map(Self::trace_unwrap) {
                 Ok(Response::Error {
                     code: ErrorCode::RateLimited,
                     message,
@@ -435,9 +439,49 @@ impl Client {
         }
     }
 
-    /// Fetches the rounded audience-size estimate for a spec.
+    /// Wraps a request in [`Request::Traced`] when the calling thread is
+    /// inside a span, opening a `wire:rtt` child span that the returned
+    /// guard closes. The server continues that span on its side.
+    fn trace_wrap(&self, inner: Request) -> (Request, Option<adcomp_obs::SpanGuard<'static>>) {
+        match current_context() {
+            Some(_) => {
+                let span = Tracer::global().span("wire:rtt");
+                let ctx = span.context();
+                (
+                    Request::Traced {
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
+                        inner: Box::new(inner),
+                    },
+                    Some(span),
+                )
+            }
+            None => (inner, None),
+        }
+    }
+
+    /// Unwraps [`Response::Traced`], echoing the server's handling time
+    /// into the trace as a `platform:remote` leaf (latency attribution
+    /// splits wire RTT into network and platform time from it).
+    fn trace_unwrap(response: Response) -> Response {
+        match response {
+            Response::Traced { server_us, inner } => {
+                Tracer::global()
+                    .event("platform:remote", &[("duration_us", server_us.to_string())]);
+                *inner
+            }
+            other => other,
+        }
+    }
+
+    /// Fetches the rounded audience-size estimate for a spec. Inside a
+    /// span, the query carries the caller's [`TraceContext`] so the
+    /// server's handling joins the caller's trace.
     pub fn estimate(&self, spec: &TargetingSpec) -> Result<u64, ClientError> {
-        match self.call(&Request::Estimate { spec: spec.clone() })? {
+        let (request, span) = self.trace_wrap(Request::Estimate { spec: spec.clone() });
+        let response = self.call(&request)?;
+        drop(span);
+        match response {
             Response::Estimate { value } => Ok(value),
             Response::Error {
                 code,
@@ -467,6 +511,11 @@ impl Client {
     /// policy honouring the server's back-off hint. The connection lock
     /// is held for the whole batch.
     pub fn estimate_batch(&self, specs: &[TargetingSpec]) -> Vec<Result<u64, ClientError>> {
+        // One wire:rtt span covers the whole pipelined batch; each
+        // in-flight request carries its context so the server parents
+        // its per-query spans under it.
+        let span = current_context().map(|_| Tracer::global().span("wire:rtt"));
+        let trace = span.as_ref().map(|s| s.context());
         let mut results: Vec<Option<Result<u64, ClientError>>> =
             (0..specs.len()).map(|_| None).collect();
         let mut todo: Vec<usize> = (0..specs.len()).collect();
@@ -508,7 +557,7 @@ impl Client {
                 }
             }
             let conn = guard.as_mut().expect("connection just ensured");
-            match self.pipeline_round(conn, specs, &todo, &mut results) {
+            match self.pipeline_round(conn, specs, &todo, &mut results, trace) {
                 Ok(rate_limited) => {
                     self.breaker.lock().record_success();
                     transport_attempt = 0;
@@ -587,6 +636,7 @@ impl Client {
         specs: &[TargetingSpec],
         todo: &[usize],
         results: &mut [Option<Result<u64, ClientError>>],
+        trace: Option<TraceContext>,
     ) -> Result<Vec<(usize, Option<Duration>)>, RoundAbort> {
         let window = self.config.pipeline_window.max(1);
         let mut rate_limited = Vec::new();
@@ -596,11 +646,20 @@ impl Client {
         loop {
             while in_flight.len() < window {
                 let Some(slot) = next else { break };
+                let estimate = Request::Estimate {
+                    spec: specs[slot].clone(),
+                };
+                let inner = match trace {
+                    Some(ctx) => Request::Traced {
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
+                        inner: Box::new(estimate),
+                    },
+                    None => estimate,
+                };
                 let request = Request::Tagged {
                     id: slot as u64,
-                    inner: Box::new(Request::Estimate {
-                        spec: specs[slot].clone(),
-                    }),
+                    inner: Box::new(inner),
                 };
                 write_frame(&mut conn.writer, &to_bytes(&request))
                     .map_err(RoundAbort::Transport)?;
@@ -620,7 +679,7 @@ impl Client {
             let Some(slot) = in_flight.remove(&id) else {
                 return Err(RoundAbort::Fatal(ClientError::UnexpectedResponse));
             };
-            match *inner {
+            match Self::trace_unwrap(*inner) {
                 Response::Estimate { value } => results[slot] = Some(Ok(value)),
                 Response::Error {
                     code: ErrorCode::RateLimited,
@@ -667,6 +726,52 @@ impl Client {
     pub fn status(&self) -> Result<(bool, String), ClientError> {
         match self.call(&Request::Status)? {
             Response::StatusReport { healthy, body } => Ok((healthy, body)),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Scrapes the serving process's full Prometheus registry text.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsText { text } => Ok(text),
+            Response::Error {
+                code,
+                message,
+                retry_after,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Pushes one opaque telemetry record to an aggregator sink,
+    /// returning the acknowledged sequence number. Rides the same
+    /// retry/backoff/breaker machinery as every other call.
+    pub fn telemetry_push(
+        &self,
+        source: &str,
+        seq: u64,
+        payload: Vec<u8>,
+    ) -> Result<u64, ClientError> {
+        let request = Request::TelemetryPush {
+            source: source.to_string(),
+            seq,
+            payload,
+        };
+        match self.call(&request)? {
+            Response::TelemetryAck { seq } => Ok(seq),
             Response::Error {
                 code,
                 message,

@@ -26,6 +26,21 @@
 //!   [`estimate_batch`](Client::estimate_batch) (a sliding window of
 //!   tagged requests; reconnects re-issue only unanswered queries).
 //!
+//! # Distributed tracing
+//!
+//! The Tagged correlation-id framing extends to trace propagation:
+//! when the calling thread is inside an `adcomp-obs` span, the client
+//! wraps queries in [`Request::Traced`] carrying the caller's
+//! `TraceContext` (`trace_id` + `span_id`; nested *inside* `Tagged`
+//! when pipelined, so the pipelining machinery is untouched). The
+//! server continues that span around its handling and answers with
+//! [`Response::Traced`], echoing its handling time — so one estimate
+//! yields a single span tree across processes, and wire RTT splits
+//! into network and platform segments. Telemetry also rides the same
+//! frames: [`Request::Metrics`] scrapes a process's Prometheus text
+//! and [`Request::TelemetryPush`] carries opaque `adcomp-agg` records
+//! to an aggregator sink.
+//!
 //! # Loopback example
 //!
 //! ```

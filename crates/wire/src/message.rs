@@ -57,6 +57,36 @@ pub enum Request {
     /// continuous-audit daemon's status endpoint; a plain platform
     /// server answers healthy with its label).
     Status,
+    /// A request carrying the caller's trace context, so the server
+    /// continues the caller's span instead of starting fresh and both
+    /// sides' JSONL sinks share one `trace_id`. Wraps the real request;
+    /// rides *inside* [`Request::Tagged`] when pipelined. Nesting
+    /// `Traced` or `Tagged` inside `Traced` is a protocol error.
+    Traced {
+        /// The caller's trace id (the root span's id).
+        trace_id: u64,
+        /// The caller's span (what the server's span is parented to).
+        span_id: u64,
+        /// The request to answer.
+        inner: Box<Request>,
+    },
+    /// Full Prometheus registry text of the serving process — what an
+    /// aggregator or dashboard scrapes, over the same connection the
+    /// audit runs on.
+    Metrics,
+    /// Pushed telemetry (a metric snapshot, trace events, or a drift
+    /// alert) from `source`, addressed to an aggregator sink. `payload`
+    /// is an opaque encoded `adcomp-agg` telemetry record: the wire
+    /// layer routes it without knowing its shape. `seq` is the pusher's
+    /// delivery counter, echoed in [`Response::TelemetryAck`].
+    TelemetryPush {
+        /// Stable name of the pushing process (daemon label).
+        source: String,
+        /// Pusher-side delivery sequence number.
+        seq: u64,
+        /// Encoded telemetry record.
+        payload: Vec<u8>,
+    },
 }
 
 /// Server → client messages.
@@ -133,6 +163,25 @@ pub enum Response {
         healthy: bool,
         /// Human-readable status body (epoch counters, uptime, …).
         body: String,
+    },
+    /// Answer to a [`Request::Traced`]: the inner answer plus how long
+    /// the server spent producing it, so the client can attribute
+    /// wire-RTT minus server time to the network.
+    Traced {
+        /// Server-side handling time in microseconds.
+        server_us: u64,
+        /// The answer itself (never another `Traced`).
+        inner: Box<Response>,
+    },
+    /// Answer to [`Request::Metrics`]: Prometheus text exposition.
+    MetricsText {
+        /// The registry rendered in Prometheus text format.
+        text: String,
+    },
+    /// Answer to [`Request::TelemetryPush`], echoing its `seq`.
+    TelemetryAck {
+        /// The acknowledged delivery sequence number.
+        seq: u64,
     },
 }
 
@@ -302,6 +351,27 @@ impl WireEncode for Request {
                 inner.encode(buf);
             }
             Request::Status => 7u8.encode(buf),
+            Request::Traced {
+                trace_id,
+                span_id,
+                inner,
+            } => {
+                8u8.encode(buf);
+                trace_id.encode(buf);
+                span_id.encode(buf);
+                inner.encode(buf);
+            }
+            Request::Metrics => 9u8.encode(buf),
+            Request::TelemetryPush {
+                source,
+                seq,
+                payload,
+            } => {
+                10u8.encode(buf);
+                source.encode(buf);
+                seq.encode(buf);
+                payload.encode(buf);
+            }
         }
     }
 }
@@ -329,6 +399,17 @@ impl WireDecode for Request {
                 inner: Box::new(Request::decode(buf)?),
             },
             7 => Request::Status,
+            8 => Request::Traced {
+                trace_id: u64::decode(buf)?,
+                span_id: u64::decode(buf)?,
+                inner: Box::new(Request::decode(buf)?),
+            },
+            9 => Request::Metrics,
+            10 => Request::TelemetryPush {
+                source: String::decode(buf)?,
+                seq: u64::decode(buf)?,
+                payload: Vec::decode(buf)?,
+            },
             tag => {
                 return Err(CodecError::InvalidTag {
                     what: "Request",
@@ -411,6 +492,19 @@ impl WireEncode for Response {
                 healthy.encode(buf);
                 body.encode(buf);
             }
+            Response::Traced { server_us, inner } => {
+                9u8.encode(buf);
+                server_us.encode(buf);
+                inner.encode(buf);
+            }
+            Response::MetricsText { text } => {
+                10u8.encode(buf);
+                text.encode(buf);
+            }
+            Response::TelemetryAck { seq } => {
+                11u8.encode(buf);
+                seq.encode(buf);
+            }
         }
     }
 }
@@ -457,6 +551,16 @@ impl WireDecode for Response {
             8 => Response::StatusReport {
                 healthy: bool::decode(buf)?,
                 body: String::decode(buf)?,
+            },
+            9 => Response::Traced {
+                server_us: u64::decode(buf)?,
+                inner: Box::new(Response::decode(buf)?),
+            },
+            10 => Response::MetricsText {
+                text: String::decode(buf)?,
+            },
+            11 => Response::TelemetryAck {
+                seq: u64::decode(buf)?,
             },
             tag => {
                 return Err(CodecError::InvalidTag {
@@ -614,6 +718,58 @@ mod tests {
                 retry_after: Some(Duration::from_millis(1)),
             }),
         });
+    }
+
+    #[test]
+    fn traced_messages_roundtrip() {
+        roundtrip_req(Request::Traced {
+            trace_id: 0x0042_0000_0000_0001,
+            span_id: 0x0042_0000_0000_0007,
+            inner: Box::new(Request::Estimate {
+                spec: sample_spec(),
+            }),
+        });
+        // Pipelined form: Traced rides inside Tagged.
+        roundtrip_req(Request::Tagged {
+            id: 3,
+            inner: Box::new(Request::Traced {
+                trace_id: 1,
+                span_id: 2,
+                inner: Box::new(Request::Estimate {
+                    spec: TargetingSpec::everyone(),
+                }),
+            }),
+        });
+        roundtrip_resp(Response::Traced {
+            server_us: 1_234,
+            inner: Box::new(Response::Estimate { value: 5_000 }),
+        });
+        roundtrip_resp(Response::Tagged {
+            id: 3,
+            inner: Box::new(Response::Traced {
+                server_us: 9,
+                inner: Box::new(Response::Estimate { value: 10 }),
+            }),
+        });
+    }
+
+    #[test]
+    fn telemetry_messages_roundtrip() {
+        roundtrip_req(Request::Metrics);
+        roundtrip_resp(Response::MetricsText {
+            text: "# TYPE x counter\nx 1\n".into(),
+        });
+        roundtrip_req(Request::TelemetryPush {
+            source: "daemon-a".into(),
+            seq: 41,
+            payload: vec![0, 1, 2, 255],
+        });
+        roundtrip_req(Request::TelemetryPush {
+            source: String::new(),
+            seq: 0,
+            payload: Vec::new(),
+        });
+        roundtrip_resp(Response::TelemetryAck { seq: 41 });
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adcomp_obs::metrics::{Counter, Registry};
+use adcomp_obs::trace::{TraceContext, Tracer};
 use adcomp_platform::{
     EstimateRequest, FaultKind, FaultPlan, PlatformApi, PlatformError, TokenBucket,
 };
@@ -128,6 +129,11 @@ pub struct ServerConfig {
     /// (read but not yet answered) to finish before force-closing
     /// connections.
     pub drain_timeout: Duration,
+    /// Tracer that server-side continuation spans ([`Request::Traced`])
+    /// are recorded into; `None` uses the process-global tracer. Inject
+    /// one to capture a server's half of a distributed trace separately
+    /// (tests do, to prove client and server sinks share a `trace_id`).
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for ServerConfig {
@@ -138,6 +144,7 @@ impl Default for ServerConfig {
             fault_hook: None,
             executors: 1,
             drain_timeout: Duration::from_secs(5),
+            tracer: None,
         }
     }
 }
@@ -170,6 +177,13 @@ impl ServerConfig {
         self.drain_timeout = timeout;
         self
     }
+
+    /// Records server-side continuation spans into `tracer` instead of
+    /// the process-global one (builder style).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -180,6 +194,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
             .field("executors", &self.executors)
             .field("drain_timeout", &self.drain_timeout)
+            .field("tracer", &self.tracer.as_ref().map(|_| "…"))
             .finish()
     }
 }
@@ -314,12 +329,78 @@ pub fn serve(
     serve_service(Arc::new(PlatformService(platform)), addr, config)
 }
 
+/// Unwraps [`Request::Traced`] in front of any service: continues the
+/// caller's span on the server tracer for the duration of the inner
+/// handling and wraps the answer in [`Response::Traced`] with the
+/// measured server time. Untraced requests pass through untouched, so
+/// the wrapper costs one enum match when tracing is off the wire.
+struct TracedService {
+    inner: Arc<dyn WireService>,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl TracedService {
+    fn tracer(&self) -> &Tracer {
+        match &self.tracer {
+            Some(t) => t.as_ref(),
+            None => Tracer::global(),
+        }
+    }
+}
+
+impl WireService for TracedService {
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Traced {
+                trace_id,
+                span_id,
+                inner,
+            } => {
+                if matches!(*inner, Request::Traced { .. } | Request::Tagged { .. }) {
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: "nested Traced/Tagged inside Traced".into(),
+                        retry_after: None,
+                    };
+                }
+                let started = Instant::now();
+                let ctx = TraceContext {
+                    trace_id,
+                    span_id,
+                    parent: None,
+                };
+                let name = match &*inner {
+                    Request::Estimate { .. } => "platform:estimate",
+                    Request::Check { .. } => "platform:check",
+                    _ => "platform:serve",
+                };
+                let span = self.tracer().continue_span(ctx, name, &[]);
+                let response = self.inner.handle(*inner);
+                drop(span);
+                Response::Traced {
+                    server_us: started.elapsed().as_micros() as u64,
+                    inner: Box::new(response),
+                }
+            }
+            other => self.inner.handle(other),
+        }
+    }
+
+    fn note_rate_limited(&self) {
+        self.inner.note_rate_limited();
+    }
+}
+
 /// Starts serving an arbitrary [`WireService`] on `addr`.
 pub fn serve_service(
     service: Arc<dyn WireService>,
     addr: &str,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    let service: Arc<dyn WireService> = Arc::new(TracedService {
+        inner: service,
+        tracer: config.tracer.clone(),
+    });
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -629,6 +710,9 @@ fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
         Request::Stats => "stats",
         Request::Status => "status",
         Request::Tagged { .. } => "tagged",
+        Request::Traced { .. } => "traced",
+        Request::Metrics => "metrics",
+        Request::TelemetryPush { .. } => "telemetry_push",
     })
     .inc();
     match request {
@@ -709,6 +793,23 @@ fn handle_request(platform: &dyn PlatformApi, request: Request) -> Response {
         Request::Tagged { .. } => Response::Error {
             code: ErrorCode::BadRequest,
             message: "nested Tagged request".into(),
+            retry_after: None,
+        },
+        // The TracedService wrapper unwraps tracing before dispatch.
+        Request::Traced { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "nested Traced request".into(),
+            retry_after: None,
+        },
+        // The scrape endpoint: whatever this process has recorded.
+        Request::Metrics => Response::MetricsText {
+            text: Registry::global().render_prometheus(),
+        },
+        // Platform endpoints answer queries; they do not ingest
+        // telemetry. Pushes belong at an adcomp-agg sink.
+        Request::TelemetryPush { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "platform endpoints do not accept telemetry pushes".into(),
             retry_after: None,
         },
     }

@@ -83,6 +83,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent
+    /// message back, like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
@@ -168,6 +178,26 @@ pub mod channel {
                             .unwrap_or_else(|poisoned| poisoned.into_inner());
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: queues the message only when the channel
+        /// has room right now. The building block for lossy telemetry
+        /// queues that must never stall a hot path.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let shared = &self.shared;
+            let mut state = shared.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = shared.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             state.queue.push_back(msg);
@@ -351,6 +381,18 @@ mod tests {
         let drained: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
         handle.join().unwrap();
         assert_eq!(drained, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_send_never_blocks() {
+        let (tx, rx) = channel::bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
     }
 
     #[test]

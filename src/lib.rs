@@ -11,8 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use adcomp_agg as agg;
 pub use adcomp_bitset as bitset;
 pub use adcomp_core as audit;
+pub use adcomp_obs as obs;
 pub use adcomp_platform as platform;
 pub use adcomp_population as population;
 pub use adcomp_sched as sched;
