@@ -344,9 +344,7 @@ impl Container {
             } else {
                 let mut bits = Box::new([0u64; BITMAP_WORDS]);
                 for r in runs.iter() {
-                    for v in r.start..=r.end {
-                        bits[(v >> 6) as usize] |= 1u64 << (v & 63);
-                    }
+                    set_range(&mut bits, r.start, r.end);
                 }
                 *self = Container::Bitmap { bits, len };
             }
@@ -377,6 +375,27 @@ impl Container {
     pub fn iter_values(&self) -> ContainerIter<'_> {
         ContainerIter::new(self)
     }
+}
+
+/// Sets bits `[start, end]` (inclusive) with whole-word fills.
+///
+/// Long runs dominate `undo_runs` on run-encoded audiences (the
+/// `everyone` audience is one 65 536-value run per chunk), so interior
+/// words are written as `u64::MAX` instead of bit-by-bit.
+fn set_range(bits: &mut [u64; BITMAP_WORDS], start: u16, end: u16) {
+    let (sw, ew) = ((start >> 6) as usize, (end >> 6) as usize);
+    let head = u64::MAX << (start & 63);
+    // Mask keeping bits [0, end % 64] of the last word.
+    let tail = u64::MAX >> (63 - (end & 63));
+    if sw == ew {
+        bits[sw] |= head & tail;
+        return;
+    }
+    bits[sw] |= head;
+    for w in &mut bits[sw + 1..ew] {
+        *w = u64::MAX;
+    }
+    bits[ew] |= tail;
 }
 
 /// Iterator over one container's values.
@@ -524,6 +543,44 @@ mod tests {
         b.run_optimize();
         assert!(matches!(b, Container::Run(_)));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn undo_runs_word_fill_matches_per_value() {
+        // Runs chosen to hit every set_range case: within one word,
+        // word-aligned boundaries, straddling many words, and the two
+        // chunk extremes.
+        let spans: [(u16, u16); 6] = [
+            (0, 0),
+            (3, 17),
+            (64, 127),
+            (100, 4_500),
+            (60_000, u16::MAX),
+            (63, 64),
+        ];
+        for (start, end) in spans {
+            let mut c = Container::Run(vec![Interval { start, end }]);
+            c.undo_runs();
+            let got: Vec<u16> = c.iter_values().collect();
+            let want: Vec<u16> = (start..=end).collect();
+            assert_eq!(got, want, "span {start}..={end}");
+        }
+        // Multiple runs in one container, dense enough to become a bitmap.
+        let mut c = Container::Run(vec![
+            Interval {
+                start: 0,
+                end: 4999,
+            },
+            Interval {
+                start: 10_000,
+                end: 10_063,
+            },
+        ]);
+        c.undo_runs();
+        assert!(matches!(c, Container::Bitmap { .. }));
+        assert_eq!(c.len(), 5064);
+        assert!(c.contains(4999) && !c.contains(5000));
+        assert!(c.contains(10_000) && c.contains(10_063) && !c.contains(10_064));
     }
 
     #[test]

@@ -92,6 +92,16 @@ impl Bitset {
     /// Serialises into the compact binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.memory_bytes());
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Appends the serialised form to `out`.
+    ///
+    /// Multiple bitsets appended back-to-back form a valid stream for
+    /// [`Bitset::from_bytes_prefix`]; segment files in the population
+    /// store are exactly such concatenations.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
         out.push(FORMAT_VERSION);
         out.extend_from_slice(&(self.chunks().len() as u32).to_le_bytes());
         for (key, container) in self.chunks() {
@@ -121,98 +131,115 @@ impl Bitset {
                 }
             }
         }
-        out
     }
 
     /// Deserialises, validating every structural invariant.
     pub fn from_bytes(bytes: &[u8]) -> Result<Bitset, DecodeError> {
         let mut r = Reader { buf: bytes };
-        let version = r.u8()?;
-        if version != FORMAT_VERSION {
-            return Err(DecodeError::UnsupportedVersion(version));
-        }
-        let chunk_count = r.u32()? as usize;
-        if chunk_count > u16::MAX as usize + 1 {
-            return Err(DecodeError::CorruptContainer(
-                "more chunks than possible keys",
-            ));
-        }
-        let mut set = Bitset::new();
-        let mut last_key: Option<u16> = None;
-        for _ in 0..chunk_count {
-            let key = r.u16()?;
-            if let Some(prev) = last_key {
-                if key <= prev {
-                    return Err(DecodeError::CorruptContainer("chunk keys not increasing"));
-                }
-            }
-            last_key = Some(key);
-            let layout = r.u8()?;
-            let container = match layout {
-                0 => {
-                    let len = r.u16()? as usize;
-                    if len == 0 || len > ARRAY_MAX {
-                        return Err(DecodeError::CorruptContainer("array length out of range"));
-                    }
-                    let mut values = Vec::with_capacity(len);
-                    for _ in 0..len {
-                        values.push(r.u16()?);
-                    }
-                    if !values.windows(2).all(|w| w[0] < w[1]) {
-                        return Err(DecodeError::CorruptContainer("array not sorted/distinct"));
-                    }
-                    Container::Array(values)
-                }
-                1 => {
-                    let len = r.u32()?;
-                    let mut bits = Box::new([0u64; BITMAP_WORDS]);
-                    let mut actual = 0u32;
-                    for w in bits.iter_mut() {
-                        *w = r.u64()?;
-                        actual += w.count_ones();
-                    }
-                    if actual != len {
-                        return Err(DecodeError::CorruptContainer("bitmap cardinality mismatch"));
-                    }
-                    if (len as usize) <= ARRAY_MAX {
-                        return Err(DecodeError::CorruptContainer(
-                            "bitmap below array threshold (non-canonical)",
-                        ));
-                    }
-                    Container::Bitmap { bits, len }
-                }
-                2 => {
-                    let count = r.u16()? as usize;
-                    if count == 0 {
-                        return Err(DecodeError::CorruptContainer("empty run container"));
-                    }
-                    let mut runs = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        let start = r.u16()?;
-                        let end = r.u16()?;
-                        if end < start {
-                            return Err(DecodeError::CorruptContainer("run end before start"));
-                        }
-                        runs.push(Interval { start, end });
-                    }
-                    // Sorted, non-overlapping, non-adjacent.
-                    if !runs
-                        .windows(2)
-                        .all(|w| (w[0].end as u32) + 1 < w[1].start as u32)
-                    {
-                        return Err(DecodeError::CorruptContainer("runs overlap or touch"));
-                    }
-                    Container::Run(runs)
-                }
-                t => return Err(DecodeError::InvalidLayout(t)),
-            };
-            set.push_chunk(key, container);
-        }
+        let set = decode_one(&mut r)?;
         if !r.buf.is_empty() {
             return Err(DecodeError::TrailingBytes(r.buf.len()));
         }
         Ok(set)
     }
+
+    /// Deserialises one bitset from the front of `bytes`, returning it
+    /// together with the number of bytes consumed.
+    ///
+    /// Unlike [`Bitset::from_bytes`] this accepts trailing data, so a
+    /// stream of concatenated bitsets (as written by repeated
+    /// [`Bitset::write_into`] calls) can be decoded one at a time.
+    pub fn from_bytes_prefix(bytes: &[u8]) -> Result<(Bitset, usize), DecodeError> {
+        let mut r = Reader { buf: bytes };
+        let set = decode_one(&mut r)?;
+        Ok((set, bytes.len() - r.buf.len()))
+    }
+}
+
+/// Decodes one bitset from `r`, leaving any trailing bytes unread.
+fn decode_one(r: &mut Reader<'_>) -> Result<Bitset, DecodeError> {
+    let version = r.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let chunk_count = r.u32()? as usize;
+    if chunk_count > u16::MAX as usize + 1 {
+        return Err(DecodeError::CorruptContainer(
+            "more chunks than possible keys",
+        ));
+    }
+    let mut set = Bitset::new();
+    let mut last_key: Option<u16> = None;
+    for _ in 0..chunk_count {
+        let key = r.u16()?;
+        if let Some(prev) = last_key {
+            if key <= prev {
+                return Err(DecodeError::CorruptContainer("chunk keys not increasing"));
+            }
+        }
+        last_key = Some(key);
+        let layout = r.u8()?;
+        let container = match layout {
+            0 => {
+                let len = r.u16()? as usize;
+                if len == 0 || len > ARRAY_MAX {
+                    return Err(DecodeError::CorruptContainer("array length out of range"));
+                }
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(r.u16()?);
+                }
+                if !values.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(DecodeError::CorruptContainer("array not sorted/distinct"));
+                }
+                Container::Array(values)
+            }
+            1 => {
+                let len = r.u32()?;
+                let mut bits = Box::new([0u64; BITMAP_WORDS]);
+                let mut actual = 0u32;
+                for w in bits.iter_mut() {
+                    *w = r.u64()?;
+                    actual += w.count_ones();
+                }
+                if actual != len {
+                    return Err(DecodeError::CorruptContainer("bitmap cardinality mismatch"));
+                }
+                if (len as usize) <= ARRAY_MAX {
+                    return Err(DecodeError::CorruptContainer(
+                        "bitmap below array threshold (non-canonical)",
+                    ));
+                }
+                Container::Bitmap { bits, len }
+            }
+            2 => {
+                let count = r.u16()? as usize;
+                if count == 0 {
+                    return Err(DecodeError::CorruptContainer("empty run container"));
+                }
+                let mut runs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let start = r.u16()?;
+                    let end = r.u16()?;
+                    if end < start {
+                        return Err(DecodeError::CorruptContainer("run end before start"));
+                    }
+                    runs.push(Interval { start, end });
+                }
+                // Sorted, non-overlapping, non-adjacent.
+                if !runs
+                    .windows(2)
+                    .all(|w| (w[0].end as u32) + 1 < w[1].start as u32)
+                {
+                    return Err(DecodeError::CorruptContainer("runs overlap or touch"));
+                }
+                Container::Run(runs)
+            }
+            t => return Err(DecodeError::InvalidLayout(t)),
+        };
+        set.push_chunk(key, container);
+    }
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -263,6 +290,41 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn prefix_decoding_of_concatenated_stream() {
+        // Three bitsets appended back-to-back (the segment-file shape),
+        // one of them run-encoded.
+        let a: Bitset = (0..10_000u32).collect();
+        let mut b: Bitset = (0..60_000u32).collect();
+        b.run_optimize();
+        let c: Bitset = [7u32, 99, 1 << 20].into_iter().collect();
+        let mut stream = Vec::new();
+        a.write_into(&mut stream);
+        b.write_into(&mut stream);
+        c.write_into(&mut stream);
+
+        let mut off = 0usize;
+        let mut decoded = Vec::new();
+        while off < stream.len() {
+            let (set, used) = Bitset::from_bytes_prefix(&stream[off..]).unwrap();
+            assert!(used > 0);
+            off += used;
+            decoded.push(set);
+        }
+        assert_eq!(off, stream.len());
+        assert_eq!(decoded, vec![a, b, c]);
+
+        // from_bytes still rejects the same stream (trailing data).
+        assert!(matches!(
+            Bitset::from_bytes(&stream),
+            Err(DecodeError::TrailingBytes(_))
+        ));
+        // write_into is exactly to_bytes.
+        let mut via_write = Vec::new();
+        decoded[0].write_into(&mut via_write);
+        assert_eq!(via_write, decoded[0].to_bytes());
     }
 
     #[test]

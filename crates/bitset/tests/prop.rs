@@ -128,6 +128,30 @@ proptest! {
     }
 
     #[test]
+    fn concatenated_stream_roundtrips(sets in proptest::collection::vec((value_vec(), any::<bool>()), 1..5)) {
+        // Segment files are back-to-back serialised audiences (some
+        // run-encoded); prefix decoding must recover each one exactly.
+        let mut originals = Vec::new();
+        let mut stream = Vec::new();
+        for (values, optimize) in sets {
+            let (mut set, _) = to_pair(values);
+            if optimize {
+                set.run_optimize();
+            }
+            set.write_into(&mut stream);
+            originals.push(set);
+        }
+        let mut off = 0usize;
+        for original in &originals {
+            let (decoded, used) = Bitset::from_bytes_prefix(&stream[off..]).unwrap();
+            prop_assert_eq!(&decoded, original);
+            prop_assert_eq!(used, original.to_bytes().len());
+            off += used;
+        }
+        prop_assert_eq!(off, stream.len());
+    }
+
+    #[test]
     fn run_optimize_is_semantically_invisible(values in value_vec(), probe in any::<u32>()) {
         let (mut set, reference) = to_pair(values);
         let other: Bitset = reference.iter().map(|v| v ^ 1).collect();

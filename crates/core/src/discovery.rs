@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use adcomp_platform::ReachOracle;
 use adcomp_targeting::{AttributeId, TargetingSpec};
 use rand::{Rng, SeedableRng};
 
@@ -104,6 +105,11 @@ pub fn survey_individuals(target: &AuditTarget) -> Result<IndividualSurvey, Sour
     Ok(IndividualSurvey { entries, base })
 }
 
+/// The paper's niche-targeting floor: targetings whose total reach is
+/// below 10 000 are excluded everywhere (§3). Every experiment that
+/// filters by reach shares this constant.
+pub const DEFAULT_MIN_REACH: u64 = 10_000;
+
 /// Discovery parameters (paper defaults).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DiscoveryConfig {
@@ -123,7 +129,7 @@ impl Default for DiscoveryConfig {
     fn default() -> Self {
         DiscoveryConfig {
             top_k: 1_000,
-            min_reach: 10_000,
+            min_reach: DEFAULT_MIN_REACH,
             arity: 2,
             seed: 0x5EED,
         }
@@ -286,6 +292,40 @@ pub fn top_compositions(
     ranked: &[usize],
     cfg: &DiscoveryConfig,
 ) -> Result<Vec<MeasuredTargeting>, SourceError> {
+    let combos = sampled_candidates(target, survey, ranked, cfg);
+
+    // Measure as one batch (parallelized when the target has an engine;
+    // the same queries in the same order either way).
+    let specs: Vec<TargetingSpec> = combos
+        .iter()
+        .map(|attrs| TargetingSpec::and_of(attrs.iter().copied()))
+        .collect();
+    let measurements = measure_spec_batch(target, &specs)?;
+    let mut out = Vec::with_capacity(combos.len());
+    for ((attrs, spec), measurement) in combos.into_iter().zip(specs).zip(measurements) {
+        if measurement.total >= cfg.min_reach {
+            out.push(MeasuredTargeting {
+                spec,
+                attrs,
+                measurement,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The candidate schedule shared by [`top_compositions`] and
+/// [`top_compositions_bounded`]: grow the ranked prefix until enough
+/// composable combinations exist, then sample `top_k` of them. Both
+/// searches consume exactly this list, in exactly this order — that
+/// shared schedule is what makes the bounded search's output provably
+/// identical to the greedy one's.
+fn sampled_candidates(
+    target: &AuditTarget,
+    survey: &IndividualSurvey,
+    ranked: &[usize],
+    cfg: &DiscoveryConfig,
+) -> Vec<Vec<AttributeId>> {
     assert!(cfg.arity >= 2, "compositions need arity ≥ 2");
     // Grow the prefix until enough composable combinations exist —
     // counting only; nothing is materialized until after sampling.
@@ -306,22 +346,90 @@ pub fn top_compositions(
     // Sample down to top_k (paper: 1 000 of the 1 035 pairs) — same
     // seed, same outputs as shuffling the materialized list, but memory
     // stays O(top_k).
-    let combos =
-        sample_composable_subsets(target, &prefix, cfg.arity, cfg.top_k, cfg.seed, available);
+    sample_composable_subsets(target, &prefix, cfg.arity, cfg.top_k, cfg.seed, available)
+}
 
-    // Measure as one batch (parallelized when the target has an engine;
-    // the same queries in the same order either way).
-    let specs: Vec<TargetingSpec> = combos
+/// [`top_compositions`] with branch-and-bound pruning of the min-reach
+/// filter: identical output, far fewer queries when most candidates are
+/// niche.
+///
+/// The greedy scan measures all `top_k` candidates (seven estimates
+/// each) and then discards those below `cfg.min_reach`. This variant
+/// decides the reach test *before* measuring, using a
+/// [`ReachOracle`] over the audited platform's ground truth:
+///
+/// 1. `threshold_len = oracle.min_len_for_estimate(cfg.min_reach)`
+///    converts the rounded-estimate floor into an exact audience-length
+///    floor (exact, because the estimate is monotone in the length).
+/// 2. Every candidate gets the upper bound
+///    `min over members of |attr|` — since `|A ∧ B| ≤ min(|A|, |B|)`,
+///    a candidate bounded below `threshold_len` can never pass. The
+///    candidates are visited best-bound-first, so the first bound below
+///    the floor prunes the entire remaining tail without touching a
+///    single bitset.
+/// 3. Survivors of the bound get one thresholded intersection
+///    ([`ReachOracle::and_reaches`]) with two-sided early exit — no
+///    materialized intersection, no demographic queries.
+/// 4. Only candidates the oracle confirms are measured (one batch, in
+///    the original sampled order), and the measured filter is still
+///    applied, so even an over-approximating oracle cannot change the
+///    output.
+///
+/// Output equality with [`top_compositions`] holds when the oracle is
+/// backed by the same platform the target measures on — a *direct*
+/// fault-free target (no id translation, deterministic estimates). The
+/// oracle errs toward `true` when undecidable, which costs a
+/// measurement, never a result.
+pub fn top_compositions_bounded(
+    target: &AuditTarget,
+    survey: &IndividualSurvey,
+    ranked: &[usize],
+    cfg: &DiscoveryConfig,
+    oracle: &dyn ReachOracle,
+) -> Result<Vec<MeasuredTargeting>, SourceError> {
+    let combos = sampled_candidates(target, survey, ranked, cfg);
+    let threshold_len = oracle.min_len_for_estimate(cfg.min_reach);
+
+    // Best-first over the min-of-members upper bound. Unknown lens get
+    // an infinite bound: never pruned by the bound, decided downstream.
+    let mut order: Vec<(usize, u64)> = combos
         .iter()
-        .map(|attrs| TargetingSpec::and_of(attrs.iter().copied()))
+        .enumerate()
+        .map(|(i, attrs)| {
+            let bound = attrs
+                .iter()
+                .map(|&a| oracle.attribute_len(a).unwrap_or(u64::MAX))
+                .min()
+                .unwrap_or(u64::MAX);
+            (i, bound)
+        })
+        .collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let mut survives = vec![false; combos.len()];
+    for &(i, bound) in &order {
+        if bound < threshold_len {
+            // Bounds are sorted descending: every remaining candidate is
+            // bounded below the floor too. Prune the whole tail.
+            break;
+        }
+        survives[i] = oracle.and_reaches(&combos[i], threshold_len);
+    }
+
+    // Measure only the confirmed candidates — in sampled order, one
+    // batch, with the measured filter kept as the final arbiter.
+    let kept: Vec<usize> = (0..combos.len()).filter(|&i| survives[i]).collect();
+    let specs: Vec<TargetingSpec> = kept
+        .iter()
+        .map(|&i| TargetingSpec::and_of(combos[i].iter().copied()))
         .collect();
     let measurements = measure_spec_batch(target, &specs)?;
-    let mut out = Vec::with_capacity(combos.len());
-    for ((attrs, spec), measurement) in combos.into_iter().zip(specs).zip(measurements) {
+    let mut out = Vec::with_capacity(kept.len());
+    for ((i, spec), measurement) in kept.into_iter().zip(specs).zip(measurements) {
         if measurement.total >= cfg.min_reach {
             out.push(MeasuredTargeting {
                 spec,
-                attrs,
+                attrs: combos[i].clone(),
                 measurement,
             });
         }
@@ -436,7 +544,7 @@ mod tests {
     fn cfg(top_k: usize) -> DiscoveryConfig {
         DiscoveryConfig {
             top_k,
-            min_reach: 10_000,
+            min_reach: DEFAULT_MIN_REACH,
             arity: 2,
             seed: 7,
         }
@@ -460,7 +568,7 @@ mod tests {
     fn ranking_is_monotone_and_eligible() {
         let target = AuditTarget::for_platform(&sim().linkedin, sim());
         let survey = survey_individuals(&target).unwrap();
-        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, DEFAULT_MIN_REACH);
         assert!(!ranked.is_empty());
         let ratios: Vec<f64> = ranked
             .iter()
@@ -471,9 +579,9 @@ mod tests {
             "descending for Toward"
         );
         for &i in &ranked {
-            assert!(survey.entries[i].measurement.total >= 10_000);
+            assert!(survey.entries[i].measurement.total >= DEFAULT_MIN_REACH);
         }
-        let ranked_against = rank_individuals(&survey, MALE, Direction::Against, 10_000);
+        let ranked_against = rank_individuals(&survey, MALE, Direction::Against, DEFAULT_MIN_REACH);
         let r2: Vec<f64> = ranked_against
             .iter()
             .map(|&i| survey.entries[i].ratio(&survey.base, MALE).unwrap())
@@ -485,7 +593,7 @@ mod tests {
     fn top_compositions_beat_individuals_on_average() {
         let target = AuditTarget::for_platform(&sim().linkedin, sim());
         let survey = survey_individuals(&target).unwrap();
-        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, DEFAULT_MIN_REACH);
         let top = top_compositions(&target, &survey, &ranked, &cfg(60)).unwrap();
         assert!(!top.is_empty());
         let top_median = {
@@ -511,7 +619,7 @@ mod tests {
         // All compositions have the configured arity and reach.
         for t in &top {
             assert_eq!(t.attrs.len(), 2);
-            assert!(t.measurement.total >= 10_000);
+            assert!(t.measurement.total >= DEFAULT_MIN_REACH);
         }
     }
 
@@ -519,7 +627,7 @@ mod tests {
     fn google_compositions_are_cross_feature() {
         let target = AuditTarget::for_platform(&sim().google, sim());
         let survey = survey_individuals(&target).unwrap();
-        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, DEFAULT_MIN_REACH);
         let top = top_compositions(&target, &survey, &ranked, &cfg(40)).unwrap();
         assert!(!top.is_empty(), "google must find composable pairs");
         for t in &top {
@@ -538,7 +646,7 @@ mod tests {
         for t in &random {
             assert_eq!(t.attrs.len(), 2);
             assert!(seen.insert(t.attrs.clone()), "duplicate pair {:?}", t.attrs);
-            assert!(t.measurement.total >= 10_000);
+            assert!(t.measurement.total >= DEFAULT_MIN_REACH);
             assert!(target.targeting.check(&t.spec).is_ok());
         }
     }
@@ -598,7 +706,7 @@ mod tests {
     fn discovery_is_deterministic_in_seed() {
         let target = AuditTarget::for_platform(&sim().linkedin, sim());
         let survey = survey_individuals(&target).unwrap();
-        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, DEFAULT_MIN_REACH);
         let a = top_compositions(&target, &survey, &ranked, &cfg(30)).unwrap();
         let b = top_compositions(&target, &survey, &ranked, &cfg(30)).unwrap();
         let pa: Vec<_> = a.iter().map(|t| t.attrs.clone()).collect();
@@ -607,10 +715,72 @@ mod tests {
     }
 
     #[test]
+    fn bounded_search_matches_greedy_exactly() {
+        // The branch-and-bound search must be byte-identical to the
+        // greedy scan on direct targets, for both directions and for
+        // cross-feature-only composition rules.
+        for platform in [&sim().linkedin, &sim().facebook, &sim().google] {
+            let target = AuditTarget::for_platform(platform, sim());
+            let survey = survey_individuals(&target).unwrap();
+            for direction in Direction::BOTH {
+                let ranked = rank_individuals(&survey, MALE, direction, DEFAULT_MIN_REACH);
+                let c = cfg(60);
+                let greedy = top_compositions(&target, &survey, &ranked, &c).unwrap();
+                let bounded =
+                    top_compositions_bounded(&target, &survey, &ranked, &c, platform.as_ref())
+                        .unwrap();
+                assert_eq!(greedy, bounded, "{} {direction:?}", platform.label());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_search_prunes_queries_under_a_high_floor() {
+        use crate::metrics::QUERIES_PER_SPEC;
+        // A private simulation so query counters aren't shared with
+        // concurrently running tests.
+        let local = Simulation::build(43, SimScale::Test);
+        let platform = &local.linkedin;
+        let target = AuditTarget::for_platform(platform, &local);
+        let survey = survey_individuals(&target).unwrap();
+        // Floor at the median individual reach: plenty of eligible
+        // individuals, but most pairwise intersections fall below it.
+        let mut totals: Vec<u64> = survey.entries.iter().map(|e| e.measurement.total).collect();
+        totals.sort_unstable();
+        let mut c = cfg(60);
+        c.min_reach = totals[totals.len() / 2].max(DEFAULT_MIN_REACH);
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, c.min_reach);
+        assert!(ranked.len() >= 2, "need at least one candidate pair");
+
+        let before = platform.stats().estimates;
+        let greedy = top_compositions(&target, &survey, &ranked, &c).unwrap();
+        let greedy_queries = platform.stats().estimates - before;
+
+        let before = platform.stats().estimates;
+        let bounded =
+            top_compositions_bounded(&target, &survey, &ranked, &c, platform.as_ref()).unwrap();
+        let bounded_queries = platform.stats().estimates - before;
+
+        assert_eq!(greedy, bounded, "pruning must not change the output");
+        // The oracle is exact on a deterministic direct target, so the
+        // bounded search measures precisely the passing candidates.
+        assert_eq!(
+            bounded_queries,
+            (QUERIES_PER_SPEC * greedy.len()) as u64,
+            "bounded search must measure exactly the survivors"
+        );
+        assert!(
+            bounded_queries < greedy_queries,
+            "a median floor must prune some candidates \
+             (bounded {bounded_queries} vs greedy {greedy_queries})"
+        );
+    }
+
+    #[test]
     fn three_way_composition_on_restricted() {
         let target = AuditTarget::for_platform(&sim().facebook_restricted, sim());
         let survey = survey_individuals(&target).unwrap();
-        let ranked = rank_individuals(&survey, MALE, Direction::Toward, 10_000);
+        let ranked = rank_individuals(&survey, MALE, Direction::Toward, DEFAULT_MIN_REACH);
         let mut c = cfg(20);
         c.arity = 3;
         let top = top_compositions(&target, &survey, &ranked, &c).unwrap();

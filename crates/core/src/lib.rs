@@ -75,7 +75,8 @@ pub mod union_estimate;
 pub use budget::{BudgetedSource, QueryBudget};
 pub use discovery::{
     compose_and_measure, random_compositions, rank_individuals, survey_individuals,
-    top_compositions, Direction, DiscoveryConfig, IndividualSurvey, MeasuredTargeting,
+    top_compositions, top_compositions_bounded, Direction, DiscoveryConfig, IndividualSurvey,
+    MeasuredTargeting, DEFAULT_MIN_REACH,
 };
 pub use distributed::{sched_events_in, ScheduledSource, SchedulerConfig, StoreJournal};
 pub use drift::{drift_between, DriftFinding, DriftReport, RatioMove};

@@ -64,7 +64,7 @@ impl Default for PreflightConfig {
         PreflightConfig {
             low: crate::metrics::FOUR_FIFTHS_LOW,
             high: crate::metrics::FOUR_FIFTHS_HIGH,
-            min_reach: 10_000,
+            min_reach: crate::discovery::DEFAULT_MIN_REACH,
         }
     }
 }

@@ -125,7 +125,7 @@ impl RemovalSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::discovery::survey_individuals;
+    use crate::discovery::{survey_individuals, DEFAULT_MIN_REACH};
     use adcomp_platform::{SimScale, Simulation};
     use adcomp_population::Gender;
     use std::sync::OnceLock;
@@ -140,7 +140,7 @@ mod tests {
     fn small_cfg() -> DiscoveryConfig {
         DiscoveryConfig {
             top_k: 40,
-            min_reach: 10_000,
+            min_reach: DEFAULT_MIN_REACH,
             arity: 2,
             seed: 3,
         }

@@ -181,7 +181,7 @@ fn next_combination(subset: &mut [usize], k: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::discovery::{rank_individuals, survey_individuals, Direction};
+    use crate::discovery::{rank_individuals, survey_individuals, Direction, DEFAULT_MIN_REACH};
     use crate::source::AuditTarget;
     use adcomp_platform::{SimScale, Simulation};
     use adcomp_population::Gender;
@@ -242,7 +242,7 @@ mod tests {
         let target = AuditTarget::for_platform(&sim().facebook, sim());
         let survey = survey_individuals(&target).unwrap();
         let female_class = crate::source::SensitiveClass::Gender(Gender::Female);
-        let ranked = rank_individuals(&survey, female_class, Direction::Toward, 10_000);
+        let ranked = rank_individuals(&survey, female_class, Direction::Toward, DEFAULT_MIN_REACH);
         let specs: Vec<TargetingSpec> = ranked
             .iter()
             .take(5)

@@ -158,17 +158,19 @@ impl From<EvalError> for PlatformError {
 }
 
 /// Per-platform instrument handles, resolved once at construction so the
-/// estimate hot path never touches the registry mutex.
-struct PlatformMetrics {
-    estimates: Arc<Counter>,
-    validation_failures: Arc<Counter>,
-    rate_limited: Arc<Counter>,
-    rounding_applied: Arc<Counter>,
-    estimate_size: Arc<Histogram>,
+/// estimate hot path never touches the registry mutex. Shared with the
+/// segment-backed platform (`crate::segmented`), which instruments the
+/// same counters under its own `platform` label.
+pub(crate) struct PlatformMetrics {
+    pub(crate) estimates: Arc<Counter>,
+    pub(crate) validation_failures: Arc<Counter>,
+    pub(crate) rate_limited: Arc<Counter>,
+    pub(crate) rounding_applied: Arc<Counter>,
+    pub(crate) estimate_size: Arc<Histogram>,
 }
 
 impl PlatformMetrics {
-    fn for_kind(kind: InterfaceKind) -> Self {
+    pub(crate) fn for_kind(kind: InterfaceKind) -> Self {
         let reg = Registry::global();
         let labels: &[(&str, &str)] = &[("platform", kind.label())];
         PlatformMetrics {

@@ -35,9 +35,11 @@ mod interface;
 mod lookalike;
 mod names;
 mod objective;
+mod oracle;
 mod presets;
 mod ratelimit;
 mod retry;
+mod segmented;
 
 pub use api::PlatformApi;
 pub use catalog::{Catalog, CatalogEntry, CategorySpec, SkewProfile};
@@ -47,8 +49,10 @@ pub use faults::{FaultKind, FaultPlan, FaultRule, FaultStats, FaultyPlatform, Sc
 pub use interface::{AdPlatform, EstimateRequest, InterfaceKind, PlatformConfig, PlatformError};
 pub use lookalike::{LookalikeConfig, LookalikeError, MIN_SEED};
 pub use objective::{FrequencyCap, Objective};
+pub use oracle::ReachOracle;
 pub use presets::{
     build_facebook, build_facebook_restricted, build_google, build_linkedin, SimScale, Simulation,
 };
 pub use ratelimit::{QueryStats, TokenBucket};
 pub use retry::{CircuitBreaker, CircuitState, RetryPolicy};
+pub use segmented::SegmentedPlatform;

@@ -1,0 +1,266 @@
+//! Ground-truth reach oracles for bounded composition search.
+//!
+//! The greedy discovery of `adcomp-core` measures every sampled candidate
+//! with seven estimate queries and then discards the ones below the
+//! min-reach floor. Most of that work is wasted when the floor is high:
+//! `|A ∧ B| ≤ min(|A|, |B|)`, so a candidate whose smallest member is
+//! already below the floor can never pass, and a thresholded intersection
+//! can decide the reach test without materialising the intersection or
+//! touching demographics at all.
+//!
+//! [`ReachOracle`] is that decision surface. It answers three questions —
+//! an attribute's exact audience size, the audience size a given rounded
+//! estimate requires, and whether an AND of attributes reaches a size
+//! threshold — and nothing else, so the search in `adcomp-core` stays
+//! byte-identical to the greedy scan: the oracle only *rules out*
+//! candidates that the measurement filter would rule out anyway, and
+//! every surviving candidate is still measured through the ordinary
+//! estimate path.
+//!
+//! Implementations must be **consistent with the platform's estimates**:
+//! `and_reaches(attrs, min_len_for_estimate(m))` must be `true` exactly
+//! when the platform's rounded estimate of `AND(attrs)` is `≥ m`. Both
+//! implementations here derive from the same audience bitsets and the
+//! same rounding ladder the estimate path uses, so the equivalence is
+//! structural. When an oracle cannot decide (I/O failure on a
+//! segment-backed store, unknown attribute), it must err on the side of
+//! `true` — an over-approximation only costs a measurement, never an
+//! output difference.
+
+use adcomp_targeting::AttributeId;
+
+use crate::estimate::EstimateKind;
+use crate::interface::{AdPlatform, PlatformConfig};
+use crate::objective::FrequencyCap;
+
+/// Answers reach-threshold questions about AND-compositions from ground
+/// truth, without issuing advertiser-visible estimate queries.
+pub trait ReachOracle: Send + Sync {
+    /// Exact audience size of a single catalog attribute, or `None` for
+    /// an unknown id.
+    fn attribute_len(&self, id: AttributeId) -> Option<u64>;
+
+    /// The smallest exact audience length whose advertiser-visible
+    /// estimate is `≥ min_estimate` (under the platform's default
+    /// request settings). Returns `n_users + 1` when no length qualifies.
+    fn min_len_for_estimate(&self, min_estimate: u64) -> u64;
+
+    /// Whether `|AND(attrs)| ≥ threshold_len`. Must return `true` when
+    /// undecidable (unknown attribute, storage failure).
+    fn and_reaches(&self, attrs: &[AttributeId], threshold_len: u64) -> bool;
+}
+
+/// The advertiser-visible estimate a platform would report for an exact
+/// audience length, under the default request settings the audit uses
+/// ([`FrequencyCap::most_restrictive`]). This is the same
+/// scale-multiply-round pipeline as `reach_estimate`, expressed as a pure
+/// function of the length.
+pub(crate) fn estimate_for_len(config: &PlatformConfig, scale: f64, len: u64) -> u64 {
+    let mut value = len as f64 * scale;
+    if config.estimate_kind == EstimateKind::Impressions {
+        value *= FrequencyCap::most_restrictive().impressions_multiplier();
+    }
+    config.rounding.apply(value.round() as u64)
+}
+
+/// Smallest length in `0..=n_users` whose estimate is `≥ min_estimate`,
+/// or `n_users + 1` when even the full universe falls short. Binary
+/// search is exact because [`estimate_for_len`] is monotone in `len`
+/// (positive scale, monotone rounding ladder).
+pub(crate) fn min_len_reaching(
+    config: &PlatformConfig,
+    scale: f64,
+    n_users: u64,
+    min_estimate: u64,
+) -> u64 {
+    if estimate_for_len(config, scale, n_users) < min_estimate {
+        return n_users + 1;
+    }
+    let (mut lo, mut hi) = (0u64, n_users);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if estimate_for_len(config, scale, mid) >= min_estimate {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+impl ReachOracle for AdPlatform {
+    fn attribute_len(&self, id: AttributeId) -> Option<u64> {
+        self.attribute_audience_raw(id.0 as usize).map(|a| a.len())
+    }
+
+    fn min_len_for_estimate(&self, min_estimate: u64) -> u64 {
+        min_len_reaching(
+            self.config(),
+            self.universe().scale(),
+            self.universe().n_users() as u64,
+            min_estimate,
+        )
+    }
+
+    fn and_reaches(&self, attrs: &[AttributeId], threshold_len: u64) -> bool {
+        let mut audiences = Vec::with_capacity(attrs.len());
+        for &id in attrs {
+            match self.attribute_audience_raw(id.0 as usize) {
+                Some(a) => audiences.push(a),
+                None => return true, // undecidable: let measurement decide
+            }
+        }
+        match audiences.len() {
+            0 => self.universe().n_users() as u64 >= threshold_len,
+            1 => audiences[0].len() >= threshold_len,
+            _ => {
+                // Smallest operands first: the running intersection
+                // shrinks fastest and the upper bound fails earliest.
+                audiences.sort_by_key(|a| a.len());
+                if audiences[0].len() < threshold_len {
+                    return false;
+                }
+                let mut acc = None;
+                for pair in 0..audiences.len() - 1 {
+                    let next = audiences[pair + 1];
+                    let last = pair + 1 == audiences.len() - 1;
+                    match acc {
+                        None if last => {
+                            return audiences[0].intersection_len_at_least(next, threshold_len)
+                        }
+                        None => acc = Some(audiences[0].and(next)),
+                        Some(cur) if last => {
+                            return cur.intersection_len_at_least(next, threshold_len)
+                        }
+                        Some(cur) => {
+                            let cur = cur.and(next);
+                            if cur.len() < threshold_len {
+                                return false;
+                            }
+                            acc = Some(cur);
+                        }
+                    }
+                }
+                unreachable!("arity ≥ 2 always returns from the final pair")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, CategorySpec, SkewProfile};
+    use crate::estimate::RoundingRule;
+    use crate::interface::{EstimateRequest, InterfaceKind};
+    use crate::objective::Objective;
+    use adcomp_population::{DemographicProfile, Universe, UniverseConfig};
+    use adcomp_targeting::{Capabilities, FeatureId, TargetingSpec};
+    use std::sync::Arc;
+
+    fn platform(rounding: RoundingRule, scale: f64) -> AdPlatform {
+        let universe = Arc::new(Universe::generate(&UniverseConfig {
+            n_users: 30_000,
+            seed: 11,
+            scale,
+            profile: DemographicProfile::balanced(),
+        }));
+        let catalog = Catalog::generate(
+            11,
+            &[CategorySpec {
+                name: "Games",
+                domain: "games",
+                feature: FeatureId(0),
+                count: 12,
+                skew: SkewProfile::neutral().lean_male(0.5),
+            }],
+        );
+        AdPlatform::new(
+            PlatformConfig {
+                kind: InterfaceKind::FacebookNormal,
+                capabilities: Capabilities::permissive(),
+                rounding,
+                estimate_kind: EstimateKind::Users,
+                supported_objectives: vec![Objective::Reach],
+                default_objective: Objective::Reach,
+            },
+            universe,
+            catalog,
+        )
+    }
+
+    #[test]
+    fn threshold_inverts_the_estimate_exactly() {
+        for (rounding, scale) in [
+            (RoundingRule::facebook(), 1_000.0),
+            (RoundingRule::google(), 37.5),
+            (RoundingRule::linkedin(), 250.0),
+            (RoundingRule::Exact, 1.0),
+        ] {
+            let p = platform(rounding, scale);
+            let n = p.universe().n_users() as u64;
+            for min_estimate in [1u64, 300, 10_000, 1_000_000, u64::MAX / 2] {
+                let t = p.min_len_for_estimate(min_estimate);
+                // t is the exact boundary: len ≥ t ⟺ estimate ≥ min.
+                if t > 0 && t <= n {
+                    assert!(
+                        estimate_for_len(p.config(), scale, t - 1) < min_estimate,
+                        "{rounding:?} min {min_estimate}: t={t} not minimal"
+                    );
+                }
+                if t <= n {
+                    assert!(
+                        estimate_for_len(p.config(), scale, t) >= min_estimate,
+                        "{rounding:?} min {min_estimate}: t={t} does not reach"
+                    );
+                } else {
+                    assert!(estimate_for_len(p.config(), scale, n) < min_estimate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_reaches_agrees_with_measured_estimates() {
+        let p = platform(RoundingRule::facebook(), 1_000.0);
+        let min_reach = 10_000u64;
+        let t = p.min_len_for_estimate(min_reach);
+        for a in 0..6u32 {
+            for b in (a + 1)..6u32 {
+                let pair = [AttributeId(a), AttributeId(b)];
+                let spec = TargetingSpec::and_of(pair);
+                let est = p
+                    .reach_estimate(&EstimateRequest::new(spec, Objective::Reach))
+                    .unwrap()
+                    .value;
+                assert_eq!(
+                    p.and_reaches(&pair, t),
+                    est >= min_reach,
+                    "pair ({a},{b}): estimate {est}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_reaches_handles_degenerate_inputs() {
+        let p = platform(RoundingRule::facebook(), 1_000.0);
+        let n = p.universe().n_users() as u64;
+        assert!(p.and_reaches(&[], n));
+        assert!(!p.and_reaches(&[], n + 1));
+        let single = [AttributeId(0)];
+        let len = p.attribute_len(AttributeId(0)).unwrap();
+        assert!(p.and_reaches(&single, len));
+        assert!(!p.and_reaches(&single, len + 1));
+        // Unknown attribute: undecidable, must not prune.
+        assert!(p.and_reaches(&[AttributeId(0), AttributeId(9_999)], u64::MAX));
+        // Triples exercise the materialising path.
+        let triple = [AttributeId(0), AttributeId(1), AttributeId(2)];
+        let exact = p
+            .exact_audience(&TargetingSpec::and_of(triple))
+            .unwrap()
+            .len();
+        assert!(p.and_reaches(&triple, exact));
+        assert!(!p.and_reaches(&triple, exact + 1));
+    }
+}

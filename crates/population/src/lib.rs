@@ -60,10 +60,12 @@
 mod demographics;
 mod hash;
 mod latent;
+pub mod segment;
 mod universe;
 
 pub use demographics::{AgeBucket, DemographicProfile, Demographics, Gender};
 pub use latent::{AttributeModel, LATENT_DIMS};
+pub use segment::{CacheStats, SegmentAudience, SegmentError, SegmentStore, SEGMENT_ALIGN};
 pub use universe::{Universe, UniverseConfig};
 
 pub(crate) use hash::{mix, normal_f32, uniform_f64};

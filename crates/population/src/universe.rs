@@ -85,9 +85,16 @@ impl Universe {
             gender_ids[d.gender.index()].push(user as u32);
             age_ids[d.age.index()].push(user as u32);
         }
-        let by_gender = gender_ids.map(Bitset::from_sorted_iter);
-        let by_age = age_ids.map(Bitset::from_sorted_iter);
-        let everyone = Bitset::from_sorted_iter(0..config.n_users);
+        let mut by_gender = gender_ids.map(Bitset::from_sorted_iter);
+        let mut by_age = age_ids.map(Bitset::from_sorted_iter);
+        let mut everyone = Bitset::from_sorted_iter(0..config.n_users);
+        // Demographic audiences are heavily clustered (everyone is one
+        // contiguous run); run encoding shrinks them where it helps and
+        // is a no-op where it does not.
+        for b in by_gender.iter_mut().chain(by_age.iter_mut()) {
+            b.run_optimize();
+        }
+        everyone.run_optimize();
 
         Universe {
             config: config.clone(),
@@ -205,7 +212,16 @@ impl std::fmt::Debug for Universe {
 }
 
 /// Fills demographics and latent vectors for users starting at `start`.
-fn fill_users(config: &UniverseConfig, start: u32, demos: &mut [u8], latents: &mut [f32]) {
+///
+/// Shared with the streamed segment generator ([`crate::segment`]): every
+/// per-user quantity is a pure function of `(seed, user id)`, so any
+/// partition of the id space produces byte-identical users.
+pub(crate) fn fill_users(
+    config: &UniverseConfig,
+    start: u32,
+    demos: &mut [u8],
+    latents: &mut [f32],
+) {
     let age_cdf = config.profile.age_cdf();
     for (offset, packed) in demos.iter_mut().enumerate() {
         let user = start + offset as u32;

@@ -2,7 +2,8 @@
 //! prior adherence, determinism, and monotonicity of the attribute model.
 
 use adcomp_population::{
-    AgeBucket, AttributeModel, DemographicProfile, Gender, Universe, UniverseConfig,
+    AgeBucket, AttributeModel, DemographicProfile, Gender, SegmentAudience, SegmentStore, Universe,
+    UniverseConfig, SEGMENT_ALIGN,
 };
 use proptest::prelude::*;
 
@@ -103,6 +104,52 @@ proptest! {
         let female_rate = audience.intersection_len(females) as f64 / females.len() as f64;
         prop_assert!(male_rate > female_rate,
                      "bias {bias}: male {male_rate} vs female {female_rate}");
+    }
+
+    #[test]
+    fn streamed_segments_match_monolithic_generator(
+        seed in 0u64..500, extra in 0u32..30_000, p in 0.05f64..0.4)
+    {
+        // A 2-segment streamed universe must be byte-identical to the
+        // monolithic generator: same demographic audiences, same
+        // attribute memberships, value for value.
+        let config = UniverseConfig {
+            n_users: SEGMENT_ALIGN + 1 + extra, // always spills into segment 2
+            seed,
+            scale: 1.0,
+            profile: DemographicProfile::balanced(),
+        };
+        let models = [
+            AttributeModel::new(seed ^ 0xA1).popularity(p),
+            AttributeModel::new(seed ^ 0xB2).popularity(p).gender_bias(0.6),
+        ];
+        let dir = std::env::temp_dir().join(format!(
+            "adcomp-prop-segment-{}-{seed}-{extra}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SegmentStore::create(&dir, &config, SEGMENT_ALIGN, &models, 1 << 22).unwrap();
+        prop_assert_eq!(store.n_segments(), 2);
+        let universe = Universe::generate(&config);
+        prop_assert_eq!(
+            &store.assemble(SegmentAudience::Everyone).unwrap(),
+            universe.everyone()
+        );
+        for g in [Gender::Male, Gender::Female] {
+            prop_assert_eq!(
+                &store.assemble(SegmentAudience::Gender(g)).unwrap(),
+                universe.gender_audience(g)
+            );
+        }
+        for (i, m) in models.iter().enumerate() {
+            let streamed = store.assemble(SegmentAudience::Attribute(i as u32)).unwrap();
+            let mono = universe.materialize(m);
+            prop_assert_eq!(
+                streamed.iter().collect::<Vec<_>>(),
+                mono.iter().collect::<Vec<_>>()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
