@@ -12,7 +12,7 @@
 //! Whiskers span p10..p90, the box p25..p75, `|` inside the box is the
 //! median. Values are clamped into the plot range.
 
-use adcomp_core::BoxStats;
+use adcomp_core::{BoxStats, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW};
 
 /// A rendered plot row.
 #[derive(Clone, Debug)]
@@ -59,7 +59,7 @@ pub fn render_log2(rows: &[PlotRow], lo: f64, hi: f64, width: usize) -> String {
         cells[med] = 'M';
         // Four-fifths guides, where they fall inside the range and are
         // not covered by the box.
-        for guide in [0.8, 1.25] {
+        for guide in [FOUR_FIFTHS_LOW, FOUR_FIFTHS_HIGH] {
             if guide > lo && guide < hi {
                 let g = pos(guide);
                 if cells[g] == ' ' || cells[g] == '-' {

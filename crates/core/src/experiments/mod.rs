@@ -10,12 +10,14 @@
 //! | [`methodology`] | §3 — estimate consistency and granularity probes |
 //! | [`report`] | Markdown rendering of a full reproduction run |
 //! | [`lookalike_exp`] | Extension: lookalike / Special-Ad-Audience skew |
+//! | [`delivery_exp`] | Extension: paired-ad delivery-skew audit (Imana et al.) |
 //!
 //! All drivers share an [`ExperimentContext`] that owns the simulated
 //! platforms and caches the per-interface individual surveys (the audit's
 //! most expensive step, shared by every experiment exactly as the paper's
 //! crawl data was).
 
+pub mod delivery_exp;
 pub mod distributions;
 pub mod examples;
 pub mod lookalike_exp;

@@ -85,7 +85,7 @@ pub use epoch::{epoch_digest, run_epoch, EpochOutcome, EpochPlan};
 pub use metrics::{
     four_fifths_band, measure_spec, measure_spec_batch, ratio_bounds, recall_of, rep_ratio,
     rep_ratio_of, RatioBounds, SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
-    QUERIES_PER_SPEC,
+    FOUR_FIFTHS_THRESHOLD, QUERIES_PER_SPEC,
 };
 pub use mitigation::{
     AdvertiserMonitor, AdvertiserReport, PreflightConfig, PreflightGate, PreflightVerdict,

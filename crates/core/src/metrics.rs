@@ -20,12 +20,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::source::{AuditTarget, SensitiveClass, SourceError};
 
-/// Four-fifths-rule thresholds (Biddle; EEOC practice): a ratio above
-/// `1/0.8 = 1.25` over-represents the class, below `0.8` under-represents
-/// it.
-pub const FOUR_FIFTHS_LOW: f64 = 0.8;
-/// Upper threshold of the four-fifths band.
-pub const FOUR_FIFTHS_HIGH: f64 = 1.25;
+/// *The* four-fifths threshold (Biddle; EEOC practice): a selection rate
+/// below four fifths of the most-favoured group's is treated as evidence
+/// of adverse impact. Every `0.8` in the codebase is this constant; the
+/// band edges below are derived from it.
+pub const FOUR_FIFTHS_THRESHOLD: f64 = 0.8;
+/// Lower edge of the four-fifths band: a ratio below it under-represents
+/// the class.
+pub const FOUR_FIFTHS_LOW: f64 = FOUR_FIFTHS_THRESHOLD;
+/// Upper edge of the four-fifths band (`1/0.8 = 1.25`): a ratio above it
+/// over-represents the class.
+pub const FOUR_FIFTHS_HIGH: f64 = 1.0 / FOUR_FIFTHS_THRESHOLD;
 
 /// Where a ratio falls relative to the four-fifths band.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -271,7 +271,8 @@ mod tests {
             PreflightVerdict::Flag { violations } => {
                 assert!(violations
                     .iter()
-                    .any(|(c, r)| *c == SensitiveClass::Gender(Gender::Male) && *r > 1.25));
+                    .any(|(c, r)| *c == SensitiveClass::Gender(Gender::Male)
+                        && *r > crate::metrics::FOUR_FIFTHS_HIGH));
             }
             other => panic!("expected Flag, got {other:?}"),
         }

@@ -2,7 +2,10 @@
 //! flag exactly the measurements whose ratios leave the band, and the
 //! advertiser monitor's flagging must be monotone in skew exposure.
 
-use adcomp_core::{rep_ratio_of, AdvertiserMonitor, SensitiveClass, SpecMeasurement};
+use adcomp_core::{
+    rep_ratio_of, AdvertiserMonitor, SensitiveClass, SpecMeasurement, FOUR_FIFTHS_HIGH,
+    FOUR_FIFTHS_LOW,
+};
 use proptest::prelude::*;
 
 fn measurement(male: u64, female: u64, ages: [u64; 4]) -> SpecMeasurement {
@@ -29,7 +32,7 @@ proptest! {
         let base = balanced_base();
         let m = measurement(male, 1_050_000, [500_000; 4]);
         let male_ratio = rep_ratio_of(&m, &base, SensitiveClass::ALL[0]).unwrap();
-        prop_assume!((0.8..=1.25).contains(&male_ratio));
+        prop_assume!((FOUR_FIFTHS_LOW..=FOUR_FIFTHS_HIGH).contains(&male_ratio));
         let mut monitor = AdvertiserMonitor::new(0.5, 0.2, 1);
         for _ in 0..campaigns {
             monitor.observe("adv", &m, &base);

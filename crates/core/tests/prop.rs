@@ -3,7 +3,7 @@
 
 use adcomp_core::{
     four_fifths_band, percentile, ratio_bounds, rep_ratio, BoxStats, SensitiveClass, SkewBand,
-    SpecMeasurement,
+    SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,
 };
 use adcomp_platform::RoundingRule;
 use adcomp_population::Gender;
@@ -62,9 +62,9 @@ proptest! {
     fn four_fifths_band_partitions_line(r in 0.0f64..100.0) {
         let band = four_fifths_band(r);
         match band {
-            SkewBand::Under => prop_assert!(r < 0.8),
-            SkewBand::Within => prop_assert!((0.8..=1.25).contains(&r)),
-            SkewBand::Over => prop_assert!(r > 1.25),
+            SkewBand::Under => prop_assert!(r < FOUR_FIFTHS_LOW),
+            SkewBand::Within => prop_assert!((FOUR_FIFTHS_LOW..=FOUR_FIFTHS_HIGH).contains(&r)),
+            SkewBand::Over => prop_assert!(r > FOUR_FIFTHS_HIGH),
         }
     }
 

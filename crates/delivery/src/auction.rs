@@ -1,0 +1,120 @@
+//! Second-price auctions over pacing-throttled relevance bids.
+//!
+//! Each ad opportunity runs one generalized-second-price auction with a
+//! single slot: the highest effective bid wins and pays the second
+//! highest (or the reserve when unopposed). Effective bids are
+//! `max_bid × pacing multiplier × relevance`, floored to integer micros,
+//! so the whole auction is exact integer arithmetic over deterministic
+//! inputs. Ties break toward the lower campaign id — never toward
+//! submission order — which is what makes outcomes permutation-invariant.
+
+/// Reserve price in micro-currency: bids below it are not admitted, and
+/// an unopposed winner pays it.
+pub const RESERVE_MICROS: u64 = 1_000;
+
+/// One admitted bid: `(bid_micros, roster index)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bid {
+    /// Effective bid in micros (≥ [`RESERVE_MICROS`]).
+    pub amount_micros: u64,
+    /// Roster index of the bidding campaign (id order).
+    pub campaign: usize,
+}
+
+/// Computes the effective bid of one campaign for one opportunity, or
+/// `None` when the bid falls below the reserve.
+///
+/// `relevance` is the creative's predicted engagement probability for
+/// this user in `(0, 1)`; `pacing` the campaign's current multiplier.
+pub fn effective_bid(max_bid_micros: u64, pacing: f64, relevance: f64) -> Option<u64> {
+    let bid = (max_bid_micros as f64 * pacing * relevance).floor() as u64;
+    (bid >= RESERVE_MICROS).then_some(bid)
+}
+
+/// Resolves one single-slot second-price auction over the admitted bids:
+/// returns the winning roster index and the price it pays, or `None`
+/// when no bid was admitted.
+///
+/// The price is the highest competing bid, floored at the reserve; it
+/// never exceeds the winner's own bid. The winner is the highest bid,
+/// ties broken toward the lower roster index (= lower campaign id).
+pub fn resolve_auction(bids: &[Bid]) -> Option<(usize, u64)> {
+    let mut best: Option<Bid> = None;
+    let mut second: u64 = 0;
+    for &bid in bids {
+        match best {
+            None => best = Some(bid),
+            Some(current) => {
+                if bid.amount_micros > current.amount_micros
+                    || (bid.amount_micros == current.amount_micros
+                        && bid.campaign < current.campaign)
+                {
+                    second = second.max(current.amount_micros);
+                    best = Some(bid);
+                } else {
+                    second = second.max(bid.amount_micros);
+                }
+            }
+        }
+    }
+    best.map(|winner| (winner.campaign, second.max(RESERVE_MICROS)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(amount: u64, campaign: usize) -> Bid {
+        Bid {
+            amount_micros: amount,
+            campaign,
+        }
+    }
+
+    #[test]
+    fn winner_pays_second_price() {
+        let (winner, price) =
+            resolve_auction(&[bid(5_000, 0), bid(9_000, 1), bid(3_000, 2)]).expect("bids admitted");
+        assert_eq!(winner, 1);
+        assert_eq!(price, 5_000);
+    }
+
+    #[test]
+    fn unopposed_winner_pays_reserve() {
+        let (winner, price) = resolve_auction(&[bid(8_000, 3)]).unwrap();
+        assert_eq!(winner, 3);
+        assert_eq!(price, RESERVE_MICROS);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_id_any_order() {
+        for order in [
+            vec![bid(7_000, 2), bid(7_000, 1), bid(4_000, 0)],
+            vec![bid(4_000, 0), bid(7_000, 1), bid(7_000, 2)],
+            vec![bid(7_000, 1), bid(4_000, 0), bid(7_000, 2)],
+        ] {
+            let (winner, price) = resolve_auction(&order).unwrap();
+            assert_eq!(winner, 1, "order {order:?}");
+            assert_eq!(price, 7_000, "tie means price = winning bid");
+        }
+    }
+
+    #[test]
+    fn empty_auction_is_unfilled() {
+        assert_eq!(resolve_auction(&[]), None);
+    }
+
+    #[test]
+    fn price_never_exceeds_winning_bid() {
+        let (_, price) = resolve_auction(&[bid(2_000, 0), bid(1_500, 1)]).unwrap();
+        assert!(price <= 2_000);
+        assert_eq!(price, 1_500);
+    }
+
+    #[test]
+    fn sub_reserve_bids_rejected_at_the_gate() {
+        assert_eq!(effective_bid(10_000, 1.0, 0.05), None);
+        assert_eq!(effective_bid(10_000, 0.5, 0.9), Some(4_500));
+        assert_eq!(effective_bid(0, 1.0, 0.99), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic ad-delivery simulation: the *second* stage of the ads
+//! pipeline, downstream of the targeting surface the paper audits.
+//!
+//! The paper measures discrimination in *targeting* — who an advertiser
+//! **may** reach. The strongest related work (Ali et al., "Discrimination
+//! through optimization", arXiv 1904.02095; Imana et al., "Auditing for
+//! Discrimination in Algorithms Delivering Job Ads", arXiv 2104.04502)
+//! shows the *delivery* stage introduces its own demographic skew even
+//! under neutral targeting, because the platform's auction ranks ads by
+//! predicted per-user relevance. This crate reproduces that mechanism on
+//! the simulated platforms:
+//!
+//! * [`campaign`] — advertiser campaigns: a targeting spec, a *creative*
+//!   modelled as an [`AttributeModel`] (its loadings are the creative
+//!   vector, its gender/age biases the demographic load), a budget, a
+//!   maximum bid, and a per-user frequency cap;
+//! * [`auction`] — per-opportunity second-price auctions over the
+//!   campaigns' pacing-throttled relevance bids;
+//! * [`pacing`] — multiplicative budget pacing: per-window multipliers
+//!   that smooth each campaign's spend across the delivery horizon;
+//! * [`engine`] — the delivery loop: a seeded opportunity stream drawn
+//!   with the per-shard RNG pattern from `random_compositions`
+//!   (stream = pure function of `(seed, round)`, advanced by counters and
+//!   never by outcomes), a parallel relevance-scoring stage, and a serial
+//!   auction/settlement pass that is byte-identical for any thread count.
+//!
+//! Everything is integer micro-currency and seeded draws, so a delivery
+//! run is a pure function of `(universe, campaigns, config)` — the
+//! property the delivery-skew audits in `adcomp-core` rely on when they
+//! compare serial, pooled-engine, and sched-distributed runs.
+//!
+//! Instrumentation: `adcomp_delivery_*` counters and the price histogram
+//! (auctions run, impressions won, pacing throttles, frequency-cap hits,
+//! unfilled opportunities) via `adcomp-obs`.
+//!
+//! [`AttributeModel`]: adcomp_population::AttributeModel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod campaign;
+pub mod engine;
+pub mod pacing;
+
+pub use auction::{resolve_auction, Bid, RESERVE_MICROS};
+pub use campaign::{Campaign, CampaignId, DeliverySetup};
+pub use engine::{deliver, DeliveredTally, DeliveryConfig, DeliveryOutcome, Impression};
+pub use pacing::{PacingController, PACE_DOWN, PACE_MIN, PACE_UP};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rounds per opportunity-draw RNG stream — the same unit size as the
+/// `random_compositions` candidate schedule in `adcomp-core`, and for
+/// the same reason: round `r` draws its user from stream `r / DRAW_UNIT`,
+/// so the opportunity stream is a pure function of `(seed, round)` and a
+/// sharded or pooled run reproduces any slice of it locally.
+pub const DRAW_UNIT: u64 = 64;
+
+/// splitmix64 finalizer — decorrelates the per-unit seeds derived from
+/// one base seed (mirrors `adcomp-core`'s discovery schedule).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The RNG stream for opportunity-draw unit `unit` of a delivery run
+/// seeded with `seed`.
+pub fn draw_unit_rng(seed: u64, unit: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64((seed ^ 0x0DE1_17E4).wrapping_add(unit)))
+}

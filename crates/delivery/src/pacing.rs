@@ -1,0 +1,110 @@
+//! Multiplicative budget pacing.
+//!
+//! Real delivery systems smooth a campaign's spend over its flight
+//! instead of letting it exhaust the budget in the first minutes. The
+//! standard mechanism (and the one modelled here) is a per-campaign
+//! *pacing multiplier* applied to every bid: at the end of each pacing
+//! window the controller compares actual spend against the linear spend
+//! schedule `budget × rounds_elapsed / total_rounds` and nudges the
+//! multiplier down when the campaign runs ahead (a *throttle*) or back
+//! up when it runs behind. The multiplier is clamped to
+//! `[PACE_MIN, 1.0]` — pacing can only throttle, never amplify, a bid.
+//!
+//! The controller is a pure function of the spend history, so a delivery
+//! run's pacing trajectory is deterministic and thread-count independent.
+
+/// Multiplier decay applied when a campaign spends ahead of schedule.
+pub const PACE_DOWN: f64 = 0.7;
+/// Multiplier growth applied when a campaign spends behind schedule.
+pub const PACE_UP: f64 = 1.15;
+/// Floor of the pacing multiplier: a throttled campaign keeps bidding a
+/// trickle, so it recovers once the schedule catches up.
+pub const PACE_MIN: f64 = 0.05;
+
+/// Per-campaign pacing state across one delivery run.
+#[derive(Clone, Debug)]
+pub struct PacingController {
+    budget_micros: u64,
+    total_rounds: u64,
+    multiplier: f64,
+    throttles: u64,
+}
+
+impl PacingController {
+    /// A controller for a campaign with `budget_micros` over
+    /// `total_rounds` rounds, starting unthrottled.
+    pub fn new(budget_micros: u64, total_rounds: u64) -> PacingController {
+        PacingController {
+            budget_micros,
+            total_rounds: total_rounds.max(1),
+            multiplier: 1.0,
+            throttles: 0,
+        }
+    }
+
+    /// The current bid multiplier in `[PACE_MIN, 1.0]`.
+    pub fn multiplier(&self) -> f64 {
+        self.multiplier
+    }
+
+    /// Times the controller throttled (ran ahead of schedule).
+    pub fn throttles(&self) -> u64 {
+        self.throttles
+    }
+
+    /// The linear spend schedule at `rounds_elapsed`.
+    pub fn scheduled_spend(&self, rounds_elapsed: u64) -> u64 {
+        ((self.budget_micros as u128 * rounds_elapsed as u128) / self.total_rounds as u128) as u64
+    }
+
+    /// Window-boundary update: compares `spent_micros` (cumulative) with
+    /// the schedule at `rounds_elapsed` and adjusts the multiplier.
+    pub fn on_window(&mut self, spent_micros: u64, rounds_elapsed: u64) {
+        let scheduled = self.scheduled_spend(rounds_elapsed);
+        if spent_micros > scheduled {
+            self.multiplier = (self.multiplier * PACE_DOWN).max(PACE_MIN);
+            self.throttles += 1;
+        } else if spent_micros < scheduled {
+            self.multiplier = (self.multiplier * PACE_UP).min(1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttles_when_ahead_recovers_when_behind() {
+        let mut p = PacingController::new(1_000_000, 1_000);
+        // Spent the whole budget after 100 rounds: way ahead.
+        p.on_window(1_000_000, 100);
+        assert!(p.multiplier() < 1.0);
+        assert_eq!(p.throttles(), 1);
+        let throttled = p.multiplier();
+        // Now behind schedule: multiplier recovers but never exceeds 1.
+        p.on_window(0, 900);
+        assert!(p.multiplier() > throttled);
+        for _ in 0..100 {
+            p.on_window(0, 999);
+        }
+        assert!(p.multiplier() <= 1.0);
+    }
+
+    #[test]
+    fn multiplier_never_leaves_clamp() {
+        let mut p = PacingController::new(10, 10);
+        for round in 0..1_000u64 {
+            p.on_window(u64::from(round % 2 == 0) * 10, round % 10 + 1);
+            assert!(p.multiplier() >= PACE_MIN && p.multiplier() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn schedule_is_linear_and_exact_at_the_ends() {
+        let p = PacingController::new(999, 7);
+        assert_eq!(p.scheduled_spend(0), 0);
+        assert_eq!(p.scheduled_spend(7), 999);
+        assert!(p.scheduled_spend(3) <= 999 * 3 / 7 + 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the delivery invariants (ISSUE 9):
+//!
+//! * total spend never exceeds any campaign's budget;
+//! * no user exceeds a campaign's frequency cap;
+//! * auction outcomes are permutation-invariant in campaign submission
+//!   order;
+//! * identical seeds yield identical impression logs.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use adcomp_delivery::{deliver, Campaign, CampaignId, DeliveryConfig, DeliverySetup};
+use adcomp_population::{AttributeModel, DemographicProfile, Universe, UniverseConfig};
+use adcomp_targeting::TargetingSpec;
+use proptest::prelude::*;
+
+fn universe() -> &'static Universe {
+    static U: OnceLock<Universe> = OnceLock::new();
+    U.get_or_init(|| {
+        Universe::generate(&UniverseConfig {
+            n_users: 2_500,
+            seed: 404,
+            scale: 1.0,
+            profile: DemographicProfile::balanced(),
+        })
+    })
+}
+
+/// An arbitrary campaign: budgets tight enough to exhaust, biases wide
+/// enough to produce one-sided auctions, caps down to 1.
+fn arb_campaign(id: u32) -> impl Strategy<Value = Campaign> {
+    (
+        50_000u64..4_000_000,
+        20_000u64..120_000,
+        1u32..4,
+        -2.0f32..2.0,
+        0.05f64..0.9,
+    )
+        .prop_map(
+            move |(budget, max_bid, cap, gender_bias, popularity)| Campaign {
+                id: CampaignId(id),
+                name: format!("c{id}"),
+                targeting: TargetingSpec::everyone(),
+                creative: AttributeModel::new(1_000 + u64::from(id))
+                    .popularity(popularity)
+                    .gender_bias(gender_bias),
+                budget_micros: budget,
+                max_bid_micros: max_bid,
+                frequency_cap: cap,
+            },
+        )
+}
+
+fn arb_roster() -> impl Strategy<Value = Vec<Campaign>> {
+    (
+        arb_campaign(0),
+        arb_campaign(1),
+        arb_campaign(2),
+        arb_campaign(3),
+    )
+        .prop_map(|(a, b, c, d)| vec![a, b, c, d])
+}
+
+fn run(
+    campaigns: Vec<Campaign>,
+    rounds: u64,
+    seed: u64,
+) -> (DeliverySetup, adcomp_delivery::DeliveryOutcome) {
+    let u = universe();
+    let setup = DeliverySetup::new(campaigns, |c| {
+        // Eligibility audience: the creative's own materialisation — a
+        // different deterministic audience per campaign.
+        u.materialize(&c.creative)
+    });
+    let outcome = deliver(
+        u,
+        u.everyone(),
+        &setup,
+        &DeliveryConfig::new(rounds, seed).window(200),
+    );
+    (setup, outcome)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spend_never_exceeds_budget(campaigns in arb_roster(), seed in 0u64..1_000) {
+        let (setup, outcome) = run(campaigns, 1_500, seed);
+        for (index, campaign) in setup.campaigns().iter().enumerate() {
+            prop_assert!(
+                outcome.spend_micros[index] <= campaign.budget_micros,
+                "campaign {} spent {} of budget {}",
+                campaign.id,
+                outcome.spend_micros[index],
+                campaign.budget_micros
+            );
+        }
+        // Settlement also reconciles: spend equals the sum of logged prices.
+        let mut logged = vec![0u64; setup.len()];
+        for imp in &outcome.impressions {
+            logged[setup.index_of(imp.campaign).unwrap()] += imp.price_micros;
+        }
+        prop_assert_eq!(logged, outcome.spend_micros);
+    }
+
+    #[test]
+    fn frequency_caps_hold_per_user(campaigns in arb_roster(), seed in 0u64..1_000) {
+        let (setup, outcome) = run(campaigns, 1_500, seed);
+        let mut per_user: HashMap<(CampaignId, u32), u32> = HashMap::new();
+        for imp in &outcome.impressions {
+            *per_user.entry((imp.campaign, imp.user)).or_insert(0) += 1;
+        }
+        for (&(campaign, user), &count) in &per_user {
+            let cap = setup.campaigns()[setup.index_of(campaign).unwrap()].frequency_cap;
+            prop_assert!(
+                count <= cap,
+                "campaign {campaign} served user {user} {count} times (cap {cap})"
+            );
+        }
+    }
+
+    #[test]
+    fn submission_order_is_irrelevant(campaigns in arb_roster(), rotate in 0usize..4, seed in 0u64..1_000) {
+        let mut shuffled = campaigns.clone();
+        shuffled.rotate_left(rotate);
+        shuffled.reverse();
+        let (_, a) = run(campaigns, 1_000, seed);
+        let (_, b) = run(shuffled, 1_000, seed);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.impressions, b.impressions);
+    }
+
+    #[test]
+    fn identical_seeds_identical_logs(campaigns in arb_roster(), seed in 0u64..1_000) {
+        let (_, a) = run(campaigns.clone(), 1_000, seed);
+        let (_, b) = run(campaigns, 1_000, seed);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.impressions, b.impressions);
+        prop_assert_eq!(a.spend_micros, b.spend_micros);
+        prop_assert_eq!(a.unfilled, b.unfilled);
+    }
+}

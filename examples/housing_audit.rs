@@ -15,6 +15,7 @@
 use discrimination_via_composition::audit::{
     four_fifths_band, measure_spec, rank_individuals, rep_ratio_of, survey_individuals,
     top_compositions, AuditTarget, Direction, DiscoveryConfig, SensitiveClass, SkewBand,
+    FOUR_FIFTHS_HIGH,
 };
 use discrimination_via_composition::platform::{SimScale, Simulation};
 use discrimination_via_composition::population::Gender;
@@ -109,7 +110,7 @@ fn main() {
     }
     println!(
         "\nConclusion: the sanitized interface still allows targeting {}x more",
-        (combined / 1.25).round()
+        (combined / FOUR_FIFTHS_HIGH).round()
     );
     println!("male-skewed than the four-fifths threshold, via composition alone.");
 }

@@ -12,6 +12,7 @@
 //! cargo run --release --example lookalike_leakage
 //! ```
 
+use discrimination_via_composition::audit::FOUR_FIFTHS_HIGH;
 use discrimination_via_composition::bitset::Bitset;
 use discrimination_via_composition::platform::{LookalikeConfig, SimScale, Simulation};
 use discrimination_via_composition::population::Gender;
@@ -70,9 +71,12 @@ fn main() {
     println!("both audiences; feature-level adjustment catches neither.");
 
     assert!(
-        ratio(&regular) > 1.25,
+        ratio(&regular) > FOUR_FIFTHS_HIGH,
         "regular lookalike should violate four-fifths"
     );
-    assert!(ratio(&saa) > 1.25, "SAA should still violate four-fifths");
+    assert!(
+        ratio(&saa) > FOUR_FIFTHS_HIGH,
+        "SAA should still violate four-fifths"
+    );
     assert!(ratio(&saa) <= ratio(&regular) + 1e-9);
 }

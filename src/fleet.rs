@@ -18,25 +18,19 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use adcomp_core::experiments::EndpointSetFactory;
 use adcomp_core::EstimateSource;
-use adcomp_platform::{InterfaceKind, Simulation};
+use adcomp_platform::{InterfaceKind, PlatformApi, Simulation};
 use adcomp_wire::{serve, ClientConfig, ServerConfig, ServerHandle};
 
 use crate::RemoteSource;
 
-/// The interfaces a fleet replicates, in a fixed internal order.
+/// The interfaces [`Fleet::launch`] replicates, in a fixed internal
+/// order. [`Fleet::launch_apis`] accepts any roster instead.
 const FLEET_INTERFACES: [InterfaceKind; 4] = [
     InterfaceKind::FacebookNormal,
     InterfaceKind::FacebookRestricted,
     InterfaceKind::GoogleDisplay,
     InterfaceKind::LinkedIn,
 ];
-
-fn iface_index(kind: InterfaceKind) -> usize {
-    FLEET_INTERFACES
-        .iter()
-        .position(|k| *k == kind)
-        .expect("known interface")
-}
 
 /// `replicas` wire servers per interface plus one connected
 /// [`RemoteSource`] client per server.
@@ -46,6 +40,7 @@ fn iface_index(kind: InterfaceKind) -> usize {
 /// tests exercise lease expiry and requeue. Dropping the fleet drains
 /// and joins every remaining server.
 pub struct Fleet {
+    kinds: Vec<InterfaceKind>,
     replicas: usize,
     handles: Mutex<Vec<Option<ServerHandle>>>,
     sources: Vec<Arc<RemoteSource>>,
@@ -68,19 +63,48 @@ impl Fleet {
     pub fn launch_with(
         sim: &Simulation,
         replicas: usize,
+        server_config: impl FnMut(InterfaceKind, usize) -> ServerConfig,
+        client_config: impl FnMut(InterfaceKind, usize) -> ClientConfig,
+    ) -> std::io::Result<Fleet> {
+        let apis = FLEET_INTERFACES
+            .iter()
+            .map(|&kind| {
+                let platform = match kind {
+                    InterfaceKind::FacebookNormal => &sim.facebook,
+                    InterfaceKind::FacebookRestricted => &sim.facebook_restricted,
+                    InterfaceKind::GoogleDisplay => &sim.google,
+                    InterfaceKind::LinkedIn => &sim.linkedin,
+                };
+                (kind, platform.clone() as Arc<dyn PlatformApi>)
+            })
+            .collect();
+        Fleet::launch_apis(apis, replicas, server_config, client_config)
+    }
+
+    /// Launches `replicas` servers per entry of an arbitrary platform
+    /// roster — any [`PlatformApi`], not just the in-memory simulators.
+    /// This is how a disk-backed
+    /// [`SegmentedPlatform`](adcomp_platform::SegmentedPlatform) (or a
+    /// fault-wrapped platform) joins a fleet: the wire protocol only
+    /// sees the trait.
+    ///
+    /// Each entry's [`InterfaceKind`] is the key later passed to
+    /// [`endpoints`](Fleet::endpoints) / [`source`](Fleet::source) /
+    /// [`kill`](Fleet::kill); duplicate kinds are rejected.
+    pub fn launch_apis(
+        apis: Vec<(InterfaceKind, Arc<dyn PlatformApi>)>,
+        replicas: usize,
         mut server_config: impl FnMut(InterfaceKind, usize) -> ServerConfig,
         mut client_config: impl FnMut(InterfaceKind, usize) -> ClientConfig,
     ) -> std::io::Result<Fleet> {
         assert!(replicas > 0, "a fleet needs at least one replica");
-        let mut handles = Vec::with_capacity(4 * replicas);
-        let mut sources = Vec::with_capacity(4 * replicas);
-        for kind in FLEET_INTERFACES {
-            let platform = match kind {
-                InterfaceKind::FacebookNormal => &sim.facebook,
-                InterfaceKind::FacebookRestricted => &sim.facebook_restricted,
-                InterfaceKind::GoogleDisplay => &sim.google,
-                InterfaceKind::LinkedIn => &sim.linkedin,
-            };
+        assert!(!apis.is_empty(), "a fleet needs at least one platform");
+        let mut kinds = Vec::with_capacity(apis.len());
+        let mut handles = Vec::with_capacity(apis.len() * replicas);
+        let mut sources = Vec::with_capacity(apis.len() * replicas);
+        for (kind, platform) in apis {
+            assert!(!kinds.contains(&kind), "duplicate fleet interface {kind:?}");
+            kinds.push(kind);
             for replica in 0..replicas {
                 let handle = serve(
                     platform.clone(),
@@ -95,10 +119,18 @@ impl Fleet {
             }
         }
         Ok(Fleet {
+            kinds,
             replicas,
             handles: Mutex::new(handles),
             sources,
         })
+    }
+
+    fn iface_index(&self, kind: InterfaceKind) -> usize {
+        self.kinds
+            .iter()
+            .position(|k| *k == kind)
+            .expect("interface not in this fleet")
     }
 
     /// Replicas per interface.
@@ -109,7 +141,7 @@ impl Fleet {
     /// The connected endpoint set for one interface, in replica order —
     /// the shape [`EndpointSetFactory`] wants.
     pub fn endpoints(&self, kind: InterfaceKind) -> Vec<Arc<dyn EstimateSource>> {
-        let base = iface_index(kind) * self.replicas;
+        let base = self.iface_index(kind) * self.replicas;
         self.sources[base..base + self.replicas]
             .iter()
             .map(|s| s.clone() as Arc<dyn EstimateSource>)
@@ -119,7 +151,7 @@ impl Fleet {
     /// One replica's client, for direct inspection in tests.
     pub fn source(&self, kind: InterfaceKind, replica: usize) -> Arc<RemoteSource> {
         assert!(replica < self.replicas);
-        self.sources[iface_index(kind) * self.replicas + replica].clone()
+        self.sources[self.iface_index(kind) * self.replicas + replica].clone()
     }
 
     /// An [`EndpointSetFactory`] serving this fleet's endpoint sets, for
@@ -135,7 +167,8 @@ impl Fleet {
     /// the survivors. Idempotent: killing a dead replica is a no-op.
     pub fn kill(&self, kind: InterfaceKind, replica: usize) {
         assert!(replica < self.replicas);
-        let handle = self.lock_handles()[iface_index(kind) * self.replicas + replica].take();
+        let index = self.iface_index(kind) * self.replicas + replica;
+        let handle = self.lock_handles()[index].take();
         if let Some(handle) = handle {
             handle.shutdown();
         }
