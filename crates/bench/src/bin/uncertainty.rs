@@ -1,0 +1,169 @@
+//! Benchmarks bootstrap replicate throughput for the uncertainty
+//! subsystem and records the verdict in `BENCH_uncertainty.json`.
+//!
+//! Three things are measured and gated:
+//!
+//! 1. **Determinism** — replicate `r` is a pure function of
+//!    `(seed, r)`, so fanning the bootstrap out through the query
+//!    engine at any worker count must reproduce the serial run
+//!    byte-for-byte (`f64::to_bits` on every replicate). A mismatch
+//!    fails the bench outright, on any hardware.
+//! 2. **Coverage sanity** — the confident ratio assembled from the
+//!    replicates must contain its own point estimate; an interval that
+//!    excluded the statistic it resampled from would be an artefact.
+//! 3. **Throughput** — replicates per second, serial vs engine-pooled.
+//!    The pooled floor (≥ 1.0× at 4 workers: pooling must at least not
+//!    cost throughput) is only enforced where the hardware can express
+//!    parallelism; a single replicate is a handful of binomial draws,
+//!    so the engine's dispatch overhead is the quantity under test.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use adcomp_bench::{finish, say, Cli};
+use adcomp_core::source::{ApiSource, AuditTarget, SensitiveClass};
+use adcomp_core::{
+    bootstrap_ratios, confident_rep_ratio, measure_spec, ClassChannel, EngineConfig, MeasuredPair,
+    QueryEngine, UncertaintyConfig,
+};
+use adcomp_platform::{SimScale, Simulation};
+use adcomp_population::{AttributeInference, Gender};
+use adcomp_targeting::{AttributeId, TargetingSpec};
+
+/// Timed passes per configuration (best-of).
+const ROUNDS_BEST_OF: usize = 2;
+/// Pooled throughput floor relative to serial, at 4 workers.
+const THRESHOLD_SPEEDUP: f64 = 1.0;
+
+struct Params {
+    /// Bootstrap replicates per timed pass.
+    replicates: u32,
+}
+
+impl Params {
+    fn for_scale(scale: SimScale) -> Params {
+        match scale {
+            SimScale::Paper => Params {
+                replicates: 200_000,
+            },
+            SimScale::Test => Params { replicates: 50_000 },
+        }
+    }
+}
+
+fn best_of(f: impl Fn() -> Vec<f64>) -> (f64, Vec<f64>) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..ROUNDS_BEST_OF {
+        let start = Instant::now();
+        let pass = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(pass);
+    }
+    (best, out.expect("at least one pass"))
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let p = Params::for_scale(cli.scale);
+    let sim = Simulation::build(cli.seed, cli.scale);
+
+    // Real measured counts through the audited pipeline: the whole
+    // universe as the base, the first catalog attribute as the target,
+    // observed through a noisy inference channel so the deconvolution
+    // path is part of every replicate.
+    let audit = AuditTarget::direct(Arc::new(ApiSource(sim.facebook.clone())));
+    let base_m = measure_spec(&audit, &TargetingSpec::everyone()).expect("measure base");
+    let target_m =
+        measure_spec(&audit, &TargetingSpec::and_of([AttributeId(0)])).expect("measure target");
+    let class = SensitiveClass::Gender(Gender::Female);
+    let rounding = sim.facebook.config().rounding;
+    let base = MeasuredPair::of(&base_m, class, rounding);
+    let target = MeasuredPair::of(&target_m, class, rounding);
+    let inference = AttributeInference::noisy(cli.seed ^ 0x1A7E5, 0.08, 0.12);
+    let channel = ClassChannel::for_class(Some(&inference), class);
+    say!(
+        "{} replicates/pass over target {}/{} vs base {}/{}",
+        p.replicates,
+        target.class_count,
+        target.complement_count,
+        base.class_count,
+        base.complement_count
+    );
+
+    let run = |engine: Option<&Arc<QueryEngine>>| {
+        bootstrap_ratios(cli.seed, &target, &base, &channel, p.replicates, engine)
+    };
+    let (serial_s, serial) = best_of(|| run(None));
+    let pooled2 = Arc::new(QueryEngine::new(EngineConfig::with_workers(2)));
+    let pooled4 = Arc::new(QueryEngine::new(EngineConfig::with_workers(4)));
+    let (_, two_worker) = best_of(|| run(Some(&pooled2)));
+    let (pooled_s, pooled) = best_of(|| run(Some(&pooled4)));
+
+    // Gate 1: byte-identity across serial and both pool widths.
+    let bits = |v: &[f64]| v.iter().map(|r| r.to_bits()).collect::<Vec<u64>>();
+    let byte_identical = bits(&serial) == bits(&pooled) && bits(&serial) == bits(&two_worker);
+
+    // Gate 2: the assembled confident ratio contains its point.
+    let ucfg = UncertaintyConfig {
+        replicates: p.replicates.min(512),
+        confidence: 0.95,
+    };
+    let ratio = confident_rep_ratio(&target, &base, &channel, cli.seed, &ucfg, None);
+    let contains_point = ratio.interval.contains(ratio.point);
+
+    // Gate 3: throughput floor, where enforceable.
+    let serial_per_s = p.replicates as f64 / serial_s;
+    let pooled_per_s = p.replicates as f64 / pooled_s;
+    let speedup = serial_s / pooled_s;
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let floor_enforced = hardware_threads >= 2;
+    let pass =
+        byte_identical && contains_point && (!floor_enforced || speedup >= THRESHOLD_SPEEDUP);
+
+    let json = format!(
+        "{{\n  \"bench\": \"uncertainty\",\n  \"replicates_per_pass\": {replicates},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"serial_s\": {serial_s:.4},\n  \"pooled_s\": {pooled_s:.4},\n  \
+         \"serial_replicates_per_s\": {serial_per_s:.0},\n  \
+         \"pooled_replicates_per_s\": {pooled_per_s:.0},\n  \
+         \"speedup_4_workers\": {speedup:.2},\n  \
+         \"threshold_speedup\": {THRESHOLD_SPEEDUP:.1},\n  \
+         \"ratio_point\": {point:.4},\n  \
+         \"ratio_lo\": {lo:.4},\n  \"ratio_hi\": {hi:.4},\n  \
+         \"verdict\": \"{verdict}\",\n  \
+         \"contains_point\": {contains_point},\n  \
+         \"byte_identical\": {byte_identical},\n  \
+         \"floor_enforced\": {floor_enforced},\n  \"pass\": {pass}\n}}\n",
+        replicates = p.replicates,
+        point = ratio.point,
+        lo = ratio.interval.lo,
+        hi = ratio.interval.hi,
+        verdict = ratio.verdict().label(),
+    );
+    std::fs::write("BENCH_uncertainty.json", &json).expect("write BENCH_uncertainty.json");
+    say!("{json}");
+    adcomp_obs::info!(
+        "uncertainty: {serial_per_s:.0} replicates/s serial, {speedup:.2}x at 4 workers; \
+         ratio {:.2} in [{:.2}, {:.2}]",
+        ratio.point,
+        ratio.interval.lo,
+        ratio.interval.hi
+    );
+    if !floor_enforced {
+        adcomp_obs::warn!(
+            "only {hardware_threads} hardware thread(s) available; the {THRESHOLD_SPEEDUP}x \
+             pooling floor cannot be enforced on this machine"
+        );
+    }
+    finish("uncertainty");
+    if !pass {
+        adcomp_obs::error!(
+            "uncertainty bench failed: byte_identical={byte_identical} \
+             contains_point={contains_point} speedup={speedup:.2}"
+        );
+        std::process::exit(1);
+    }
+}

@@ -126,6 +126,7 @@ pub fn context(cli: Cli) -> ExperimentContext {
             ..DiscoveryConfig::default()
         },
         resilience: None,
+        inference: None,
     };
     let ctx = ExperimentContext::new(config);
     adcomp_obs::info!(

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use adcomp_platform::ReachOracle;
 use adcomp_targeting::{AttributeId, TargetingSpec};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::metrics::{measure_spec, measure_spec_batch, rep_ratio_of, SpecMeasurement};
 use crate::source::{AuditTarget, SensitiveClass, SourceError};
@@ -244,7 +244,7 @@ fn sample_composable_subsets(
         return Vec::new();
     }
     let k = top_k.min(n);
-    let mut rng = AuditRng::seed_from_u64(seed);
+    let mut rng = crate::stats::seeded_rng(seed);
     // `displaced[p]` = value currently at virtual position `p`, when it
     // differs from `p` and `p` is not yet finalized.
     let mut displaced: HashMap<usize, usize> = HashMap::new();
@@ -444,19 +444,15 @@ pub fn top_compositions_bounded(
 /// schedule locally, no matter which endpoint serves which unit.
 pub const DRAW_UNIT: usize = 64;
 
-/// splitmix64 finalizer — decorrelates the per-unit seeds derived from
-/// one base seed.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// Stream domain separating candidate draws from every other
+/// counter-partitioned stream in the workspace (see
+/// [`crate::stats::unit_rng`]).
+const DRAW_DOMAIN: u64 = 0x52A4D;
 
 /// The RNG stream for candidate-draw unit `unit` of the
 /// [`random_compositions`] schedule seeded with `seed`.
 pub fn draw_unit_rng(seed: u64, unit: u64) -> AuditRng {
-    AuditRng::seed_from_u64(splitmix64((seed ^ 0x52A4D).wrapping_add(unit)))
+    crate::stats::unit_rng(seed, DRAW_DOMAIN, unit)
 }
 
 /// Random `arity`-way compositions over the whole catalog (the paper's
@@ -689,7 +685,7 @@ mod tests {
                     visit_composable_subsets(&target, &ids, arity, &mut |s| all.push(s.to_vec()));
                     let n = all.len();
                     assert_eq!(n, count_composable_subsets(&target, &ids, arity));
-                    let mut rng = AuditRng::seed_from_u64(seed);
+                    let mut rng = crate::stats::seeded_rng(seed);
                     all.shuffle(&mut rng);
                     all.truncate(top_k);
                     assert_eq!(

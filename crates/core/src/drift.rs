@@ -22,10 +22,14 @@
 use std::collections::BTreeMap;
 
 use adcomp_obs::{Registry, RunReport, Tracer};
+use adcomp_platform::RoundingRule;
 use adcomp_store::SnapshotIndex;
 use adcomp_targeting::TargetingSpec;
 
-use crate::metrics::{four_fifths_band, rep_ratio_of, SkewBand, SpecMeasurement};
+use crate::metrics::{
+    four_fifths_band, ratio_bounds, rep_ratio_of, SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH,
+    FOUR_FIFTHS_LOW,
+};
 use crate::probe::{granularity_from_observations, GranularityReport};
 use crate::recording::{each_estimate_in, labels_in, meta_in};
 use crate::source::SensitiveClass;
@@ -79,6 +83,12 @@ pub struct RatioMove {
     pub before: f64,
     /// Epoch-two representation ratio.
     pub after: f64,
+    /// Rounding-slack interval `(lo, hi)` around `before`, when the
+    /// caller supplied the interface's rounding ladder (see
+    /// [`drift_between_with`]). `None` means no interval evidence.
+    pub before_interval: Option<(f64, f64)>,
+    /// Rounding-slack interval around `after`.
+    pub after_interval: Option<(f64, f64)>,
 }
 
 impl RatioMove {
@@ -92,6 +102,21 @@ impl RatioMove {
     pub fn crossed(&self) -> bool {
         let (b, a) = self.bands();
         b != a
+    }
+
+    /// Whether the crossing is *low-confidence*: an epoch's interval
+    /// straddles a four-fifths edge, so rounding slack alone could
+    /// explain the band change. Point-only moves (no intervals) are
+    /// never tagged — the legacy behaviour.
+    pub fn low_confidence(&self) -> bool {
+        let straddles = |interval: Option<(f64, f64)>| match interval {
+            Some((lo, hi)) => {
+                let s = |edge: f64| lo < edge && hi >= edge;
+                s(FOUR_FIFTHS_LOW) || s(FOUR_FIFTHS_HIGH)
+            }
+            None => false,
+        };
+        straddles(self.before_interval) || straddles(self.after_interval)
     }
 }
 
@@ -212,19 +237,36 @@ impl DriftReport {
         ));
         for m in &self.ratio_moves {
             let (before_band, after_band) = m.bands();
+            let tag = if m.low_confidence() {
+                " [low-confidence: rounding slack straddles the edge]"
+            } else {
+                ""
+            };
             report.degradation(format!(
-                "{}: `{}` for {} crossed four-fifths: {:.3} ({:?}) → {:.3} ({:?})",
+                "{}: `{}` for {} crossed four-fifths: {:.3} ({:?}) → {:.3} ({:?}){}",
                 m.label,
                 m.spec,
                 m.class.label(),
                 m.before,
                 before_band,
                 m.after,
-                after_band
+                after_band,
+                tag
             ));
         }
         report.render()
     }
+}
+
+/// Options for confidence-aware drift comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DriftOptions {
+    /// Per-interface rounding ladders. When an interface's label is
+    /// present, each epoch's representation ratios carry their
+    /// rounding-slack interval ([`ratio_bounds`]) and crossings whose
+    /// interval straddles the crossed edge are tagged
+    /// [low-confidence](RatioMove::low_confidence).
+    pub rounding: BTreeMap<String, RoundingRule>,
 }
 
 /// Recorded estimates of one interface, keyed by canonical spec bytes
@@ -276,6 +318,18 @@ fn measurement_of(
 /// granularity ladders, and representation ratios are diffed as
 /// documented on [`DriftReport`].
 pub fn drift_between(before: &SnapshotIndex, after: &SnapshotIndex) -> DriftReport {
+    drift_between_with(before, after, &DriftOptions::default())
+}
+
+/// [`drift_between`] with confidence options: interfaces whose rounding
+/// ladder is supplied in `options` get rounding-slack intervals on
+/// every compared ratio, so crossings the slack alone could explain are
+/// tagged low-confidence instead of reading like hard findings.
+pub fn drift_between_with(
+    before: &SnapshotIndex,
+    after: &SnapshotIndex,
+    options: &DriftOptions,
+) -> DriftReport {
     let tracer = Tracer::global();
     let _span = tracer.span("drift:diff");
     let labels_before = labels_in(before);
@@ -362,12 +416,21 @@ pub fn drift_between(before: &SnapshotIndex, after: &SnapshotIndex) -> DriftRepo
                     continue;
                 };
                 report.ratios_compared += 1;
+                let interval = |m: &SpecMeasurement, base: &SpecMeasurement| {
+                    options
+                        .rounding
+                        .get(label)
+                        .and_then(|rule| ratio_bounds(m, base, class, rule))
+                        .map(|b| (b.lo, b.hi))
+                };
                 let movement = RatioMove {
                     label: label.clone(),
                     spec: spec.clone(),
                     class,
                     before: r_before,
                     after: r_after,
+                    before_interval: interval(&m_before, &base_before),
+                    after_interval: interval(&m_after, &base_after),
                 };
                 if movement.crossed() {
                     report.ratio_moves.push(movement);
@@ -487,6 +550,50 @@ mod tests {
         let text = report.render("drift test");
         assert!(text.contains("crossed four-fifths"), "{text}");
         assert!(report.findings() > 0);
+    }
+
+    /// With the interface's rounding ladder supplied, a crossing whose
+    /// rounding slack straddles the crossed edge is tagged
+    /// low-confidence; without options (the legacy entry point) the
+    /// same crossing carries no intervals and no tag.
+    #[test]
+    fn straddling_crossings_are_tagged_low_confidence() {
+        let a = epoch("conf-a", 50);
+        let b = epoch("conf-b", 30);
+        let mut options = DriftOptions::default();
+        // One significant digit: 50 could be anything in [45, 54], so
+        // the epoch-one parity ratio straddles both band edges.
+        options.rounding.insert(
+            LABEL.into(),
+            RoundingRule::SignificantClamped {
+                digits: 1,
+                minimum: 1,
+            },
+        );
+        let report = drift_between_with(&a, &b, &options);
+        let movement = report
+            .ratio_moves
+            .iter()
+            .find(|m| m.class == SensitiveClass::Gender(adcomp_population::Gender::Female))
+            .expect("female crossing present");
+        let (lo, hi) = movement.before_interval.expect("interval attached");
+        assert!(lo < crate::metrics::FOUR_FIFTHS_LOW && hi >= crate::metrics::FOUR_FIFTHS_LOW);
+        assert!(movement.low_confidence());
+        assert!(
+            report.render("drift test").contains("low-confidence"),
+            "render carries the tag"
+        );
+
+        // Legacy path: same epochs, no options — no intervals, no tag.
+        let legacy = drift_between(&a, &b);
+        let movement = legacy
+            .ratio_moves
+            .iter()
+            .find(|m| m.class == SensitiveClass::Gender(adcomp_population::Gender::Female))
+            .expect("female crossing present");
+        assert_eq!(movement.before_interval, None);
+        assert!(!movement.low_confidence());
+        assert!(!legacy.render("drift test").contains("low-confidence"));
     }
 
     #[test]

@@ -143,8 +143,9 @@ pub struct DeliveryCell {
 }
 
 /// Stable per-interface salt so each platform gets its own opportunity
-/// stream from one experiment seed.
-fn interface_salt(kind: InterfaceKind) -> u64 {
+/// stream from one experiment seed. Shared with the uncertainty
+/// experiment, whose delivery rows must replay the exact same runs.
+pub(crate) fn interface_salt(kind: InterfaceKind) -> u64 {
     kind.label().bytes().fold(0xD311u64, |acc, b| {
         acc.wrapping_mul(131).wrapping_add(u64::from(b))
     })

@@ -11,6 +11,7 @@
 //! | [`report`] | Markdown rendering of a full reproduction run |
 //! | [`lookalike_exp`] | Extension: lookalike / Special-Ad-Audience skew |
 //! | [`delivery_exp`] | Extension: paired-ad delivery-skew audit (Imana et al.) |
+//! | [`uncertainty_exp`] | Extension: uncertainty-aware audits under inferred/missing demographics |
 //!
 //! All drivers share an [`ExperimentContext`] that owns the simulated
 //! platforms and caches the per-interface individual surveys (the audit's
@@ -26,10 +27,12 @@ pub mod recall_exp;
 pub mod removal_exp;
 pub mod report;
 pub mod table1;
+pub mod uncertainty_exp;
 
 use std::sync::{Arc, OnceLock};
 
 use adcomp_platform::{InterfaceKind, SimScale, Simulation};
+use adcomp_population::AttributeInference;
 use adcomp_store::RunStore;
 
 use crate::discovery::{survey_individuals, DiscoveryConfig, IndividualSurvey};
@@ -52,6 +55,13 @@ pub struct ExperimentConfig {
     /// transiently. Set it when the target sits behind a wire client
     /// or a fault-injecting harness.
     pub resilience: Option<ResilienceConfig>,
+    /// Optional demographic-inference model. `None` (the default) is the
+    /// oracle scenario: platforms resolve demographic constraints against
+    /// ground truth. `Some` attaches an
+    /// [`InferredView`](adcomp_population::InferredView) to every
+    /// platform, so the same experiments run against noisy or missing
+    /// demographic labels (see [`uncertainty_exp`]).
+    pub inference: Option<AttributeInference>,
 }
 
 impl ExperimentConfig {
@@ -62,6 +72,7 @@ impl ExperimentConfig {
             scale: SimScale::Paper,
             discovery: DiscoveryConfig::default(),
             resilience: None,
+            inference: None,
         }
     }
 
@@ -75,6 +86,7 @@ impl ExperimentConfig {
                 ..DiscoveryConfig::default()
             },
             resilience: None,
+            inference: None,
         }
     }
 
@@ -83,6 +95,13 @@ impl ExperimentConfig {
     /// [`ResilientSource`]: crate::resilience::ResilientSource
     pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
         self.resilience = Some(config);
+        self
+    }
+
+    /// Runs the experiments against demographics *inferred* through
+    /// `model` instead of ground truth.
+    pub fn with_inference(mut self, model: AttributeInference) -> Self {
+        self.inference = Some(model);
         self
     }
 }
@@ -138,7 +157,11 @@ impl ExperimentContext {
     /// Builds the simulation for `config`.
     pub fn new(config: ExperimentConfig) -> ExperimentContext {
         ExperimentContext {
-            simulation: Simulation::build(config.seed, config.scale),
+            simulation: Simulation::build_inferred(
+                config.seed,
+                config.scale,
+                config.inference.as_ref(),
+            ),
             config,
             surveys: Default::default(),
             store: StoreMode::None,

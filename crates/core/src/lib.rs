@@ -79,9 +79,16 @@ pub use discovery::{
     MeasuredTargeting, DEFAULT_MIN_REACH,
 };
 pub use distributed::{sched_events_in, ScheduledSource, SchedulerConfig, StoreJournal};
-pub use drift::{drift_between, DriftFinding, DriftReport, RatioMove};
+pub use drift::{
+    drift_between, drift_between_with, DriftFinding, DriftOptions, DriftReport, RatioMove,
+};
 pub use engine::{EngineConfig, MemoCache, MemoizedSource, QueryEngine};
 pub use epoch::{epoch_digest, run_epoch, EpochOutcome, EpochPlan};
+pub use experiments::uncertainty_exp::{
+    bootstrap_ratios, confident_rep_ratio, scenario_family, uncertainty_cells, uncertainty_table,
+    uncertainty_table_with, uncertainty_tsv, ClassChannel, MeasuredPair, ReplicateSource, Scenario,
+    Stage, UncertaintyCell, UncertaintyConfig, UNCERTAINTY_INTERFACES,
+};
 pub use metrics::{
     four_fifths_band, measure_spec, measure_spec_batch, ratio_bounds, recall_of, rep_ratio,
     rep_ratio_of, RatioBounds, SkewBand, SpecMeasurement, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW,

@@ -348,6 +348,14 @@ mod tests {
         assert_eq!(RatioBounds { lo: 0.9, hi: 1.1 }.least_skewed(), 1.0);
     }
 
+    /// `adcomp-infer` is dependency-free and restates the band edges;
+    /// this pins the two definitions together.
+    #[test]
+    fn infer_band_edges_match_core() {
+        assert_eq!(adcomp_infer::FOUR_FIFTHS_LOW, FOUR_FIFTHS_LOW);
+        assert_eq!(adcomp_infer::FOUR_FIFTHS_HIGH, FOUR_FIFTHS_HIGH);
+    }
+
     #[test]
     fn bounds_with_exact_rule_collapse_to_point() {
         let rule = RoundingRule::Exact;

@@ -7,6 +7,36 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::discovery::AuditRng;
+use rand::SeedableRng;
+
+/// Seeded stateful RNG for audit-side sampling (subset sampling, probe
+/// schedules). One definition so every sampler derives its stream the
+/// same way; the seed maps straight onto the generator, preserving the
+/// historical draw sequences bit for bit.
+pub fn seeded_rng(seed: u64) -> AuditRng {
+    AuditRng::seed_from_u64(seed)
+}
+
+/// Seeded RNG for unit `unit` of the counter-partitioned stream
+/// `(seed, domain)`.
+///
+/// The per-unit seed is [`adcomp_infer::stream_seed`] — the same
+/// splitmix64 derivation the bootstrap's [`counter_rng`] streams and the
+/// delivery simulator use — so any fan-out (discovery draw units,
+/// bootstrap replicates, auction rounds) reproduces its slice of the
+/// schedule independently of how units are sharded across workers.
+pub fn unit_rng(seed: u64, domain: u64, unit: u64) -> AuditRng {
+    AuditRng::seed_from_u64(adcomp_infer::stream_seed(seed, domain, unit))
+}
+
+/// Counter-driven RNG for unit `unit` of stream `(seed, domain)` — the
+/// stateless flavour of [`unit_rng`], used by the bootstrap resampler
+/// where byte-identity across thread counts is load-bearing.
+pub fn counter_rng(seed: u64, domain: u64, unit: u64) -> adcomp_infer::CounterRng {
+    adcomp_infer::CounterRng::stream(seed, domain, unit)
+}
+
 /// Linear-interpolated percentile of a sorted slice, `p ∈ [0, 100]`.
 ///
 /// Uses the same convention as NumPy's default (`linear`): rank

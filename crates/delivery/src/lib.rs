@@ -58,17 +58,14 @@ use rand::SeedableRng;
 /// sharded or pooled run reproduces any slice of it locally.
 pub const DRAW_UNIT: u64 = 64;
 
-/// splitmix64 finalizer — decorrelates the per-unit seeds derived from
-/// one base seed (mirrors `adcomp-core`'s discovery schedule).
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// Stream domain separating opportunity draws from the other
+/// counter-partitioned streams in the workspace (discovery candidates,
+/// bootstrap replicates); the per-unit seed derivation itself is
+/// `adcomp-infer`'s shared [`stream_seed`](adcomp_infer::stream_seed).
+const DRAW_DOMAIN: u64 = 0x0DE1_17E4;
 
 /// The RNG stream for opportunity-draw unit `unit` of a delivery run
 /// seeded with `seed`.
 pub fn draw_unit_rng(seed: u64, unit: u64) -> StdRng {
-    StdRng::seed_from_u64(splitmix64((seed ^ 0x0DE1_17E4).wrapping_add(unit)))
+    StdRng::seed_from_u64(adcomp_infer::stream_seed(seed, DRAW_DOMAIN, unit))
 }

@@ -1,0 +1,214 @@
+//! Seeded, counter-driven bootstrap resampling.
+//!
+//! Replicate `r` of a resample is a pure function of `(seed, r)` — its
+//! draws come from [`CounterRng::stream`] keyed on the replicate index,
+//! never from a shared stateful generator — so a bootstrap fanned out
+//! across any number of workers (or recorded and resumed) reproduces
+//! the serial run byte-for-byte, the same discipline the delivery
+//! engine's opportunity streams follow.
+
+use crate::interval::Interval;
+use crate::rng::CounterRng;
+
+/// Stream domain for bootstrap replicates (disjoint from the discovery
+/// schedule's `0x52A4D` and the delivery engine's `0x0DE1_17E4`).
+pub const BOOTSTRAP_DOMAIN: u64 = 0x00B0_0757;
+
+/// Bootstrap parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BootstrapConfig {
+    /// Number of replicates.
+    pub replicates: u32,
+    /// Two-sided coverage of the percentile interval (e.g. `0.95`).
+    pub confidence: f64,
+    /// Base seed; replicate `r` uses stream `(seed, BOOTSTRAP_DOMAIN, r)`.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> BootstrapConfig {
+        BootstrapConfig {
+            replicates: 200,
+            confidence: 0.95,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A binomial draw from the replicate stream. Exact CDF inversion when
+/// the distribution is narrow; clamped normal approximation when it is
+/// wide (platform-scale counts run into the hundreds of millions, where
+/// per-trial sampling is infeasible and the approximation error is far
+/// below rounding slack). Deterministic: a pure function of the stream
+/// position and `(n, p)`.
+pub fn binomial(rng: &mut CounterRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    let var = mean * (1.0 - p);
+    if var > 100.0 {
+        let z = rng.normal_f64();
+        let k = (mean + z * var.sqrt()).round();
+        return (k.max(0.0) as u64).min(n);
+    }
+    // Narrow case: walk the CDF. pmf(0) = (1-p)^n via logs to survive
+    // large n with tiny p; successive terms by the recurrence
+    // pmf(k+1) = pmf(k) · (n-k)/(k+1) · p/(1-p).
+    let u = rng.unit_f64();
+    let mut pmf = (n as f64 * (1.0 - p).ln()).exp();
+    let odds = p / (1.0 - p);
+    let mut cdf = pmf;
+    let mut k: u64 = 0;
+    while cdf < u && k < n {
+        pmf *= (n - k) as f64 / (k + 1) as f64 * odds;
+        if !pmf.is_finite() || pmf <= 0.0 {
+            break;
+        }
+        cdf += pmf;
+        k += 1;
+    }
+    k
+}
+
+/// One multinomial resample of `counts` (replicate `replicate` of base
+/// `seed`): draws a new vector with the same total whose cells are
+/// multinomially distributed around the observed proportions, via
+/// sequential conditional binomials. Zero-total input resamples to
+/// itself.
+pub fn resample_counts(seed: u64, replicate: u64, counts: &[u64]) -> Vec<u64> {
+    let mut rng = CounterRng::stream(seed, BOOTSTRAP_DOMAIN, replicate);
+    let total: u64 = counts.iter().sum();
+    let mut out = vec![0u64; counts.len()];
+    if total == 0 || counts.is_empty() {
+        return out;
+    }
+    let mut remaining_n = total;
+    let mut remaining_mass = total;
+    for (i, &c) in counts.iter().enumerate() {
+        if i + 1 == counts.len() {
+            out[i] = remaining_n;
+            break;
+        }
+        if remaining_mass == 0 || remaining_n == 0 {
+            break;
+        }
+        let p = c as f64 / remaining_mass as f64;
+        let x = binomial(&mut rng, remaining_n, p);
+        out[i] = x;
+        remaining_n -= x;
+        remaining_mass -= c;
+    }
+    out
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice
+/// (NumPy's default method, matching `adcomp-core`'s `stats`).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The central percentile interval of `samples` at `confidence`
+/// coverage, expanded (if necessary) to contain `point` — a bootstrap
+/// interval that excluded the statistic it resampled from would be an
+/// artefact, so containment holds by construction. Non-finite samples
+/// are dropped; with no finite samples the interval is the point.
+pub fn percentile_interval(samples: &[f64], confidence: f64, point: f64) -> Interval {
+    let mut finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Interval::point(point);
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let alpha = (1.0 - confidence.clamp(0.0, 1.0)) / 2.0;
+    Interval::new(percentile(&finite, alpha), percentile(&finite, 1.0 - alpha)).expand_to(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_preserves_total_and_determinism() {
+        let counts = [120_000u64, 80_000, 40_000, 10_000];
+        for r in 0..16u64 {
+            let a = resample_counts(42, r, &counts);
+            assert_eq!(a.iter().sum::<u64>(), counts.iter().sum::<u64>());
+            assert_eq!(a, resample_counts(42, r, &counts), "replicate {r}");
+        }
+        assert_ne!(
+            resample_counts(42, 0, &counts),
+            resample_counts(42, 1, &counts),
+            "replicates differ"
+        );
+    }
+
+    #[test]
+    fn resample_handles_edges() {
+        assert_eq!(resample_counts(1, 0, &[]), Vec::<u64>::new());
+        assert_eq!(resample_counts(1, 0, &[0, 0]), vec![0, 0]);
+        assert_eq!(resample_counts(1, 0, &[7]), vec![7]);
+        // A zero cell stays zero in expectation but the total is exact.
+        let r = resample_counts(1, 3, &[0, 100]);
+        assert_eq!(r.iter().sum::<u64>(), 100);
+        assert_eq!(r[0], 0, "p=0 cell draws nothing");
+    }
+
+    #[test]
+    fn binomial_moments_are_sane() {
+        // Wide case (normal approximation).
+        let mut rng = CounterRng::new(7);
+        let n = 1_000_000u64;
+        let p = 0.3;
+        let mut sum = 0.0;
+        let reps = 400;
+        for _ in 0..reps {
+            sum += binomial(&mut rng, n, p) as f64;
+        }
+        let mean = sum / reps as f64;
+        assert!((mean / (n as f64 * p) - 1.0).abs() < 0.01, "mean {mean}");
+        // Narrow case (CDF walk).
+        let mut small = 0.0;
+        for _ in 0..reps {
+            small += binomial(&mut rng, 50, 0.1) as f64;
+        }
+        let mean = small / reps as f64;
+        assert!((mean - 5.0).abs() < 1.0, "mean {mean}");
+        // Degenerate cases.
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn percentile_matches_linear_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 2.5);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn interval_contains_point_by_construction() {
+        // Even when every sample sits on one side of the point.
+        let samples = [2.0, 2.1, 2.2, 2.3];
+        let i = percentile_interval(&samples, 0.95, 1.0);
+        assert!(i.contains(1.0) && i.contains(2.2));
+        // NaN samples are dropped, empty falls back to the point.
+        let i = percentile_interval(&[f64::NAN], 0.95, 3.0);
+        assert_eq!(i, Interval::point(3.0));
+    }
+}

@@ -1,0 +1,283 @@
+//! Interval arithmetic for audit estimates.
+//!
+//! Platform estimates are rounded (to two significant digits, to tiered
+//! ladders, to reporting floors), classifiers mislabel, and panels have
+//! holes. Each of those turns a point count into a *range* of counts
+//! consistent with what was observed; this module propagates such ranges
+//! through the representation-ratio formula so a verdict can say how
+//! much of its conclusion survives the slack.
+
+/// A closed real interval `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`, reordering if given backwards.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Grows the interval (if needed) to contain `v`.
+    pub fn expand_to(&self, v: f64) -> Interval {
+        Interval {
+            lo: self.lo.min(v),
+            hi: self.hi.max(v),
+        }
+    }
+
+    /// Interval sum.
+    pub fn add(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+
+    /// Interval difference.
+    pub fn sub(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo - other.hi,
+            hi: self.hi - other.lo,
+        }
+    }
+
+    /// Interval product (handles sign changes).
+    pub fn mul(&self, other: Interval) -> Interval {
+        let cands = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let mut lo = cands[0];
+        let mut hi = cands[0];
+        for c in &cands[1..] {
+            lo = lo.min(*c);
+            hi = hi.max(*c);
+        }
+        Interval { lo, hi }
+    }
+
+    /// Interval quotient. `None` when `other` contains zero — the ratio
+    /// is then unbounded, which callers must surface as *indeterminate*
+    /// rather than a silently clipped range.
+    pub fn div(&self, other: Interval) -> Option<Interval> {
+        if other.lo <= 0.0 && other.hi >= 0.0 {
+            return None;
+        }
+        Some(self.mul(Interval::new(1.0 / other.hi, 1.0 / other.lo)))
+    }
+}
+
+/// A range of exact counts consistent with an observation — the inverse
+/// image of a rounded estimate, a count ± missing mass, etc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CountRange {
+    /// Smallest consistent exact count.
+    pub lo: u64,
+    /// Largest consistent exact count.
+    pub hi: u64,
+}
+
+impl CountRange {
+    /// The exact count `v` with no slack.
+    pub fn exact(v: u64) -> CountRange {
+        CountRange { lo: v, hi: v }
+    }
+
+    /// The range `[lo, hi]`, reordering if given backwards.
+    pub fn new(lo: u64, hi: u64) -> CountRange {
+        if lo <= hi {
+            CountRange { lo, hi }
+        } else {
+            CountRange { lo: hi, hi: lo }
+        }
+    }
+
+    /// Widens the upper endpoint by `extra` — the "all the missing mass
+    /// could be in this cell" direction of a partial-identification
+    /// bound.
+    pub fn widen_hi(&self, extra: u64) -> CountRange {
+        CountRange {
+            lo: self.lo,
+            hi: self.hi.saturating_add(extra),
+        }
+    }
+
+    /// The range as a real interval.
+    pub fn interval(&self) -> Interval {
+        Interval {
+            lo: self.lo as f64,
+            hi: self.hi as f64,
+        }
+    }
+}
+
+/// All representation ratios consistent with the four count ranges
+/// (Equation 1 of the paper: `(ta_s/ra_s) / (ta_not/ra_not)`).
+///
+/// The ratio is monotone increasing in `ta_s` and `ra_not`, decreasing
+/// in `ta_not` and `ra_s`, so the extremes come from the endpoints —
+/// the same argument `adcomp-core`'s rounding-only `ratio_bounds` uses.
+/// `None` when a denominator can be zero (the ratio is then undefined
+/// somewhere in the box).
+pub fn rep_ratio_interval(
+    ta_s: CountRange,
+    ta_not: CountRange,
+    ra_s: CountRange,
+    ra_not: CountRange,
+) -> Option<Interval> {
+    let ratio = |ts: u64, tns: u64, rs: u64, rns: u64| -> Option<f64> {
+        if rs == 0 || rns == 0 || tns == 0 {
+            return None;
+        }
+        Some((ts as f64 / rs as f64) / (tns as f64 / rns as f64))
+    };
+    let lo = ratio(ta_s.lo, ta_not.hi, ra_s.hi, ra_not.lo)?;
+    let hi = ratio(ta_s.hi, ta_not.lo.max(1), ra_s.lo.max(1), ra_not.hi)?;
+    Some(Interval::new(lo, hi))
+}
+
+/// Corrects an observed (classifier-labelled) class share for known
+/// misclassification rates — the Rogan–Gladen estimator, intervalised.
+///
+/// `observed_share` is the fraction of labelled units carrying the class
+/// label; `sensitivity` is `P(labelled s | truly s)` and `specificity`
+/// is `P(labelled ¬s | truly ¬s)`, both as intervals (exact rates are
+/// degenerate intervals). The true share is
+/// `(observed - (1 - specificity)) / (sensitivity + specificity - 1)`.
+///
+/// Returns `None` when the denominator interval touches zero — at error
+/// rates near one half the observation carries no information about the
+/// true share, and the caller must report *indeterminate* instead of a
+/// number.
+pub fn deconvolve_share(
+    observed_share: Interval,
+    sensitivity: Interval,
+    specificity: Interval,
+) -> Option<Interval> {
+    let false_pos = Interval::point(1.0).sub(specificity);
+    let denom = sensitivity.add(specificity).sub(Interval::point(1.0));
+    let raw = observed_share.sub(false_pos).div(denom)?;
+    // Shares live in [0, 1]; the linear correction can overshoot.
+    Some(Interval::new(
+        raw.lo.clamp(0.0, 1.0),
+        raw.hi.clamp(0.0, 1.0),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_and_contains() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(1.5, 3.0);
+        assert_eq!(a.hull(b), Interval::new(1.0, 3.0));
+        assert!(a.contains(1.0) && a.contains(2.0) && !a.contains(2.1));
+        assert_eq!(Interval::point(5.0).width(), 0.0);
+        assert_eq!(a.expand_to(0.5).lo, 0.5);
+    }
+
+    #[test]
+    fn division_by_zero_straddle_is_none() {
+        let num = Interval::new(1.0, 2.0);
+        assert!(num.div(Interval::new(-1.0, 1.0)).is_none());
+        let q = num.div(Interval::new(2.0, 4.0)).unwrap();
+        assert!((q.lo - 0.25).abs() < 1e-12 && (q.hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_interval_contains_point_ratio() {
+        let r = rep_ratio_interval(
+            CountRange::new(900, 1100),
+            CountRange::new(1900, 2100),
+            CountRange::new(9_500, 10_500),
+            CountRange::new(19_000, 21_000),
+        )
+        .unwrap();
+        // Point ratio from the midpoints: (1000/10000)/(2000/20000) = 1.
+        assert!(r.contains(1.0), "{r:?}");
+        assert!(r.lo > 0.5 && r.hi < 2.0, "{r:?}");
+        // Degenerate ranges collapse to the point ratio.
+        let p = rep_ratio_interval(
+            CountRange::exact(1000),
+            CountRange::exact(2000),
+            CountRange::exact(10_000),
+            CountRange::exact(20_000),
+        )
+        .unwrap();
+        assert!((p.lo - 1.0).abs() < 1e-12 && (p.hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_interval_zero_denominator_is_none() {
+        assert!(rep_ratio_interval(
+            CountRange::exact(10),
+            CountRange::exact(0),
+            CountRange::exact(100),
+            CountRange::exact(100),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn deconvolve_identity_at_zero_error() {
+        let obs = Interval::point(0.3);
+        let t = deconvolve_share(obs, Interval::point(1.0), Interval::point(1.0)).unwrap();
+        assert!((t.lo - 0.3).abs() < 1e-12 && (t.hi - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deconvolve_recovers_known_mixture() {
+        // True share 0.2, sensitivity 0.9, specificity 0.8:
+        // observed = 0.2*0.9 + 0.8*0.2 = 0.34.
+        let obs = Interval::point(0.2 * 0.9 + 0.8 * 0.2);
+        let t = deconvolve_share(obs, Interval::point(0.9), Interval::point(0.8)).unwrap();
+        assert!((t.lo - 0.2).abs() < 1e-9 && (t.hi - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deconvolve_unidentified_at_half_error() {
+        // sensitivity + specificity = 1 → the observation is pure noise.
+        assert!(deconvolve_share(
+            Interval::point(0.5),
+            Interval::point(0.5),
+            Interval::point(0.5)
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Uncertainty propagation for composition audits (`adcomp-infer`).
+//!
+//! Every verdict the audit stack emits — representation ratios,
+//! four-fifths crossings, drift alerts, delivery-skew tables — is
+//! computed from noisy inputs: platform estimates are rounded to
+//! coarse ladders, real auditors hold *inferred* (not ground-truth)
+//! sensitive attributes, and panels have missing users. This crate is
+//! the dependency-free machinery that carries those error sources
+//! through to the verdict:
+//!
+//! * [`rng`] — counter-driven seeded streams (`splitmix64`,
+//!   [`stream_seed`], [`CounterRng`]): every draw is a pure function of
+//!   `(seed, counter)`, so resampling fan-outs are byte-identical for
+//!   any thread count — the shared implementation behind the discovery
+//!   schedule's and delivery engine's per-unit streams;
+//! * [`bootstrap`] — a seeded multinomial bootstrap
+//!   ([`resample_counts`], [`percentile_interval`]) whose replicate `r`
+//!   depends only on `(seed, r)`;
+//! * [`interval`] — interval arithmetic ([`Interval`], [`CountRange`],
+//!   [`rep_ratio_interval`]) folding rounding-ladder slack and
+//!   missing-mass bounds into ratio intervals, plus the intervalised
+//!   Rogan–Gladen misclassification correction
+//!   ([`deconvolve_share`]);
+//! * [`ratio`] — [`ConfidentRatio`]: a representation ratio carrying a
+//!   confidence interval and a [`RatioVerdict`] against the four-fifths
+//!   band, where a straddling interval is `Indeterminate` instead of a
+//!   false `Within`.
+//!
+//! The inferred-attribute *channel* itself (confusion matrices and
+//! missingness over a simulated universe) lives in
+//! `adcomp-population`; the scenario drivers live in
+//! `adcomp-core::experiments::uncertainty_exp`. This crate knows
+//! nothing about platforms or populations — only counts, intervals,
+//! and seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod interval;
+pub mod ratio;
+pub mod rng;
+
+pub use bootstrap::{
+    binomial, percentile, percentile_interval, resample_counts, BootstrapConfig, BOOTSTRAP_DOMAIN,
+};
+pub use interval::{deconvolve_share, rep_ratio_interval, CountRange, Interval};
+pub use ratio::{ConfidentRatio, RatioVerdict, FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW};
+pub use rng::{splitmix64, stream_seed, CounterRng};

@@ -1,0 +1,185 @@
+//! Confidence-qualified representation ratios.
+//!
+//! A point ratio answers "is this audience skewed?" with a band; a
+//! [`ConfidentRatio`] answers it with a band *and* how much slack —
+//! rounding ladders, resampling noise, inference error, missing users —
+//! the verdict survives. The fourth verdict, [`RatioVerdict::Indeterminate`],
+//! is the honest answer the related work (arXiv 2410.23394, 2605.12273)
+//! shows point audits silently get wrong: when the interval straddles a
+//! four-fifths edge, the data cannot distinguish compliant from
+//! discriminatory.
+
+use crate::interval::Interval;
+
+/// Lower edge of the four-fifths band. Mirrors `adcomp-core`'s
+/// `FOUR_FIFTHS_LOW` (this crate is dependency-free, so the constant is
+/// restated; a test in `adcomp-core` pins the two together).
+pub const FOUR_FIFTHS_LOW: f64 = 0.8;
+/// Upper edge of the four-fifths band (`1 / 0.8`).
+pub const FOUR_FIFTHS_HIGH: f64 = 1.0 / 0.8;
+
+/// Where a ratio *interval* falls relative to a band.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RatioVerdict {
+    /// The whole interval is below the band: under-representation holds
+    /// under every consistent value.
+    Under,
+    /// The whole interval is inside the band.
+    Within,
+    /// The whole interval is above the band: over-representation holds
+    /// under every consistent value.
+    Over,
+    /// The interval straddles a band edge (or the ratio is not
+    /// identified at all): the data cannot support a verdict.
+    Indeterminate,
+}
+
+impl RatioVerdict {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RatioVerdict::Under => "Under",
+            RatioVerdict::Within => "Within",
+            RatioVerdict::Over => "Over",
+            RatioVerdict::Indeterminate => "Indeterminate",
+        }
+    }
+}
+
+impl std::fmt::Display for RatioVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A representation ratio carrying its confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidentRatio {
+    /// The point estimate (always inside `interval`).
+    pub point: f64,
+    /// The confidence interval around it.
+    pub interval: Interval,
+    /// Nominal two-sided coverage of `interval` (e.g. `0.95`).
+    pub confidence: f64,
+    /// Whether the ratio is identified at all. `false` when inference
+    /// error is so high the observation carries no information (the
+    /// deconvolution denominator crosses zero) — the verdict is then
+    /// [`RatioVerdict::Indeterminate`] regardless of the interval.
+    pub identified: bool,
+}
+
+impl ConfidentRatio {
+    /// A ratio with interval evidence; the interval is expanded (if
+    /// needed) to contain the point.
+    pub fn new(point: f64, interval: Interval, confidence: f64) -> ConfidentRatio {
+        ConfidentRatio {
+            point,
+            interval: interval.expand_to(point),
+            confidence,
+            identified: true,
+        }
+    }
+
+    /// A degenerate ratio with no interval evidence — behaves exactly
+    /// like today's point verdicts.
+    pub fn from_point(point: f64) -> ConfidentRatio {
+        ConfidentRatio {
+            point,
+            interval: Interval::point(point),
+            confidence: 1.0,
+            identified: true,
+        }
+    }
+
+    /// An unidentified ratio (e.g. error rates at one half): the point
+    /// is reported for context but the verdict is indeterminate.
+    pub fn unidentified(point: f64, confidence: f64) -> ConfidentRatio {
+        ConfidentRatio {
+            point,
+            interval: Interval::point(point),
+            confidence,
+            identified: false,
+        }
+    }
+
+    /// Verdict against an arbitrary band `[low, high]`.
+    ///
+    /// A degenerate (point) interval reduces exactly to the point
+    /// banding rule: `< low` under, `> high` over, else within — so at
+    /// zero uncertainty confident verdicts match point verdicts.
+    pub fn verdict_against(&self, low: f64, high: f64) -> RatioVerdict {
+        if !self.identified {
+            return RatioVerdict::Indeterminate;
+        }
+        if self.interval.hi < low {
+            RatioVerdict::Under
+        } else if self.interval.lo > high {
+            RatioVerdict::Over
+        } else if self.interval.lo >= low && self.interval.hi <= high {
+            RatioVerdict::Within
+        } else {
+            RatioVerdict::Indeterminate
+        }
+    }
+
+    /// Verdict against the four-fifths band.
+    pub fn verdict(&self) -> RatioVerdict {
+        self.verdict_against(FOUR_FIFTHS_LOW, FOUR_FIFTHS_HIGH)
+    }
+
+    /// Whether the interval straddles either four-fifths edge — the
+    /// "low confidence" tag drift alerts carry.
+    pub fn straddles_four_fifths(&self) -> bool {
+        let s = |edge: f64| self.interval.lo < edge && self.interval.hi >= edge;
+        !self.identified || s(FOUR_FIFTHS_LOW) || s(FOUR_FIFTHS_HIGH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_ratio_matches_point_banding() {
+        for (v, want) in [
+            (0.79, RatioVerdict::Under),
+            (0.8, RatioVerdict::Within),
+            (1.0, RatioVerdict::Within),
+            (1.25, RatioVerdict::Within),
+            (1.26, RatioVerdict::Over),
+        ] {
+            assert_eq!(ConfidentRatio::from_point(v).verdict(), want, "{v}");
+        }
+    }
+
+    #[test]
+    fn straddling_interval_is_indeterminate() {
+        let r = ConfidentRatio::new(0.85, Interval::new(0.7, 0.9), 0.95);
+        assert_eq!(r.verdict(), RatioVerdict::Indeterminate);
+        assert!(r.straddles_four_fifths());
+        let r = ConfidentRatio::new(0.5, Interval::new(0.4, 0.6), 0.95);
+        assert_eq!(r.verdict(), RatioVerdict::Under);
+        assert!(!r.straddles_four_fifths());
+        let r = ConfidentRatio::new(2.0, Interval::new(1.5, 3.0), 0.95);
+        assert_eq!(r.verdict(), RatioVerdict::Over);
+    }
+
+    #[test]
+    fn interval_always_contains_point() {
+        let r = ConfidentRatio::new(0.5, Interval::new(0.9, 1.1), 0.95);
+        assert!(r.interval.contains(0.5));
+    }
+
+    #[test]
+    fn unidentified_is_always_indeterminate() {
+        let r = ConfidentRatio::unidentified(1.0, 0.95);
+        assert_eq!(r.verdict(), RatioVerdict::Indeterminate);
+        assert!(r.straddles_four_fifths());
+    }
+
+    #[test]
+    fn band_edges_are_four_fifths() {
+        assert_eq!(FOUR_FIFTHS_LOW, 0.8);
+        assert!((FOUR_FIFTHS_HIGH - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the bootstrap and interval machinery.
+
+use adcomp_infer::{
+    percentile_interval, rep_ratio_interval, resample_counts, ConfidentRatio, CountRange, Interval,
+    RatioVerdict,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bootstrap interval always contains the point estimate it was
+    /// resampled from — the satellite acceptance property.
+    #[test]
+    fn bootstrap_interval_contains_point(
+        seed in 0u64..1000,
+        ta_s in 1_000u64..200_000,
+        ta_not in 1_000u64..200_000,
+    ) {
+        let ra_s = 1_000_000u64;
+        let ra_not = 1_100_000u64;
+        let point = (ta_s as f64 / ra_s as f64) / (ta_not as f64 / ra_not as f64);
+        let mut samples = Vec::new();
+        for r in 0..64u64 {
+            let cells = resample_counts(seed, r, &[ta_s, ta_not]);
+            if cells[1] == 0 {
+                continue;
+            }
+            samples.push((cells[0] as f64 / ra_s as f64) / (cells[1] as f64 / ra_not as f64));
+        }
+        let interval = percentile_interval(&samples, 0.95, point);
+        prop_assert!(interval.contains(point), "{interval:?} vs point {point}");
+        // And the ConfidentRatio constructor preserves containment.
+        let cr = ConfidentRatio::new(point, interval, 0.95);
+        prop_assert!(cr.interval.contains(cr.point));
+    }
+
+    /// Resampling preserves the total for any cell vector.
+    #[test]
+    fn resample_total_invariant(
+        seed in 0u64..1000,
+        replicate in 0u64..64,
+        cells in proptest::collection::vec(0u64..1_000_000, 1..6),
+    ) {
+        let resampled = resample_counts(seed, replicate, &cells);
+        prop_assert_eq!(resampled.len(), cells.len());
+        prop_assert_eq!(
+            resampled.iter().sum::<u64>(),
+            cells.iter().sum::<u64>()
+        );
+    }
+
+    /// The ratio interval from count ranges always contains the ratio
+    /// of any point inside the ranges (spot-checked at the midpoints
+    /// and corners).
+    #[test]
+    fn ratio_interval_contains_inner_points(
+        ta_s in 10u64..10_000,
+        ta_not in 10u64..10_000,
+        slack in 0u64..500,
+    ) {
+        let (ra_s, ra_not) = (500_000u64, 600_000u64);
+        let range = |v: u64| CountRange::new(v.saturating_sub(slack), v + slack);
+        let interval = rep_ratio_interval(
+            range(ta_s), range(ta_not), range(ra_s), range(ra_not),
+        ).expect("denominators are far from zero");
+        let point = |ts: u64, tns: u64| {
+            (ts as f64 / ra_s as f64) / (tns as f64 / ra_not as f64)
+        };
+        prop_assert!(interval.contains(point(ta_s, ta_not)));
+        // Corner points of the (ta_s, ta_not) box are extreme in the
+        // monotone directions and must still be inside.
+        let eps = 1e-9;
+        for ts in [ta_s.saturating_sub(slack).max(1), ta_s + slack] {
+            for tns in [ta_not.saturating_sub(slack).max(1), ta_not + slack] {
+                let p = point(ts, tns);
+                prop_assert!(
+                    interval.lo - eps <= p && p <= interval.hi + eps,
+                    "{interval:?} missing corner {p}"
+                );
+            }
+        }
+    }
+
+    /// Verdicts are consistent with the interval: a strict subset of a
+    /// band region never reports Indeterminate, and a degenerate
+    /// interval reduces to the point banding rule.
+    #[test]
+    fn verdict_consistency(point in 0.01f64..3.0, width in 0.0f64..0.5) {
+        let interval = Interval::new(point - width, point + width);
+        let cr = ConfidentRatio::new(point, interval, 0.95);
+        let verdict = cr.verdict();
+        match verdict {
+            RatioVerdict::Under => prop_assert!(interval.hi < 0.8),
+            RatioVerdict::Over => prop_assert!(interval.lo > 1.25),
+            RatioVerdict::Within => {
+                prop_assert!(interval.lo >= 0.8 && interval.hi <= 1.25)
+            }
+            RatioVerdict::Indeterminate => prop_assert!(
+                cr.straddles_four_fifths(),
+                "indeterminate implies a straddled edge: {interval:?}"
+            ),
+        }
+        let degenerate = ConfidentRatio::from_point(point).verdict();
+        prop_assert_ne!(degenerate, RatioVerdict::Indeterminate);
+    }
+}

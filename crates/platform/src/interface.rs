@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use adcomp_bitset::Bitset;
 use adcomp_obs::metrics::{size_buckets, Counter, Histogram, Registry};
-use adcomp_population::Universe;
+use adcomp_population::{AgeBucket, Gender, InferredView, Universe};
 use adcomp_targeting::{
     evaluate, validate, AttributeId, AttributeResolver, Capabilities, EvalError, TargetingSpec,
     ValidationError,
@@ -198,6 +198,11 @@ pub struct AdPlatform {
     /// For derived (restricted) interfaces: each attribute's id on the
     /// parent interface.
     parent_ids: Option<Vec<AttributeId>>,
+    /// When present, demographic constraints resolve against this
+    /// *inferred* view of the universe instead of ground truth — the
+    /// platform classifies users rather than asking them. The oracle
+    /// universe itself is untouched; only constraint resolution changes.
+    inferred: Option<Arc<InferredView>>,
     stats: Mutex<QueryStats>,
     metrics: PlatformMetrics,
 }
@@ -223,8 +228,24 @@ impl AdPlatform {
             catalog,
             audiences,
             parent_ids: None,
+            inferred: None,
             stats: Mutex::new(QueryStats::default()),
         }
+    }
+
+    /// Rebuilds this platform with an inferred demographic view: gender
+    /// and age constraints will resolve against `view`'s (noisy, possibly
+    /// missing) labels instead of the universe's ground truth. Totals and
+    /// attribute audiences are unchanged — the platform still serves every
+    /// user; it just *classifies* them differently.
+    pub fn with_inferred_view(mut self, view: Arc<InferredView>) -> AdPlatform {
+        self.inferred = Some(view);
+        self
+    }
+
+    /// The inferred demographic view, if one is attached.
+    pub fn inferred_view(&self) -> Option<&Arc<InferredView>> {
+        self.inferred.as_ref()
     }
 
     /// Builds a *derived* interface over the same universe as `parent`,
@@ -259,6 +280,7 @@ impl AdPlatform {
             catalog,
             audiences,
             parent_ids: Some(parent_ids),
+            inferred: parent.inferred.clone(),
             stats: Mutex::new(QueryStats::default()),
         }
     }
@@ -384,6 +406,18 @@ impl AttributeResolver for AdPlatform {
     }
     fn universe(&self) -> &Universe {
         &self.universe
+    }
+    fn gender_audience(&self, gender: Gender) -> &Bitset {
+        match &self.inferred {
+            Some(view) => view.gender_audience(gender),
+            None => self.universe.gender_audience(gender),
+        }
+    }
+    fn age_audience(&self, age: AgeBucket) -> &Bitset {
+        match &self.inferred {
+            Some(view) => view.age_audience(age),
+            None => self.universe.age_audience(age),
+        }
     }
 }
 

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use adcomp_population::{DemographicProfile, Universe, UniverseConfig};
+use adcomp_population::{AttributeInference, DemographicProfile, Universe, UniverseConfig};
 use adcomp_targeting::{Capabilities, FeatureId};
 
 use crate::catalog::{Catalog, CategorySpec, SkewProfile};
@@ -78,10 +78,36 @@ pub struct Simulation {
 impl Simulation {
     /// Builds all four interfaces deterministically from one seed.
     pub fn build(seed: u64, scale: SimScale) -> Simulation {
-        let facebook = Arc::new(build_facebook(seed, scale));
+        Simulation::build_inferred(seed, scale, None)
+    }
+
+    /// Builds all four interfaces, optionally attaching an inferred
+    /// demographic view to each.
+    ///
+    /// With `Some(inference)`, every platform classifies its own universe
+    /// through the inference model (each draws from streams salted by its
+    /// universe seed, so the per-platform noise realisations are
+    /// independent), and demographic targeting resolves against the
+    /// resulting noisy/missing labels. The restricted interface inherits
+    /// Facebook's view, mirroring how it shares Facebook's universe. With
+    /// `None` this is exactly [`Simulation::build`].
+    pub fn build_inferred(
+        seed: u64,
+        scale: SimScale,
+        inference: Option<&AttributeInference>,
+    ) -> Simulation {
+        let attach = |platform: AdPlatform| match inference {
+            Some(model) => {
+                let view = Arc::new(model.view(platform.universe()));
+                platform.with_inferred_view(view)
+            }
+            None => platform,
+        };
+        let facebook = Arc::new(attach(build_facebook(seed, scale)));
+        // Derived *after* the view is attached so it inherits it.
         let facebook_restricted = Arc::new(build_facebook_restricted(&facebook, scale));
-        let google = Arc::new(build_google(seed ^ 0x6006, scale));
-        let linkedin = Arc::new(build_linkedin(seed ^ 0x11, scale));
+        let google = Arc::new(attach(build_google(seed ^ 0x6006, scale)));
+        let linkedin = Arc::new(attach(build_linkedin(seed ^ 0x11, scale)));
         Simulation {
             facebook,
             facebook_restricted,
@@ -585,6 +611,39 @@ mod tests {
                 / p.universe().n_users() as f64
         };
         assert!(young_frac(&sim.google) < young_frac(&sim.facebook));
+    }
+
+    #[test]
+    fn inferred_views_change_demographic_resolution_only() {
+        let oracle = Simulation::build(5, SimScale::Test);
+        let inference = AttributeInference::noisy(9, 0.2, 0.2).with_missingness(0.3, 2, 1.0);
+        let inferred = Simulation::build_inferred(5, SimScale::Test, Some(&inference));
+        // The restricted interface inherits Facebook's attached view.
+        assert!(inferred.facebook.inferred_view().is_some());
+        assert!(inferred.facebook_restricted.inferred_view().is_some());
+        for (a, b) in oracle.interfaces().iter().zip(inferred.interfaces().iter()) {
+            // Unconstrained totals are untouched: the platform still
+            // serves every user, classified or not.
+            let everyone =
+                EstimateRequest::new(TargetingSpec::everyone(), a.config().default_objective);
+            assert_eq!(
+                a.reach_estimate(&everyone).unwrap(),
+                b.reach_estimate(&everyone).unwrap(),
+                "{} total drifted under inference",
+                a.label()
+            );
+        }
+        // Demographically constrained reach shrinks under missingness:
+        // unobserved users match no gender constraint.
+        let spec = TargetingSpec::builder().gender(Gender::Female).build();
+        let req = EstimateRequest::new(spec, Objective::Reach);
+        let truth = oracle.facebook.reach_estimate(&req).unwrap().value;
+        let noisy = inferred.facebook.reach_estimate(&req).unwrap().value;
+        assert!(noisy < truth, "inferred {noisy} vs oracle {truth}");
+        // A zero-error inference is indistinguishable from ground truth.
+        let identity = AttributeInference::oracle(9);
+        let same = Simulation::build_inferred(5, SimScale::Test, Some(&identity));
+        assert_eq!(same.facebook.reach_estimate(&req).unwrap().value, truth);
     }
 
     #[test]

@@ -59,11 +59,13 @@
 
 mod demographics;
 mod hash;
+pub mod inference;
 mod latent;
 pub mod segment;
 mod universe;
 
 pub use demographics::{AgeBucket, DemographicProfile, Demographics, Gender};
+pub use inference::{AttributeInference, InferredView};
 pub use latent::{AttributeModel, LATENT_DIMS};
 pub use segment::{CacheStats, SegmentAudience, SegmentError, SegmentStore, SEGMENT_ALIGN};
 pub use universe::{Universe, UniverseConfig};

@@ -2,8 +2,8 @@
 //! prior adherence, determinism, and monotonicity of the attribute model.
 
 use adcomp_population::{
-    AgeBucket, AttributeModel, DemographicProfile, Gender, SegmentAudience, SegmentStore, Universe,
-    UniverseConfig, SEGMENT_ALIGN,
+    AgeBucket, AttributeInference, AttributeModel, DemographicProfile, Gender, SegmentAudience,
+    SegmentStore, Universe, UniverseConfig, SEGMENT_ALIGN,
 };
 use proptest::prelude::*;
 
@@ -150,6 +150,62 @@ proptest! {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_error_inference_is_byte_identical_to_oracle(
+        seed in 0u64..500, inf_seed in 0u64..500, profile in arb_profile())
+    {
+        // Identity confusion + no missingness: the inferred view IS the
+        // oracle view, set for set — regardless of the inference seed.
+        let u = universe(seed, profile);
+        let view = AttributeInference::oracle(inf_seed).view(&u);
+        prop_assert_eq!(view.observed(), u.everyone());
+        prop_assert_eq!(view.missing_count(), 0);
+        for g in Gender::ALL {
+            prop_assert_eq!(view.gender_audience(g), u.gender_audience(g));
+        }
+        for a in AgeBucket::ALL {
+            prop_assert_eq!(view.age_audience(a), u.age_audience(a));
+        }
+    }
+
+    #[test]
+    fn masked_users_never_resurrected_across_segments(
+        seed in 0u64..500, inf_seed in 0u64..500,
+        miss in 0.05f64..0.6, scale in -2.0f64..2.0, chunk in 257u32..3_000)
+    {
+        // A user the missingness mask drops is dropped in *every*
+        // chunking of the id space: chunk-at-a-time views never
+        // resurrect them, and their union is byte-identical to the
+        // monolithic view.
+        let u = universe(seed, DemographicProfile::balanced());
+        let inference = AttributeInference::noisy(inf_seed, 0.1, 0.15)
+            .with_missingness(miss, (inf_seed % 12) as usize, scale);
+        let full = inference.view(&u);
+        let mut merged = inference.view_of_range(&u, 0, 0);
+        let mut start = 0u32;
+        while start < u.n_users() {
+            let end = (start + chunk).min(u.n_users());
+            let part = inference.view_of_range(&u, start, end);
+            for user in start..end {
+                if !full.observed().contains(user) {
+                    prop_assert!(
+                        !part.observed().contains(user),
+                        "masked user {user} resurrected in chunk [{start},{end})"
+                    );
+                    for g in Gender::ALL {
+                        prop_assert!(!part.gender_audience(g).contains(user));
+                    }
+                    for a in AgeBucket::ALL {
+                        prop_assert!(!part.age_audience(a).contains(user));
+                    }
+                }
+            }
+            merged.merge(&part);
+            start = end;
+        }
+        prop_assert_eq!(merged, full);
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub struct DriftAlert {
     pub epoch: u64,
     /// How many representation ratios crossed.
     pub crossings: u32,
+    /// Of those crossings, how many are low-confidence: the ratio's
+    /// rounding-slack interval straddles a four-fifths edge, so the
+    /// crossing could be an artifact of the platform's rounding ladder
+    /// rather than a real shift. Recomputed from the epoch stores on
+    /// every delivery (never journaled), so resumed re-deliveries stay
+    /// byte-identical to the original.
+    pub low_confidence: u32,
     /// The journaled detail line.
     pub detail: String,
 }
@@ -71,8 +78,8 @@ impl AlertSink for JournalAlertSink {
             .replace('\n', "\\n");
         let _ = writeln!(
             file,
-            "{{\"epoch\":{},\"crossings\":{},\"detail\":\"{}\"}}",
-            alert.epoch, alert.crossings, detail
+            "{{\"epoch\":{},\"crossings\":{},\"low_confidence\":{},\"detail\":\"{}\"}}",
+            alert.epoch, alert.crossings, alert.low_confidence, detail
         );
     }
 }
@@ -92,6 +99,8 @@ impl PushAlertSink {
 
 impl AlertSink for PushAlertSink {
     fn deliver(&self, alert: &DriftAlert) {
+        // `low_confidence` is deliberately not forwarded: `AlertFrame`
+        // is a frozen wire format shared with deployed aggregators.
         self.pusher.push(Telemetry::Alert(AlertFrame {
             epoch: alert.epoch,
             crossings: alert.crossings,
@@ -116,6 +125,7 @@ mod tests {
         let alert = DriftAlert {
             epoch: 3,
             crossings: 2,
+            low_confidence: 1,
             detail: "epoch 3: 2 four-fifths crossing(s) \"quoted\"".into(),
         };
         sink.deliver(&alert);
@@ -124,6 +134,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"epoch\":3"), "{text}");
+        assert!(lines[0].contains("\"low_confidence\":1"), "{text}");
         assert!(lines[0].contains("\\\"quoted\\\""), "{text}");
         std::fs::remove_file(&path).ok();
     }

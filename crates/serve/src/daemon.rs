@@ -31,7 +31,9 @@ use std::time::Duration;
 
 use adcomp_agg::{MetricsFrame, Telemetry, TelemetryPusher};
 use adcomp_core::recording::{fnv1a, EpochEvent};
-use adcomp_core::{drift_between, run_epoch, EpochPlan, ResilienceConfig, SchedulerConfig};
+use adcomp_core::{
+    drift_between_with, run_epoch, DriftOptions, EpochPlan, ResilienceConfig, SchedulerConfig,
+};
 use adcomp_obs::metrics::MetricKey;
 use adcomp_obs::{Clock, Registry, RunReport};
 use adcomp_store::{RunStore, SyncPolicy, WalOptions};
@@ -494,8 +496,20 @@ impl Daemon {
         } else {
             let before = RunStore::open(self.config.epoch_dir(epoch - 1))?.snapshot();
             let after = RunStore::open(self.config.epoch_dir(epoch))?.snapshot();
-            let drift = drift_between(&before, &after);
+            let options = DriftOptions {
+                rounding: self.provider.rounding_rules(),
+            };
+            let drift = drift_between_with(&before, &after, &options);
             let crossings = drift.ratio_moves.iter().filter(|m| m.crossed()).count() as u32;
+            // Crossings whose rounding-slack interval straddles a
+            // four-fifths edge. Like `detail`, a pure function of the
+            // two epoch stores — recomputed (not journaled) so resumed
+            // re-deliveries match the original alert exactly.
+            let low_confidence = drift
+                .ratio_moves
+                .iter()
+                .filter(|m| m.crossed() && m.low_confidence())
+                .count() as u32;
             let findings = drift.findings() as u32;
             let mut alerted = false;
             if crossings > 0 {
@@ -528,6 +542,7 @@ impl Daemon {
                 let alert = DriftAlert {
                     epoch,
                     crossings,
+                    low_confidence,
                     detail,
                 };
                 for sink in &self.alert_sinks {

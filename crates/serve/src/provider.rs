@@ -13,12 +13,12 @@
 //! [`Simulation`]; the integration tests add a fleet-backed one over
 //! wire clients.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 use adcomp_core::source::{ApiSource, EstimateSource};
 use adcomp_platform::{
-    FaultPlan, FaultyPlatform, InterfaceKind, PlatformApi, SimScale, Simulation,
+    FaultPlan, FaultyPlatform, InterfaceKind, PlatformApi, RoundingRule, SimScale, Simulation,
 };
 
 use crate::config::ServeConfig;
@@ -39,6 +39,16 @@ pub trait SourceProvider: Send + Sync {
     /// visibility return `None` and opt out of that check.
     fn answered(&self) -> Option<u64> {
         None
+    }
+
+    /// Rounding ladders of the audited interfaces, keyed by interface
+    /// label. The drift stage uses these to put confidence intervals
+    /// on representation ratios and tag crossings whose rounding slack
+    /// straddles a four-fifths edge as low-confidence. Providers
+    /// without ladder knowledge return an empty map and every crossing
+    /// is reported at full confidence — the pre-interval behaviour.
+    fn rounding_rules(&self) -> BTreeMap<String, RoundingRule> {
+        BTreeMap::new()
     }
 }
 
@@ -120,6 +130,12 @@ impl SourceProvider for SimProvider {
         // FaultyPlatform delegates stats() to its inner platform, so
         // the base counter covers faulty epochs too.
         Some(self.platform().stats().estimates)
+    }
+
+    fn rounding_rules(&self) -> BTreeMap<String, RoundingRule> {
+        let mut rules = BTreeMap::new();
+        rules.insert(self.label(), self.platform().config().rounding);
+        rules
     }
 }
 

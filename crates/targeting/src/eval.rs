@@ -1,7 +1,7 @@
 //! Evaluation of targeting specs against a population.
 
 use adcomp_bitset::Bitset;
-use adcomp_population::Universe;
+use adcomp_population::{AgeBucket, Gender, Universe};
 
 use crate::ast::{AttributeId, TargetingSpec};
 
@@ -14,6 +14,21 @@ pub trait AttributeResolver {
 
     /// The universe the audiences were materialised against.
     fn universe(&self) -> &Universe;
+
+    /// The audience a gender constraint selects. Defaults to the
+    /// universe's ground-truth audience; resolvers carrying an inferred
+    /// demographic view (`adcomp-population::InferredView`) override
+    /// this so demographic constraints resolve against the *observed*
+    /// labels instead of the oracle's.
+    fn gender_audience(&self, gender: Gender) -> &Bitset {
+        self.universe().gender_audience(gender)
+    }
+
+    /// The audience an age constraint selects (see
+    /// [`gender_audience`](AttributeResolver::gender_audience)).
+    fn age_audience(&self, age: AgeBucket) -> &Bitset {
+        self.universe().age_audience(age)
+    }
 }
 
 /// Evaluation failures.
@@ -88,14 +103,14 @@ pub fn evaluate<R: AttributeResolver + ?Sized>(
     if let Some(genders) = &spec.demographics.genders {
         let mut demo = Bitset::new();
         for g in genders {
-            demo = demo.or(universe.gender_audience(*g));
+            demo = demo.or(resolver.gender_audience(*g));
         }
         audience = audience.and(&demo);
     }
     if let Some(ages) = &spec.demographics.ages {
         let mut demo = Bitset::new();
         for a in ages {
-            demo = demo.or(universe.age_audience(*a));
+            demo = demo.or(resolver.age_audience(*a));
         }
         audience = audience.and(&demo);
     }

@@ -15,6 +15,7 @@ pub use adcomp_agg as agg;
 pub use adcomp_bitset as bitset;
 pub use adcomp_core as audit;
 pub use adcomp_delivery as delivery;
+pub use adcomp_infer as infer;
 pub use adcomp_obs as obs;
 pub use adcomp_platform as platform;
 pub use adcomp_population as population;
